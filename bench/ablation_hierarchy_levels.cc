@@ -1,0 +1,140 @@
+// Ablation: hierarchical bounds at the WORKLOAD level. The paper's
+// evaluation uses only the two-level specification (transaction +
+// object); this bench runs its headline contribution — multi-level group
+// limits — end to end: the hot set is organized into a group tree and
+// every query declares per-level limits carved out of its TIL. Finer
+// declarations trade throughput (more rejection points, Sec. 3.1's
+// "small price") for locality of the inconsistency guarantee.
+
+#include "harness/harness.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "sim/cluster.h"
+
+namespace {
+
+using esr::BoundSpec;
+using esr::Cluster;
+using esr::GroupId;
+using esr::GroupSchema;
+using esr::Inconsistency;
+using esr::ObjectId;
+using esr::SimResult;
+using esr::TxnType;
+using esr::bench::BaseOptions;
+using esr::bench::PrintHeader;
+using esr::bench::RunScale;
+using esr::bench::Table;
+
+constexpr int kMpl = 4;
+constexpr Inconsistency kTil = 20'000;
+
+// Builds the group tree: depth 1 = transaction level only; depth 2 adds
+// 4 categories over the database; depth 3 subdivides each category in 2.
+// Every level's limits sum to the TIL, so deeper trees constrain the
+// same budget at finer granularity.
+struct Shape {
+  const char* name;
+  int levels;  // group levels between objects and the root
+};
+
+struct RunOutcome {
+  double tput = 0.0;
+  double aborts = 0.0;
+  double group_aborts = 0.0;
+  double import_per_query = 0.0;
+};
+
+RunOutcome RunShape(const Shape& shape, const RunScale& scale) {
+  RunOutcome out;
+  for (int seed = 1; seed <= scale.seeds; ++seed) {
+    auto opt = BaseOptions(kTil, /*tel=*/10'000, kMpl, scale);
+    opt.seed = static_cast<uint64_t>(seed) * 7919;
+
+    // Group ids are deterministic given the construction order below, so
+    // the bound factory can reference them before the cluster exists.
+    std::vector<GroupId> level1;  // 4 categories: ids 1..4
+    std::vector<GroupId> level2;  // 8 subgroups:  ids 5..12
+    if (shape.levels >= 1) level1 = {1, 2, 3, 4};
+    if (shape.levels >= 2) level2 = {5, 6, 7, 8, 9, 10, 11, 12};
+
+    opt.workload.bound_factory = [&, shape](TxnType type) {
+      if (type == TxnType::kUpdate) {
+        return BoundSpec::TransactionOnly(10'000);
+      }
+      BoundSpec bounds;
+      bounds.SetTransactionLimit(kTil);
+      for (const GroupId g : level1) bounds.SetLimit(g, kTil / 4);
+      for (const GroupId g : level2) bounds.SetLimit(g, kTil / 8);
+      return bounds;
+    };
+
+    Cluster cluster(opt);
+    GroupSchema& schema = cluster.server().schema();
+    if (shape.levels >= 1) {
+      for (int c = 0; c < 4; ++c) {
+        (void)schema.AddGroup("cat" + std::to_string(c), esr::kRootGroup);
+      }
+      if (shape.levels >= 2) {
+        for (int s = 0; s < 8; ++s) {
+          (void)schema.AddGroup("sub" + std::to_string(s),
+                                static_cast<GroupId>(1 + s / 2));
+        }
+      }
+      for (ObjectId id = 0; id < 1000; ++id) {
+        const GroupId leaf =
+            shape.levels >= 2 ? static_cast<GroupId>(5 + id % 8)
+                              : static_cast<GroupId>(1 + id % 4);
+        (void)schema.AssignObject(id, leaf);
+      }
+    }
+
+    const SimResult r = cluster.Run();
+    out.tput += r.throughput();
+    out.aborts += static_cast<double>(r.aborts);
+    out.group_aborts += static_cast<double>(
+        cluster.server().metrics().CounterValue("abort.group_bound"));
+    out.import_per_query += r.avg_import_per_query();
+  }
+  const double n = static_cast<double>(scale.seeds);
+  out.tput /= n;
+  out.aborts /= n;
+  out.group_aborts /= n;
+  out.import_per_query /= n;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const RunScale scale = RunScale::FromEnv();
+  PrintHeader(
+      "Ablation: hierarchy depth in the bound declaration (MPL = 4, "
+      "TIL = 20000)",
+      "the paper's contribution run end to end; its evaluation used only "
+      "the two-level form",
+      scale);
+
+  const Shape shapes[] = {
+      {"txn-level only (paper's eval)", 0},
+      {"+4 categories (3-level)", 1},
+      {"+8 subgroups (4-level)", 2},
+  };
+  Table table({"declaration", "tput(tps)", "aborts", "group_aborts",
+               "import/query"});
+  for (const Shape& shape : shapes) {
+    const RunOutcome out = RunShape(shape, scale);
+    table.AddRow({shape.name, Table::Num(out.tput), Table::Int(out.aborts),
+                  Table::Int(out.group_aborts),
+                  Table::Num(out.import_per_query, 0)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: every level's limits partition the same TIL, so deeper "
+      "declarations reject\nlocalized inconsistency spikes earlier "
+      "(group_aborts) and admit less total\ninconsistency per query — the "
+      "flexibility/throughput compromise of Sec. 3.1.\n");
+  return 0;
+}

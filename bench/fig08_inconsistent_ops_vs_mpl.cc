@@ -1,0 +1,38 @@
+// Figure 8: Successful Inconsistent Operations vs Multiprogramming Level.
+// No zero-epsilon curve: SR never executes inconsistent operations.
+// Expected shape: counts increase with both the inconsistency bounds and
+// the MPL.
+
+#include "harness/harness.h"
+
+namespace {
+
+using esr::EpsilonLevel;
+using esr::bench::BaseOptions;
+using esr::bench::PrintHeader;
+using esr::bench::RunAveraged;
+using esr::bench::RunScale;
+using esr::bench::Table;
+
+}  // namespace
+
+int main() {
+  const RunScale scale = RunScale::FromEnv();
+  PrintHeader("Figure 8: Successful Inconsistent Operations vs MPL",
+              "steady increase with each bound level and with MPL",
+              scale);
+
+  Table table({"mpl", "low", "medium", "high"});
+  for (int mpl = 1; mpl <= 10; ++mpl) {
+    std::vector<std::string> row{std::to_string(mpl)};
+    for (EpsilonLevel level : {EpsilonLevel::kLow, EpsilonLevel::kMedium,
+                               EpsilonLevel::kHigh}) {
+      row.push_back(Table::Int(
+          RunAveraged(BaseOptions(level, mpl, scale), scale)
+              .inconsistent_ops));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 9: Number of Aborts (retries) vs Multiprogramming Level. Every
+// abort is resubmitted by its client, so aborts == retries. Expected
+// shape: almost zero at high bounds, shooting up at lower bounds, highest
+// for zero epsilon (SR).
+
+#include "harness/harness.h"
+
+namespace {
+
+using esr::EpsilonLevel;
+using esr::bench::BaseOptions;
+using esr::bench::PrintHeader;
+using esr::bench::RunAveraged;
+using esr::bench::RunScale;
+using esr::bench::Table;
+
+}  // namespace
+
+int main() {
+  const RunScale scale = RunScale::FromEnv();
+  PrintHeader("Figure 9: Number of Aborts vs MPL",
+              "aborts at high bounds are almost zero; at low bounds they "
+              "shoot up rapidly; zero epsilon (SR) is very high",
+              scale);
+
+  Table table({"mpl", "zero(SR)", "low", "medium", "high"});
+  for (int mpl = 1; mpl <= 10; ++mpl) {
+    std::vector<std::string> row{std::to_string(mpl)};
+    for (EpsilonLevel level :
+         {EpsilonLevel::kZero, EpsilonLevel::kLow, EpsilonLevel::kMedium,
+          EpsilonLevel::kHigh}) {
+      row.push_back(Table::Int(
+          RunAveraged(BaseOptions(level, mpl, scale), scale).aborts));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

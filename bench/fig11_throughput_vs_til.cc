@@ -1,0 +1,45 @@
+// Figure 11: Throughput vs Transaction Import Limit (TIL), with TEL held
+// at each of three constant levels; MPL fixed at 4. Expected shape:
+// throughput increases with TIL, with the steepest slope at small-to-
+// medium TIL values (most transactions need only that much slack) and a
+// long flattening tail covered by the few transactions that need large
+// bounds.
+
+#include "harness/harness.h"
+
+namespace {
+
+using esr::Inconsistency;
+using esr::bench::BaseOptions;
+using esr::bench::PrintHeader;
+using esr::bench::RunAveraged;
+using esr::bench::RunScale;
+using esr::bench::Table;
+
+constexpr int kMpl = 4;
+constexpr double kTilSweep[] = {0,      2'000,  5'000,  10'000, 20'000,
+                                35'000, 50'000, 75'000, 100'000};
+constexpr double kTelLevels[] = {1'000, 5'000, 10'000};
+
+}  // namespace
+
+int main() {
+  const RunScale scale = RunScale::FromEnv();
+  PrintHeader("Figure 11: Throughput vs TIL (TEL varies), MPL = 4",
+              "throughput rises with TIL; slope highest at small-to-medium "
+              "TIL, flattening at high TIL",
+              scale);
+
+  Table table({"TIL", "TEL=1000(low)", "TEL=5000(med)", "TEL=10000(high)"});
+  for (const double til : kTilSweep) {
+    std::vector<std::string> row{Table::Int(til)};
+    for (const double tel : kTelLevels) {
+      row.push_back(Table::Num(
+          RunAveraged(BaseOptions(til, tel, kMpl, scale), scale)
+              .throughput));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "harness/harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace esr {
+namespace bench {
+
+RunScale RunScale::FromEnv() {
+  RunScale scale;
+  const char* full = std::getenv("ESR_BENCH_FULL");
+  if (full != nullptr && std::strcmp(full, "0") != 0) {
+    scale.warmup_s = 5.0;
+    scale.measure_s = 120.0;
+    scale.seeds = 7;
+  }
+  return scale;
+}
+
+ClusterOptions BaseOptions(Inconsistency til, Inconsistency tel, int mpl,
+                           const RunScale& scale) {
+  ClusterOptions opt;
+  opt.mpl = mpl;
+  opt.workload.til = til;
+  opt.workload.tel = tel;
+  opt.warmup_s = scale.warmup_s;
+  opt.measure_s = scale.measure_s;
+  return opt;
+}
+
+ClusterOptions BaseOptions(EpsilonLevel level, int mpl,
+                           const RunScale& scale) {
+  const TransactionLimits limits = LimitsForLevel(level);
+  return BaseOptions(limits.til, limits.tel, mpl, scale);
+}
+
+AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale) {
+  AveragedResult avg;
+  std::vector<double> throughputs;
+  for (int seed = 1; seed <= scale.seeds; ++seed) {
+    options.seed = static_cast<uint64_t>(seed) * 7919;
+    const SimResult r = RunCluster(options);
+    throughputs.push_back(r.throughput());
+    avg.throughput += r.throughput();
+    avg.committed += static_cast<double>(r.committed);
+    avg.aborts += static_cast<double>(r.aborts);
+    avg.ops_executed += static_cast<double>(r.ops_executed);
+    avg.inconsistent_ops += static_cast<double>(r.inconsistent_ops);
+    avg.waits += static_cast<double>(r.waits);
+    avg.ops_per_committed_txn += r.ops_per_committed_txn();
+    avg.query_ops_per_committed_query += r.query_ops_per_committed_query();
+    avg.avg_import_per_query += r.avg_import_per_query();
+    avg.avg_txn_latency_ms += r.avg_txn_latency_ms();
+  }
+  const double n = static_cast<double>(scale.seeds);
+  avg.throughput /= n;
+  avg.committed /= n;
+  avg.aborts /= n;
+  avg.ops_executed /= n;
+  avg.inconsistent_ops /= n;
+  avg.waits /= n;
+  avg.ops_per_committed_txn /= n;
+  avg.query_ops_per_committed_query /= n;
+  avg.avg_import_per_query /= n;
+  avg.avg_txn_latency_ms /= n;
+  if (throughputs.size() > 1) {
+    double m2 = 0.0;
+    for (const double t : throughputs) {
+      m2 += (t - avg.throughput) * (t - avg.throughput);
+    }
+    avg.throughput_stddev =
+        std::sqrt(m2 / static_cast<double>(throughputs.size() - 1));
+  }
+  return avg;
+}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void Table::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%*s", c == 0 ? "" : "  ",
+                  static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  for (size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v + 0.5));
+  return buf;
+}
+
+void PrintHeader(const std::string& figure, const std::string& paper_claim,
+                 const RunScale& scale) {
+  std::printf("=== %s ===\n", figure.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf(
+      "Scale: %.0fs warmup + %.0fs measure, %d seeds averaged "
+      "(ESR_BENCH_FULL=1 for paper-scale)\n\n",
+      scale.warmup_s, scale.measure_s, scale.seeds);
+}
+
+}  // namespace bench
+}  // namespace esr

@@ -1,0 +1,79 @@
+#ifndef ESR_BENCH_HARNESS_HARNESS_H_
+#define ESR_BENCH_HARNESS_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "esr/limits.h"
+#include "sim/cluster.h"
+
+namespace esr {
+namespace bench {
+
+/// Run-length configuration for the figure harnesses. The default keeps
+/// every binary fast enough for `for b in build/bench/*; do $b; done`;
+/// setting ESR_BENCH_FULL=1 in the environment switches to paper-scale
+/// windows and more seeds (tighter confidence, the paper reports +/-3%).
+struct RunScale {
+  double warmup_s = 3.0;
+  double measure_s = 30.0;
+  int seeds = 3;
+
+  /// Reads ESR_BENCH_FULL from the environment.
+  static RunScale FromEnv();
+};
+
+/// The canonical high-conflict experiment configuration of Sec. 7 (about
+/// 1000 objects, ~20-object hot set, query ETs ~20 ops / update ETs ~6
+/// ops, values 1000..9999) with the given transaction-level bounds.
+ClusterOptions BaseOptions(EpsilonLevel level, int mpl,
+                           const RunScale& scale);
+ClusterOptions BaseOptions(Inconsistency til, Inconsistency tel, int mpl,
+                           const RunScale& scale);
+
+/// Averaged metrics over `scale.seeds` runs of the same configuration
+/// (only the seed differs).
+struct AveragedResult {
+  double throughput = 0.0;
+  /// Sample standard deviation of throughput across seeds (the paper
+  /// reports 90% confidence intervals within +/-3%; this is the analogous
+  /// dispersion figure for our seeds).
+  double throughput_stddev = 0.0;
+  double committed = 0.0;
+  double aborts = 0.0;
+  double ops_executed = 0.0;
+  double inconsistent_ops = 0.0;
+  double waits = 0.0;
+  double ops_per_committed_txn = 0.0;
+  double query_ops_per_committed_query = 0.0;
+  double avg_import_per_query = 0.0;
+  double avg_txn_latency_ms = 0.0;
+};
+
+AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale);
+
+/// Fixed-width table printer for the figure harnesses.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void AddRow(const std::vector<std::string>& cells);
+  void Print() const;
+
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(double v);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard harness banner: figure id, what the paper showed,
+/// and the scale in effect.
+void PrintHeader(const std::string& figure, const std::string& paper_claim,
+                 const RunScale& scale);
+
+}  // namespace bench
+}  // namespace esr
+
+#endif  // ESR_BENCH_HARNESS_HARNESS_H_

@@ -1,0 +1,66 @@
+// Ablation: the export-inconsistency combination rule. The paper charges
+// a late write the MAXIMUM inconsistency it exports to any concurrent
+// query reader (Sec. 5.2), arguing that the sum-over-readers rule of Wu
+// et al. [21] overestimates the accumulated error. This bench runs the
+// same contended workload under both rules (and both reader scopes) and
+// reports throughput and abort counts.
+
+#include <benchmark/benchmark.h>
+
+#include "esr/limits.h"
+#include "sim/cluster.h"
+
+namespace esr {
+namespace {
+
+void RunRule(benchmark::State& state, ExportCombine combine,
+             ExportScope scope) {
+  double throughput = 0, aborts = 0, tel_aborts = 0, runs = 0;
+  for (auto _ : state) {
+    ClusterOptions opt;
+    opt.mpl = 6;
+    // Low TEL makes the export rule the binding constraint.
+    opt.workload.til = 100'000;
+    opt.workload.tel = 1'000;
+    opt.server.divergence.export_combine = combine;
+    opt.server.divergence.export_scope = scope;
+    opt.warmup_s = 2.0;
+    opt.measure_s = 15.0;
+    opt.seed = 99 + runs;
+    Cluster cluster(opt);
+    const SimResult r = cluster.Run();
+    throughput += r.throughput();
+    aborts += static_cast<double>(r.aborts);
+    tel_aborts += static_cast<double>(
+        cluster.server().metrics().CounterValue("abort.transaction_bound"));
+    runs += 1;
+  }
+  state.counters["tput"] = throughput / runs;
+  state.counters["aborts"] = aborts / runs;
+  state.counters["tel_aborts"] = tel_aborts / runs;
+}
+
+void BM_ExportMaxAllReaders(benchmark::State& state) {
+  RunRule(state, ExportCombine::kMax, ExportScope::kAllReaders);
+}
+BENCHMARK(BM_ExportMaxAllReaders)->Unit(benchmark::kMillisecond);
+
+void BM_ExportSumAllReaders(benchmark::State& state) {
+  RunRule(state, ExportCombine::kSum, ExportScope::kAllReaders);
+}
+BENCHMARK(BM_ExportSumAllReaders)->Unit(benchmark::kMillisecond);
+
+void BM_ExportMaxNewerReaders(benchmark::State& state) {
+  RunRule(state, ExportCombine::kMax, ExportScope::kNewerReaders);
+}
+BENCHMARK(BM_ExportMaxNewerReaders)->Unit(benchmark::kMillisecond);
+
+void BM_ExportSumNewerReaders(benchmark::State& state) {
+  RunRule(state, ExportCombine::kSum, ExportScope::kNewerReaders);
+}
+BENCHMARK(BM_ExportSumNewerReaders)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace esr
+
+BENCHMARK_MAIN();

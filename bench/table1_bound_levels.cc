@@ -1,0 +1,76 @@
+// Table 1 (Sec. 7): the magnitudes of the transaction-level inconsistency
+// bounds used in the first set of tests, printed together with the
+// realized workload shape (query ETs ~20 ops, update ETs ~6 ops, ~1000
+// objects with a ~20-object hot set, values 1000..9999) so the
+// configuration is auditable against the paper.
+
+#include "harness/harness.h"
+
+#include <cstdio>
+
+#include "workload/generator.h"
+
+namespace {
+
+using esr::EpsilonLevel;
+using esr::EpsilonLevelToString;
+using esr::LimitsForLevel;
+using esr::ScriptOp;
+using esr::TxnScript;
+using esr::TxnType;
+using esr::WorkloadGenerator;
+using esr::WorkloadSpec;
+using esr::bench::Table;
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: Inconsistency bound levels (Sec. 7) ===\n\n");
+  Table bounds({"Level", "TIL", "TEL"});
+  for (EpsilonLevel level : {EpsilonLevel::kHigh, EpsilonLevel::kMedium,
+                             EpsilonLevel::kLow, EpsilonLevel::kZero}) {
+    const auto limits = LimitsForLevel(level);
+    bounds.AddRow({std::string(EpsilonLevelToString(level)) + "-epsilon",
+                   Table::Int(limits.til), Table::Int(limits.tel)});
+  }
+  bounds.Print();
+
+  // Realized workload shape, measured from the generator itself.
+  const WorkloadSpec spec;
+  WorkloadGenerator gen(spec, 1);
+  double query_ops = 0, update_ops = 0, update_writes = 0;
+  int64_t hot_accesses = 0, total_accesses = 0;
+  constexpr int kSamples = 5000;
+  for (int i = 0; i < kSamples; ++i) {
+    const TxnScript q = gen.NextQuery();
+    query_ops += static_cast<double>(q.ops.size());
+    const TxnScript u = gen.NextUpdate();
+    update_ops += static_cast<double>(u.ops.size());
+    update_writes += static_cast<double>(u.num_writes());
+    for (const ScriptOp& op : q.ops) {
+      hot_accesses += op.object < spec.hot_set_size ? 1 : 0;
+      ++total_accesses;
+    }
+  }
+  std::printf("\nRealized workload shape (%d sampled transactions/kind):\n",
+              kSamples);
+  std::printf("  objects in database        : %zu (values %lld..%lld)\n",
+              spec.num_objects, static_cast<long long>(spec.min_value),
+              static_cast<long long>(spec.max_value));
+  std::printf("  hot set                    : %zu objects\n",
+              spec.hot_set_size);
+  std::printf("  query ET ops (paper ~20)   : %.2f\n",
+              query_ops / kSamples);
+  std::printf("  update ET ops (paper ~6)   : %.2f (%.2f writes)\n",
+              update_ops / kSamples, update_writes / kSamples);
+  std::printf("  query hot-access fraction  : %.2f\n",
+              static_cast<double>(hot_accesses) /
+                  static_cast<double>(total_accesses));
+  std::printf("  avg write delta w          : %.0f (small %lld x%.2f, large %lld x%.2f)\n",
+              spec.MeanWriteDelta(),
+              static_cast<long long>(spec.small_write_delta),
+              1.0 - spec.large_delta_prob,
+              static_cast<long long>(spec.large_write_delta),
+              spec.large_delta_prob);
+  return 0;
+}

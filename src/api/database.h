@@ -1,0 +1,123 @@
+#ifndef ESR_API_DATABASE_H_
+#define ESR_API_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timestamp.h"
+#include "esr/aggregate.h"
+#include "esr/limits.h"
+#include "hierarchy/bound_spec.h"
+#include "txn/server.h"
+
+namespace esr {
+
+class Session;
+
+/// Embedder-facing facade over the transaction server: an in-memory
+/// epsilon-serializable database with hierarchical inconsistency bounds.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   esr::Database db(options);
+///   esr::Session session = db.CreateSession(/*site=*/1);
+///   auto result = session.AggregateQuery(accounts, esr::AggregateKind::kSum,
+///                                        esr::BoundSpec::TransactionOnly(1e5));
+class Database {
+ public:
+  explicit Database(const ServerOptions& options = {});
+
+  /// The group hierarchy; configure before running transactions.
+  GroupSchema& schema() { return server_.schema(); }
+
+  /// Direct (non-transactional) value poke, for loading initial data in
+  /// examples and tests. Must not race with transactions.
+  Status LoadValue(ObjectId object, Value value);
+
+  /// Non-transactional peek at the present value.
+  Result<Value> PeekValue(ObjectId object) const;
+
+  /// Creates a client session; each concurrent client should use its own
+  /// site id so its timestamps are unique.
+  Session CreateSession(SiteId site);
+
+  Server& server() { return server_; }
+  const Server& server() const { return server_; }
+  MetricRegistry& metrics() { return server_.metrics(); }
+
+ private:
+  Server server_;
+};
+
+/// A client-side transaction handle. Operations return the raw OpResult
+/// of the engine: kWait means retry the same op after the blocking writer
+/// resolves; kAbort means the transaction is gone and must be restarted
+/// with a fresh timestamp (Session's high-level helpers do both
+/// automatically).
+class TxnHandle {
+ public:
+  bool valid() const { return txn_ != kInvalidTxnId; }
+  TxnId id() const { return txn_; }
+  Timestamp ts() const { return ts_; }
+
+  OpResult Read(ObjectId object);
+  OpResult Write(ObjectId object, Value value);
+  Status Commit();
+  Status Abort();
+
+ private:
+  friend class Session;
+  TxnHandle(Server* server, TxnId txn, Timestamp ts)
+      : server_(server), txn_(txn), ts_(ts) {}
+
+  Server* server_ = nullptr;
+  TxnId txn_ = kInvalidTxnId;
+  Timestamp ts_;
+};
+
+/// Result of a high-level aggregate query ET.
+struct AggregateQueryResult {
+  AggregateOutcome outcome;
+  /// Total inconsistency the query imported; the answer is guaranteed to
+  /// be within this distance of some serializable result.
+  Inconsistency imported = 0.0;
+  /// Server-side aborts absorbed before success.
+  int retries = 0;
+};
+
+/// A client connection bound to one site id. Sessions are cheap; create
+/// one per thread. Timestamps come from a process-monotonic clock.
+class Session {
+ public:
+  Session(Server* server, SiteId site);
+
+  /// Starts a transaction with an explicit hierarchical bound spec.
+  TxnHandle Begin(TxnType type, BoundSpec bounds);
+
+  /// Runs a read-only aggregate query ET over `objects` with automatic
+  /// wait-retry and abort-restart (at most `max_restarts` restarts).
+  /// Enforces the Sec. 5.3.2 aggregation-point rule for non-sum kinds.
+  Result<AggregateQueryResult> AggregateQuery(
+      const std::vector<ObjectId>& objects, AggregateKind kind,
+      BoundSpec bounds, int max_restarts = 1000);
+
+  /// Runs `body` as an update ET with automatic restart; `body` is
+  /// re-invoked from scratch on each attempt and must route all access
+  /// through the handle. Returning a non-OK status aborts and gives up.
+  Status RunUpdate(const std::function<Status(TxnHandle&)>& body,
+                   BoundSpec bounds, int max_restarts = 1000);
+
+  SiteId site() const { return ts_gen_.site(); }
+
+ private:
+  int64_t NowMicros() const;
+
+  Server* server_;
+  TimestampGenerator ts_gen_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_API_DATABASE_H_

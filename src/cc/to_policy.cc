@@ -1,0 +1,93 @@
+#include "cc/to_policy.h"
+
+namespace esr {
+
+const char* AbortReasonToString(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kLateRead:
+      return "late_read";
+    case AbortReason::kLateWrite:
+      return "late_write";
+    case AbortReason::kObjectBound:
+      return "object_bound";
+    case AbortReason::kGroupBound:
+      return "group_bound";
+    case AbortReason::kTransactionBound:
+      return "transaction_bound";
+    case AbortReason::kHistoryExhausted:
+      return "history_exhausted";
+    case AbortReason::kUserRequested:
+      return "user_requested";
+    case AbortReason::kDeadlockVictim:
+      return "deadlock_victim";
+  }
+  return "?";
+}
+
+ReadDecision DecideRead(const TxnView& txn, const ObjectRecord& object) {
+  // Reads that may view inconsistency: ESR query ETs, plus update ETs
+  // with a declared import budget (the Sec. 1 generalization).
+  const bool may_import =
+      (txn.type == TxnType::kQuery && txn.esr_enabled) ||
+      (txn.type == TxnType::kUpdate && txn.import_enabled);
+
+  if (object.has_uncommitted_write()) {
+    if (object.uncommitted_writer() == txn.id) {
+      // Reading one's own pending write is always consistent.
+      return ReadDecision::kProceedConsistent;
+    }
+    if (may_import) {
+      // Fig. 3 case 2: viewing uncommitted data from a concurrent update
+      // ET, subject to the inconsistency checks.
+      return ReadDecision::kRelaxUncommitted;
+    }
+    // Reads that must be consistent (plain update-ET reads, SR queries):
+    // strict ordering makes newer requests wait for the writer; older
+    // requests are late and abort.
+    return txn.ts > object.write_ts() ? ReadDecision::kWait
+                                      : ReadDecision::kAbortLate;
+  }
+
+  if (txn.ts >= object.write_ts()) {
+    // On-time read of committed data.
+    return ReadDecision::kProceedConsistent;
+  }
+
+  // Late read of committed data written after this transaction began:
+  // Fig. 3 case 1 when the reader may import.
+  if (may_import) return ReadDecision::kRelaxLateRead;
+  return ReadDecision::kAbortLate;
+}
+
+WriteDecision DecideWrite(const TxnView& txn, const ObjectRecord& object) {
+  if (object.has_uncommitted_write() &&
+      object.uncommitted_writer() != txn.id) {
+    // Strict ordering between writers: newer waits, older is late.
+    return txn.ts > object.write_ts() ? WriteDecision::kWait
+                                      : WriteDecision::kAbortLateWrite;
+  }
+
+  // Conflict with a consistent read from an update ET: reads from update
+  // ETs feed their writes, so they must stay serializable (Sec. 4).
+  if (txn.ts < object.update_read_ts()) {
+    return WriteDecision::kAbortLateRead;
+  }
+
+  // Conflict with a newer committed write (blind write-write): updates
+  // are consistent among themselves, so this always aborts.
+  if (!object.has_uncommitted_write() && txn.ts < object.write_ts()) {
+    return WriteDecision::kAbortLateWrite;
+  }
+
+  // Fig. 3 case 3: the last conflicting read came from a query ET.
+  if (txn.ts < object.query_read_ts()) {
+    return txn.esr_enabled ? WriteDecision::kRelaxLateWrite
+                           : WriteDecision::kAbortLateRead;
+  }
+
+  return WriteDecision::kProceedConsistent;
+}
+
+}  // namespace esr

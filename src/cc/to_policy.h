@@ -1,0 +1,92 @@
+#ifndef ESR_CC_TO_POLICY_H_
+#define ESR_CC_TO_POLICY_H_
+
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "storage/object.h"
+
+namespace esr {
+
+/// Why the concurrency-control layer rejected an operation. Every abort is
+/// followed by an immediate restart with a fresh timestamp at the client,
+/// so aborts and retries are the same count (paper Sec. 7).
+enum class AbortReason : uint8_t {
+  kNone = 0,
+  /// Late read under SR rules (timestamp older than the object's write ts).
+  kLateRead,
+  /// Late write conflicting with a consistent (update-ET) read or with a
+  /// newer write.
+  kLateWrite,
+  /// The object-level bound (OIL/OEL) rejected the operation.
+  kObjectBound,
+  /// A group-level limit in the hierarchy rejected the operation.
+  kGroupBound,
+  /// The transaction-level bound (TIL/TEL) rejected the operation.
+  kTransactionBound,
+  /// The bounded write history no longer reaches back to the query's
+  /// timestamp, so the proper value (and hence d) cannot be determined.
+  kHistoryExhausted,
+  /// Explicit abort requested by the client.
+  kUserRequested,
+  /// Killed by wait-die deadlock prevention (2PL engine only): the
+  /// requester was younger than a conflicting lock holder.
+  kDeadlockVictim,
+};
+
+const char* AbortReasonToString(AbortReason reason);
+
+/// What the timestamp-ordering policy decides for a read request.
+enum class ReadDecision : uint8_t {
+  /// Serializable read: proceed, no inconsistency is viewed.
+  kProceedConsistent,
+  /// ESR case 1 (Fig. 3): a query read of *committed* data whose write
+  /// timestamp is newer than the query — admit iff bounds allow.
+  kRelaxLateRead,
+  /// ESR case 2: a query read of *uncommitted* data from a concurrent
+  /// update ET — admit iff bounds allow.
+  kRelaxUncommitted,
+  /// Strict ordering: wait until the uncommitted writer resolves.
+  kWait,
+  /// Late operation under SR rules: abort and restart.
+  kAbortLate,
+};
+
+/// What the timestamp-ordering policy decides for a write request.
+enum class WriteDecision : uint8_t {
+  kProceedConsistent,
+  /// ESR case 3 (Fig. 3): a write older than the object's last *query*
+  /// read — admit iff export bounds allow.
+  kRelaxLateWrite,
+  /// Strict ordering: wait for the uncommitted writer to resolve.
+  kWait,
+  /// Conflicts with a consistent read from another update ET.
+  kAbortLateRead,
+  /// Conflicts with a newer (committed or pending) write.
+  kAbortLateWrite,
+};
+
+/// The requesting transaction as the policy sees it.
+struct TxnView {
+  TxnId id = kInvalidTxnId;
+  TxnType type = TxnType::kQuery;
+  Timestamp ts;
+  /// False when the transaction's bounds are all zero: ESR reduces to SR
+  /// and the relaxation cases are never attempted (paper Sec. 2).
+  bool esr_enabled = true;
+  /// True for update ETs with a non-zero IMPORT budget (the Sec. 1
+  /// generalization): their reads may relax like query reads.
+  bool import_enabled = false;
+};
+
+/// Timestamp-ordering read rule with the ESR enhancements of Fig. 3.
+/// Pure function of the request and the object's CC state; the caller
+/// performs the inconsistency checks for the kRelax* outcomes.
+ReadDecision DecideRead(const TxnView& txn, const ObjectRecord& object);
+
+/// Timestamp-ordering write rule with the ESR enhancement (case 3).
+/// Only update ETs write; the caller enforces that.
+WriteDecision DecideWrite(const TxnView& txn, const ObjectRecord& object);
+
+}  // namespace esr
+
+#endif  // ESR_CC_TO_POLICY_H_

@@ -1,0 +1,70 @@
+#ifndef ESR_COMMON_LOGGING_H_
+#define ESR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace esr {
+
+/// Severity of a log line; lines below the global threshold are dropped.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global threshold; defaults to kWarning so library internals are
+/// silent in tests and benches unless asked for.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style one-shot logger; emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for disabled levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define ESR_LOG(level)                                                  \
+  if (::esr::LogLevel::level < ::esr::GetLogLevel()) {                  \
+  } else                                                                \
+    ::esr::internal_logging::LogMessage(::esr::LogLevel::level,         \
+                                        __FILE__, __LINE__)             \
+        .stream()
+
+/// Fatal-if-false invariant check, active in all build modes.
+#define ESR_CHECK(cond)                                                  \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::esr::internal_logging::LogMessage(::esr::LogLevel::kFatal,         \
+                                        __FILE__, __LINE__)              \
+            .stream()                                                    \
+        << "Check failed: " #cond " "
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace esr {
+namespace {
+
+// Index of the log2 bucket for a non-negative sample.
+int BucketIndex(double sample) {
+  if (sample < 1.0) return 0;
+  int idx = 1 + static_cast<int>(std::log2(sample));
+  return std::min(idx, 63);
+}
+
+}  // namespace
+
+void Histogram::Record(double sample) {
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+  if (count_ == 1) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++buckets_[BucketIndex(std::max(sample, 0.0))];
+}
+
+double Histogram::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Histogram::stddev() const { return std::sqrt(variance()); }
+
+double Histogram::ApproximatePercentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const int64_t rank = static_cast<int64_t>(p * static_cast<double>(count_));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      return i == 0 ? 1.0 : std::pow(2.0, i);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+std::string Histogram::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.3f min=%.3f max=%.3f stddev=%.3f",
+                static_cast<long long>(count_), mean(), min(), max(),
+                stddev());
+  return buf;
+}
+
+int64_t MetricRegistry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void MetricRegistry::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricRegistry::CounterSnapshot()
+    const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+}  // namespace esr

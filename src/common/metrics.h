@@ -1,0 +1,75 @@
+#ifndef ESR_COMMON_METRICS_H_
+#define ESR_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace esr {
+
+/// A monotonically increasing event counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Streaming summary of a series of samples (count/mean/min/max/stddev via
+/// Welford), plus a coarse log2-bucketed histogram for tail inspection.
+class Histogram {
+ public:
+  void Record(double sample);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+  /// Approximate percentile from the log2 buckets (upper bound of the
+  /// bucket containing the requested rank); good enough for reporting.
+  double ApproximatePercentile(double p) const;
+
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  int64_t buckets_[kNumBuckets] = {};
+};
+
+/// Named registry of counters and histograms used by the transaction
+/// engine and the simulator; snapshots feed the benchmark tables.
+class MetricRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  int64_t CounterValue(const std::string& name) const;
+
+  void Reset();
+
+  /// All counters as (name, value), sorted by name.
+  std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_METRICS_H_

@@ -1,0 +1,69 @@
+#ifndef ESR_COMMON_RESULT_H_
+#define ESR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace esr {
+
+/// A value-or-Status holder, the return type of fallible operations that
+/// produce a value (e.g. a committed read). Mirrors arrow::Result /
+/// absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: `return Status::Aborted(...);`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define ESR_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto ESR_CONCAT_(res_, __LINE__) = (expr);  \
+  if (!ESR_CONCAT_(res_, __LINE__).ok())      \
+    return ESR_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(ESR_CONCAT_(res_, __LINE__)).value()
+
+#define ESR_CONCAT_INNER_(a, b) a##b
+#define ESR_CONCAT_(a, b) ESR_CONCAT_INNER_(a, b)
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_RESULT_H_

@@ -1,0 +1,98 @@
+#ifndef ESR_COMMON_STATUS_H_
+#define ESR_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace esr {
+
+/// Error category carried by `Status`.
+///
+/// The library does not use exceptions (per the project style); every
+/// fallible public operation returns a `Status` or a `Result<T>`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// The transaction was aborted by the concurrency-control layer and must
+  /// be resubmitted with a fresh timestamp (paper: abort + immediate
+  /// restart for late operations).
+  kAborted = 1,
+  /// A hierarchical inconsistency bound (OIL/OEL, group limit, TIL/TEL)
+  /// would be exceeded; the transaction is aborted.
+  kBoundViolation = 2,
+  /// The caller passed an argument outside the valid domain.
+  kInvalidArgument = 3,
+  /// A referenced entity (object, group, transaction) does not exist.
+  kNotFound = 4,
+  /// The operation is not legal in the current state (e.g. an op on a
+  /// transaction that already committed).
+  kFailedPrecondition = 5,
+  /// An internal invariant was broken; indicates a bug.
+  kInternal = 6,
+};
+
+/// Human-readable name of a status code ("OK", "Aborted", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic result of a fallible operation: a code plus an optional
+/// message. Modeled after the Status idiom used in Arrow/RocksDB.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status BoundViolation(std::string msg) {
+    return Status(StatusCode::kBoundViolation, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define ESR_RETURN_NOT_OK(expr)           \
+  do {                                    \
+    ::esr::Status _st = (expr);           \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_STATUS_H_

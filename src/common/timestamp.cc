@@ -1,0 +1,21 @@
+#include "common/timestamp.h"
+
+#include <cstdio>
+
+namespace esr {
+
+std::string Timestamp::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld@%u",
+                static_cast<long long>(micros), site);
+  return buf;
+}
+
+Timestamp TimestampGenerator::Next(int64_t now_micros) {
+  int64_t micros = now_micros;
+  if (micros <= last_micros_) micros = last_micros_ + 1;
+  last_micros_ = micros;
+  return Timestamp{micros, site_};
+}
+
+}  // namespace esr

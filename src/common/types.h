@@ -1,0 +1,45 @@
+#ifndef ESR_COMMON_TYPES_H_
+#define ESR_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace esr {
+
+/// Identifier of a database object (the paper's data items, e.g. bank
+/// account balances).
+using ObjectId = uint32_t;
+
+/// Value stored in an object. The paper's state spaces are numeric metric
+/// spaces (dollar amounts, seat counts), so a signed 64-bit integer with
+/// distance(u, v) = |u - v| covers them exactly.
+using Value = int64_t;
+
+/// Server-assigned transaction identifier; unique per server lifetime.
+using TxnId = uint64_t;
+
+inline constexpr TxnId kInvalidTxnId = 0;
+inline constexpr ObjectId kInvalidObjectId =
+    std::numeric_limits<ObjectId>::max();
+
+/// An epsilon transaction is either a read-only query ET (may import
+/// inconsistency, bounded by TIL/OIL/group limits) or a consistent update
+/// ET (may export inconsistency, bounded by TEL/OEL/group limits). The
+/// paper's evaluation runs query ETs against consistent update ETs.
+enum class TxnType : uint8_t {
+  kQuery = 0,
+  kUpdate = 1,
+};
+
+/// Amount of inconsistency, measured by the metric-space distance function
+/// (absolute value difference for numeric states). Non-negative.
+using Inconsistency = double;
+
+/// A bound that is effectively "no limit"; used when a level of the
+/// hierarchy leaves a node unconstrained (e.g. OIL held high in Fig. 7).
+inline constexpr Inconsistency kUnbounded =
+    std::numeric_limits<double>::infinity();
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_TYPES_H_

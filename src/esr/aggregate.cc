@@ -1,0 +1,103 @@
+#include "esr/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace esr {
+
+std::string_view AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return "sum";
+    case AggregateKind::kAvg:
+      return "avg";
+    case AggregateKind::kMin:
+      return "min";
+    case AggregateKind::kMax:
+      return "max";
+    case AggregateKind::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+Result<AggregateOutcome> EvaluateAggregate(
+    const Transaction& txn, const std::vector<ObjectId>& objects,
+    AggregateKind kind) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("aggregate over zero objects");
+  }
+
+  double sum_last = 0.0, sum_min = 0.0, sum_max = 0.0;
+  double min_last = std::numeric_limits<double>::infinity();
+  double min_min = min_last, min_max = min_last;
+  double max_last = -min_last, max_min = max_last, max_max = max_last;
+
+  for (const ObjectId object : objects) {
+    const Transaction::ValueRange* range = txn.RangeFor(object);
+    if (range == nullptr) {
+      return Status::NotFound("object " + std::to_string(object) +
+                              " was not read by transaction " +
+                              std::to_string(txn.id()));
+    }
+    const double lo = static_cast<double>(range->min);
+    const double hi = static_cast<double>(range->max);
+    const double last = static_cast<double>(range->last);
+    sum_last += last;
+    sum_min += lo;
+    sum_max += hi;
+    min_last = std::min(min_last, last);
+    min_min = std::min(min_min, lo);
+    min_max = std::min(min_max, hi);
+    max_last = std::max(max_last, last);
+    max_min = std::max(max_min, lo);
+    max_max = std::max(max_max, hi);
+  }
+
+  const double n = static_cast<double>(objects.size());
+  AggregateOutcome out;
+  switch (kind) {
+    case AggregateKind::kSum:
+      out.result = sum_last;
+      out.min_result = sum_min;
+      out.max_result = sum_max;
+      break;
+    case AggregateKind::kAvg:
+      // Sec. 5.3.2: min_result sums the minima and divides by n, and
+      // likewise for max_result.
+      out.result = sum_last / n;
+      out.min_result = sum_min / n;
+      out.max_result = sum_max / n;
+      break;
+    case AggregateKind::kMin:
+      out.result = min_last;
+      out.min_result = min_min;
+      out.max_result = min_max;
+      break;
+    case AggregateKind::kMax:
+      out.result = max_last;
+      out.min_result = max_min;
+      out.max_result = max_max;
+      break;
+    case AggregateKind::kCount:
+      out.result = out.min_result = out.max_result = n;
+      break;
+  }
+  out.result_inconsistency = (out.max_result - out.min_result) / 2.0;
+  return out;
+}
+
+Status CheckAggregateAdmissible(const Transaction& txn,
+                                const AggregateOutcome& outcome) {
+  const Inconsistency til =
+      txn.accumulator().bounds().transaction_limit();
+  if (outcome.result_inconsistency > til) {
+    return Status::BoundViolation(
+        "result inconsistency " +
+        std::to_string(outcome.result_inconsistency) + " exceeds TIL " +
+        std::to_string(til));
+  }
+  return Status::OK();
+}
+
+}  // namespace esr

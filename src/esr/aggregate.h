@@ -1,0 +1,59 @@
+#ifndef ESR_ESR_AGGREGATE_H_
+#define ESR_ESR_AGGREGATE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace esr {
+
+/// Aggregate computed by a query ET over the objects it read.
+///
+/// The performance study uses kSum only (its inconsistency is controlled
+/// dynamically, read by read); the other kinds implement the Sec. 5.3.2
+/// mechanism, where the result inconsistency is derived from the minimum
+/// and maximum values each read viewed and the admission decision is made
+/// at the aggregation point rather than per read.
+enum class AggregateKind : uint8_t {
+  kSum = 0,
+  kAvg = 1,
+  kMin = 2,
+  kMax = 3,
+  kCount = 4,
+};
+
+std::string_view AggregateKindToString(AggregateKind kind);
+
+/// Result of evaluating an aggregate over a query ET's observed values.
+struct AggregateOutcome {
+  /// The aggregate over the last-viewed value of each object.
+  double result = 0.0;
+  /// Lower/upper aggregate over the minimum/maximum viewed values.
+  double min_result = 0.0;
+  double max_result = 0.0;
+  /// Half the min-to-max spread — the paper's `result_inconsistency`.
+  /// For kSum this is 0 by the one-read discipline; the dynamic per-read
+  /// accounting (transaction accumulator) bounds the sum instead.
+  Inconsistency result_inconsistency = 0.0;
+};
+
+/// Evaluates `kind` over the given objects using the min/max/last values
+/// the transaction viewed. Every object must have been read by `txn`
+/// (kNotFound otherwise — predeclaration of the read set is not required,
+/// but aggregation over unread objects is meaningless).
+Result<AggregateOutcome> EvaluateAggregate(
+    const Transaction& txn, const std::vector<ObjectId>& objects,
+    AggregateKind kind);
+
+/// The aggregation-point admission rule of Sec. 5.3.2: the result
+/// inconsistency (combined with what the reads already imported
+/// dynamically) must fit in the transaction import limit.
+Status CheckAggregateAdmissible(const Transaction& txn,
+                                const AggregateOutcome& outcome);
+
+}  // namespace esr
+
+#endif  // ESR_ESR_AGGREGATE_H_

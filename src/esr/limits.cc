@@ -1,0 +1,33 @@
+#include "esr/limits.h"
+
+namespace esr {
+
+std::string_view EpsilonLevelToString(EpsilonLevel level) {
+  switch (level) {
+    case EpsilonLevel::kZero:
+      return "zero";
+    case EpsilonLevel::kLow:
+      return "low";
+    case EpsilonLevel::kMedium:
+      return "medium";
+    case EpsilonLevel::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+TransactionLimits LimitsForLevel(EpsilonLevel level) {
+  switch (level) {
+    case EpsilonLevel::kZero:
+      return TransactionLimits{0, 0};
+    case EpsilonLevel::kLow:
+      return TransactionLimits{10'000, 1'000};
+    case EpsilonLevel::kMedium:
+      return TransactionLimits{50'000, 5'000};
+    case EpsilonLevel::kHigh:
+      return TransactionLimits{100'000, 10'000};
+  }
+  return TransactionLimits{0, 0};
+}
+
+}  // namespace esr

@@ -1,0 +1,39 @@
+#ifndef ESR_ESR_LIMITS_H_
+#define ESR_ESR_LIMITS_H_
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace esr {
+
+/// The four magnitudes of transaction-level inconsistency bounds used in
+/// the paper's first set of tests (Table in Sec. 7). "Zero" is the SR
+/// baseline.
+enum class EpsilonLevel : uint8_t {
+  kZero = 0,
+  kLow = 1,
+  kMedium = 2,
+  kHigh = 3,
+};
+
+std::string_view EpsilonLevelToString(EpsilonLevel level);
+
+/// The transaction-level pair (TIL for query ETs, TEL for update ETs).
+/// TEL values are lower because update ETs have ~6 operations vs ~20 for
+/// query ETs (Sec. 7).
+struct TransactionLimits {
+  Inconsistency til = 0;
+  Inconsistency tel = 0;
+};
+
+/// Exact bound magnitudes from the paper:
+///   high   : TIL 100,000  TEL 10,000
+///   medium : TIL  50,000  TEL  5,000
+///   low    : TIL  10,000  TEL  1,000
+///   zero   : TIL       0  TEL      0   (SR)
+TransactionLimits LimitsForLevel(EpsilonLevel level);
+
+}  // namespace esr
+
+#endif  // ESR_ESR_LIMITS_H_

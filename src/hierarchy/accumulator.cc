@@ -1,0 +1,55 @@
+#include "hierarchy/accumulator.h"
+
+#include "common/logging.h"
+
+namespace esr {
+
+InconsistencyAccumulator::InconsistencyAccumulator(const GroupSchema* schema,
+                                                   BoundSpec bounds)
+    : schema_(schema), bounds_(std::move(bounds)) {
+  ESR_CHECK(schema_ != nullptr);
+  accumulated_.assign(schema_->num_groups(), 0.0);
+}
+
+ChargeResult InconsistencyAccumulator::Check(ObjectId object,
+                                             Inconsistency d) const {
+  ESR_CHECK(d >= 0.0) << "negative inconsistency";
+  if (d == 0.0) return ChargeResult{true, kInvalidGroup};
+  GroupId g = schema_->GroupOf(object);
+  while (true) {
+    const Inconsistency charge = d * schema_->weight(g);
+    if (accumulated_[g] + charge > bounds_.LimitFor(g)) {
+      return ChargeResult{false, g};
+    }
+    if (g == kRootGroup) break;
+    g = schema_->parent(g);
+  }
+  return ChargeResult{true, kInvalidGroup};
+}
+
+ChargeResult InconsistencyAccumulator::TryCharge(ObjectId object,
+                                                 Inconsistency d) {
+  ChargeResult result = Check(object, d);
+  if (!result.admitted || d == 0.0) return result;
+  GroupId g = schema_->GroupOf(object);
+  while (true) {
+    accumulated_[g] += d * schema_->weight(g);
+    if (g == kRootGroup) break;
+    g = schema_->parent(g);
+  }
+  return result;
+}
+
+Inconsistency InconsistencyAccumulator::accumulated(GroupId group) const {
+  ESR_CHECK(schema_->Contains(group));
+  return accumulated_[group];
+}
+
+Inconsistency InconsistencyAccumulator::Headroom() const {
+  const Inconsistency limit = bounds_.transaction_limit();
+  if (limit == kUnbounded) return kUnbounded;
+  const Inconsistency room = limit - total();
+  return room > 0.0 ? room : 0.0;
+}
+
+}  // namespace esr

@@ -1,0 +1,65 @@
+#ifndef ESR_HIERARCHY_ACCUMULATOR_H_
+#define ESR_HIERARCHY_ACCUMULATOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "hierarchy/bound_spec.h"
+#include "hierarchy/group_schema.h"
+
+namespace esr {
+
+/// Outcome of attempting to charge an operation's inconsistency against a
+/// transaction's hierarchical bounds.
+struct ChargeResult {
+  bool admitted = false;
+  /// Node whose limit rejected the charge (kInvalidGroup when admitted).
+  GroupId violated_group = kInvalidGroup;
+};
+
+/// Per-transaction, per-direction (import or export) accumulation of
+/// inconsistency over the group hierarchy, implementing the bottom-up
+/// control of Sec. 5.3.1:
+///
+///   for each node n on path(object) -> root:
+///     accumulated[n] + d * weight(n) <= limit(n)    (check pass)
+///   then increment every node on the path            (charge pass)
+///
+/// If any check fails nothing is charged and the transaction must abort.
+/// The root accumulation is the transaction's total imported inconsistency
+/// (the paper's script-I for queries / script-E for updates).
+class InconsistencyAccumulator {
+ public:
+  /// `schema` must outlive the accumulator. `bounds` is copied (it is a
+  /// per-transaction declaration).
+  InconsistencyAccumulator(const GroupSchema* schema, BoundSpec bounds);
+
+  /// Checks the full leaf-to-root path for `object` and, if every level
+  /// admits `d`, charges every level. d must be >= 0; d == 0 always
+  /// succeeds without modifying state.
+  ChargeResult TryCharge(ObjectId object, Inconsistency d);
+
+  /// Pure check: would `d` on `object` be admitted? Never charges.
+  ChargeResult Check(ObjectId object, Inconsistency d) const;
+
+  /// Inconsistency accumulated at one node.
+  Inconsistency accumulated(GroupId group) const;
+
+  /// Total inconsistency at the transaction level (root accumulation).
+  Inconsistency total() const { return accumulated(kRootGroup); }
+
+  /// Remaining headroom at the transaction level.
+  Inconsistency Headroom() const;
+
+  const BoundSpec& bounds() const { return bounds_; }
+
+ private:
+  const GroupSchema* schema_;
+  BoundSpec bounds_;
+  // Indexed by GroupId; lazily sized to schema_->num_groups().
+  std::vector<Inconsistency> accumulated_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_HIERARCHY_ACCUMULATOR_H_

@@ -1,0 +1,21 @@
+#include "hierarchy/bound_spec.h"
+
+namespace esr {
+
+BoundSpec BoundSpec::TransactionOnly(Inconsistency transaction_limit) {
+  BoundSpec spec;
+  spec.SetLimit(kRootGroup, transaction_limit);
+  return spec;
+}
+
+BoundSpec& BoundSpec::SetLimit(GroupId group, Inconsistency limit) {
+  limits_[group] = limit;
+  return *this;
+}
+
+Inconsistency BoundSpec::LimitFor(GroupId group) const {
+  auto it = limits_.find(group);
+  return it == limits_.end() ? kUnbounded : it->second;
+}
+
+}  // namespace esr

@@ -1,0 +1,53 @@
+#ifndef ESR_HIERARCHY_BOUND_SPEC_H_
+#define ESR_HIERARCHY_BOUND_SPEC_H_
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hierarchy/group_schema.h"
+
+namespace esr {
+
+/// The inconsistency-limit declaration a transaction submits at BEGIN
+/// (paper Sec. 3.1: `BEGIN Query TIL 10000 / LIMIT company 4000 / ...`).
+///
+/// The root limit is the transaction-level bound (TIL for queries, TEL for
+/// updates); interior nodes get group limits; unlisted nodes are
+/// unconstrained. The same type specifies both the import side (queries)
+/// and the export side (updates).
+class BoundSpec {
+ public:
+  BoundSpec() = default;
+
+  /// A spec with only the transaction-level limit — the paper's two-level
+  /// configuration (object limits live on the objects themselves).
+  static BoundSpec TransactionOnly(Inconsistency transaction_limit);
+
+  /// An entirely unconstrained spec (equivalent to infinite epsilon).
+  static BoundSpec Unlimited() { return BoundSpec(); }
+
+  /// Sets the limit on a node; root = transaction level.
+  BoundSpec& SetLimit(GroupId group, Inconsistency limit);
+
+  /// Convenience: set the transaction-level (root) limit.
+  BoundSpec& SetTransactionLimit(Inconsistency limit) {
+    return SetLimit(kRootGroup, limit);
+  }
+
+  Inconsistency LimitFor(GroupId group) const;
+  Inconsistency transaction_limit() const { return LimitFor(kRootGroup); }
+
+  /// Zero transaction limit means the ET demands full serializability
+  /// (ESR reduces to SR when bounds are zero).
+  bool IsSerializable() const { return transaction_limit() <= 0.0; }
+
+  size_t num_limits() const { return limits_.size(); }
+
+ private:
+  std::unordered_map<GroupId, Inconsistency> limits_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_HIERARCHY_BOUND_SPEC_H_

@@ -1,0 +1,74 @@
+#ifndef ESR_LANG_AST_H_
+#define ESR_LANG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace esr {
+namespace lang {
+
+/// One additive term of an expression: an integer literal or a variable
+/// bound by an earlier `t = Read id` statement.
+struct ExprTerm {
+  int sign = 1;  // +1 or -1
+  bool is_variable = false;
+  std::string variable;
+  Value literal = 0;
+};
+
+/// Sum-of-terms expression — the arithmetic the paper's example ETs use
+/// (`t2+3000`, `t3-t4+4230`, `t1+t4+7935`).
+struct Expr {
+  std::vector<ExprTerm> terms;
+};
+
+/// One statement of a transaction body.
+struct Stmt {
+  enum class Kind : uint8_t {
+    /// `t1 = Read 1863`
+    kRead,
+    /// `Write 1078 , t2+3000`
+    kWrite,
+    /// `output("Sum is: ", t1+t2)`
+    kOutput,
+  };
+
+  Kind kind = Kind::kRead;
+  std::string variable;  // kRead: the bound variable
+  ObjectId object = kInvalidObjectId;  // kRead / kWrite target
+  Expr expr;             // kWrite value / kOutput expression
+  std::string label;     // kOutput string prefix
+};
+
+/// A group-limit clause: `LIMIT company 4000` (resolved against the
+/// server's GroupSchema by name at execution time).
+struct GroupLimitClause {
+  std::string group;
+  Inconsistency limit = 0;
+};
+
+/// One parsed epsilon transaction, the textual form of Secs. 3.1-3.2:
+///
+///   BEGIN Query TIL = 100000
+///   LIMIT company 4000
+///   t1 = Read 1863
+///   output("Sum is: ", t1)
+///   COMMIT
+struct ParsedTxn {
+  TxnType type = TxnType::kQuery;
+  /// TIL (queries) or TEL (updates); unbounded if not declared.
+  Inconsistency transaction_limit = kUnbounded;
+  std::vector<GroupLimitClause> group_limits;
+  std::vector<Stmt> statements;
+  /// True when the body ends with ABORT instead of COMMIT/END: the
+  /// transaction executes and then deliberately aborts (the fifth basic
+  /// operation of Sec. 6).
+  bool ends_with_abort = false;
+};
+
+}  // namespace lang
+}  // namespace esr
+
+#endif  // ESR_LANG_AST_H_

@@ -1,0 +1,142 @@
+#include "lang/interpreter.h"
+
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <thread>
+
+namespace esr {
+namespace lang {
+namespace {
+
+constexpr std::chrono::microseconds kWaitPoll{100};
+constexpr int kMaxWaitRetries = 20'000;
+
+Result<Value> Evaluate(const Expr& expr,
+                       const std::map<std::string, Value>& env) {
+  Value value = 0;
+  for (const ExprTerm& term : expr.terms) {
+    if (term.is_variable) {
+      auto it = env.find(term.variable);
+      if (it == env.end()) {
+        return Status::InvalidArgument("undefined variable '" +
+                                       term.variable + "'");
+      }
+      value += term.sign * it->second;
+    } else {
+      value += term.sign * term.literal;
+    }
+  }
+  return value;
+}
+
+/// Builds the BoundSpec, resolving LIMIT clauses against the schema.
+Result<BoundSpec> ResolveBounds(const GroupSchema& schema,
+                                const ParsedTxn& txn) {
+  BoundSpec bounds = BoundSpec::TransactionOnly(txn.transaction_limit);
+  for (const GroupLimitClause& clause : txn.group_limits) {
+    auto group = schema.FindGroup(clause.group);
+    if (!group.ok()) return group.status();
+    bounds.SetLimit(*group, clause.limit);
+  }
+  return bounds;
+}
+
+/// Runs one operation with wait-polling; returns the final result (never
+/// kWait unless the blocker outlived the retry budget).
+OpResult RunWithWaits(TxnHandle* txn, const Stmt& stmt, Value write_value) {
+  int spins = 0;
+  while (true) {
+    const OpResult r = stmt.kind == Stmt::Kind::kRead
+                           ? txn->Read(stmt.object)
+                           : txn->Write(stmt.object, write_value);
+    if (r.kind != OpResult::Kind::kWait) return r;
+    if (++spins > kMaxWaitRetries) return r;
+    std::this_thread::sleep_for(kWaitPoll);
+  }
+}
+
+}  // namespace
+
+Result<ExecOutcome> ExecuteTxn(Session* session, const GroupSchema& schema,
+                               const ParsedTxn& txn, int max_restarts) {
+  auto bounds = ResolveBounds(schema, txn);
+  if (!bounds.ok()) return bounds.status();
+
+  Status last_abort = Status::OK();
+  for (int attempt = 0; attempt <= max_restarts; ++attempt) {
+    TxnHandle handle = session->Begin(txn.type, *bounds);
+    std::map<std::string, Value> env;
+    ExecOutcome outcome;
+    outcome.retries = attempt;
+    bool aborted = false;
+
+    for (const Stmt& stmt : txn.statements) {
+      if (stmt.kind == Stmt::Kind::kOutput) {
+        auto value = Evaluate(stmt.expr, env);
+        if (!value.ok()) {
+          if (handle.valid()) ESR_RETURN_NOT_OK(handle.Abort());
+          return value.status();
+        }
+        std::ostringstream line;
+        line << stmt.label << *value;
+        outcome.outputs.push_back(line.str());
+        continue;
+      }
+      Value write_value = 0;
+      if (stmt.kind == Stmt::Kind::kWrite) {
+        auto value = Evaluate(stmt.expr, env);
+        if (!value.ok()) {
+          if (handle.valid()) ESR_RETURN_NOT_OK(handle.Abort());
+          return value.status();
+        }
+        write_value = *value;
+      }
+      const OpResult r = RunWithWaits(&handle, stmt, write_value);
+      if (r.kind == OpResult::Kind::kWait) {
+        ESR_RETURN_NOT_OK(handle.Abort());
+        last_abort = Status::Aborted("wait retries exhausted");
+        aborted = true;
+        break;
+      }
+      if (r.kind == OpResult::Kind::kAbort) {
+        last_abort =
+            Status::Aborted(std::string("server abort: ") +
+                            AbortReasonToString(r.abort_reason));
+        aborted = true;
+        break;
+      }
+      outcome.inconsistency += r.inconsistency;
+      if (stmt.kind == Stmt::Kind::kRead) env[stmt.variable] = r.value;
+    }
+    if (aborted) continue;  // resubmit with a fresh timestamp
+
+    if (txn.ends_with_abort) {
+      // The script's explicit ABORT: execute, then roll back once —
+      // deliberate aborts are not resubmitted.
+      ESR_RETURN_NOT_OK(handle.Abort());
+      return outcome;
+    }
+    ESR_RETURN_NOT_OK(handle.Commit());
+    return outcome;
+  }
+  return Status::Aborted("transaction exceeded " +
+                         std::to_string(max_restarts) +
+                         " restarts; last: " + last_abort.ToString());
+}
+
+Result<std::vector<ExecOutcome>> ExecuteScript(
+    Session* session, const GroupSchema& schema,
+    const std::vector<ParsedTxn>& txns, int max_restarts) {
+  std::vector<ExecOutcome> outcomes;
+  outcomes.reserve(txns.size());
+  for (const ParsedTxn& txn : txns) {
+    auto outcome = ExecuteTxn(session, schema, txn, max_restarts);
+    if (!outcome.ok()) return outcome.status();
+    outcomes.push_back(std::move(*outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace lang
+}  // namespace esr

@@ -1,0 +1,40 @@
+#ifndef ESR_LANG_INTERPRETER_H_
+#define ESR_LANG_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "common/result.h"
+#include "lang/ast.h"
+
+namespace esr {
+namespace lang {
+
+/// Result of executing one scripted ET.
+struct ExecOutcome {
+  /// Server-side aborts absorbed before the successful attempt.
+  int retries = 0;
+  /// Inconsistency imported (queries) or exported (updates).
+  Inconsistency inconsistency = 0.0;
+  /// Rendered `output(...)` lines, in order.
+  std::vector<std::string> outputs;
+};
+
+/// Executes a parsed transaction against a session, with automatic
+/// wait-retry and abort-resubmission (the client loop of Sec. 6). Group
+/// limits are resolved by name against the database's schema; an unknown
+/// group name fails with kNotFound before anything runs.
+Result<ExecOutcome> ExecuteTxn(Session* session, const GroupSchema& schema,
+                               const ParsedTxn& txn,
+                               int max_restarts = 1000);
+
+/// Executes a whole load file in order; stops at the first failure.
+Result<std::vector<ExecOutcome>> ExecuteScript(
+    Session* session, const GroupSchema& schema,
+    const std::vector<ParsedTxn>& txns, int max_restarts = 1000);
+
+}  // namespace lang
+}  // namespace esr
+
+#endif  // ESR_LANG_INTERPRETER_H_

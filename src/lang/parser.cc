@@ -1,0 +1,469 @@
+#include "lang/parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace esr {
+namespace lang {
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+struct Token {
+  enum class Kind : uint8_t {
+    kIdent,
+    kNumber,
+    kString,
+    kSymbol,  // one of = + - , ( )
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int64_t number = 0;
+  char symbol = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' || (c == '/' && Peek(1) == '/')) {
+        SkipLine();
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdent());
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        tokens.push_back(LexNumber());
+        continue;
+      }
+      if (c == '"') {
+        auto tok = LexString();
+        if (!tok.ok()) return tok.status();
+        tokens.push_back(*tok);
+        continue;
+      }
+      if (c == '=' || c == '+' || c == '-' || c == ',' || c == '(' ||
+          c == ')') {
+        Token tok;
+        tok.kind = Token::Kind::kSymbol;
+        tok.symbol = c;
+        tok.line = line_;
+        tokens.push_back(tok);
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument(Err("unexpected character '" +
+                                         std::string(1, c) + "'"));
+    }
+    Token end;
+    end.kind = Token::Kind::kEnd;
+    end.line = line_;
+    tokens.push_back(end);
+    return tokens;
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+
+  void SkipLine() {
+    while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+  }
+
+  Token LexIdent() {
+    Token tok;
+    tok.kind = Token::Kind::kIdent;
+    tok.line = line_;
+    while (pos_ < source_.size() &&
+           (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+            source_[pos_] == '_')) {
+      tok.text += source_[pos_++];
+    }
+    return tok;
+  }
+
+  Token LexNumber() {
+    Token tok;
+    tok.kind = Token::Kind::kNumber;
+    tok.line = line_;
+    while (pos_ < source_.size() &&
+           std::isdigit(static_cast<unsigned char>(source_[pos_]))) {
+      tok.number = tok.number * 10 + (source_[pos_++] - '0');
+    }
+    return tok;
+  }
+
+  Result<Token> LexString() {
+    Token tok;
+    tok.kind = Token::Kind::kString;
+    tok.line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < source_.size() && source_[pos_] != '"') {
+      if (source_[pos_] == '\n') {
+        return Status::InvalidArgument(Err("unterminated string"));
+      }
+      tok.text += source_[pos_++];
+    }
+    if (pos_ >= source_.size()) {
+      return Status::InvalidArgument(Err("unterminated string"));
+    }
+    ++pos_;  // closing quote
+    return tok;
+  }
+
+  std::string Err(const std::string& message) const {
+    return "line " + std::to_string(line_) + ": " + message;
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// --------------------------------------------------------------- parser --
+
+bool IdentIs(const Token& tok, std::string_view word) {
+  if (tok.kind != Token::Kind::kIdent || tok.text.size() != word.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(tok.text[i])) !=
+        std::tolower(static_cast<unsigned char>(word[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<ParsedTxn>> ParseAll() {
+    std::vector<ParsedTxn> txns;
+    while (!AtEnd()) {
+      auto txn = ParseTxn();
+      if (!txn.ok()) return txn.status();
+      txns.push_back(std::move(*txn));
+    }
+    return txns;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Cur().kind == Token::Kind::kEnd; }
+  void Advance() {
+    if (!AtEnd()) ++pos_;
+  }
+  bool ConsumeSymbol(char symbol) {
+    if (Cur().kind == Token::Kind::kSymbol && Cur().symbol == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::InvalidArgument("line " + std::to_string(Cur().line) +
+                                   ": " + message);
+  }
+
+  Result<ParsedTxn> ParseTxn() {
+    if (!IdentIs(Cur(), "BEGIN")) return Err("expected BEGIN");
+    Advance();
+    ParsedTxn txn;
+    if (IdentIs(Cur(), "Query")) {
+      txn.type = TxnType::kQuery;
+    } else if (IdentIs(Cur(), "Update")) {
+      txn.type = TxnType::kUpdate;
+    } else {
+      return Err("expected Query or Update after BEGIN");
+    }
+    Advance();
+
+    // Bound clauses: TIL/TEL [=] number, LIMIT <group> number.
+    while (true) {
+      if (IdentIs(Cur(), "TIL") || IdentIs(Cur(), "TEL")) {
+        const bool is_til = IdentIs(Cur(), "TIL");
+        if ((txn.type == TxnType::kQuery) != is_til) {
+          return Err(is_til ? "TIL on an Update ET" : "TEL on a Query ET");
+        }
+        Advance();
+        ConsumeSymbol('=');  // optional, both paper spellings accepted
+        if (Cur().kind != Token::Kind::kNumber) {
+          return Err("expected a number after TIL/TEL");
+        }
+        txn.transaction_limit = static_cast<Inconsistency>(Cur().number);
+        Advance();
+        continue;
+      }
+      if (IdentIs(Cur(), "LIMIT")) {
+        Advance();
+        if (Cur().kind != Token::Kind::kIdent) {
+          return Err("expected a group name after LIMIT");
+        }
+        GroupLimitClause clause;
+        clause.group = Cur().text;
+        Advance();
+        if (Cur().kind != Token::Kind::kNumber) {
+          return Err("expected a number after the group name");
+        }
+        clause.limit = static_cast<Inconsistency>(Cur().number);
+        Advance();
+        txn.group_limits.push_back(std::move(clause));
+        continue;
+      }
+      break;
+    }
+
+    // Statements until COMMIT/END/ABORT.
+    while (true) {
+      if (IdentIs(Cur(), "COMMIT") || IdentIs(Cur(), "END")) {
+        Advance();
+        return txn;
+      }
+      if (IdentIs(Cur(), "ABORT")) {
+        Advance();
+        txn.ends_with_abort = true;
+        return txn;
+      }
+      if (AtEnd()) return Err("missing COMMIT/END/ABORT");
+      auto stmt = ParseStmt(txn);
+      if (!stmt.ok()) return stmt.status();
+      txn.statements.push_back(std::move(*stmt));
+    }
+  }
+
+  Result<Stmt> ParseStmt(const ParsedTxn& txn) {
+    // `Write id , expr`
+    if (IdentIs(Cur(), "Write")) {
+      if (txn.type != TxnType::kUpdate) {
+        return Err("Write inside a Query ET");
+      }
+      Advance();
+      Stmt stmt;
+      stmt.kind = Stmt::Kind::kWrite;
+      if (Cur().kind != Token::Kind::kNumber) {
+        return Err("expected an object id after Write");
+      }
+      stmt.object = static_cast<ObjectId>(Cur().number);
+      Advance();
+      if (!ConsumeSymbol(',')) return Err("expected ',' after Write id");
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      stmt.expr = std::move(*expr);
+      return stmt;
+    }
+    // `output("label", expr)` (parentheses optional as in Sec. 3.1).
+    if (IdentIs(Cur(), "output")) {
+      Advance();
+      Stmt stmt;
+      stmt.kind = Stmt::Kind::kOutput;
+      const bool parenthesized = ConsumeSymbol('(');
+      if (Cur().kind == Token::Kind::kString) {
+        stmt.label = Cur().text;
+        Advance();
+        ConsumeSymbol(',');
+      }
+      auto expr = ParseExpr();
+      if (!expr.ok()) return expr.status();
+      stmt.expr = std::move(*expr);
+      if (parenthesized && !ConsumeSymbol(')')) {
+        return Err("expected ')' to close output");
+      }
+      return stmt;
+    }
+    // `t1 = Read 1863`
+    if (Cur().kind == Token::Kind::kIdent) {
+      Stmt stmt;
+      stmt.kind = Stmt::Kind::kRead;
+      stmt.variable = Cur().text;
+      Advance();
+      if (!ConsumeSymbol('=')) return Err("expected '=' after variable");
+      if (!IdentIs(Cur(), "Read")) return Err("expected Read");
+      Advance();
+      if (Cur().kind != Token::Kind::kNumber) {
+        return Err("expected an object id after Read");
+      }
+      stmt.object = static_cast<ObjectId>(Cur().number);
+      Advance();
+      return stmt;
+    }
+    return Err("expected a statement");
+  }
+
+  Result<Expr> ParseExpr() {
+    Expr expr;
+    int sign = 1;
+    if (ConsumeSymbol('-')) sign = -1;
+    while (true) {
+      ExprTerm term;
+      term.sign = sign;
+      if (Cur().kind == Token::Kind::kNumber) {
+        term.literal = Cur().number;
+      } else if (Cur().kind == Token::Kind::kIdent &&
+                 !IdentIs(Cur(), "Read") && !IdentIs(Cur(), "Write")) {
+        term.is_variable = true;
+        term.variable = Cur().text;
+      } else {
+        return Err("expected a number or variable in expression");
+      }
+      Advance();
+      expr.terms.push_back(std::move(term));
+      if (ConsumeSymbol('+')) {
+        sign = 1;
+      } else if (ConsumeSymbol('-')) {
+        sign = -1;
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<ParsedTxn>> ParseScript(std::string_view source) {
+  Lexer lexer(source);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.ParseAll();
+}
+
+Result<ParsedTxn> ParseSingleTxn(std::string_view source) {
+  auto txns = ParseScript(source);
+  if (!txns.ok()) return txns.status();
+  if (txns->size() != 1) {
+    return Status::InvalidArgument("expected exactly one transaction, got " +
+                                   std::to_string(txns->size()));
+  }
+  return std::move((*txns)[0]);
+}
+
+std::string FormatTxnScript(const TxnScript& script) {
+  std::ostringstream out;
+  const bool is_query = script.type == TxnType::kQuery;
+  out << "BEGIN " << (is_query ? "Query" : "Update") << " "
+      << (is_query ? "TIL" : "TEL") << " = "
+      << static_cast<int64_t>(script.bounds.transaction_limit()) << "\n";
+  int read_index = 0;
+  std::vector<std::string> read_vars;
+  for (const ScriptOp& op : script.ops) {
+    if (op.kind == ScriptOp::Kind::kRead) {
+      const std::string var = "t" + std::to_string(++read_index);
+      read_vars.push_back(var);
+      out << var << " = Read " << op.object << "\n";
+    } else {
+      out << "Write " << op.object << " , "
+          << read_vars[static_cast<size_t>(op.source_read)];
+      if (op.delta >= 0) {
+        out << " + " << op.delta;
+      } else {
+        out << " - " << -op.delta;
+      }
+      out << "\n";
+    }
+  }
+  if (is_query && read_index > 0) {
+    out << "output(\"Sum is: \", ";
+    for (int i = 0; i < read_index; ++i) {
+      if (i > 0) out << " + ";
+      out << read_vars[static_cast<size_t>(i)];
+    }
+    out << ")\n";
+  }
+  out << "COMMIT\n";
+  return out.str();
+}
+
+std::string FormatLoad(const std::vector<TxnScript>& load) {
+  std::ostringstream out;
+  for (size_t i = 0; i < load.size(); ++i) {
+    if (i > 0) out << "\n";
+    out << FormatTxnScript(load[i]);
+  }
+  return out.str();
+}
+
+Result<TxnScript> LowerToTxnScript(const ParsedTxn& txn) {
+  TxnScript script;
+  script.type = txn.type;
+  script.bounds = BoundSpec::TransactionOnly(txn.transaction_limit);
+  // Group limits need a schema to resolve names and are applied by the
+  // interpreter; the lowered form keeps only the transaction level.
+  std::map<std::string, int32_t> read_index;
+  for (const Stmt& stmt : txn.statements) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kRead: {
+        ScriptOp op;
+        op.kind = ScriptOp::Kind::kRead;
+        op.object = stmt.object;
+        read_index[stmt.variable] =
+            static_cast<int32_t>(read_index.size());
+        script.ops.push_back(op);
+        break;
+      }
+      case Stmt::Kind::kWrite: {
+        // Lowerable writes are var [+/- literal]* (one variable).
+        ScriptOp op;
+        op.kind = ScriptOp::Kind::kWrite;
+        op.object = stmt.object;
+        op.source_read = -1;
+        Value delta = 0;
+        for (const ExprTerm& term : stmt.expr.terms) {
+          if (term.is_variable) {
+            if (op.source_read != -1 || term.sign != 1) {
+              return Status::InvalidArgument(
+                  "write expression too complex to lower (multiple or "
+                  "negated variables)");
+            }
+            auto it = read_index.find(term.variable);
+            if (it == read_index.end()) {
+              return Status::InvalidArgument("undefined variable '" +
+                                             term.variable + "'");
+            }
+            op.source_read = it->second;
+          } else {
+            delta += term.sign * term.literal;
+          }
+        }
+        if (op.source_read == -1) {
+          return Status::InvalidArgument(
+              "write expression must reference exactly one read variable");
+        }
+        op.delta = delta;
+        script.ops.push_back(op);
+        break;
+      }
+      case Stmt::Kind::kOutput:
+        break;  // no TxnScript equivalent
+    }
+  }
+  return script;
+}
+
+}  // namespace lang
+}  // namespace esr

@@ -1,0 +1,41 @@
+#ifndef ESR_LANG_PARSER_H_
+#define ESR_LANG_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/ast.h"
+#include "workload/spec.h"
+
+namespace esr {
+namespace lang {
+
+/// Parses a load file — one or more transactions in the paper's textual
+/// form — into ASTs. Accepts both bound spellings the paper uses
+/// (`TIL 10000` and `TIL = 100000`), `COMMIT` or `END` as terminator,
+/// and `#`/`//` comments to end of line.
+Result<std::vector<ParsedTxn>> ParseScript(std::string_view source);
+
+/// Convenience: parses a source expected to hold exactly one transaction.
+Result<ParsedTxn> ParseSingleTxn(std::string_view source);
+
+/// Renders a generated TxnScript (the workload generator's form) as
+/// script text — the serialization used to write the clients' load files
+/// (Sec. 6); ParseScript reads it back (round trip tested).
+std::string FormatTxnScript(const TxnScript& script);
+
+/// Renders a whole load file.
+std::string FormatLoad(const std::vector<TxnScript>& load);
+
+/// Lowers a parsed transaction to the generator's TxnScript form
+/// (group limits resolved later, at execution, since they need a
+/// schema). Output statements are dropped (TxnScript has no I/O).
+/// Fails if a write references an undefined variable.
+Result<TxnScript> LowerToTxnScript(const ParsedTxn& txn);
+
+}  // namespace lang
+}  // namespace esr
+
+#endif  // ESR_LANG_PARSER_H_

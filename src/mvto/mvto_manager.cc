@@ -1,0 +1,150 @@
+#include "mvto/mvto_manager.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace esr {
+namespace {
+
+const char* TypeTag(TxnType type) {
+  return type == TxnType::kQuery ? "query" : "update";
+}
+
+}  // namespace
+
+MvtoManager::MvtoManager(const ObjectStoreOptions& store_options,
+                         const GroupSchema* schema, MetricRegistry* metrics)
+    : schema_(schema), metrics_(metrics), store_(store_options) {
+  ESR_CHECK(schema_ != nullptr);
+  ESR_CHECK(metrics_ != nullptr);
+}
+
+TxnId MvtoManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TxnId id = next_txn_id_++;
+  transactions_.emplace(
+      id, Transaction(id, type, ts, schema_, std::move(bounds)));
+  metrics_->counter(std::string("txn.begin.") + TypeTag(type)).Increment();
+  return id;
+}
+
+OpResult MvtoManager::Read(TxnId txn, ObjectId object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction& t = GetActive(txn);
+  VersionChain& chain = store_.Get(object);
+  const VersionChain::ReadResult r = chain.Read(t.ts(), t.id());
+  switch (r.status) {
+    case VersionChain::ReadStatus::kOk: {
+      t.ObserveValue(object, r.value);
+      t.CountOp();
+      metrics_->counter("op.read").Increment();
+      return OpResult::Ok(r.value, 0.0, /*was_relaxed=*/false);
+    }
+    case VersionChain::ReadStatus::kWaitForWriter:
+      metrics_->counter("op.wait").Increment();
+      return OpResult::Wait(r.writer);
+    case VersionChain::ReadStatus::kTooOld:
+      return AbortOp(t, AbortReason::kHistoryExhausted);
+  }
+  ESR_LOG(kFatal) << "unreachable MVTO read status";
+  return OpResult::Abort(AbortReason::kNone);
+}
+
+OpResult MvtoManager::Write(TxnId txn, ObjectId object, Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Transaction& t = GetActive(txn);
+  ESR_CHECK(t.type() == TxnType::kUpdate)
+      << "query ETs are read-only; Write from txn " << t.id();
+  VersionChain& chain = store_.Get(object);
+  const VersionChain::WriteResult r = chain.Write(t.ts(), t.id(), value);
+  switch (r.status) {
+    case VersionChain::WriteStatus::kOk: {
+      t.NotePendingWrite(object);
+      t.CountOp();
+      metrics_->counter("op.write").Increment();
+      return OpResult::Ok(value, 0.0, /*was_relaxed=*/false);
+    }
+    case VersionChain::WriteStatus::kWaitForWriter:
+      metrics_->counter("op.wait").Increment();
+      return OpResult::Wait(r.conflict);
+    case VersionChain::WriteStatus::kReadByNewer:
+      return AbortOp(t, AbortReason::kLateWrite);
+    case VersionChain::WriteStatus::kTooOld:
+      return AbortOp(t, AbortReason::kHistoryExhausted);
+  }
+  ESR_LOG(kFatal) << "unreachable MVTO write status";
+  return OpResult::Abort(AbortReason::kNone);
+}
+
+Status MvtoManager::Commit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
+  return Status::OK();
+}
+
+Status MvtoManager::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
+  return Status::OK();
+}
+
+bool MvtoManager::IsActive(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transactions_.count(txn) > 0;
+}
+
+const Transaction* MvtoManager::Find(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  return it == transactions_.end() ? nullptr : &it->second;
+}
+
+size_t MvtoManager::num_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transactions_.size();
+}
+
+Transaction& MvtoManager::GetActive(TxnId txn) {
+  auto it = transactions_.find(txn);
+  ESR_CHECK(it != transactions_.end())
+      << "operation on unknown/finished transaction " << txn;
+  return it->second;
+}
+
+OpResult MvtoManager::AbortOp(Transaction& txn, AbortReason reason) {
+  Teardown(txn, TxnState::kAborted, reason);
+  return OpResult::Abort(reason);
+}
+
+void MvtoManager::Teardown(Transaction& txn, TxnState final_state,
+                           AbortReason reason) {
+  for (const ObjectId object : txn.pending_writes()) {
+    if (final_state == TxnState::kCommitted) {
+      store_.Get(object).CommitVersions(txn.id());
+    } else {
+      store_.Get(object).AbortVersions(txn.id());
+    }
+  }
+  if (final_state == TxnState::kCommitted) {
+    metrics_->counter(std::string("txn.commit.") + TypeTag(txn.type()))
+        .Increment();
+  } else {
+    metrics_->counter("txn.abort").Increment();
+    metrics_->counter(std::string("abort.") + AbortReasonToString(reason))
+        .Increment();
+  }
+  transactions_.erase(txn.id());
+}
+
+}  // namespace esr

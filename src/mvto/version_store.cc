@@ -1,0 +1,144 @@
+#include "mvto/version_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace esr {
+
+VersionChain::VersionChain(Value initial_value, size_t depth)
+    : depth_(std::max<size_t>(depth, 1)) {
+  Version seed;
+  seed.wts = Timestamp::Min();
+  seed.max_read_ts = Timestamp::Min();
+  seed.value = initial_value;
+  seed.committed = true;
+  versions_.push_back(seed);
+}
+
+VersionChain::ReadResult VersionChain::Read(Timestamp ts, TxnId reader) {
+  // Governing version: largest wts <= ts.
+  Version* governing = nullptr;
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    if (it->wts <= ts) {
+      governing = &*it;
+      break;
+    }
+  }
+  ReadResult result;
+  if (governing == nullptr) {
+    result.status = ReadStatus::kTooOld;
+    return result;
+  }
+  if (!governing->committed && governing->writer != reader) {
+    result.status = ReadStatus::kWaitForWriter;
+    result.writer = governing->writer;
+    return result;
+  }
+  result.status = ReadStatus::kOk;
+  result.value = governing->value;
+  governing->max_read_ts = std::max(governing->max_read_ts, ts);
+  return result;
+}
+
+VersionChain::WriteResult VersionChain::Write(Timestamp ts, TxnId writer,
+                                              Value value) {
+  WriteResult result;
+
+  // A transaction may blind-overwrite its own pending version.
+  for (Version& version : versions_) {
+    if (!version.committed && version.writer == writer) {
+      version.value = value;
+      version.wts = ts;
+      std::sort(versions_.begin(), versions_.end(),
+                [](const Version& a, const Version& b) {
+                  return a.wts < b.wts;
+                });
+      return result;
+    }
+  }
+
+  // Predecessor: version with the largest wts < ts.
+  Version* predecessor = nullptr;
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    if (it->wts < ts) {
+      predecessor = &*it;
+      break;
+    }
+  }
+  if (predecessor == nullptr) {
+    result.status = WriteStatus::kTooOld;
+    return result;
+  }
+  if (!predecessor->committed) {
+    // Strict ordering between writers of adjacent versions.
+    result.status = WriteStatus::kWaitForWriter;
+    result.conflict = predecessor->writer;
+    return result;
+  }
+  if (predecessor->max_read_ts > ts) {
+    // A newer reader already saw the predecessor; this write arrived too
+    // late to be serialized before that read.
+    result.status = WriteStatus::kReadByNewer;
+    return result;
+  }
+
+  Version fresh;
+  fresh.wts = ts;
+  fresh.max_read_ts = ts;
+  fresh.value = value;
+  fresh.writer = writer;
+  fresh.committed = false;
+  auto pos = std::upper_bound(
+      versions_.begin(), versions_.end(), ts,
+      [](Timestamp t, const Version& v) { return t < v.wts; });
+  versions_.insert(pos, fresh);
+  return result;
+}
+
+void VersionChain::CommitVersions(TxnId writer) {
+  for (Version& version : versions_) {
+    if (version.writer == writer) version.committed = true;
+  }
+  TrimToDepth();
+}
+
+void VersionChain::AbortVersions(TxnId writer) {
+  versions_.erase(
+      std::remove_if(versions_.begin(), versions_.end(),
+                     [writer](const Version& v) {
+                       return !v.committed && v.writer == writer;
+                     }),
+      versions_.end());
+}
+
+Value VersionChain::LatestCommittedValue() const {
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    if (it->committed) return it->value;
+  }
+  ESR_LOG(kFatal) << "version chain without a committed version";
+  return 0;
+}
+
+void VersionChain::TrimToDepth() {
+  // Never evict uncommitted versions or the last committed one.
+  while (versions_.size() > depth_ && versions_.front().committed) {
+    versions_.erase(versions_.begin());
+  }
+}
+
+VersionStore::VersionStore(const ObjectStoreOptions& options) {
+  // Seed values exactly as ObjectStore would, so engines are comparable.
+  ObjectStore seed(options);
+  chains_.reserve(seed.size());
+  for (ObjectId id = 0; id < seed.size(); ++id) {
+    chains_.emplace_back(seed.Get(id).value(), options.history_depth);
+  }
+}
+
+VersionChain& VersionStore::Get(ObjectId id) {
+  ESR_CHECK(Contains(id)) << "object " << id << " out of range";
+  return chains_[id];
+}
+
+}  // namespace esr

@@ -1,0 +1,112 @@
+#ifndef ESR_MVTO_VERSION_STORE_H_
+#define ESR_MVTO_VERSION_STORE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "storage/object_store.h"
+
+namespace esr {
+
+/// One timestamped version of an object under MVTO.
+struct Version {
+  Timestamp wts;          // timestamp of the writing transaction
+  Timestamp max_read_ts;  // largest ts that read this version
+  Value value = 0;
+  TxnId writer = kInvalidTxnId;
+  bool committed = false;
+};
+
+/// Per-object version chain for multiversion timestamp ordering, the
+/// scheme Sec. 5.1 contrasts with the paper's proper-value mechanism:
+/// "timestamped versions are maintained so that if a read operation
+/// arrives late, based on the versions, the value written by the last
+/// write with a timestamp lesser than this read is returned".
+///
+/// The chain is bounded (like the paper's depth-20 history): reads older
+/// than the oldest retained version fail with "history exhausted".
+class VersionChain {
+ public:
+  explicit VersionChain(Value initial_value, size_t depth);
+
+  /// What happened when a version was looked up for a read.
+  enum class ReadStatus : uint8_t {
+    kOk = 0,
+    /// The governing version is uncommitted: wait for its writer.
+    kWaitForWriter = 1,
+    /// The chain no longer reaches back to this timestamp.
+    kTooOld = 2,
+  };
+  struct ReadResult {
+    ReadStatus status = ReadStatus::kOk;
+    Value value = 0;
+    TxnId writer = kInvalidTxnId;
+  };
+
+  /// MVTO read rule: the version with the largest wts <= ts governs.
+  /// Committed: return its value and raise its max_read_ts to ts.
+  /// Uncommitted by another txn: wait (reading it would create a
+  /// commit dependency); by `reader` itself: return it.
+  ReadResult Read(Timestamp ts, TxnId reader);
+
+  /// What happened when a write tried to install a version.
+  enum class WriteStatus : uint8_t {
+    kOk = 0,
+    /// The predecessor version was already read by a newer transaction;
+    /// installing this version would invalidate that read. Abort.
+    kReadByNewer = 1,
+    /// The predecessor version is uncommitted: strict ordering, wait.
+    kWaitForWriter = 2,
+    /// The insertion point fell off the bounded chain.
+    kTooOld = 3,
+  };
+  struct WriteResult {
+    WriteStatus status = WriteStatus::kOk;
+    TxnId conflict = kInvalidTxnId;
+  };
+
+  /// MVTO write rule at timestamp ts: find the predecessor (largest
+  /// wts < ts, ignoring the writer's own versions); reject if its
+  /// max_read_ts > ts; install an uncommitted version otherwise. A
+  /// transaction may overwrite its own pending version.
+  WriteResult Write(Timestamp ts, TxnId writer, Value value);
+
+  /// Marks `writer`'s pending versions committed.
+  void CommitVersions(TxnId writer);
+  /// Removes `writer`'s pending versions.
+  void AbortVersions(TxnId writer);
+
+  /// Latest committed value (for non-transactional peeks).
+  Value LatestCommittedValue() const;
+
+  size_t size() const { return versions_.size(); }
+  const std::vector<Version>& versions() const { return versions_; }
+
+ private:
+  void TrimToDepth();
+
+  size_t depth_;
+  // Sorted by wts ascending.
+  std::vector<Version> versions_;
+};
+
+/// The MVTO engine's database: one version chain per object, seeded with
+/// the same initial values an ObjectStore built from `options` would
+/// hold, so cross-engine comparisons start from identical states.
+class VersionStore {
+ public:
+  explicit VersionStore(const ObjectStoreOptions& options);
+
+  size_t size() const { return chains_.size(); }
+  bool Contains(ObjectId id) const { return id < chains_.size(); }
+  VersionChain& Get(ObjectId id);
+
+ private:
+  std::vector<VersionChain> chains_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_MVTO_VERSION_STORE_H_

@@ -1,0 +1,178 @@
+#include "replication/replicated_database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace esr {
+
+ReplicatedDatabase::ReplicatedDatabase(const ReplicationOptions& replication,
+                                       const ServerOptions& server_options)
+    : options_(replication), primary_(server_options) {
+  ESR_CHECK(options_.num_replicas >= 1);
+  replicas_.resize(static_cast<size_t>(options_.num_replicas));
+  for (ReplicaState& replica : replicas_) {
+    replica.values.resize(primary_.store().size());
+    for (ObjectId id = 0; id < primary_.store().size(); ++id) {
+      replica.values[id] = primary_.store().Get(id).value();
+    }
+  }
+}
+
+TxnId ReplicatedDatabase::Begin(TxnType type, Timestamp ts,
+                                BoundSpec bounds) {
+  return primary_.Begin(type, ts, std::move(bounds));
+}
+
+OpResult ReplicatedDatabase::Read(TxnId txn, ObjectId object) {
+  const OpResult r = primary_.Read(txn, object);
+  if (r.kind == OpResult::Kind::kAbort) txn_writes_.erase(txn);
+  return r;
+}
+
+OpResult ReplicatedDatabase::Write(TxnId txn, ObjectId object, Value value) {
+  // Capture the committed pre-image before the engine applies in place.
+  // (If another transaction held an uncommitted write, the engine returns
+  // kWait/kAbort and nothing is recorded, so `previous` is always the
+  // committed value on the recording path.)
+  const Value previous = primary_.store().Get(object).value();
+  const OpResult r = primary_.Write(txn, object, value);
+  if (r.kind == OpResult::Kind::kAbort) {
+    txn_writes_.erase(txn);
+    return r;
+  }
+  if (r.kind != OpResult::Kind::kOk) return r;
+  auto& writes = txn_writes_[txn];
+  // Overwrite-by-same-txn keeps the original pre-image.
+  for (PendingTxnWrite& w : writes) {
+    if (w.object == object) {
+      w.value = value;
+      return r;
+    }
+  }
+  writes.push_back(PendingTxnWrite{object, value, previous});
+  return r;
+}
+
+Status ReplicatedDatabase::Commit(TxnId txn, SimTime now) {
+  const Status status = primary_.Commit(txn);
+  if (!status.ok()) return status;
+  auto it = txn_writes_.find(txn);
+  if (it != txn_writes_.end()) {
+    for (const PendingTxnWrite& w : it->second) {
+      const Inconsistency weight = static_cast<Inconsistency>(
+          std::llabs(w.value - w.previous_committed));
+      for (ReplicaState& replica : replicas_) {
+        replica.queue.push_back(QueuedWrite{w.object, w.value, weight, now});
+        replica.pending_weight[w.object] += weight;
+      }
+    }
+    txn_writes_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status ReplicatedDatabase::Abort(TxnId txn) {
+  txn_writes_.erase(txn);
+  return primary_.Abort(txn);
+}
+
+void ReplicatedDatabase::ApplyFront(ReplicaState* replica) {
+  const QueuedWrite& write = replica->queue.front();
+  replica->values[write.object] = write.new_value;
+  auto it = replica->pending_weight.find(write.object);
+  ESR_CHECK(it != replica->pending_weight.end());
+  it->second -= write.weight;
+  if (it->second <= 1e-9) replica->pending_weight.erase(it);
+  replica->queue.pop_front();
+}
+
+void ReplicatedDatabase::AdvanceTo(SimTime now) {
+  const SimTime delay = static_cast<SimTime>(
+      options_.propagation_delay_ms * kMicrosPerMilli);
+  for (ReplicaState& replica : replicas_) {
+    while (!replica.queue.empty() &&
+           replica.queue.front().committed_at + delay <= now) {
+      ApplyFront(&replica);
+    }
+  }
+}
+
+void ReplicatedDatabase::SyncReplica(int replica) {
+  ESR_CHECK(replica >= 0 && replica < options_.num_replicas);
+  ReplicaState& state = replicas_[static_cast<size_t>(replica)];
+  while (!state.queue.empty()) ApplyFront(&state);
+}
+
+Inconsistency ReplicatedDatabase::DivergenceEstimate(int replica,
+                                                     ObjectId object) const {
+  ESR_CHECK(replica >= 0 && replica < options_.num_replicas);
+  const ReplicaState& state = replicas_[static_cast<size_t>(replica)];
+  auto it = state.pending_weight.find(object);
+  return it == state.pending_weight.end() ? 0.0 : it->second;
+}
+
+size_t ReplicatedDatabase::PendingWrites(int replica) const {
+  ESR_CHECK(replica >= 0 && replica < options_.num_replicas);
+  return replicas_[static_cast<size_t>(replica)].queue.size();
+}
+
+Value ReplicatedDatabase::PeekReplica(int replica, ObjectId object) const {
+  ESR_CHECK(replica >= 0 && replica < options_.num_replicas);
+  return replicas_[static_cast<size_t>(replica)].values[object];
+}
+
+Result<ReplicatedDatabase::ReplicaRead> ReplicatedDatabase::ReadAtReplica(
+    int replica, ObjectId object, Inconsistency budget) {
+  if (replica < 0 || replica >= options_.num_replicas) {
+    return Status::NotFound("replica " + std::to_string(replica));
+  }
+  if (!primary_.store().Contains(object)) {
+    return Status::NotFound("object " + std::to_string(object));
+  }
+  const Inconsistency estimate = DivergenceEstimate(replica, object);
+  if (estimate > budget) {
+    return Status::BoundViolation(
+        "replica divergence estimate " + std::to_string(estimate) +
+        " exceeds budget " + std::to_string(budget));
+  }
+  ReplicaRead read;
+  read.value = replicas_[static_cast<size_t>(replica)].values[object];
+  read.estimated_divergence = estimate;
+  // Instrumentation: exact divergence against the primary's committed
+  // state. An uncommitted primary write is not yet queued, so compare
+  // against the shadow-free committed value via the history.
+  const ObjectRecord& rec = primary_.store().Get(object);
+  const Value primary_committed =
+      rec.has_uncommitted_write()
+          ? rec.ProperValueFor(Timestamp::Max()).value_or(rec.value())
+          : rec.value();
+  read.true_divergence = static_cast<Inconsistency>(
+      std::llabs(primary_committed - read.value));
+  return read;
+}
+
+Result<ReplicatedDatabase::ReplicaQueryResult>
+ReplicatedDatabase::ReplicaSumQuery(int replica,
+                                    const std::vector<ObjectId>& objects,
+                                    Inconsistency til) {
+  if (objects.empty()) {
+    return Status::InvalidArgument("query over zero objects");
+  }
+  ReplicaQueryResult result;
+  for (const ObjectId object : objects) {
+    // Remaining budget for this read (Sec. 5.1 accumulation).
+    const Inconsistency remaining = til - result.estimated_import;
+    auto read = ReadAtReplica(replica, object, remaining);
+    if (!read.ok()) return read.status();
+    result.sum += static_cast<double>(read->value);
+    result.estimated_import += read->estimated_divergence;
+    result.true_import += read->true_divergence;
+    ++result.objects_read;
+  }
+  return result;
+}
+
+}  // namespace esr

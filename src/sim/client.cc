@@ -1,0 +1,164 @@
+#include "sim/client.h"
+
+#include "common/logging.h"
+
+namespace esr {
+
+ClientStats& ClientStats::operator-=(const ClientStats& other) {
+  committed -= other.committed;
+  committed_query -= other.committed_query;
+  committed_update -= other.committed_update;
+  aborts -= other.aborts;
+  ops_executed -= other.ops_executed;
+  ops_query -= other.ops_query;
+  ops_update -= other.ops_update;
+  inconsistent_ops -= other.inconsistent_ops;
+  waits -= other.waits;
+  import_total -= other.import_total;
+  export_total -= other.export_total;
+  txn_latency_total_us -= other.txn_latency_total_us;
+  return *this;
+}
+
+SimClient::SimClient(SiteId site, Server* server, EventQueue* queue,
+                     LatencyModel* latency, WorkloadGenerator generator,
+                     SkewedClock clock)
+    : site_(site),
+      server_(server),
+      queue_(queue),
+      latency_(latency),
+      generator_(std::move(generator)),
+      clock_(clock),
+      ts_gen_(site) {}
+
+void SimClient::Start(SimTime start_at) {
+  queue_->ScheduleAt(start_at, [this] { SubmitNextTransaction(); });
+}
+
+void SimClient::SubmitNextTransaction() {
+  script_ = generator_.Next();
+  first_submit_at_ = queue_->now();
+  BeginCurrentTransaction();
+}
+
+void SimClient::BeginCurrentTransaction() {
+  // The timestamp is assigned when the transaction begins, from the
+  // site's corrected clock (Sec. 6).
+  const Timestamp ts = ts_gen_.Next(clock_.Read(queue_->now()));
+  op_index_ = 0;
+  read_results_.clear();
+  attempt_inconsistency_ = 0.0;
+  // The BEGIN RPC carries only the type and the bound declaration.
+  queue_->ScheduleAfter(latency_->SampleControlRpc(), [this, ts] {
+    if (script_.type == TxnType::kUpdate &&
+        script_.update_import_limit > 0 &&
+        server_->options().engine == EngineKind::kTimestampOrdering) {
+      // The Sec. 1 generalization: update ETs with an import budget.
+      txn_ = server_->txn_manager().BeginUpdateWithImport(
+          ts, script_.bounds,
+          BoundSpec::TransactionOnly(script_.update_import_limit));
+    } else {
+      txn_ = server_->Begin(script_.type, ts, script_.bounds);
+    }
+    IssueCurrentOp();
+  });
+}
+
+void SimClient::IssueCurrentOp() {
+  if (op_index_ >= script_.ops.size()) {
+    IssueCommit();
+    return;
+  }
+  const SimTime rpc = latency_->SampleOpRpc();
+  const SimTime request_travel = rpc / 2;
+  const SimTime response_travel = rpc - request_travel;
+  queue_->ScheduleAfter(request_travel, [this, response_travel] {
+    // Request has arrived at the server; contend for its CPU.
+    const SimTime cpu_done = latency_->ReserveServerCpu(queue_->now());
+    queue_->ScheduleAt(cpu_done, [this, response_travel] {
+      ExecuteOpAtServer(response_travel);
+    });
+  });
+}
+
+void SimClient::ExecuteOpAtServer(SimTime response_travel) {
+  const ScriptOp& op = script_.ops[op_index_];
+  OpResult result;
+  if (op.kind == ScriptOp::Kind::kRead) {
+    result = server_->Read(txn_, op.object);
+  } else {
+    result = server_->Write(txn_, op.object, WriteValueFor(op));
+  }
+  queue_->ScheduleAfter(response_travel,
+                        [this, result] { HandleOpResult(result); });
+}
+
+void SimClient::HandleOpResult(const OpResult& result) {
+  switch (result.kind) {
+    case OpResult::Kind::kOk: {
+      ++stats_.ops_executed;
+      if (script_.type == TxnType::kQuery) {
+        ++stats_.ops_query;
+      } else {
+        ++stats_.ops_update;
+      }
+      if (result.relaxed && result.inconsistency > 0.0) {
+        ++stats_.inconsistent_ops;
+      }
+      attempt_inconsistency_ += result.inconsistency;
+      if (script_.ops[op_index_].kind == ScriptOp::Kind::kRead) {
+        read_results_.push_back(result.value);
+      }
+      ++op_index_;
+      IssueCurrentOp();
+      return;
+    }
+    case OpResult::Kind::kWait: {
+      ++stats_.waits;
+      queue_->ScheduleAfter(latency_->WaitRetryDelay(),
+                            [this] { IssueCurrentOp(); });
+      return;
+    }
+    case OpResult::Kind::kAbort: {
+      // The server already released everything; resubmit the same
+      // transaction with a new timestamp after a short turnaround.
+      ++stats_.aborts;
+      txn_ = kInvalidTxnId;
+      queue_->ScheduleAfter(latency_->RestartDelay(),
+                            [this] { BeginCurrentTransaction(); });
+      return;
+    }
+  }
+  ESR_LOG(kFatal) << "unreachable op result kind";
+}
+
+void SimClient::IssueCommit() {
+  queue_->ScheduleAfter(latency_->SampleControlRpc(), [this] {
+    const Status status = server_->Commit(txn_);
+    ESR_CHECK(status.ok()) << status.ToString();
+    ++stats_.committed;
+    if (script_.type == TxnType::kQuery) {
+      ++stats_.committed_query;
+      stats_.import_total += attempt_inconsistency_;
+    } else {
+      ++stats_.committed_update;
+      stats_.export_total += attempt_inconsistency_;
+    }
+    stats_.txn_latency_total_us += queue_->now() - first_submit_at_;
+    txn_ = kInvalidTxnId;
+    SubmitNextTransaction();
+  });
+}
+
+Value SimClient::WriteValueFor(const ScriptOp& op) const {
+  ESR_CHECK(op.source_read >= 0 &&
+            static_cast<size_t>(op.source_read) < read_results_.size())
+      << "write sourced from read " << op.source_read << " but only "
+      << read_results_.size() << " reads completed";
+  const WorkloadSpec& spec = generator_.spec();
+  return ApplyDeltaReflecting(read_results_[static_cast<size_t>(
+                                  op.source_read)],
+                              op.delta, spec.min_value, spec.max_value);
+}
+
+}  // namespace esr

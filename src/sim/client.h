@@ -1,0 +1,100 @@
+#ifndef ESR_SIM_CLIENT_H_
+#define ESR_SIM_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "sim/event_queue.h"
+#include "sim/latency_model.h"
+#include "sim/skewed_clock.h"
+#include "txn/server.h"
+#include "workload/generator.h"
+
+namespace esr {
+
+/// Per-client counters; the cluster aggregates them over the measurement
+/// window to produce the figures' metrics.
+struct ClientStats {
+  int64_t committed = 0;
+  int64_t committed_query = 0;
+  int64_t committed_update = 0;
+  /// Server-side aborts observed (== resubmissions, "retries").
+  int64_t aborts = 0;
+  /// Successfully executed operations (reads + writes), including those
+  /// belonging to attempts that later aborted — the Fig. 10 metric.
+  int64_t ops_executed = 0;
+  /// Split of ops_executed by the issuing transaction's type; feeds the
+  /// per-class waste analysis of Fig. 13.
+  int64_t ops_query = 0;
+  int64_t ops_update = 0;
+  /// Operations that succeeded after viewing inconsistency (Fig. 8).
+  int64_t inconsistent_ops = 0;
+  /// Wait responses (strict-ordering stalls).
+  int64_t waits = 0;
+  /// Total inconsistency imported by committed query ETs.
+  double import_total = 0.0;
+  /// Total inconsistency exported by committed update ETs.
+  double export_total = 0.0;
+  /// Sum of (commit time - first submission time) over committed txns, µs.
+  int64_t txn_latency_total_us = 0;
+
+  ClientStats& operator-=(const ClientStats& other);
+};
+
+/// One simulated client workstation (Sec. 6): reads transactions from its
+/// generated load, submits operations to the server over synchronous RPC,
+/// retries operations told to wait, and resubmits aborted transactions
+/// with a new timestamp until they complete.
+class SimClient {
+ public:
+  SimClient(SiteId site, Server* server, EventQueue* queue,
+            LatencyModel* latency, WorkloadGenerator generator,
+            SkewedClock clock);
+
+  SimClient(const SimClient&) = delete;
+  SimClient& operator=(const SimClient&) = delete;
+
+  /// Schedules the first transaction submission at `start_at`.
+  void Start(SimTime start_at);
+
+  const ClientStats& stats() const { return stats_; }
+  SiteId site() const { return site_; }
+
+ private:
+  // The client is strictly synchronous (one outstanding RPC), so these
+  // steps chain through scheduled events without any reentrancy.
+  void SubmitNextTransaction();
+  void BeginCurrentTransaction();
+  void IssueCurrentOp();
+  /// Runs at the server once the request has arrived and a CPU slot is
+  /// free; sends the response back.
+  void ExecuteOpAtServer(SimTime response_travel);
+  void HandleOpResult(const OpResult& result);
+  void IssueCommit();
+  /// The value a write op sends, derived from this attempt's reads.
+  Value WriteValueFor(const ScriptOp& op) const;
+
+  SiteId site_;
+  Server* server_;
+  EventQueue* queue_;
+  LatencyModel* latency_;
+  WorkloadGenerator generator_;
+  SkewedClock clock_;
+  TimestampGenerator ts_gen_;
+
+  TxnScript script_;
+  TxnId txn_ = kInvalidTxnId;
+  size_t op_index_ = 0;
+  std::vector<Value> read_results_;
+  SimTime first_submit_at_ = 0;
+  /// Inconsistency imported/exported by the current attempt's OK ops;
+  /// folded into stats_ only if the attempt commits.
+  double attempt_inconsistency_ = 0.0;
+
+  ClientStats stats_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_SIM_CLIENT_H_

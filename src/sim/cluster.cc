@@ -1,0 +1,96 @@
+#include "sim/cluster.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace esr {
+
+std::string SimResult::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "mpl=%d tput=%.2f tps commits=%lld (q=%lld,u=%lld) "
+                "aborts=%lld ops=%lld inconsistent=%lld waits=%lld",
+                mpl, throughput(), static_cast<long long>(committed),
+                static_cast<long long>(committed_query),
+                static_cast<long long>(committed_update),
+                static_cast<long long>(aborts),
+                static_cast<long long>(ops_executed),
+                static_cast<long long>(inconsistent_ops),
+                static_cast<long long>(waits));
+  return buf;
+}
+
+Cluster::Cluster(const ClusterOptions& options) : options_(options) {
+  ESR_CHECK(options_.mpl >= 1);
+  // The store must be populated consistently with the workload's universe.
+  ServerOptions server_options = options_.server;
+  server_options.store.num_objects = options_.workload.num_objects;
+  server_options.store.min_value = options_.workload.min_value;
+  server_options.store.max_value = options_.workload.max_value;
+  server_options.store.seed = options_.seed ^ 0x5eedull;
+  server_ = std::make_unique<Server>(server_options);
+
+  Rng master(options_.seed);
+  latency_ = std::make_unique<LatencyModel>(options_.latency,
+                                            master.NextU64());
+  Rng skew_rng = master.Fork();
+  for (int i = 0; i < options_.mpl; ++i) {
+    const SiteId site = static_cast<SiteId>(i + 1);
+    WorkloadGenerator generator(options_.workload, master.NextU64());
+    SkewedClock clock(site, options_.skew, &skew_rng);
+    clients_.push_back(std::make_unique<SimClient>(
+        site, server_.get(), &queue_, latency_.get(), std::move(generator),
+        clock));
+  }
+}
+
+SimResult Cluster::Run() {
+  // Stagger client start-up slightly so sites do not run in lockstep.
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->Start(static_cast<SimTime>(i) * 3 * kMicrosPerMilli);
+  }
+
+  const SimTime warmup_end =
+      static_cast<SimTime>(options_.warmup_s * kMicrosPerSecond);
+  const SimTime measure_end =
+      warmup_end +
+      static_cast<SimTime>(options_.measure_s * kMicrosPerSecond);
+
+  queue_.RunUntil(warmup_end);
+  std::vector<ClientStats> at_warmup;
+  at_warmup.reserve(clients_.size());
+  for (const auto& client : clients_) at_warmup.push_back(client->stats());
+
+  queue_.RunUntil(measure_end);
+
+  SimResult result;
+  result.mpl = options_.mpl;
+  result.elapsed_s = options_.measure_s;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    ClientStats delta = clients_[i]->stats();
+    delta -= at_warmup[i];
+    result.committed += delta.committed;
+    result.committed_query += delta.committed_query;
+    result.committed_update += delta.committed_update;
+    result.aborts += delta.aborts;
+    result.ops_executed += delta.ops_executed;
+    result.ops_query += delta.ops_query;
+    result.ops_update += delta.ops_update;
+    result.inconsistent_ops += delta.inconsistent_ops;
+    result.waits += delta.waits;
+    result.import_total += delta.import_total;
+    result.export_total += delta.export_total;
+    result.txn_latency_total_us +=
+        static_cast<double>(delta.txn_latency_total_us);
+  }
+  return result;
+}
+
+SimResult RunCluster(const ClusterOptions& options) {
+  Cluster cluster(options);
+  return cluster.Run();
+}
+
+}  // namespace esr

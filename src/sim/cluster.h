@@ -1,0 +1,112 @@
+#ifndef ESR_SIM_CLUSTER_H_
+#define ESR_SIM_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/client.h"
+#include "sim/event_queue.h"
+#include "sim/latency_model.h"
+#include "sim/skewed_clock.h"
+#include "txn/server.h"
+#include "workload/generator.h"
+
+namespace esr {
+
+/// Full configuration of one simulated run: the central server plus `mpl`
+/// client workstations (the paper's LAN limits MPL to 10, but the
+/// simulator accepts any value).
+struct ClusterOptions {
+  int mpl = 4;
+  WorkloadSpec workload;
+  ServerOptions server;
+  LatencyModelOptions latency;
+  SkewedClockOptions skew;
+  /// Simulated warm-up discarded from the metrics, and the measurement
+  /// window, both in virtual seconds.
+  double warmup_s = 5.0;
+  double measure_s = 60.0;
+  uint64_t seed = 1;
+};
+
+/// Aggregated outcome of a run over the measurement window — the
+/// performance metrics of Sec. 7.
+struct SimResult {
+  int mpl = 0;
+  double elapsed_s = 0.0;
+  int64_t committed = 0;
+  int64_t committed_query = 0;
+  int64_t committed_update = 0;
+  int64_t aborts = 0;
+  int64_t ops_executed = 0;
+  int64_t ops_query = 0;
+  int64_t ops_update = 0;
+  int64_t inconsistent_ops = 0;
+  int64_t waits = 0;
+  double import_total = 0.0;
+  double export_total = 0.0;
+  double txn_latency_total_us = 0.0;
+
+  /// Committed transactions per virtual second.
+  double throughput() const {
+    return elapsed_s > 0 ? static_cast<double>(committed) / elapsed_s : 0.0;
+  }
+  /// Fig. 13: operations executed per completed transaction, counting the
+  /// work of aborted attempts.
+  double ops_per_committed_txn() const {
+    return committed > 0
+               ? static_cast<double>(ops_executed) /
+                     static_cast<double>(committed)
+               : 0.0;
+  }
+  /// Fig. 13, query ETs only: the wasted-work effect concentrates in the
+  /// class whose TIL is being squeezed.
+  double query_ops_per_committed_query() const {
+    return committed_query > 0
+               ? static_cast<double>(ops_query) /
+                     static_cast<double>(committed_query)
+               : 0.0;
+  }
+  double avg_import_per_query() const {
+    return committed_query > 0
+               ? import_total / static_cast<double>(committed_query)
+               : 0.0;
+  }
+  double avg_txn_latency_ms() const {
+    return committed > 0 ? txn_latency_total_us /
+                               static_cast<double>(committed) / 1000.0
+                         : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+/// Builds and runs the simulated prototype: server, latency model, skewed
+/// client clocks, and MPL synchronous clients, all deterministically
+/// seeded.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterOptions& options);
+
+  /// Runs warm-up plus measurement window and returns the aggregated
+  /// metrics of the measurement window.
+  SimResult Run();
+
+  Server& server() { return *server_; }
+  EventQueue& queue() { return queue_; }
+
+ private:
+  ClusterOptions options_;
+  EventQueue queue_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::vector<std::unique_ptr<SimClient>> clients_;
+};
+
+/// Convenience: configure-and-run in one call.
+SimResult RunCluster(const ClusterOptions& options);
+
+}  // namespace esr
+
+#endif  // ESR_SIM_CLUSTER_H_

@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace esr {
+
+void EventQueue::ScheduleAt(SimTime at, std::function<void()> fn) {
+  events_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunOne() {
+  if (events_.empty()) return false;
+  // priority_queue::top() is const; the function is moved out via a copy
+  // of the handle. Events are small, this is fine for a simulator.
+  Event event = events_.top();
+  events_.pop();
+  ESR_CHECK(event.at >= now_) << "time went backwards";
+  now_ = event.at;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime until) {
+  while (!events_.empty() && events_.top().at <= until) RunOne();
+  now_ = std::max(now_, until);
+}
+
+void EventQueue::RunAll(uint64_t max_events) {
+  uint64_t n = 0;
+  while (RunOne()) {
+    if (max_events != 0 && ++n >= max_events) {
+      ESR_LOG(kWarning) << "RunAll stopped after " << n << " events";
+      return;
+    }
+  }
+}
+
+}  // namespace esr

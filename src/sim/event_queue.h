@@ -1,0 +1,72 @@
+#ifndef ESR_SIM_EVENT_QUEUE_H_
+#define ESR_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace esr {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kMicrosPerMilli = 1000;
+inline constexpr SimTime kMicrosPerSecond = 1'000'000;
+
+/// Deterministic discrete-event simulation kernel: a priority queue of
+/// (time, callback) events and a virtual clock. Ties are broken in
+/// scheduling order (FIFO), so runs are exactly reproducible.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to now).
+  void ScheduleAt(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs the earliest event; false when the queue is empty.
+  bool RunOne();
+
+  /// Runs events until virtual time exceeds `until` or the queue drains.
+  void RunUntil(SimTime until);
+
+  /// Drains the queue completely (bounded by `max_events` as a runaway
+  /// guard; 0 means unbounded).
+  void RunAll(uint64_t max_events = 0);
+
+  size_t pending() const { return events_.size(); }
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_SIM_EVENT_QUEUE_H_

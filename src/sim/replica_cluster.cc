@@ -1,0 +1,279 @@
+#include "sim/replica_cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace esr {
+
+// ------------------------------------------------------- update client --
+
+/// A synchronous primary client running the paper's update ETs through
+/// the replication wrappers (so commits enter the propagation queues).
+class ReplicaCluster::UpdateClient {
+ public:
+  UpdateClient(ReplicaCluster* cluster, SiteId site, uint64_t seed)
+      : cluster_(cluster),
+        generator_(cluster->options_.workload, seed),
+        ts_gen_(site) {}
+
+  void Start(SimTime at) {
+    cluster_->queue_.ScheduleAt(at, [this] { BeginAttempt(); });
+  }
+
+  int64_t commits() const { return commits_; }
+  int64_t aborts() const { return aborts_; }
+  void Snapshot() {
+    commits_at_snapshot_ = commits_;
+    aborts_at_snapshot_ = aborts_;
+  }
+  int64_t commits_since_snapshot() const {
+    return commits_ - commits_at_snapshot_;
+  }
+  int64_t aborts_since_snapshot() const {
+    return aborts_ - aborts_at_snapshot_;
+  }
+
+ private:
+  EventQueue& queue() { return cluster_->queue_; }
+  LatencyModel& latency() { return *cluster_->latency_; }
+  ReplicatedDatabase& db() { return *cluster_->db_; }
+
+  void BeginAttempt() {
+    if (fresh_script_) script_ = generator_.NextUpdate();
+    fresh_script_ = false;
+    const Timestamp ts = ts_gen_.Next(queue().now());
+    queue().ScheduleAfter(latency().SampleControlRpc(), [this, ts] {
+      txn_ = db().Begin(TxnType::kUpdate, ts, script_.bounds);
+      op_index_ = 0;
+      reads_.clear();
+      IssueOp();
+    });
+  }
+
+  void IssueOp() {
+    db().AdvanceTo(queue().now());
+    if (op_index_ >= script_.ops.size()) {
+      queue().ScheduleAfter(latency().SampleControlRpc(), [this] {
+        const Status status = db().Commit(txn_, queue().now());
+        ESR_CHECK(status.ok()) << status.ToString();
+        ++commits_;
+        fresh_script_ = true;
+        BeginAttempt();
+      });
+      return;
+    }
+    const SimTime rpc = latency().SampleOpRpc();
+    queue().ScheduleAfter(rpc / 2, [this, rpc] {
+      const SimTime done = latency().ReserveServerCpu(queue().now());
+      queue().ScheduleAt(done, [this, rpc] {
+        const ScriptOp& op = script_.ops[op_index_];
+        OpResult r;
+        if (op.kind == ScriptOp::Kind::kRead) {
+          r = db().Read(txn_, op.object);
+        } else {
+          const WorkloadSpec& spec = cluster_->options_.workload;
+          r = db().Write(
+              txn_, op.object,
+              ApplyDeltaReflecting(
+                  reads_[static_cast<size_t>(op.source_read)], op.delta,
+                  spec.min_value, spec.max_value));
+        }
+        queue().ScheduleAfter(rpc - rpc / 2, [this, r] { HandleResult(r); });
+      });
+    });
+  }
+
+  void HandleResult(const OpResult& r) {
+    switch (r.kind) {
+      case OpResult::Kind::kOk:
+        if (script_.ops[op_index_].kind == ScriptOp::Kind::kRead) {
+          reads_.push_back(r.value);
+        }
+        ++op_index_;
+        IssueOp();
+        return;
+      case OpResult::Kind::kWait:
+        queue().ScheduleAfter(latency().WaitRetryDelay(),
+                              [this] { IssueOp(); });
+        return;
+      case OpResult::Kind::kAbort:
+        ++aborts_;
+        queue().ScheduleAfter(latency().RestartDelay(),
+                              [this] { BeginAttempt(); });
+        return;
+    }
+  }
+
+  ReplicaCluster* cluster_;
+  WorkloadGenerator generator_;
+  TimestampGenerator ts_gen_;
+  TxnScript script_;
+  bool fresh_script_ = true;
+  TxnId txn_ = kInvalidTxnId;
+  size_t op_index_ = 0;
+  std::vector<Value> reads_;
+  int64_t commits_ = 0;
+  int64_t aborts_ = 0;
+  int64_t commits_at_snapshot_ = 0;
+  int64_t aborts_at_snapshot_ = 0;
+};
+
+// -------------------------------------------------------- query client --
+
+/// A dashboard client running bounded sum queries against one replica.
+/// Replica reads are local to the replica machine: they cost one RPC
+/// round trip but no primary CPU.
+class ReplicaCluster::QueryClient {
+ public:
+  QueryClient(ReplicaCluster* cluster, int replica, uint64_t seed)
+      : cluster_(cluster), replica_(replica), rng_(seed) {}
+
+  void Start(SimTime at) {
+    cluster_->queue_.ScheduleAt(at, [this] { IssueQuery(); });
+  }
+
+  void Snapshot() {
+    attempted_at_snapshot_ = attempted_;
+    admitted_at_snapshot_ = admitted_;
+    estimated_at_snapshot_ = estimated_;
+    true_at_snapshot_ = true_;
+  }
+  int64_t attempted_since_snapshot() const {
+    return attempted_ - attempted_at_snapshot_;
+  }
+  int64_t admitted_since_snapshot() const {
+    return admitted_ - admitted_at_snapshot_;
+  }
+  double estimated_since_snapshot() const {
+    return estimated_ - estimated_at_snapshot_;
+  }
+  double true_since_snapshot() const { return true_ - true_at_snapshot_; }
+
+ private:
+  EventQueue& queue() { return cluster_->queue_; }
+
+  void IssueQuery() {
+    // One RPC to the replica covers the whole local scan. Latency is
+    // drawn from the client's OWN stream so dashboard load never
+    // perturbs the primary's (shared, seeded) latency stream — keeping
+    // configurations comparable run to run.
+    const LatencyModelOptions& lat = cluster_->options_.latency;
+    const SimTime rpc = static_cast<SimTime>(
+        rng_.UniformDouble(lat.op_rpc_min_ms, lat.op_rpc_max_ms) *
+        kMicrosPerMilli);
+    queue().ScheduleAfter(rpc, [this] {
+      const ReplicaClusterOptions& options = cluster_->options_;
+      cluster_->db_->AdvanceTo(queue().now());
+      std::vector<ObjectId> objects;
+      const size_t hot = options.workload.hot_set_size;
+      while (objects.size() < static_cast<size_t>(options.query_objects) &&
+             objects.size() < hot) {
+        const ObjectId candidate = static_cast<ObjectId>(
+            rng_.UniformInt(0, static_cast<int64_t>(hot) - 1));
+        if (std::find(objects.begin(), objects.end(), candidate) ==
+            objects.end()) {
+          objects.push_back(candidate);
+        }
+      }
+      ++attempted_;
+      const auto q = cluster_->db_->ReplicaSumQuery(replica_, objects,
+                                                    options.query_til);
+      if (q.ok()) {
+        ++admitted_;
+        estimated_ += q->estimated_import;
+        true_ += q->true_import;
+        const SimTime think = static_cast<SimTime>(
+            options.latency.null_rpc_ms * kMicrosPerMilli);
+        queue().ScheduleAfter(think, [this] { IssueQuery(); });
+      } else {
+        queue().ScheduleAfter(static_cast<SimTime>(
+                                  options.query_retry_ms * kMicrosPerMilli),
+                              [this] { IssueQuery(); });
+      }
+    });
+  }
+
+  ReplicaCluster* cluster_;
+  int replica_;
+  Rng rng_;
+  int64_t attempted_ = 0;
+  int64_t admitted_ = 0;
+  double estimated_ = 0.0;
+  double true_ = 0.0;
+  int64_t attempted_at_snapshot_ = 0;
+  int64_t admitted_at_snapshot_ = 0;
+  double estimated_at_snapshot_ = 0.0;
+  double true_at_snapshot_ = 0.0;
+};
+
+// ------------------------------------------------------------- cluster --
+
+ReplicaCluster::ReplicaCluster(const ReplicaClusterOptions& options)
+    : options_(options) {
+  ESR_CHECK(options_.update_clients >= 1);
+  ESR_CHECK(options_.replica_query_clients >= 1);
+  ServerOptions server = options_.server;
+  server.store.num_objects = options_.workload.num_objects;
+  server.store.min_value = options_.workload.min_value;
+  server.store.max_value = options_.workload.max_value;
+  server.store.seed = options_.seed ^ 0x5eedull;
+  db_ = std::make_unique<ReplicatedDatabase>(options_.replication, server);
+
+  Rng master(options_.seed);
+  latency_ = std::make_unique<LatencyModel>(options_.latency,
+                                            master.NextU64());
+  for (int i = 0; i < options_.update_clients; ++i) {
+    update_clients_.push_back(std::make_unique<UpdateClient>(
+        this, static_cast<SiteId>(i + 1), master.NextU64()));
+  }
+  for (int i = 0; i < options_.replica_query_clients; ++i) {
+    query_clients_.push_back(std::make_unique<QueryClient>(
+        this, i % options_.replication.num_replicas, master.NextU64()));
+  }
+}
+
+ReplicaCluster::~ReplicaCluster() = default;
+
+ReplicaSimResult ReplicaCluster::Run() {
+  for (size_t i = 0; i < update_clients_.size(); ++i) {
+    update_clients_[i]->Start(static_cast<SimTime>(i) * 3 *
+                              kMicrosPerMilli);
+  }
+  for (size_t i = 0; i < query_clients_.size(); ++i) {
+    query_clients_[i]->Start(static_cast<SimTime>(i) * 5 *
+                             kMicrosPerMilli);
+  }
+
+  const SimTime warmup_end =
+      static_cast<SimTime>(options_.warmup_s * kMicrosPerSecond);
+  queue_.RunUntil(warmup_end);
+  for (auto& client : update_clients_) client->Snapshot();
+  for (auto& client : query_clients_) client->Snapshot();
+
+  queue_.RunUntil(warmup_end + static_cast<SimTime>(options_.measure_s *
+                                                    kMicrosPerSecond));
+
+  ReplicaSimResult result;
+  result.elapsed_s = options_.measure_s;
+  for (const auto& client : update_clients_) {
+    result.primary_commits += client->commits_since_snapshot();
+    result.primary_aborts += client->aborts_since_snapshot();
+  }
+  double estimated = 0, truth = 0;
+  for (const auto& client : query_clients_) {
+    result.queries_attempted += client->attempted_since_snapshot();
+    result.queries_admitted += client->admitted_since_snapshot();
+    estimated += client->estimated_since_snapshot();
+    truth += client->true_since_snapshot();
+  }
+  if (result.queries_admitted > 0) {
+    result.avg_estimated_import =
+        estimated / static_cast<double>(result.queries_admitted);
+    result.avg_true_import =
+        truth / static_cast<double>(result.queries_admitted);
+  }
+  return result;
+}
+
+}  // namespace esr

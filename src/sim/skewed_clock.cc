@@ -1,0 +1,18 @@
+#include "sim/skewed_clock.h"
+
+namespace esr {
+
+SkewedClock::SkewedClock(SiteId site, const SkewedClockOptions& options,
+                         Rng* rng)
+    : site_(site) {
+  const double raw_s = rng->UniformDouble(-options.raw_skew_s,
+                                          options.raw_skew_s);
+  raw_offset_micros_ =
+      static_cast<int64_t>(raw_s * static_cast<double>(kMicrosPerSecond));
+  const double residual_ms = rng->UniformDouble(-options.residual_skew_ms,
+                                                options.residual_skew_ms);
+  residual_offset_micros_ =
+      static_cast<int64_t>(residual_ms * static_cast<double>(kMicrosPerMilli));
+}
+
+}  // namespace esr

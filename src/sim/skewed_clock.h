@@ -1,0 +1,52 @@
+#ifndef ESR_SIM_SKEWED_CLOCK_H_
+#define ESR_SIM_SKEWED_CLOCK_H_
+
+#include "common/random.h"
+#include "common/timestamp.h"
+#include "sim/event_queue.h"
+
+namespace esr {
+
+/// Clock-skew parameters of the client sites. The prototype observed "a
+/// two minute range of variation between the local system clocks" and
+/// applied "a correction factor ... to achieve virtual clock
+/// synchronization" (Sec. 6); the correction is imperfect, leaving a small
+/// residual offset per site.
+struct SkewedClockOptions {
+  /// Raw offset range before correction (+/-), in seconds.
+  double raw_skew_s = 60.0;
+  /// Residual offset range after correction (+/-), in milliseconds.
+  double residual_skew_ms = 20.0;
+};
+
+/// One client site's view of time: virtual time plus a fixed residual
+/// offset, feeding a per-site TimestampGenerator so that timestamps are
+/// unique and nearly synchronized across sites.
+class SkewedClock {
+ public:
+  SkewedClock(SiteId site, const SkewedClockOptions& options, Rng* rng);
+
+  /// Corrected local reading of the given virtual time.
+  int64_t Read(SimTime virtual_now) const {
+    return virtual_now + residual_offset_micros_;
+  }
+
+  /// Raw (uncorrected) reading; only used to demonstrate the correction
+  /// in tests.
+  int64_t ReadRaw(SimTime virtual_now) const {
+    return virtual_now + raw_offset_micros_;
+  }
+
+  int64_t residual_offset_micros() const { return residual_offset_micros_; }
+
+  SiteId site() const { return site_; }
+
+ private:
+  SiteId site_;
+  int64_t raw_offset_micros_;
+  int64_t residual_offset_micros_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_SIM_SKEWED_CLOCK_H_

@@ -1,0 +1,39 @@
+#include "storage/write_history.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esr {
+
+WriteHistory::WriteHistory(size_t depth) : depth_(depth) {
+  assert(depth_ >= 1);
+  entries_.reserve(depth_);
+}
+
+void WriteHistory::Record(Timestamp ts, Value value) {
+  // Common case: appended in order.
+  if (entries_.empty() || entries_.back().ts < ts) {
+    entries_.push_back(Entry{ts, value});
+  } else {
+    auto pos = std::upper_bound(
+        entries_.begin(), entries_.end(), ts,
+        [](Timestamp t, const Entry& e) { return t < e.ts; });
+    entries_.insert(pos, Entry{ts, value});
+  }
+  if (entries_.size() > depth_) entries_.erase(entries_.begin());
+}
+
+std::optional<Value> WriteHistory::ProperValueBefore(Timestamp before) const {
+  // Index backwards through the list until an older timestamp is found
+  // (paper Sec. 5.1).
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->ts < before) return it->value;
+  }
+  return std::nullopt;
+}
+
+Timestamp WriteHistory::NewestTimestamp() const {
+  return entries_.empty() ? Timestamp::Min() : entries_.back().ts;
+}
+
+}  // namespace esr

@@ -1,0 +1,64 @@
+#ifndef ESR_STORAGE_WRITE_HISTORY_H_
+#define ESR_STORAGE_WRITE_HISTORY_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "common/types.h"
+
+namespace esr {
+
+/// Bounded record of the most recent writes to one object, used to find a
+/// query's *proper value* — "the value written by the last write with a
+/// timestamp less than the query's" (paper Sec. 5.1).
+///
+/// The paper keeps the last 20 writes per object (20 = measured query
+/// duration / update duration); the depth is configurable here and swept
+/// by the `micro_history_depth` ablation bench.
+///
+/// This is NOT multiversion timestamp ordering: reads always return the
+/// object's current (present) value; the history is consulted only to
+/// measure how inconsistent that present value is.
+class WriteHistory {
+ public:
+  struct Entry {
+    Timestamp ts;
+    Value value;
+  };
+
+  /// `depth` is the maximum number of retained writes; must be >= 1.
+  explicit WriteHistory(size_t depth = kDefaultDepth);
+
+  static constexpr size_t kDefaultDepth = 20;
+
+  /// Records a committed write. Entries may arrive slightly out of
+  /// timestamp order (strict TO commits nearly, but not exactly, in ts
+  /// order), so the insert keeps the ring sorted by timestamp.
+  void Record(Timestamp ts, Value value);
+
+  /// Value written by the newest write with ts strictly less than
+  /// `before`, or nullopt if that write has already fallen off the ring
+  /// (the query is older than everything we remember).
+  std::optional<Value> ProperValueBefore(Timestamp before) const;
+
+  /// Timestamp of the newest retained write, or Timestamp::Min() if empty.
+  Timestamp NewestTimestamp() const;
+
+  size_t size() const { return entries_.size(); }
+  size_t depth() const { return depth_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Oldest-to-newest view, for tests and debugging.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  size_t depth_;
+  // Sorted by ts ascending; bounded to depth_ (oldest evicted first).
+  std::vector<Entry> entries_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_STORAGE_WRITE_HISTORY_H_

@@ -1,0 +1,104 @@
+#include "twopl/lock_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace esr {
+
+LockTable::Grant LockTable::Resolve(const Request& request,
+                                    const Holder& conflicting) {
+  Grant grant;
+  grant.conflict = conflicting.txn;
+  grant.outcome = request.ts < conflicting.ts ? LockOutcome::kWait
+                                              : LockOutcome::kDie;
+  return grant;
+}
+
+LockTable::Grant LockTable::AcquireShared(ObjectId object,
+                                          const Request& request) {
+  Entry& entry = entries_[object];
+  if (entry.exclusive.txn != kInvalidTxnId) {
+    if (entry.exclusive.txn == request.txn) return Grant{};  // own X covers S
+    return Resolve(request, entry.exclusive);
+  }
+  for (const Holder& holder : entry.shared) {
+    if (holder.txn == request.txn) return Grant{};  // already held
+  }
+  entry.shared.push_back(Holder{request.txn, request.ts});
+  held_[request.txn].push_back(object);
+  return Grant{};
+}
+
+LockTable::Grant LockTable::AcquireExclusive(ObjectId object,
+                                             const Request& request) {
+  Entry& entry = entries_[object];
+  if (entry.exclusive.txn != kInvalidTxnId) {
+    if (entry.exclusive.txn == request.txn) return Grant{};  // re-entrant
+    return Resolve(request, entry.exclusive);
+  }
+  // Conflicts with shared holders other than the requester itself.
+  const Holder* oldest_conflict = nullptr;
+  bool requester_holds_shared = false;
+  for (const Holder& holder : entry.shared) {
+    if (holder.txn == request.txn) {
+      requester_holds_shared = true;
+      continue;
+    }
+    if (oldest_conflict == nullptr || holder.ts < oldest_conflict->ts) {
+      oldest_conflict = &holder;
+    }
+  }
+  if (oldest_conflict != nullptr) {
+    // Wait-die against the oldest conflicting shared holder: if the
+    // requester is younger than ANY conflicting holder it must die, and
+    // the oldest is the strictest test.
+    return Resolve(request, *oldest_conflict);
+  }
+  // Grant (possibly upgrading the requester's own shared lock).
+  if (requester_holds_shared) {
+    entry.shared.erase(
+        std::remove_if(entry.shared.begin(), entry.shared.end(),
+                       [&](const Holder& h) { return h.txn == request.txn; }),
+        entry.shared.end());
+  } else {
+    held_[request.txn].push_back(object);
+  }
+  entry.exclusive = Holder{request.txn, request.ts};
+  return Grant{};
+}
+
+void LockTable::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const ObjectId object : it->second) {
+    auto entry_it = entries_.find(object);
+    if (entry_it == entries_.end()) continue;
+    Entry& entry = entry_it->second;
+    if (entry.exclusive.txn == txn) {
+      entry.exclusive = Holder{kInvalidTxnId, Timestamp()};
+    }
+    entry.shared.erase(
+        std::remove_if(entry.shared.begin(), entry.shared.end(),
+                       [txn](const Holder& h) { return h.txn == txn; }),
+        entry.shared.end());
+    if (entry.unlocked()) entries_.erase(entry_it);
+  }
+  held_.erase(it);
+}
+
+bool LockTable::HoldsShared(ObjectId object, TxnId txn) const {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return false;
+  return std::any_of(it->second.shared.begin(), it->second.shared.end(),
+                     [txn](const Holder& h) { return h.txn == txn; });
+}
+
+bool LockTable::HoldsExclusive(ObjectId object, TxnId txn) const {
+  auto it = entries_.find(object);
+  return it != entries_.end() && it->second.exclusive.txn == txn;
+}
+
+size_t LockTable::num_locked_objects() const { return entries_.size(); }
+
+}  // namespace esr

@@ -1,0 +1,83 @@
+#ifndef ESR_TWOPL_LOCK_TABLE_H_
+#define ESR_TWOPL_LOCK_TABLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "common/types.h"
+
+namespace esr {
+
+/// Outcome of a lock request under wait-die deadlock prevention: granted,
+/// wait (requester is older than every conflicting holder — safe, since
+/// all wait-for edges then point old -> young and cannot form a cycle),
+/// or die (requester is younger than some conflicting holder; it must
+/// abort and restart).
+enum class LockOutcome : uint8_t {
+  kGranted = 0,
+  kWait = 1,
+  kDie = 2,
+};
+
+/// A strict two-phase lock table with shared/exclusive modes and wait-die
+/// conflict resolution. Waiting is client-driven (the engine returns
+/// kWait and the client retries), so the table keeps no queues — only
+/// current holders. Upgrades (S -> X by the sole shared holder) are
+/// supported, as update ETs may read an object before writing it.
+class LockTable {
+ public:
+  struct Request {
+    TxnId txn = kInvalidTxnId;
+    Timestamp ts;
+  };
+
+  struct Grant {
+    LockOutcome outcome = LockOutcome::kGranted;
+    /// A conflicting holder (the one to wait for / the oldest blocker)
+    /// when the outcome is not kGranted.
+    TxnId conflict = kInvalidTxnId;
+  };
+
+  /// Requests a shared lock; idempotent for a holder.
+  Grant AcquireShared(ObjectId object, const Request& request);
+
+  /// Requests an exclusive lock (or an upgrade if `request.txn` already
+  /// holds the only shared lock).
+  Grant AcquireExclusive(ObjectId object, const Request& request);
+
+  /// Releases every lock held by `txn` (strict 2PL: locks are held until
+  /// commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  bool HoldsShared(ObjectId object, TxnId txn) const;
+  bool HoldsExclusive(ObjectId object, TxnId txn) const;
+
+  /// Number of objects with at least one lock held (for tests).
+  size_t num_locked_objects() const;
+
+ private:
+  struct Holder {
+    TxnId txn;
+    Timestamp ts;
+  };
+  struct Entry {
+    std::vector<Holder> shared;
+    Holder exclusive{kInvalidTxnId, Timestamp()};
+
+    bool unlocked() const {
+      return shared.empty() && exclusive.txn == kInvalidTxnId;
+    }
+  };
+
+  /// Wait-die: older (smaller ts) requesters wait, younger die.
+  static Grant Resolve(const Request& request, const Holder& conflicting);
+
+  std::unordered_map<ObjectId, Entry> entries_;
+  // Reverse index so ReleaseAll is O(locks held).
+  std::unordered_map<TxnId, std::vector<ObjectId>> held_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_TWOPL_LOCK_TABLE_H_

@@ -1,0 +1,221 @@
+#include "twopl/twopl_manager.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace esr {
+namespace {
+
+const char* TypeTag(TxnType type) {
+  return type == TxnType::kQuery ? "query" : "update";
+}
+
+AbortReason BoundAbortReason(GroupId violated_group) {
+  return violated_group == kRootGroup ? AbortReason::kTransactionBound
+                                      : AbortReason::kGroupBound;
+}
+
+}  // namespace
+
+TwoPLManager::TwoPLManager(ObjectStore* store, const GroupSchema* schema,
+                           MetricRegistry* metrics,
+                           const DivergenceOptions& divergence)
+    : schema_(schema), metrics_(metrics), data_manager_(store, divergence) {
+  ESR_CHECK(schema_ != nullptr);
+  ESR_CHECK(metrics_ != nullptr);
+}
+
+TxnId TwoPLManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TxnId id = next_txn_id_++;
+  transactions_.emplace(
+      id, Transaction(id, type, ts, schema_, std::move(bounds)));
+  metrics_->counter(std::string("txn.begin.") + TypeTag(type)).Increment();
+  return id;
+}
+
+OpResult TwoPLManager::Read(TxnId txn, ObjectId object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DoRead(GetActive(txn), object);
+}
+
+OpResult TwoPLManager::Write(TxnId txn, ObjectId object, Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DoWrite(GetActive(txn), object, value);
+}
+
+bool TwoPLManager::HandleGrant(Transaction& txn,
+                               const LockTable::Grant& grant,
+                               OpResult* result) {
+  switch (grant.outcome) {
+    case LockOutcome::kGranted:
+      return true;
+    case LockOutcome::kWait:
+      metrics_->counter("op.wait").Increment();
+      *result = OpResult::Wait(grant.conflict);
+      return false;
+    case LockOutcome::kDie:
+      *result = AbortOp(txn, AbortReason::kDeadlockVictim);
+      return false;
+  }
+  return false;
+}
+
+OpResult TwoPLManager::DoRead(Transaction& txn, ObjectId object) {
+  ObjectRecord& obj = data_manager_.store().Get(object);
+
+  if (txn.is_query() && txn.esr_enabled()) {
+    // Divergence-controlled lock-free read: see the present (possibly
+    // dirty) value, admitted within the hierarchical bounds.
+    auto measure_or = data_manager_.ImportInconsistency(obj, txn.ts());
+    if (!measure_or.ok()) {
+      return AbortOp(txn, AbortReason::kHistoryExhausted);
+    }
+    const DataManager::ImportMeasure measure = *measure_or;
+    if (!data_manager_.WithinObjectImportLimit(obj, measure.d)) {
+      return AbortOp(txn, AbortReason::kObjectBound);
+    }
+    const ChargeResult charge = txn.accumulator().TryCharge(object, measure.d);
+    if (!charge.admitted) {
+      return AbortOp(txn, BoundAbortReason(charge.violated_group));
+    }
+    const Value present = obj.value();
+    obj.RegisterQueryReader(txn.id(), txn.ts(), measure.proper);
+    txn.NoteRegisteredRead(object);
+    txn.ObserveValue(object, present);
+    txn.CountOp();
+    metrics_->counter("op.read").Increment();
+    const bool relaxed =
+        obj.has_uncommitted_write() || measure.d > 0.0;
+    if (measure.d > 0.0) {
+      txn.CountInconsistentOp();
+      metrics_->counter("op.inconsistent_ok").Increment();
+    }
+    return OpResult::Ok(present, measure.d, relaxed);
+  }
+
+  // Locked read (update ETs and SR queries).
+  OpResult result;
+  const LockTable::Grant grant = locks_.AcquireShared(
+      object, LockTable::Request{txn.id(), txn.ts()});
+  if (!HandleGrant(txn, grant, &result)) return result;
+
+  const Value present = obj.value();
+  txn.ObserveValue(object, present);
+  txn.CountOp();
+  metrics_->counter("op.read").Increment();
+  return OpResult::Ok(present, 0.0, /*was_relaxed=*/false);
+}
+
+OpResult TwoPLManager::DoWrite(Transaction& txn, ObjectId object,
+                               Value value) {
+  ESR_CHECK(txn.type() == TxnType::kUpdate)
+      << "query ETs are read-only; Write from txn " << txn.id();
+  ObjectRecord& obj = data_manager_.store().Get(object);
+
+  OpResult result;
+  const LockTable::Grant grant = locks_.AcquireExclusive(
+      object, LockTable::Request{txn.id(), txn.ts()});
+  if (!HandleGrant(txn, grant, &result)) return result;
+
+  // Export control against lock-free ESR query readers (the X lock has
+  // already excluded locked readers).
+  const Inconsistency d =
+      data_manager_.ExportInconsistency(obj, txn.View(), value);
+  const bool relaxed = !obj.query_readers().empty();
+  if (d > 0.0 || relaxed) {
+    if (!data_manager_.WithinObjectExportLimit(obj, d)) {
+      return AbortOp(txn, AbortReason::kObjectBound);
+    }
+    const ChargeResult charge = txn.accumulator().TryCharge(object, d);
+    if (!charge.admitted) {
+      return AbortOp(txn, BoundAbortReason(charge.violated_group));
+    }
+  }
+  obj.ApplyWrite(txn.id(), txn.ts(), value);
+  txn.NotePendingWrite(object);
+  txn.CountOp();
+  metrics_->counter("op.write").Increment();
+  if (d > 0.0) {
+    txn.CountInconsistentOp();
+    metrics_->counter("op.inconsistent_ok").Increment();
+  }
+  return OpResult::Ok(value, d, relaxed);
+}
+
+Status TwoPLManager::Commit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
+  return Status::OK();
+}
+
+Status TwoPLManager::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
+  return Status::OK();
+}
+
+bool TwoPLManager::IsActive(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transactions_.count(txn) > 0;
+}
+
+const Transaction* TwoPLManager::Find(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  return it == transactions_.end() ? nullptr : &it->second;
+}
+
+size_t TwoPLManager::num_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transactions_.size();
+}
+
+Transaction& TwoPLManager::GetActive(TxnId txn) {
+  auto it = transactions_.find(txn);
+  ESR_CHECK(it != transactions_.end())
+      << "operation on unknown/finished transaction " << txn;
+  return it->second;
+}
+
+OpResult TwoPLManager::AbortOp(Transaction& txn, AbortReason reason) {
+  Teardown(txn, TxnState::kAborted, reason);
+  return OpResult::Abort(reason);
+}
+
+void TwoPLManager::Teardown(Transaction& txn, TxnState final_state,
+                            AbortReason reason) {
+  ObjectStore& store = data_manager_.store();
+  if (final_state == TxnState::kCommitted) {
+    for (const ObjectId object : txn.pending_writes()) {
+      store.Get(object).CommitWrite(txn.id());
+    }
+    metrics_->counter(std::string("txn.commit.") + TypeTag(txn.type()))
+        .Increment();
+  } else {
+    for (const ObjectId object : txn.pending_writes()) {
+      store.Get(object).AbortWrite(txn.id());
+    }
+    metrics_->counter("txn.abort").Increment();
+    metrics_->counter(std::string("abort.") + AbortReasonToString(reason))
+        .Increment();
+  }
+  for (const ObjectId object : txn.registered_reads()) {
+    store.Get(object).UnregisterQueryReader(txn.id());
+  }
+  locks_.ReleaseAll(txn.id());
+  transactions_.erase(txn.id());
+}
+
+}  // namespace esr

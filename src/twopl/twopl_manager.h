@@ -1,0 +1,77 @@
+#ifndef ESR_TWOPL_TWOPL_MANAGER_H_
+#define ESR_TWOPL_TWOPL_MANAGER_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/metrics.h"
+#include "hierarchy/group_schema.h"
+#include "storage/object_store.h"
+#include "twopl/lock_table.h"
+#include "txn/data_manager.h"
+#include "txn/engine.h"
+
+namespace esr {
+
+/// Strict two-phase locking engine with wait-die deadlock prevention —
+/// the concurrency-control alternative the paper's prototype avoided
+/// because of "the problem of deadlock detection and recovery" (Sec. 4)
+/// — extended with divergence control in the style of Wu et al. [21]:
+///
+///  * SR transactions (and all update ETs' reads) take S/X locks, held
+///    until commit/abort; conflicts resolve by wait-die on the begin
+///    timestamps, so the wait graph is acyclic by construction.
+///  * ESR query ETs (TIL > 0) read WITHOUT locks: the read sees the
+///    present (possibly dirty) value and is admitted iff its measured
+///    inconsistency d = |present - proper| passes the object, group, and
+///    transaction level checks — the same bottom-up control as the TO
+///    engine, so the two protocols are comparable like-for-like.
+///  * An update ET writing an object that registered ESR query readers
+///    exports inconsistency to them, bounded by OEL and its TEL.
+///
+/// Shares the storage substrate (shadow values, bounded write history,
+/// reader registration) with the TO engine; timestamps order wait-die
+/// priorities and anchor the proper-value lookup.
+class TwoPLManager final : public TransactionEngine {
+ public:
+  TwoPLManager(ObjectStore* store, const GroupSchema* schema,
+               MetricRegistry* metrics,
+               const DivergenceOptions& divergence = {});
+
+  TwoPLManager(const TwoPLManager&) = delete;
+  TwoPLManager& operator=(const TwoPLManager&) = delete;
+
+  TxnId Begin(TxnType type, Timestamp ts, BoundSpec bounds) override;
+  OpResult Read(TxnId txn, ObjectId object) override;
+  OpResult Write(TxnId txn, ObjectId object, Value value) override;
+  Status Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+  bool IsActive(TxnId txn) const override;
+  const Transaction* Find(TxnId txn) const override;
+  size_t num_active() const override;
+  EngineKind kind() const override { return EngineKind::kTwoPhaseLocking; }
+
+  LockTable& lock_table() { return locks_; }
+
+ private:
+  Transaction& GetActive(TxnId txn);
+  OpResult AbortOp(Transaction& txn, AbortReason reason);
+  void Teardown(Transaction& txn, TxnState final_state, AbortReason reason);
+  OpResult DoRead(Transaction& txn, ObjectId object);
+  OpResult DoWrite(Transaction& txn, ObjectId object, Value value);
+  /// Maps a lock grant to the OpResult control flow; true if granted.
+  bool HandleGrant(Transaction& txn, const LockTable::Grant& grant,
+                   OpResult* result);
+
+  mutable std::mutex mu_;
+  const GroupSchema* schema_;
+  MetricRegistry* metrics_;
+  DataManager data_manager_;
+  LockTable locks_;
+  TxnId next_txn_id_ = 1;
+  std::unordered_map<TxnId, Transaction> transactions_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_TWOPL_TWOPL_MANAGER_H_

@@ -1,0 +1,47 @@
+#include "txn/data_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace esr {
+
+DataManager::DataManager(ObjectStore* store, const DivergenceOptions& options)
+    : store_(store), options_(options) {
+  ESR_CHECK(store_ != nullptr);
+}
+
+Result<DataManager::ImportMeasure> DataManager::ImportInconsistency(
+    const ObjectRecord& object, Timestamp query_ts) const {
+  const std::optional<Value> proper = object.ProperValueFor(query_ts);
+  if (!proper.has_value()) {
+    return Status::Aborted("write history exhausted for object " +
+                           std::to_string(object.id()));
+  }
+  // distance(present, proper) in the numeric metric space.
+  const Inconsistency d =
+      static_cast<Inconsistency>(std::llabs(object.value() - *proper));
+  return ImportMeasure{d, *proper};
+}
+
+Inconsistency DataManager::ExportInconsistency(const ObjectRecord& object,
+                                               const TxnView& writer,
+                                               Value new_value) const {
+  Inconsistency combined = 0.0;
+  for (const ObjectRecord::QueryReader& reader : object.query_readers()) {
+    if (options_.export_scope == ExportScope::kNewerReaders &&
+        !(reader.ts > writer.ts)) {
+      continue;
+    }
+    const Inconsistency d = static_cast<Inconsistency>(
+        std::llabs(new_value - reader.proper_value));
+    combined = options_.export_combine == ExportCombine::kMax
+                   ? std::max(combined, d)
+                   : combined + d;
+  }
+  return combined;
+}
+
+}  // namespace esr

@@ -1,0 +1,17 @@
+#include "txn/engine.h"
+
+namespace esr {
+
+std::string_view EngineKindToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kTimestampOrdering:
+      return "TO-ESR";
+    case EngineKind::kTwoPhaseLocking:
+      return "2PL-ESR";
+    case EngineKind::kMultiversion:
+      return "MVTO";
+  }
+  return "?";
+}
+
+}  // namespace esr

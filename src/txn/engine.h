@@ -1,0 +1,69 @@
+#ifndef ESR_TXN_ENGINE_H_
+#define ESR_TXN_ENGINE_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "hierarchy/bound_spec.h"
+#include "txn/op_result.h"
+#include "txn/transaction.h"
+
+namespace esr {
+
+/// Which concurrency-control protocol the server runs. The paper's
+/// prototype uses timestamp ordering; the 2PL and MVTO engines implement
+/// the alternatives it discusses (Sec. 4 motivates avoiding 2PL's
+/// deadlock handling; Sec. 5.1 contrasts the proper-value scheme with
+/// MVTO) so they can be compared on identical workloads.
+enum class EngineKind : uint8_t {
+  /// Timestamp ordering with the ESR relaxations of Fig. 3 (the paper's
+  /// protocol). Zero-bound transactions run plain strict TO.
+  kTimestampOrdering = 0,
+  /// Strict two-phase locking with wait-die deadlock prevention, plus
+  /// Wu-et-al-style divergence control: ESR queries read without locks
+  /// under the same bound checks.
+  kTwoPhaseLocking = 1,
+  /// Multiversion timestamp ordering: queries read a committed snapshot
+  /// (always serializable, never inconsistent), at the cost of staleness
+  /// and per-object version storage. Ignores inconsistency bounds.
+  kMultiversion = 2,
+};
+
+std::string_view EngineKindToString(EngineKind kind);
+
+/// The protocol-independent transaction-engine interface the server, the
+/// simulated clients, and the public API program against. All engines
+/// share the OpResult contract (OK / WAIT-retry / ABORT-resubmit) and the
+/// per-transaction `Transaction` state record.
+class TransactionEngine {
+ public:
+  virtual ~TransactionEngine() = default;
+
+  /// Starts an ET with a client-supplied timestamp and hierarchical bound
+  /// declaration (root limit = TIL or TEL).
+  virtual TxnId Begin(TxnType type, Timestamp ts, BoundSpec bounds) = 0;
+
+  virtual OpResult Read(TxnId txn, ObjectId object) = 0;
+
+  /// Only update ETs may write.
+  virtual OpResult Write(TxnId txn, ObjectId object, Value value) = 0;
+
+  virtual Status Commit(TxnId txn) = 0;
+  virtual Status Abort(TxnId txn) = 0;
+
+  virtual bool IsActive(TxnId txn) const = 0;
+
+  /// Borrowed view of an active transaction's engine-agnostic state
+  /// (accumulators, observed value ranges); nullptr when not active.
+  virtual const Transaction* Find(TxnId txn) const = 0;
+
+  virtual size_t num_active() const = 0;
+
+  virtual EngineKind kind() const = 0;
+};
+
+}  // namespace esr
+
+#endif  // ESR_TXN_ENGINE_H_

@@ -1,0 +1,59 @@
+#ifndef ESR_TXN_OP_RESULT_H_
+#define ESR_TXN_OP_RESULT_H_
+
+#include "cc/to_policy.h"
+#include "common/types.h"
+
+namespace esr {
+
+/// Outcome of one Read/Write request, as returned to the client stub.
+///
+/// kWait means the engine requires the caller to retry the same operation
+/// after the blocking transaction resolves (strict ordering in the TO
+/// engine, a lock conflict in the 2PL engine, an uncommitted version in
+/// the MVTO engine); kAbort means the whole transaction has already been
+/// aborted server-side (shadow values restored, locks released, readers
+/// deregistered) and must be resubmitted with a fresh timestamp.
+struct OpResult {
+  enum class Kind : uint8_t { kOk = 0, kWait = 1, kAbort = 2 };
+
+  Kind kind = Kind::kOk;
+  /// The value read (for reads) or written (for writes) when kind == kOk.
+  Value value = 0;
+  /// The transaction this operation is blocked on when kind == kWait.
+  TxnId blocker = kInvalidTxnId;
+  /// Why the transaction aborted when kind == kAbort.
+  AbortReason abort_reason = AbortReason::kNone;
+  /// Inconsistency charged for this operation (0 for consistent ops).
+  Inconsistency inconsistency = 0.0;
+  /// True when the operation executed although the serializable protocol
+  /// would have rejected it (an ESR relaxation).
+  bool relaxed = false;
+
+  bool ok() const { return kind == Kind::kOk; }
+
+  static OpResult Ok(Value v, Inconsistency d, bool was_relaxed) {
+    OpResult r;
+    r.kind = Kind::kOk;
+    r.value = v;
+    r.inconsistency = d;
+    r.relaxed = was_relaxed;
+    return r;
+  }
+  static OpResult Wait(TxnId blocker) {
+    OpResult r;
+    r.kind = Kind::kWait;
+    r.blocker = blocker;
+    return r;
+  }
+  static OpResult Abort(AbortReason reason) {
+    OpResult r;
+    r.kind = Kind::kAbort;
+    r.abort_reason = reason;
+    return r;
+  }
+};
+
+}  // namespace esr
+
+#endif  // ESR_TXN_OP_RESULT_H_

@@ -1,0 +1,35 @@
+#include "txn/server.h"
+
+#include "common/logging.h"
+#include "mvto/mvto_manager.h"
+#include "twopl/twopl_manager.h"
+
+namespace esr {
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      store_(std::make_unique<ObjectStore>(options.store)) {
+  switch (options_.engine) {
+    case EngineKind::kTimestampOrdering:
+      engine_ = std::make_unique<TransactionManager>(
+          store_.get(), &schema_, &metrics_, options_.divergence);
+      break;
+    case EngineKind::kTwoPhaseLocking:
+      engine_ = std::make_unique<TwoPLManager>(
+          store_.get(), &schema_, &metrics_, options_.divergence);
+      break;
+    case EngineKind::kMultiversion:
+      engine_ = std::make_unique<MvtoManager>(options_.store, &schema_,
+                                              &metrics_);
+      break;
+  }
+  ESR_CHECK(engine_ != nullptr);
+}
+
+TransactionManager& Server::txn_manager() {
+  ESR_CHECK(options_.engine == EngineKind::kTimestampOrdering)
+      << "txn_manager() is only available on the TO engine";
+  return static_cast<TransactionManager&>(*engine_);
+}
+
+}  // namespace esr

@@ -1,0 +1,66 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+
+namespace esr {
+
+Transaction::Transaction(TxnId id, TxnType type, Timestamp ts,
+                         const GroupSchema* schema, BoundSpec bounds)
+    : id_(id),
+      type_(type),
+      ts_(ts),
+      accumulator_(schema, std::move(bounds)) {}
+
+Transaction::Transaction(TxnId id, Timestamp ts, const GroupSchema* schema,
+                         BoundSpec bounds, BoundSpec import_bounds)
+    : id_(id),
+      type_(TxnType::kUpdate),
+      ts_(ts),
+      accumulator_(schema, std::move(bounds)),
+      import_accumulator_(std::make_unique<InconsistencyAccumulator>(
+          schema, std::move(import_bounds))) {}
+
+Inconsistency Transaction::ChargedFor(ObjectId object) const {
+  auto it = charged_.find(object);
+  return it == charged_.end() ? 0.0 : it->second;
+}
+
+void Transaction::NoteCharged(ObjectId object, Inconsistency d) {
+  Inconsistency& slot = charged_[object];
+  slot = std::max(slot, d);
+}
+
+void Transaction::NoteRegisteredRead(ObjectId object) {
+  if (std::find(registered_reads_.begin(), registered_reads_.end(), object) ==
+      registered_reads_.end()) {
+    registered_reads_.push_back(object);
+  }
+}
+
+void Transaction::NotePendingWrite(ObjectId object) {
+  if (!HasPendingWrite(object)) pending_writes_.push_back(object);
+}
+
+bool Transaction::HasPendingWrite(ObjectId object) const {
+  return std::find(pending_writes_.begin(), pending_writes_.end(), object) !=
+         pending_writes_.end();
+}
+
+void Transaction::ObserveValue(ObjectId object, Value value) {
+  auto [it, inserted] = observed_.try_emplace(
+      object, ValueRange{value, value, value, 0});
+  ValueRange& range = it->second;
+  if (!inserted) {
+    range.min = std::min(range.min, value);
+    range.max = std::max(range.max, value);
+    range.last = value;
+  }
+  ++range.reads;
+}
+
+const Transaction::ValueRange* Transaction::RangeFor(ObjectId object) const {
+  auto it = observed_.find(object);
+  return it == observed_.end() ? nullptr : &it->second;
+}
+
+}  // namespace esr

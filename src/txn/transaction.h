@@ -1,0 +1,150 @@
+#ifndef ESR_TXN_TRANSACTION_H_
+#define ESR_TXN_TRANSACTION_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/to_policy.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "hierarchy/accumulator.h"
+
+namespace esr {
+
+/// Lifecycle state of an epsilon transaction at the server.
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+/// Server-side state of one in-flight epsilon transaction (ET): identity,
+/// timestamp, inconsistency accounting, read/write sets for recovery and
+/// reader deregistration, and the per-object min/max needed by
+/// aggregate-query inconsistency (Sec. 5.3.2).
+class Transaction {
+ public:
+  /// Min/max values viewed by this transaction's reads of one object —
+  /// the bookkeeping the paper prescribes for aggregate operations other
+  /// than sum and for repeated reads of an object (Secs. 3.2.1, 5.3.2).
+  struct ValueRange {
+    Value min = 0;
+    Value max = 0;
+    Value last = 0;
+    int64_t reads = 0;
+  };
+
+  Transaction(TxnId id, TxnType type, Timestamp ts,
+              const GroupSchema* schema, BoundSpec bounds);
+
+  /// Update ET that may also IMPORT inconsistency (the generalization
+  /// Sec. 1 mentions but the paper's evaluation excludes): `bounds` is
+  /// the export declaration (TEL at the root), `import_bounds` the
+  /// import declaration its relaxed reads are charged against.
+  Transaction(TxnId id, Timestamp ts, const GroupSchema* schema,
+              BoundSpec bounds, BoundSpec import_bounds);
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+  Transaction(Transaction&&) = default;
+  Transaction& operator=(Transaction&&) = default;
+
+  TxnId id() const { return id_; }
+  TxnType type() const { return type_; }
+  Timestamp ts() const { return ts_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState state) { state_ = state; }
+
+  bool is_query() const { return type_ == TxnType::kQuery; }
+
+  /// ESR is enabled unless the transaction declared zero bounds, in which
+  /// case it demands plain serializability (Sec. 2).
+  bool esr_enabled() const { return !accumulator_.bounds().IsSerializable(); }
+
+  /// True for an update ET that declared a non-zero import budget.
+  bool import_enabled() const {
+    return import_accumulator_ != nullptr &&
+           !import_accumulator_->bounds().IsSerializable();
+  }
+
+  /// View handed to the timestamp-ordering policy.
+  TxnView View() const {
+    return TxnView{id_, type_, ts_, esr_enabled(), import_enabled()};
+  }
+
+  /// Import accumulator for queries, export accumulator for updates; the
+  /// paper's script-I / script-E with all group levels in between.
+  InconsistencyAccumulator& accumulator() { return accumulator_; }
+  const InconsistencyAccumulator& accumulator() const { return accumulator_; }
+
+  /// The separate import accumulator of an import-enabled update ET;
+  /// nullptr otherwise. Queries use accumulator() for imports.
+  InconsistencyAccumulator* import_accumulator() {
+    return import_accumulator_.get();
+  }
+  const InconsistencyAccumulator* import_accumulator() const {
+    return import_accumulator_.get();
+  }
+
+  /// The accumulator a relaxed READ of this transaction charges: the
+  /// main one for queries, the import one for import-enabled updates.
+  InconsistencyAccumulator& read_accumulator() {
+    return is_query() ? accumulator_ : *import_accumulator_;
+  }
+
+  // -- Repeated-read accounting (Sec. 3.2.1 extension) ---------------------
+  /// Largest inconsistency already charged for reads of `object`; repeat
+  /// reads charge only the excess over this, implementing the min/max
+  /// worst-case rule instead of double-charging.
+  Inconsistency ChargedFor(ObjectId object) const;
+  void NoteCharged(ObjectId object, Inconsistency d);
+
+  // -- Read/write set tracking --------------------------------------------
+  /// Remembers that this (query) transaction is registered as a reader of
+  /// `object`, so it can be deregistered at commit/abort.
+  void NoteRegisteredRead(ObjectId object);
+  /// Remembers a pending write for shadow restore at abort.
+  void NotePendingWrite(ObjectId object);
+
+  const std::vector<ObjectId>& registered_reads() const {
+    return registered_reads_;
+  }
+  const std::vector<ObjectId>& pending_writes() const {
+    return pending_writes_;
+  }
+  bool HasPendingWrite(ObjectId object) const;
+
+  // -- Observed value ranges ----------------------------------------------
+  /// Records a value returned by a read of `object`.
+  void ObserveValue(ObjectId object, Value value);
+  /// Range viewed for `object`, if it was ever read.
+  const ValueRange* RangeFor(ObjectId object) const;
+  const std::unordered_map<ObjectId, ValueRange>& ranges() const {
+    return observed_;
+  }
+
+  // -- Operation statistics (feed Figs. 8, 10, 13) -------------------------
+  int64_t ops_executed() const { return ops_executed_; }
+  int64_t inconsistent_ops() const { return inconsistent_ops_; }
+  void CountOp() { ++ops_executed_; }
+  void CountInconsistentOp() { ++inconsistent_ops_; }
+
+ private:
+  TxnId id_;
+  TxnType type_;
+  Timestamp ts_;
+  TxnState state_ = TxnState::kActive;
+  InconsistencyAccumulator accumulator_;
+  std::unique_ptr<InconsistencyAccumulator> import_accumulator_;
+  std::unordered_map<ObjectId, Inconsistency> charged_;
+  std::vector<ObjectId> registered_reads_;
+  std::vector<ObjectId> pending_writes_;
+  std::unordered_map<ObjectId, ValueRange> observed_;
+  int64_t ops_executed_ = 0;
+  int64_t inconsistent_ops_ = 0;
+};
+
+}  // namespace esr
+
+#endif  // ESR_TXN_TRANSACTION_H_

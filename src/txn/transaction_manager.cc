@@ -1,0 +1,263 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace esr {
+namespace {
+
+const char* TypeTag(TxnType type) {
+  return type == TxnType::kQuery ? "query" : "update";
+}
+
+AbortReason BoundAbortReason(GroupId violated_group) {
+  return violated_group == kRootGroup ? AbortReason::kTransactionBound
+                                      : AbortReason::kGroupBound;
+}
+
+}  // namespace
+
+TransactionManager::TransactionManager(ObjectStore* store,
+                                       const GroupSchema* schema,
+                                       MetricRegistry* metrics,
+                                       const DivergenceOptions& divergence)
+    : schema_(schema), metrics_(metrics), data_manager_(store, divergence) {
+  ESR_CHECK(schema_ != nullptr);
+  ESR_CHECK(metrics_ != nullptr);
+}
+
+TxnId TransactionManager::Begin(TxnType type, Timestamp ts,
+                                BoundSpec bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TxnId id = next_txn_id_++;
+  transactions_.emplace(
+      id, Transaction(id, type, ts, schema_, std::move(bounds)));
+  metrics_->counter(std::string("txn.begin.") + TypeTag(type)).Increment();
+  return id;
+}
+
+TxnId TransactionManager::BeginUpdateWithImport(Timestamp ts,
+                                                BoundSpec export_bounds,
+                                                BoundSpec import_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TxnId id = next_txn_id_++;
+  transactions_.emplace(
+      id, Transaction(id, ts, schema_, std::move(export_bounds),
+                      std::move(import_bounds)));
+  metrics_->counter("txn.begin.update").Increment();
+  return id;
+}
+
+OpResult TransactionManager::Read(TxnId txn, ObjectId object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DoRead(GetActive(txn), object);
+}
+
+OpResult TransactionManager::Write(TxnId txn, ObjectId object, Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DoWrite(GetActive(txn), object, value);
+}
+
+OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
+  ObjectRecord& obj = data_manager_.store().Get(object);
+  const ReadDecision decision = DecideRead(txn.View(), obj);
+
+  switch (decision) {
+    case ReadDecision::kWait:
+      metrics_->counter("op.wait").Increment();
+      return OpResult::Wait(obj.uncommitted_writer());
+
+    case ReadDecision::kAbortLate:
+      return AbortOp(txn, AbortReason::kLateRead);
+
+    case ReadDecision::kProceedConsistent: {
+      const Value present = obj.value();
+      if (txn.is_query()) {
+        obj.NoteQueryRead(txn.ts());
+        // For a consistent read the proper value IS the present value.
+        obj.RegisterQueryReader(txn.id(), txn.ts(), present);
+        txn.NoteRegisteredRead(object);
+      } else {
+        obj.NoteUpdateRead(txn.ts());
+      }
+      txn.ObserveValue(object, present);
+      txn.CountOp();
+      metrics_->counter("op.read").Increment();
+      return OpResult::Ok(present, 0.0, /*was_relaxed=*/false);
+    }
+
+    case ReadDecision::kRelaxLateRead:
+    case ReadDecision::kRelaxUncommitted: {
+      // ESR query ETs (Fig. 3 cases 1 and 2), or update ETs with an
+      // import budget (Sec. 1 generalization).
+      auto measure_or = data_manager_.ImportInconsistency(obj, txn.ts());
+      if (!measure_or.ok()) {
+        return AbortOp(txn, AbortReason::kHistoryExhausted);
+      }
+      const DataManager::ImportMeasure measure = *measure_or;
+      // Object-level check: d <= OIL_x (Sec. 3.2.2).
+      if (!data_manager_.WithinObjectImportLimit(obj, measure.d)) {
+        return AbortOp(txn, AbortReason::kObjectBound);
+      }
+      // Repeated reads of one object charge only the worst-case excess
+      // over what this transaction already paid for it (the min/max rule
+      // of Sec. 3.2.1), not the full d again.
+      const Inconsistency increment =
+          std::max(0.0, measure.d - txn.ChargedFor(object));
+      // Group and transaction levels, bottom-up (Sec. 5.3.1).
+      const ChargeResult charge =
+          txn.read_accumulator().TryCharge(object, increment);
+      if (!charge.admitted) {
+        return AbortOp(txn, BoundAbortReason(charge.violated_group));
+      }
+      txn.NoteCharged(object, measure.d);
+      const Value present = obj.value();
+      if (txn.is_query()) {
+        obj.NoteQueryRead(txn.ts());
+        obj.RegisterQueryReader(txn.id(), txn.ts(), measure.proper);
+        txn.NoteRegisteredRead(object);
+      } else {
+        obj.NoteUpdateRead(txn.ts());
+      }
+      txn.ObserveValue(object, present);
+      txn.CountOp();
+      metrics_->counter("op.read").Increment();
+      if (measure.d > 0.0) {
+        txn.CountInconsistentOp();
+        metrics_->counter("op.inconsistent_ok").Increment();
+      }
+      return OpResult::Ok(present, measure.d, /*was_relaxed=*/true);
+    }
+  }
+  ESR_LOG(kFatal) << "unreachable read decision";
+  return OpResult::Abort(AbortReason::kNone);
+}
+
+OpResult TransactionManager::DoWrite(Transaction& txn, ObjectId object,
+                                     Value value) {
+  ESR_CHECK(txn.type() == TxnType::kUpdate)
+      << "query ETs are read-only; Write from txn " << txn.id();
+  ObjectRecord& obj = data_manager_.store().Get(object);
+  const WriteDecision decision = DecideWrite(txn.View(), obj);
+
+  switch (decision) {
+    case WriteDecision::kWait:
+      metrics_->counter("op.wait").Increment();
+      return OpResult::Wait(obj.uncommitted_writer());
+
+    case WriteDecision::kAbortLateRead:
+    case WriteDecision::kAbortLateWrite:
+      return AbortOp(txn, AbortReason::kLateWrite);
+
+    case WriteDecision::kProceedConsistent: {
+      obj.ApplyWrite(txn.id(), txn.ts(), value);
+      txn.NotePendingWrite(object);
+      txn.CountOp();
+      metrics_->counter("op.write").Increment();
+      return OpResult::Ok(value, 0.0, /*was_relaxed=*/false);
+    }
+
+    case WriteDecision::kRelaxLateWrite: {
+      // Fig. 3 case 3: the write is older than a query's read of x.
+      const Inconsistency d =
+          data_manager_.ExportInconsistency(obj, txn.View(), value);
+      if (!data_manager_.WithinObjectExportLimit(obj, d)) {
+        return AbortOp(txn, AbortReason::kObjectBound);
+      }
+      const ChargeResult charge = txn.accumulator().TryCharge(object, d);
+      if (!charge.admitted) {
+        return AbortOp(txn, BoundAbortReason(charge.violated_group));
+      }
+      obj.ApplyWrite(txn.id(), txn.ts(), value);
+      txn.NotePendingWrite(object);
+      txn.CountOp();
+      metrics_->counter("op.write").Increment();
+      if (d > 0.0) {
+        txn.CountInconsistentOp();
+        metrics_->counter("op.inconsistent_ok").Increment();
+      }
+      return OpResult::Ok(value, d, /*was_relaxed=*/true);
+    }
+  }
+  ESR_LOG(kFatal) << "unreachable write decision";
+  return OpResult::Abort(AbortReason::kNone);
+}
+
+Status TransactionManager::Commit(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
+  return Status::OK();
+}
+
+bool TransactionManager::IsActive(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transactions_.count(txn) > 0;
+}
+
+const Transaction* TransactionManager::Find(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transactions_.find(txn);
+  return it == transactions_.end() ? nullptr : &it->second;
+}
+
+size_t TransactionManager::num_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transactions_.size();
+}
+
+Transaction& TransactionManager::GetActive(TxnId txn) {
+  auto it = transactions_.find(txn);
+  ESR_CHECK(it != transactions_.end())
+      << "operation on unknown/finished transaction " << txn;
+  return it->second;
+}
+
+OpResult TransactionManager::AbortOp(Transaction& txn, AbortReason reason) {
+  Teardown(txn, TxnState::kAborted, reason);
+  return OpResult::Abort(reason);
+}
+
+void TransactionManager::Teardown(Transaction& txn, TxnState final_state,
+                                  AbortReason reason) {
+  ObjectStore& store = data_manager_.store();
+  if (final_state == TxnState::kCommitted) {
+    for (const ObjectId object : txn.pending_writes()) {
+      store.Get(object).CommitWrite(txn.id());
+    }
+    metrics_->counter(std::string("txn.commit.") + TypeTag(txn.type()))
+        .Increment();
+  } else {
+    // Shadow-value recovery: restore pre-images instead of rollback
+    // (Sec. 6); the client will resubmit with a new timestamp.
+    for (const ObjectId object : txn.pending_writes()) {
+      store.Get(object).AbortWrite(txn.id());
+    }
+    metrics_->counter("txn.abort").Increment();
+    metrics_->counter(std::string("abort.") + AbortReasonToString(reason))
+        .Increment();
+  }
+  for (const ObjectId object : txn.registered_reads()) {
+    store.Get(object).UnregisterQueryReader(txn.id());
+  }
+  transactions_.erase(txn.id());
+}
+
+}  // namespace esr

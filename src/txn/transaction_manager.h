@@ -1,0 +1,106 @@
+#ifndef ESR_TXN_TRANSACTION_MANAGER_H_
+#define ESR_TXN_TRANSACTION_MANAGER_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "cc/to_policy.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "hierarchy/bound_spec.h"
+#include "hierarchy/group_schema.h"
+#include "txn/data_manager.h"
+#include "txn/engine.h"
+#include "txn/op_result.h"
+#include "txn/transaction.h"
+
+namespace esr {
+
+/// The transaction manager of the prototype server (Sec. 6): tracks active
+/// ETs, runs the ESR-extended timestamp-ordering algorithm of Fig. 3 on
+/// every operation, performs the bottom-up inconsistency checks of Sec. 5,
+/// and handles commit/abort with shadow-value recovery.
+///
+/// Thread-safe: a single latch serializes operations, matching the
+/// prototype's single logically-serialized scheduler front end. The
+/// discrete-event simulation calls it single-threaded; the
+/// `threaded_server` example calls it from many client threads.
+class TransactionManager final : public TransactionEngine {
+ public:
+  /// `store`, `schema`, and `metrics` must outlive the manager.
+  TransactionManager(ObjectStore* store, const GroupSchema* schema,
+                     MetricRegistry* metrics,
+                     const DivergenceOptions& divergence = {});
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Starts an ET with a client-supplied timestamp (timestamps are
+  /// assigned when transactions begin, at the client site). `bounds` is
+  /// the hierarchical inconsistency declaration: its root limit is the
+  /// TIL (queries) or TEL (updates).
+  TxnId Begin(TxnType type, Timestamp ts, BoundSpec bounds) override;
+
+  /// Starts an update ET that may also IMPORT inconsistency through its
+  /// reads (Sec. 1 generalization; not part of the paper's evaluation):
+  /// `export_bounds` is the TEL declaration, `import_bounds` the budget
+  /// its relaxed reads are charged against. With a zero import budget
+  /// this is identical to Begin(kUpdate, ...).
+  TxnId BeginUpdateWithImport(Timestamp ts, BoundSpec export_bounds,
+                              BoundSpec import_bounds);
+
+  /// Executes `Read id`. On kAbort the transaction no longer exists.
+  OpResult Read(TxnId txn, ObjectId object) override;
+
+  /// Executes `Write id, val`. Only update ETs may write.
+  OpResult Write(TxnId txn, ObjectId object, Value value) override;
+
+  /// Commits: pending writes become permanent (and enter the per-object
+  /// write history); query reader registrations are dropped.
+  Status Commit(TxnId txn) override;
+
+  /// Client-requested abort; restores shadow values.
+  Status Abort(TxnId txn) override;
+
+  /// Whether `txn` is still active (not yet committed/aborted).
+  bool IsActive(TxnId txn) const override;
+
+  /// Borrowed view of an active transaction, for tests and the aggregate
+  /// helper; nullptr when not active.
+  const Transaction* Find(TxnId txn) const override;
+
+  size_t num_active() const override;
+
+  EngineKind kind() const override {
+    return EngineKind::kTimestampOrdering;
+  }
+
+  MetricRegistry& metrics() { return *metrics_; }
+  DataManager& data_manager() { return data_manager_; }
+  const GroupSchema& schema() const { return *schema_; }
+
+ private:
+  Transaction& GetActive(TxnId txn);
+
+  /// Aborts `txn` as a consequence of a failed operation and returns the
+  /// OpResult the client sees.
+  OpResult AbortOp(Transaction& txn, AbortReason reason);
+
+  /// Releases everything `txn` holds and erases it.
+  void Teardown(Transaction& txn, TxnState final_state, AbortReason reason);
+
+  OpResult DoRead(Transaction& txn, ObjectId object);
+  OpResult DoWrite(Transaction& txn, ObjectId object, Value value);
+
+  mutable std::mutex mu_;
+  const GroupSchema* schema_;
+  MetricRegistry* metrics_;
+  DataManager data_manager_;
+  TxnId next_txn_id_ = 1;
+  std::unordered_map<TxnId, Transaction> transactions_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_TXN_TRANSACTION_MANAGER_H_

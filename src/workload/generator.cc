@@ -1,0 +1,134 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace esr {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadSpec& spec, uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  ESR_CHECK(spec_.num_objects > spec_.hot_set_size);
+  ESR_CHECK(spec_.query_ops_min >= 1 &&
+            spec_.query_ops_min <= spec_.query_ops_max);
+  ESR_CHECK(spec_.update_ops_min >= 2 &&
+            spec_.update_ops_min <= spec_.update_ops_max);
+}
+
+TxnScript WorkloadGenerator::Next() {
+  return rng_.Bernoulli(spec_.query_fraction) ? NextQuery() : NextUpdate();
+}
+
+TxnScript WorkloadGenerator::NextQuery() {
+  TxnScript script;
+  script.type = TxnType::kQuery;
+  script.bounds = BoundsFor(TxnType::kQuery);
+  const size_t n = static_cast<size_t>(
+      rng_.UniformInt(spec_.query_ops_min, spec_.query_ops_max));
+  for (const ObjectId object : SampleObjects(n, spec_.query_hot_prob)) {
+    ScriptOp op;
+    op.kind = ScriptOp::Kind::kRead;
+    op.object = object;
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+TxnScript WorkloadGenerator::NextUpdate() {
+  TxnScript script;
+  script.type = TxnType::kUpdate;
+  script.bounds = BoundsFor(TxnType::kUpdate);
+  script.update_import_limit = spec_.update_import_til;
+  const int64_t total =
+      rng_.UniformInt(spec_.update_ops_min, spec_.update_ops_max);
+  // Roughly half reads, half writes; at least one of each. The paper's
+  // example update ETs interleave, with writes derived from earlier reads.
+  const int64_t num_reads = std::max<int64_t>(1, total / 2);
+  const int64_t num_writes = std::max<int64_t>(1, total - num_reads);
+  // Reads and writes target disjoint objects, with different hot-set
+  // affinity each (see WorkloadSpec).
+  std::vector<ObjectId> objects =
+      SampleObjects(static_cast<size_t>(num_reads),
+                    spec_.update_read_hot_prob);
+  {
+    std::vector<ObjectId> write_objects = SampleObjects(
+        static_cast<size_t>(num_writes), spec_.update_write_hot_prob);
+    objects.insert(objects.end(), write_objects.begin(),
+                   write_objects.end());
+  }
+
+  for (int64_t i = 0; i < num_reads; ++i) {
+    ScriptOp op;
+    op.kind = ScriptOp::Kind::kRead;
+    op.object = objects[static_cast<size_t>(i)];
+    script.ops.push_back(op);
+  }
+  for (int64_t i = 0; i < num_writes; ++i) {
+    ScriptOp op;
+    op.kind = ScriptOp::Kind::kWrite;
+    op.object = objects[static_cast<size_t>(num_reads + i)];
+    op.source_read = static_cast<int32_t>(rng_.UniformInt(0, num_reads - 1));
+    // Two-point delta mixture (see WorkloadSpec): |delta| uniform in
+    // [m/2, 3m/2] around the chosen magnitude class, random sign.
+    const Value m = rng_.Bernoulli(spec_.large_delta_prob)
+                        ? spec_.large_write_delta
+                        : spec_.small_write_delta;
+    const Value magnitude = rng_.UniformInt(m / 2, m + m / 2);
+    op.delta = rng_.Bernoulli(0.5) ? magnitude : -magnitude;
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+std::vector<TxnScript> WorkloadGenerator::MakeLoad(size_t n) {
+  std::vector<TxnScript> load;
+  load.reserve(n);
+  for (size_t i = 0; i < n; ++i) load.push_back(Next());
+  return load;
+}
+
+std::vector<ObjectId> WorkloadGenerator::SampleObjects(size_t n,
+                                                        double hot_prob) {
+  ESR_CHECK(n <= spec_.num_objects);
+  std::vector<ObjectId> objects;
+  std::unordered_set<ObjectId> seen;
+  objects.reserve(n);
+  while (objects.size() < n) {
+    const ObjectId candidate = SampleOneObject(hot_prob);
+    if (seen.insert(candidate).second) objects.push_back(candidate);
+  }
+  return objects;
+}
+
+ObjectId WorkloadGenerator::SampleOneObject(double hot_prob) {
+  if (rng_.Bernoulli(hot_prob)) {
+    return static_cast<ObjectId>(
+        rng_.UniformInt(0, static_cast<int64_t>(spec_.hot_set_size) - 1));
+  }
+  return static_cast<ObjectId>(
+      rng_.UniformInt(static_cast<int64_t>(spec_.hot_set_size),
+                      static_cast<int64_t>(spec_.num_objects) - 1));
+}
+
+BoundSpec WorkloadGenerator::BoundsFor(TxnType type) {
+  if (spec_.bound_factory) return spec_.bound_factory(type);
+  return BoundSpec::TransactionOnly(type == TxnType::kQuery ? spec_.til
+                                                            : spec_.tel);
+}
+
+Value ApplyDeltaReflecting(Value base, Value delta, Value min_value,
+                           Value max_value) {
+  Value v = base + delta;
+  // Reflect at the range edges; two passes suffice for |delta| <= range.
+  for (int i = 0; i < 2; ++i) {
+    if (v > max_value) {
+      v = max_value - (v - max_value);
+    } else if (v < min_value) {
+      v = min_value + (min_value - v);
+    }
+  }
+  return std::clamp(v, min_value, max_value);
+}
+
+}  // namespace esr

@@ -1,0 +1,49 @@
+#ifndef ESR_WORKLOAD_GENERATOR_H_
+#define ESR_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "workload/spec.h"
+
+namespace esr {
+
+/// Produces the randomly generated transaction load of the performance
+/// tests: a stream of query ETs (reads computing a sum) and update ETs
+/// (reads feeding writes), with hot-set skewed object access and the
+/// paper's size distributions. Deterministic given (spec, seed).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadSpec& spec, uint64_t seed);
+
+  /// Next transaction, query with probability spec.query_fraction.
+  TxnScript Next();
+
+  TxnScript NextQuery();
+  TxnScript NextUpdate();
+
+  /// A whole load file of `n` transactions.
+  std::vector<TxnScript> MakeLoad(size_t n);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  /// Samples `n` distinct objects with the hot-set access skew (one read
+  /// per object per transaction, Sec. 3.2.1).
+  std::vector<ObjectId> SampleObjects(size_t n, double hot_prob);
+  ObjectId SampleOneObject(double hot_prob);
+  BoundSpec BoundsFor(TxnType type);
+
+  WorkloadSpec spec_;
+  Rng rng_;
+};
+
+/// Applies a write delta while keeping the value inside
+/// [spec.min_value, spec.max_value] by reflecting at the edges, so object
+/// values random-walk within the paper's 1000..9999 range.
+Value ApplyDeltaReflecting(Value base, Value delta, Value min_value,
+                           Value max_value);
+
+}  // namespace esr
+
+#endif  // ESR_WORKLOAD_GENERATOR_H_

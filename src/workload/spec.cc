@@ -1,0 +1,17 @@
+#include "workload/spec.h"
+
+#include <algorithm>
+
+namespace esr {
+
+int64_t TxnScript::num_reads() const {
+  return std::count_if(ops.begin(), ops.end(), [](const ScriptOp& op) {
+    return op.kind == ScriptOp::Kind::kRead;
+  });
+}
+
+int64_t TxnScript::num_writes() const {
+  return static_cast<int64_t>(ops.size()) - num_reads();
+}
+
+}  // namespace esr

@@ -1,0 +1,114 @@
+#ifndef ESR_WORKLOAD_SPEC_H_
+#define ESR_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "hierarchy/bound_spec.h"
+
+namespace esr {
+
+/// One operation of a transaction script. Write values are computed at
+/// run time from earlier reads ("the value of the writes are dependent
+/// upon the reads", Sec. 3.2.1), so a write op names the read it derives
+/// from plus an additive delta.
+struct ScriptOp {
+  enum class Kind : uint8_t { kRead = 0, kWrite = 1 };
+
+  Kind kind = Kind::kRead;
+  ObjectId object = kInvalidObjectId;
+  /// For writes: index (into this script's reads, in order) of the read
+  /// whose result feeds this write.
+  int32_t source_read = -1;
+  /// For writes: additive change applied to the source value; its mean
+  /// magnitude is the paper's w, the average change in value due to a
+  /// write (Sec. 8).
+  Value delta = 0;
+};
+
+/// A randomly generated transaction, as stored in the clients' load files
+/// (Sec. 6). The client resubmits the same script with a fresh timestamp
+/// until it commits.
+struct TxnScript {
+  TxnType type = TxnType::kQuery;
+  /// Hierarchical inconsistency declaration; root limit is TIL or TEL.
+  BoundSpec bounds;
+  /// Import budget for update ETs (Sec. 1 generalization); 0 keeps the
+  /// paper's consistent update ETs. Ignored for queries.
+  Inconsistency update_import_limit = 0;
+  std::vector<ScriptOp> ops;
+
+  int64_t num_reads() const;
+  int64_t num_writes() const;
+};
+
+/// Statistical shape of the generated load, defaulting to the paper's
+/// settings (Secs. 6-7).
+struct WorkloadSpec {
+  /// Database population; about 1000 objects in the paper.
+  size_t num_objects = 1000;
+  /// "Most of our transactions accessed only about 20 objects to create a
+  /// high conflict ratio."
+  size_t hot_set_size = 20;
+  /// Probability that a query read goes to the hot set. Queries scan the
+  /// small hot set almost exclusively, which is what makes the conflict
+  /// ratio high enough to thrash within MPL 10.
+  double query_hot_prob = 0.97;
+  /// Hot-set probabilities for update ETs, split by operation: the
+  /// paper's update ETs read some objects and write *different* ones
+  /// ("Read 1923 ... Write 1078, t2+3000"). Writes concentrate on the hot
+  /// set (creating the query/update conflicts ESR relaxes), while reads
+  /// spread wide — that keeps update-update conflicts rare, which is what
+  /// lets aborts go to ~zero at high epsilon as the paper observes.
+  double update_read_hot_prob = 0.5;
+  double update_write_hot_prob = 1.0;
+
+  /// Fraction of transactions that are query ETs.
+  double query_fraction = 0.6;
+
+  /// Query ETs have about 20 operations (all reads, computing a sum).
+  int64_t query_ops_min = 16;
+  int64_t query_ops_max = 24;
+  /// Update ETs have about 6 operations (reads feeding writes).
+  int64_t update_ops_min = 4;
+  int64_t update_ops_max = 8;
+
+  /// Write deltas follow a two-point mixture, reflecting the paper's
+  /// domain: "typical updates refer to small amounts compared to the
+  /// query's results" while its example update ETs write thousands
+  /// (t2+3000, t1+t4+7935). A write is small with probability
+  /// (1 - large_delta_prob) — magnitude uniform in ±[s/2, 3s/2] with
+  /// s = small_write_delta — and large otherwise, uniform in
+  /// ±[L/2, 3L/2] with L = large_write_delta. The paper's w (average
+  /// change due to a write) is the mixture mean, `MeanWriteDelta()`.
+  Value small_write_delta = 250;
+  Value large_write_delta = 5000;
+  double large_delta_prob = 0.1;
+
+  /// w: the mean write-delta magnitude of the mixture.
+  double MeanWriteDelta() const {
+    return (1.0 - large_delta_prob) * static_cast<double>(small_write_delta) +
+           large_delta_prob * static_cast<double>(large_write_delta);
+  }
+  /// Object values stay within this range (reads/writes reflect at the
+  /// edges); the paper's values range over [1000, 9999].
+  Value min_value = 1000;
+  Value max_value = 9999;
+
+  /// Transaction-level bounds attached to generated scripts.
+  Inconsistency til = 100'000;
+  Inconsistency tel = 10'000;
+  /// Import budget given to update ETs (0 = the paper's consistent
+  /// updates; the ablation bench sweeps this).
+  Inconsistency update_import_til = 0;
+
+  /// Optional hook to build richer (hierarchical) bound declarations; when
+  /// set it overrides til/tel.
+  std::function<BoundSpec(TxnType)> bound_factory;
+};
+
+}  // namespace esr
+
+#endif  // ESR_WORKLOAD_SPEC_H_

@@ -1,0 +1,184 @@
+#include "api/database.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+ServerOptions SmallServer() {
+  ServerOptions opt;
+  opt.store.num_objects = 16;
+  opt.store.seed = 3;
+  return opt;
+}
+
+TEST(DatabaseTest, LoadAndPeekValues) {
+  Database db(SmallServer());
+  ASSERT_TRUE(db.LoadValue(0, 1111).ok());
+  ASSERT_TRUE(db.LoadValue(1, 2222).ok());
+  EXPECT_EQ(*db.PeekValue(0), 1111);
+  EXPECT_EQ(*db.PeekValue(1), 2222);
+  EXPECT_EQ(db.LoadValue(99, 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.PeekValue(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, TxnHandleReadWriteCommit) {
+  Database db(SmallServer());
+  ASSERT_TRUE(db.LoadValue(0, 100).ok());
+  Session session = db.CreateSession(1);
+
+  TxnHandle txn = session.Begin(TxnType::kUpdate, BoundSpec());
+  ASSERT_TRUE(txn.valid());
+  const OpResult r = txn.Read(0);
+  ASSERT_EQ(r.kind, OpResult::Kind::kOk);
+  EXPECT_EQ(r.value, 100);
+  ASSERT_EQ(txn.Write(0, 150).kind, OpResult::Kind::kOk);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_FALSE(txn.valid());
+  EXPECT_EQ(*db.PeekValue(0), 150);
+}
+
+TEST(DatabaseTest, TxnHandleAbortRollsBack) {
+  Database db(SmallServer());
+  ASSERT_TRUE(db.LoadValue(0, 100).ok());
+  Session session = db.CreateSession(1);
+  TxnHandle txn = session.Begin(TxnType::kUpdate, BoundSpec());
+  ASSERT_EQ(txn.Write(0, 999).kind, OpResult::Kind::kOk);
+  ASSERT_TRUE(txn.Abort().ok());
+  EXPECT_EQ(*db.PeekValue(0), 100);
+}
+
+TEST(DatabaseTest, SumQueryOverQuiescentData) {
+  Database db(SmallServer());
+  for (ObjectId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(db.LoadValue(id, 100 * (id + 1)).ok());
+  }
+  Session session = db.CreateSession(1);
+  const auto result = session.AggregateQuery(
+      {0, 1, 2, 3}, AggregateKind::kSum, BoundSpec::TransactionOnly(1000));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome.result, 1000.0);
+  EXPECT_EQ(result->imported, 0.0);
+  EXPECT_EQ(result->retries, 0);
+}
+
+TEST(DatabaseTest, QuerySeesUncommittedWriteWithinBounds) {
+  Database db(SmallServer());
+  ASSERT_TRUE(db.LoadValue(0, 100).ok());
+  Session writer = db.CreateSession(1);
+  Session reader = db.CreateSession(2);
+
+  TxnHandle update = writer.Begin(TxnType::kUpdate, BoundSpec());
+  ASSERT_EQ(update.Write(0, 160).kind, OpResult::Kind::kOk);
+
+  // ESR query reads the uncommitted value, importing |160 - 100| = 60.
+  const auto result = reader.AggregateQuery(
+      {0}, AggregateKind::kSum, BoundSpec::TransactionOnly(100));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome.result, 160.0);
+  EXPECT_EQ(result->imported, 60.0);
+  ASSERT_TRUE(update.Commit().ok());
+}
+
+TEST(DatabaseTest, SerializableQueryRefusesUncommittedAndTimesOut) {
+  Database db(SmallServer());
+  ASSERT_TRUE(db.LoadValue(0, 100).ok());
+  Session writer = db.CreateSession(1);
+  Session reader = db.CreateSession(2);
+  TxnHandle update = writer.Begin(TxnType::kUpdate, BoundSpec());
+  ASSERT_EQ(update.Write(0, 160).kind, OpResult::Kind::kOk);
+
+  // A zero-bound query cannot view the uncommitted write; with a single
+  // restart allowed it gives up quickly (the writer never resolves).
+  const auto result = reader.AggregateQuery(
+      {0}, AggregateKind::kSum, BoundSpec::TransactionOnly(0),
+      /*max_restarts=*/0);
+  EXPECT_FALSE(result.ok());
+  ASSERT_TRUE(update.Abort().ok());
+}
+
+TEST(DatabaseTest, RunUpdateRetriesUntilCommit) {
+  Database db(SmallServer());
+  ASSERT_TRUE(db.LoadValue(0, 100).ok());
+  Session session = db.CreateSession(1);
+  int attempts = 0;
+  const Status status = session.RunUpdate(
+      [&](TxnHandle& txn) -> Status {
+        ++attempts;
+        const OpResult r = txn.Read(0);
+        if (r.kind != OpResult::Kind::kOk) return Status::Aborted("read");
+        const OpResult w = txn.Write(0, r.value + 10);
+        if (w.kind != OpResult::Kind::kOk) return Status::Aborted("write");
+        return Status::OK();
+      },
+      BoundSpec());
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(*db.PeekValue(0), 110);
+}
+
+TEST(DatabaseTest, RunUpdatePropagatesCallerErrors) {
+  Database db(SmallServer());
+  Session session = db.CreateSession(1);
+  const Status status = session.RunUpdate(
+      [](TxnHandle&) { return Status::InvalidArgument("bad input"); },
+      BoundSpec());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, AvgQueryEnforcesAggregationRule) {
+  Database db(SmallServer());
+  for (ObjectId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(db.LoadValue(id, 300).ok());
+  }
+  Session session = db.CreateSession(1);
+  const auto result = session.AggregateQuery(
+      {0, 1, 2}, AggregateKind::kAvg, BoundSpec::TransactionOnly(50));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome.result, 300.0);
+  // Quiescent data, single reads: zero result inconsistency.
+  EXPECT_EQ(result->outcome.result_inconsistency, 0.0);
+}
+
+TEST(DatabaseTest, EmptyQueryIsInvalid) {
+  Database db(SmallServer());
+  Session session = db.CreateSession(1);
+  const auto result = session.AggregateQuery({}, AggregateKind::kSum,
+                                             BoundSpec());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, HierarchicalBoundsThroughPublicApi) {
+  Database db(SmallServer());
+  GroupSchema& schema = db.schema();
+  const GroupId company = *schema.AddGroup("company", kRootGroup);
+  ASSERT_TRUE(schema.AssignObject(0, company).ok());
+  ASSERT_TRUE(db.LoadValue(0, 100).ok());
+
+  Session writer = db.CreateSession(1);
+  Session reader = db.CreateSession(2);
+  TxnHandle update = writer.Begin(TxnType::kUpdate, BoundSpec());
+  ASSERT_EQ(update.Write(0, 200).kind, OpResult::Kind::kOk);
+
+  // Group limit (50) tighter than the transaction limit (1000): the read
+  // of the uncommitted value (d=100) must be rejected at the group level.
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(1000);
+  bounds.SetLimit(company, 50);
+  const auto rejected = reader.AggregateQuery({0}, AggregateKind::kSum,
+                                              bounds, /*max_restarts=*/1);
+  EXPECT_FALSE(rejected.ok());
+
+  // Loosening the group limit admits it.
+  BoundSpec loose;
+  loose.SetTransactionLimit(1000);
+  loose.SetLimit(company, 150);
+  const auto admitted = reader.AggregateQuery({0}, AggregateKind::kSum,
+                                              loose, /*max_restarts=*/1);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_EQ(admitted->imported, 100.0);
+  ASSERT_TRUE(update.Commit().ok());
+}
+
+}  // namespace
+}  // namespace esr

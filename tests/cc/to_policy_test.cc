@@ -1,0 +1,226 @@
+#include "cc/to_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+Timestamp Ts(int64_t t) { return Timestamp{t, 0}; }
+
+TxnView Query(TxnId id, int64_t ts, bool esr = true) {
+  return TxnView{id, TxnType::kQuery, Ts(ts), esr};
+}
+TxnView Update(TxnId id, int64_t ts, bool esr = true) {
+  return TxnView{id, TxnType::kUpdate, Ts(ts), esr};
+}
+
+ObjectRecord FreshObject() { return ObjectRecord(1, 1000, 20); }
+
+// ---------------------------------------------------------------- reads --
+
+TEST(DecideReadTest, OnTimeReadProceeds) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(10), 1100);
+  obj.CommitWrite(9);
+  EXPECT_EQ(DecideRead(Query(2, 20), obj), ReadDecision::kProceedConsistent);
+  EXPECT_EQ(DecideRead(Update(3, 20), obj), ReadDecision::kProceedConsistent);
+}
+
+TEST(DecideReadTest, ReadAtExactWriteTimestampProceeds) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(10), 1100);
+  obj.CommitWrite(9);
+  EXPECT_EQ(DecideRead(Query(2, 10), obj), ReadDecision::kProceedConsistent);
+}
+
+TEST(DecideReadTest, LateQueryReadRelaxesUnderEsr) {
+  // Fig. 3 case 1: query ts older than the object's last committed write.
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  obj.CommitWrite(9);
+  EXPECT_EQ(DecideRead(Query(2, 20), obj), ReadDecision::kRelaxLateRead);
+}
+
+TEST(DecideReadTest, LateQueryReadAbortsUnderSr) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  obj.CommitWrite(9);
+  EXPECT_EQ(DecideRead(Query(2, 20, /*esr=*/false), obj),
+            ReadDecision::kAbortLate);
+}
+
+TEST(DecideReadTest, LateUpdateReadAlwaysAborts) {
+  // Update-ET reads feed writes, so they must stay consistent (Sec. 4).
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  obj.CommitWrite(9);
+  EXPECT_EQ(DecideRead(Update(2, 20), obj), ReadDecision::kAbortLate);
+  EXPECT_EQ(DecideRead(Update(2, 20, /*esr=*/false), obj),
+            ReadDecision::kAbortLate);
+}
+
+TEST(DecideReadTest, QueryReadOfUncommittedRelaxesUnderEsr) {
+  // Fig. 3 case 2: viewing uncommitted data from a concurrent update ET.
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);  // not committed
+  EXPECT_EQ(DecideRead(Query(2, 60), obj), ReadDecision::kRelaxUncommitted);
+  // Even a late query read of uncommitted data goes through case 2.
+  EXPECT_EQ(DecideRead(Query(2, 20), obj), ReadDecision::kRelaxUncommitted);
+}
+
+TEST(DecideReadTest, SrQueryWaitsOrAbortsOnUncommitted) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  // Strict ordering: newer request waits for the writer...
+  EXPECT_EQ(DecideRead(Query(2, 60, /*esr=*/false), obj),
+            ReadDecision::kWait);
+  // ...older request is late.
+  EXPECT_EQ(DecideRead(Query(2, 20, /*esr=*/false), obj),
+            ReadDecision::kAbortLate);
+}
+
+TEST(DecideReadTest, UpdateWaitsOrAbortsOnUncommitted) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  EXPECT_EQ(DecideRead(Update(2, 60), obj), ReadDecision::kWait);
+  EXPECT_EQ(DecideRead(Update(2, 20), obj), ReadDecision::kAbortLate);
+}
+
+TEST(DecideReadTest, ReadingOwnPendingWriteIsConsistent) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  EXPECT_EQ(DecideRead(Update(9, 50), obj),
+            ReadDecision::kProceedConsistent);
+}
+
+TEST(DecideReadTest, FreshObjectAlwaysReadable) {
+  ObjectRecord obj = FreshObject();
+  EXPECT_EQ(DecideRead(Query(1, 1), obj), ReadDecision::kProceedConsistent);
+  EXPECT_EQ(DecideRead(Update(1, 1), obj), ReadDecision::kProceedConsistent);
+}
+
+// --------------------------------------------------------------- writes --
+
+TEST(DecideWriteTest, OnTimeWriteProceeds) {
+  ObjectRecord obj = FreshObject();
+  obj.NoteQueryRead(Ts(10));
+  obj.NoteUpdateRead(Ts(15));
+  EXPECT_EQ(DecideWrite(Update(2, 20), obj),
+            WriteDecision::kProceedConsistent);
+}
+
+TEST(DecideWriteTest, LateWriteVsUpdateReadAborts) {
+  ObjectRecord obj = FreshObject();
+  obj.NoteUpdateRead(Ts(50));
+  EXPECT_EQ(DecideWrite(Update(2, 20), obj),
+            WriteDecision::kAbortLateRead);
+}
+
+TEST(DecideWriteTest, LateWriteVsQueryReadRelaxesUnderEsr) {
+  // Fig. 3 case 3: last conflicting read came from a query ET.
+  ObjectRecord obj = FreshObject();
+  obj.NoteQueryRead(Ts(50));
+  EXPECT_EQ(DecideWrite(Update(2, 20), obj),
+            WriteDecision::kRelaxLateWrite);
+}
+
+TEST(DecideWriteTest, LateWriteVsQueryReadAbortsUnderSr) {
+  ObjectRecord obj = FreshObject();
+  obj.NoteQueryRead(Ts(50));
+  EXPECT_EQ(DecideWrite(Update(2, 20, /*esr=*/false), obj),
+            WriteDecision::kAbortLateRead);
+}
+
+TEST(DecideWriteTest, UpdateReadConflictTrumpsQueryRelaxation) {
+  // Both a newer update read and a newer query read exist: the update
+  // read makes the write unsalvageable.
+  ObjectRecord obj = FreshObject();
+  obj.NoteQueryRead(Ts(50));
+  obj.NoteUpdateRead(Ts(40));
+  EXPECT_EQ(DecideWrite(Update(2, 30), obj),
+            WriteDecision::kAbortLateRead);
+}
+
+TEST(DecideWriteTest, LateWriteVsCommittedWriteAborts) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  obj.CommitWrite(9);
+  EXPECT_EQ(DecideWrite(Update(2, 20), obj),
+            WriteDecision::kAbortLateWrite);
+  // ESR does not relax write-write conflicts (updates stay consistent).
+  EXPECT_EQ(DecideWrite(Update(2, 20, /*esr=*/true), obj),
+            WriteDecision::kAbortLateWrite);
+}
+
+TEST(DecideWriteTest, WaitsForUncommittedWriter) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  EXPECT_EQ(DecideWrite(Update(2, 60), obj), WriteDecision::kWait);
+  EXPECT_EQ(DecideWrite(Update(2, 20), obj),
+            WriteDecision::kAbortLateWrite);
+}
+
+TEST(DecideWriteTest, OverwritingOwnPendingWriteProceeds) {
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(50), 1100);
+  EXPECT_EQ(DecideWrite(Update(9, 50), obj),
+            WriteDecision::kProceedConsistent);
+}
+
+TEST(DecideWriteTest, WriteAfterOlderQueryReadIsConsistent) {
+  // Query read with an OLDER ts does not conflict: serially the query
+  // precedes the update and it already read the old value.
+  ObjectRecord obj = FreshObject();
+  obj.NoteQueryRead(Ts(10));
+  EXPECT_EQ(DecideWrite(Update(2, 20), obj),
+            WriteDecision::kProceedConsistent);
+}
+
+TEST(AbortReasonTest, AllReasonsHaveNames) {
+  EXPECT_STREQ(AbortReasonToString(AbortReason::kNone), "none");
+  EXPECT_STREQ(AbortReasonToString(AbortReason::kLateRead), "late_read");
+  EXPECT_STREQ(AbortReasonToString(AbortReason::kLateWrite), "late_write");
+  EXPECT_STREQ(AbortReasonToString(AbortReason::kObjectBound),
+               "object_bound");
+  EXPECT_STREQ(AbortReasonToString(AbortReason::kGroupBound), "group_bound");
+  EXPECT_STREQ(AbortReasonToString(AbortReason::kTransactionBound),
+               "transaction_bound");
+  EXPECT_STREQ(AbortReasonToString(AbortReason::kHistoryExhausted),
+               "history_exhausted");
+  EXPECT_STREQ(AbortReasonToString(AbortReason::kUserRequested),
+               "user_requested");
+}
+
+// The wait-for relation always points from newer to older timestamps, so
+// the wait graph is acyclic and timestamp-ordering with waits is
+// deadlock-free. Parameterized check across both op kinds.
+struct WaitCase {
+  bool read;
+  int64_t requester_ts;
+  int64_t writer_ts;
+};
+
+class WaitDirectionTest : public ::testing::TestWithParam<WaitCase> {};
+
+TEST_P(WaitDirectionTest, WaitOnlyForOlderWriters) {
+  const WaitCase c = GetParam();
+  ObjectRecord obj = FreshObject();
+  obj.ApplyWrite(9, Ts(c.writer_ts), 1100);
+  const bool requester_newer = c.requester_ts > c.writer_ts;
+  if (c.read) {
+    const ReadDecision d = DecideRead(Update(2, c.requester_ts), obj);
+    EXPECT_EQ(d == ReadDecision::kWait, requester_newer);
+  } else {
+    const WriteDecision d = DecideWrite(Update(2, c.requester_ts), obj);
+    EXPECT_EQ(d == WriteDecision::kWait, requester_newer);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, WaitDirectionTest,
+    ::testing::Values(WaitCase{true, 60, 50}, WaitCase{true, 40, 50},
+                      WaitCase{false, 60, 50}, WaitCase{false, 40, 50},
+                      WaitCase{true, 51, 50}, WaitCase{false, 49, 50}));
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+TEST(LoggingTest, LevelThresholdRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, BelowThresholdCostsNothingAndEmitsNothing) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // The macro's short-circuit must skip evaluation of the stream
+  // arguments entirely.
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  ESR_LOG(kDebug) << "never " << expensive();
+  ESR_LOG(kInfo) << "never " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, AtOrAboveThresholdEvaluates) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  int evaluations = 0;
+  auto counted = [&evaluations] {
+    ++evaluations;
+    return 7;
+  };
+  ESR_LOG(kWarning) << "emitted " << counted();
+  ESR_LOG(kError) << "emitted " << counted();
+  EXPECT_EQ(evaluations, 2);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ESR_CHECK(1 + 1 == 2) << "unused";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(ESR_CHECK(false) << "boom", "Check failed: false");
+}
+
+TEST(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH(ESR_LOG(kFatal) << "fatal path", "fatal path");
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,95 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.value(), 5);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsZeroed) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.stddev(), 0.0);
+}
+
+TEST(HistogramTest, TracksMomentsExactly) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_EQ(h.min(), 2.0);
+  EXPECT_EQ(h.max(), 9.0);
+  // Sample variance of the classic dataset is 32/7.
+  EXPECT_NEAR(h.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Record(42.0);
+  EXPECT_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.min(), 42.0);
+  EXPECT_EQ(h.max(), 42.0);
+  EXPECT_EQ(h.stddev(), 0.0);
+}
+
+TEST(HistogramTest, PercentileApproximatesOrder) {
+  Histogram h;
+  for (int i = 1; i <= 1024; ++i) h.Record(static_cast<double>(i));
+  // p50 of 1..1024 is ~512; log2 buckets give an upper bound within 2x.
+  const double p50 = h.ApproximatePercentile(0.5);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_LE(h.ApproximatePercentile(0.0), h.ApproximatePercentile(1.0));
+}
+
+TEST(HistogramTest, ResetClearsState) {
+  Histogram h;
+  h.Record(3.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricRegistryTest, CountersAreNamedAndPersistent) {
+  MetricRegistry reg;
+  reg.counter("txn.commit").Increment();
+  reg.counter("txn.commit").Increment();
+  reg.counter("txn.abort").Increment();
+  EXPECT_EQ(reg.CounterValue("txn.commit"), 2);
+  EXPECT_EQ(reg.CounterValue("txn.abort"), 1);
+  EXPECT_EQ(reg.CounterValue("missing"), 0);
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedByName) {
+  MetricRegistry reg;
+  reg.counter("b").Increment(2);
+  reg.counter("a").Increment(1);
+  const auto snap = reg.CounterSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[1].first, "b");
+}
+
+TEST(MetricRegistryTest, ResetZeroesEverything) {
+  MetricRegistry reg;
+  reg.counter("x").Increment(5);
+  reg.histogram("h").Record(1.0);
+  reg.Reset();
+  EXPECT_EQ(reg.CounterValue("x"), 0);
+  EXPECT_EQ(reg.histogram("h").count(), 0);
+}
+
+}  // namespace
+}  // namespace esr

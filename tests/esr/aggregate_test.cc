@@ -1,0 +1,165 @@
+#include "esr/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+Timestamp Ts(int64_t t) { return Timestamp{t, 0}; }
+
+// Builds a query transaction that observed the given (min..max, last)
+// ranges by feeding the raw observations.
+struct TxnBuilder {
+  GroupSchema schema;
+  Transaction txn;
+
+  explicit TxnBuilder(Inconsistency til = kUnbounded)
+      : txn(1, TxnType::kQuery, Ts(1), &schema,
+            BoundSpec::TransactionOnly(til)) {}
+
+  TxnBuilder& Observe(ObjectId object, std::initializer_list<Value> values) {
+    for (Value v : values) txn.ObserveValue(object, v);
+    return *this;
+  }
+};
+
+TEST(AggregateTest, SumOverSingleReads) {
+  TxnBuilder b;
+  b.Observe(0, {100}).Observe(1, {200}).Observe(2, {300});
+  const auto out = EvaluateAggregate(b.txn, {0, 1, 2}, AggregateKind::kSum);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->result, 600.0);
+  EXPECT_EQ(out->min_result, 600.0);
+  EXPECT_EQ(out->max_result, 600.0);
+  EXPECT_EQ(out->result_inconsistency, 0.0);
+}
+
+TEST(AggregateTest, AvgUsesMinMaxSpread) {
+  // Sec. 5.3.2: min_result = sum of minima / n, max_result = sum of
+  // maxima / n, result_inconsistency = (max - min) / 2.
+  TxnBuilder b;
+  b.Observe(0, {100, 140}).Observe(1, {200, 180});  // ranges [100,140],[180,200]
+  const auto out = EvaluateAggregate(b.txn, {0, 1}, AggregateKind::kAvg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->min_result, (100.0 + 180.0) / 2);
+  EXPECT_EQ(out->max_result, (140.0 + 200.0) / 2);
+  EXPECT_EQ(out->result_inconsistency, (170.0 - 140.0) / 2);
+  // Result uses the last-viewed values: (140 + 180) / 2.
+  EXPECT_EQ(out->result, 160.0);
+}
+
+TEST(AggregateTest, MinAggregateBounds) {
+  TxnBuilder b;
+  b.Observe(0, {50, 70}).Observe(1, {60, 40});
+  const auto out = EvaluateAggregate(b.txn, {0, 1}, AggregateKind::kMin);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->min_result, 40.0);  // min over minima = min(50, 40)
+  EXPECT_EQ(out->max_result, 60.0);  // min over maxima = min(70, 60)
+  EXPECT_EQ(out->result, 40.0);      // min over last = min(70, 40)
+}
+
+TEST(AggregateTest, MaxAggregateBounds) {
+  TxnBuilder b;
+  b.Observe(0, {50, 70}).Observe(1, {60, 40});
+  const auto out = EvaluateAggregate(b.txn, {0, 1}, AggregateKind::kMax);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->min_result, 50.0);  // max over minima = max(50, 40)
+  EXPECT_EQ(out->max_result, 70.0);  // max over maxima = max(70, 60)
+  EXPECT_EQ(out->result, 70.0);
+}
+
+TEST(AggregateTest, CountIsExact) {
+  TxnBuilder b;
+  b.Observe(0, {1}).Observe(1, {2}).Observe(2, {3});
+  const auto out = EvaluateAggregate(b.txn, {0, 1, 2}, AggregateKind::kCount);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->result, 3.0);
+  EXPECT_EQ(out->result_inconsistency, 0.0);
+}
+
+TEST(AggregateTest, UnreadObjectIsError) {
+  TxnBuilder b;
+  b.Observe(0, {1});
+  const auto out = EvaluateAggregate(b.txn, {0, 7}, AggregateKind::kSum);
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AggregateTest, EmptyObjectListIsError) {
+  TxnBuilder b;
+  const auto out = EvaluateAggregate(b.txn, {}, AggregateKind::kSum);
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AggregateTest, AdmissionComparesResultInconsistencyToTil) {
+  TxnBuilder tight(/*til=*/10.0);
+  tight.Observe(0, {100, 200});  // avg spread 50 > TIL 10
+  const auto out = EvaluateAggregate(tight.txn, {0}, AggregateKind::kAvg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->result_inconsistency, 50.0);
+  EXPECT_EQ(CheckAggregateAdmissible(tight.txn, *out).code(),
+            StatusCode::kBoundViolation);
+
+  TxnBuilder loose(/*til=*/100.0);
+  loose.Observe(0, {100, 200});
+  const auto out2 = EvaluateAggregate(loose.txn, {0}, AggregateKind::kAvg);
+  ASSERT_TRUE(out2.ok());
+  EXPECT_TRUE(CheckAggregateAdmissible(loose.txn, *out2).ok());
+}
+
+TEST(AggregateTest, SingleReadAvgHasZeroResultInconsistency) {
+  TxnBuilder b(/*til=*/0.0);
+  b.Observe(0, {100}).Observe(1, {200});
+  const auto out = EvaluateAggregate(b.txn, {0, 1}, AggregateKind::kAvg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->result_inconsistency, 0.0);
+  EXPECT_TRUE(CheckAggregateAdmissible(b.txn, *out).ok());
+}
+
+TEST(AggregateTest, KindNames) {
+  EXPECT_EQ(AggregateKindToString(AggregateKind::kSum), "sum");
+  EXPECT_EQ(AggregateKindToString(AggregateKind::kAvg), "avg");
+  EXPECT_EQ(AggregateKindToString(AggregateKind::kMin), "min");
+  EXPECT_EQ(AggregateKindToString(AggregateKind::kMax), "max");
+  EXPECT_EQ(AggregateKindToString(AggregateKind::kCount), "count");
+}
+
+// Property: for every kind, min_result <= result <= max_result over
+// random observation sets.
+class AggregateBoundsProperty
+    : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(AggregateBoundsProperty, ResultWithinBounds) {
+  uint64_t state = 99;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int round = 0; round < 50; ++round) {
+    TxnBuilder b;
+    std::vector<ObjectId> objects;
+    const int n = 1 + static_cast<int>(next() % 8);
+    for (int i = 0; i < n; ++i) {
+      objects.push_back(static_cast<ObjectId>(i));
+      const int reads = 1 + static_cast<int>(next() % 4);
+      for (int r = 0; r < reads; ++r) {
+        b.txn.ObserveValue(static_cast<ObjectId>(i),
+                           static_cast<Value>(next() % 10000));
+      }
+    }
+    const auto out = EvaluateAggregate(b.txn, objects, GetParam());
+    ASSERT_TRUE(out.ok());
+    EXPECT_LE(out->min_result, out->result + 1e-9);
+    EXPECT_LE(out->result, out->max_result + 1e-9);
+    EXPECT_GE(out->result_inconsistency, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, AggregateBoundsProperty,
+                         ::testing::Values(AggregateKind::kSum,
+                                           AggregateKind::kAvg,
+                                           AggregateKind::kMin,
+                                           AggregateKind::kMax,
+                                           AggregateKind::kCount));
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,59 @@
+#include "esr/limits.h"
+
+#include <gtest/gtest.h>
+
+#include "hierarchy/bound_spec.h"
+
+namespace esr {
+namespace {
+
+TEST(LimitsTest, Table1MagnitudesMatchPaper) {
+  const TransactionLimits high = LimitsForLevel(EpsilonLevel::kHigh);
+  EXPECT_EQ(high.til, 100'000);
+  EXPECT_EQ(high.tel, 10'000);
+  const TransactionLimits medium = LimitsForLevel(EpsilonLevel::kMedium);
+  EXPECT_EQ(medium.til, 50'000);
+  EXPECT_EQ(medium.tel, 5'000);
+  const TransactionLimits low = LimitsForLevel(EpsilonLevel::kLow);
+  EXPECT_EQ(low.til, 10'000);
+  EXPECT_EQ(low.tel, 1'000);
+}
+
+TEST(LimitsTest, ZeroLevelIsSerializability) {
+  const TransactionLimits zero = LimitsForLevel(EpsilonLevel::kZero);
+  EXPECT_EQ(zero.til, 0);
+  EXPECT_EQ(zero.tel, 0);
+  EXPECT_TRUE(BoundSpec::TransactionOnly(zero.til).IsSerializable());
+}
+
+TEST(LimitsTest, LevelsAreMonotone) {
+  const auto zero = LimitsForLevel(EpsilonLevel::kZero);
+  const auto low = LimitsForLevel(EpsilonLevel::kLow);
+  const auto medium = LimitsForLevel(EpsilonLevel::kMedium);
+  const auto high = LimitsForLevel(EpsilonLevel::kHigh);
+  EXPECT_LT(zero.til, low.til);
+  EXPECT_LT(low.til, medium.til);
+  EXPECT_LT(medium.til, high.til);
+  EXPECT_LT(zero.tel, low.tel);
+  EXPECT_LT(low.tel, medium.tel);
+  EXPECT_LT(medium.tel, high.tel);
+}
+
+TEST(LimitsTest, TelBelowTilAtEveryLevel) {
+  // Update ETs have ~6 ops vs ~20 for queries, hence lower TELs (Sec. 7).
+  for (auto level :
+       {EpsilonLevel::kLow, EpsilonLevel::kMedium, EpsilonLevel::kHigh}) {
+    const auto limits = LimitsForLevel(level);
+    EXPECT_LT(limits.tel, limits.til);
+  }
+}
+
+TEST(LimitsTest, LevelNames) {
+  EXPECT_EQ(EpsilonLevelToString(EpsilonLevel::kZero), "zero");
+  EXPECT_EQ(EpsilonLevelToString(EpsilonLevel::kLow), "low");
+  EXPECT_EQ(EpsilonLevelToString(EpsilonLevel::kMedium), "medium");
+  EXPECT_EQ(EpsilonLevelToString(EpsilonLevel::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,173 @@
+#include "hierarchy/accumulator.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+// overall -> {company, preferred}, company -> {com1, com2}; objects
+// 1 -> com1, 2 -> com2, 3 -> preferred, 4 -> root (independent object).
+struct BankFixture {
+  GroupSchema schema;
+  GroupId company, preferred, com1, com2;
+
+  BankFixture() {
+    company = *schema.AddGroup("company", kRootGroup);
+    preferred = *schema.AddGroup("preferred", kRootGroup);
+    com1 = *schema.AddGroup("com1", company);
+    com2 = *schema.AddGroup("com2", company);
+    EXPECT_TRUE(schema.AssignObject(1, com1).ok());
+    EXPECT_TRUE(schema.AssignObject(2, com2).ok());
+    EXPECT_TRUE(schema.AssignObject(3, preferred).ok());
+  }
+};
+
+TEST(AccumulatorTest, ZeroChargeAlwaysAdmitted) {
+  BankFixture f;
+  InconsistencyAccumulator acc(&f.schema, BoundSpec::TransactionOnly(0));
+  const ChargeResult r = acc.TryCharge(1, 0.0);
+  EXPECT_TRUE(r.admitted);
+  EXPECT_EQ(acc.total(), 0.0);
+}
+
+TEST(AccumulatorTest, ChargePropagatesToEveryAncestor) {
+  BankFixture f;
+  InconsistencyAccumulator acc(&f.schema, BoundSpec::TransactionOnly(1000));
+  ASSERT_TRUE(acc.TryCharge(1, 100.0).admitted);
+  EXPECT_EQ(acc.accumulated(f.com1), 100.0);
+  EXPECT_EQ(acc.accumulated(f.company), 100.0);
+  EXPECT_EQ(acc.accumulated(kRootGroup), 100.0);
+  EXPECT_EQ(acc.accumulated(f.com2), 0.0);
+  EXPECT_EQ(acc.accumulated(f.preferred), 0.0);
+}
+
+TEST(AccumulatorTest, SiblingsShareParentBudget) {
+  BankFixture f;
+  BoundSpec b;
+  b.SetTransactionLimit(kUnbounded);
+  b.SetLimit(f.company, 150.0);
+  InconsistencyAccumulator acc(&f.schema, b);
+  EXPECT_TRUE(acc.TryCharge(1, 100.0).admitted);  // com1 -> company 100
+  // com2 contributes to the same company budget: 100 + 100 > 150.
+  const ChargeResult r = acc.TryCharge(2, 100.0);
+  EXPECT_FALSE(r.admitted);
+  EXPECT_EQ(r.violated_group, f.company);
+  // State unchanged after rejection.
+  EXPECT_EQ(acc.accumulated(f.company), 100.0);
+  EXPECT_EQ(acc.accumulated(f.com2), 0.0);
+}
+
+TEST(AccumulatorTest, RootLimitCaughtLast) {
+  BankFixture f;
+  BoundSpec b;
+  b.SetTransactionLimit(250.0);
+  InconsistencyAccumulator acc(&f.schema, b);
+  EXPECT_TRUE(acc.TryCharge(1, 100.0).admitted);
+  EXPECT_TRUE(acc.TryCharge(3, 100.0).admitted);
+  const ChargeResult r = acc.TryCharge(2, 100.0);
+  EXPECT_FALSE(r.admitted);
+  EXPECT_EQ(r.violated_group, kRootGroup);
+  EXPECT_EQ(acc.total(), 200.0);
+}
+
+TEST(AccumulatorTest, LeafLevelViolationDetectedFirst) {
+  BankFixture f;
+  BoundSpec b;
+  b.SetTransactionLimit(10.0);
+  b.SetLimit(f.com1, 5.0);
+  InconsistencyAccumulator acc(&f.schema, b);
+  const ChargeResult r = acc.TryCharge(1, 7.0);
+  EXPECT_FALSE(r.admitted);
+  EXPECT_EQ(r.violated_group, f.com1);  // leaf check fires before root
+}
+
+TEST(AccumulatorTest, ExactLimitIsAdmitted) {
+  BankFixture f;
+  InconsistencyAccumulator acc(&f.schema, BoundSpec::TransactionOnly(100.0));
+  EXPECT_TRUE(acc.TryCharge(4, 100.0).admitted);  // <= is allowed
+  EXPECT_FALSE(acc.TryCharge(4, 0.0001).admitted);
+}
+
+TEST(AccumulatorTest, CheckDoesNotMutate) {
+  BankFixture f;
+  InconsistencyAccumulator acc(&f.schema, BoundSpec::TransactionOnly(100.0));
+  EXPECT_TRUE(acc.Check(1, 60.0).admitted);
+  EXPECT_EQ(acc.total(), 0.0);
+  EXPECT_TRUE(acc.TryCharge(1, 60.0).admitted);
+  EXPECT_FALSE(acc.Check(1, 60.0).admitted);
+  EXPECT_EQ(acc.total(), 60.0);
+}
+
+TEST(AccumulatorTest, HeadroomTracksRemainingBudget) {
+  BankFixture f;
+  InconsistencyAccumulator acc(&f.schema, BoundSpec::TransactionOnly(100.0));
+  EXPECT_EQ(acc.Headroom(), 100.0);
+  ASSERT_TRUE(acc.TryCharge(4, 30.0).admitted);
+  EXPECT_EQ(acc.Headroom(), 70.0);
+  InconsistencyAccumulator unbounded(&f.schema, BoundSpec());
+  EXPECT_EQ(unbounded.Headroom(), kUnbounded);
+}
+
+TEST(AccumulatorTest, WeightsScaleCharges) {
+  BankFixture f;
+  ASSERT_TRUE(f.schema.SetWeight(f.company, 2.0).ok());
+  InconsistencyAccumulator acc(&f.schema, BoundSpec::TransactionOnly(1000));
+  ASSERT_TRUE(acc.TryCharge(1, 100.0).admitted);
+  EXPECT_EQ(acc.accumulated(f.com1), 100.0);
+  EXPECT_EQ(acc.accumulated(f.company), 200.0);  // 100 * weight 2
+  EXPECT_EQ(acc.accumulated(kRootGroup), 100.0);
+}
+
+TEST(AccumulatorTest, ZeroBoundRejectsAnyPositiveCharge) {
+  BankFixture f;
+  InconsistencyAccumulator acc(&f.schema, BoundSpec::TransactionOnly(0.0));
+  EXPECT_FALSE(acc.TryCharge(1, 0.001).admitted);
+  EXPECT_TRUE(acc.TryCharge(1, 0.0).admitted);
+}
+
+// Property-style sweep: for random charge sequences, the hierarchy
+// invariant holds at every node: accumulated(child subtree) never exceeds
+// any ancestor limit, and accumulated(parent) == sum of admitted charges
+// under it (with unit weights).
+class AccumulatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AccumulatorPropertyTest, InvariantsUnderRandomCharges) {
+  BankFixture f;
+  BoundSpec b;
+  b.SetTransactionLimit(500.0);
+  b.SetLimit(f.company, 300.0);
+  b.SetLimit(f.com1, 120.0);
+  InconsistencyAccumulator acc(&f.schema, b);
+
+  uint64_t state = GetParam();
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  double sum_com1 = 0, sum_com2 = 0, sum_pref = 0, sum_root_direct = 0;
+  for (int i = 0; i < 300; ++i) {
+    const ObjectId object = static_cast<ObjectId>(1 + next() % 4);
+    const double d = static_cast<double>(next() % 50);
+    const bool admitted = acc.TryCharge(object, d).admitted;
+    if (admitted) {
+      if (object == 1) sum_com1 += d;
+      if (object == 2) sum_com2 += d;
+      if (object == 3) sum_pref += d;
+      if (object == 4) sum_root_direct += d;
+    }
+    // Invariants after every step.
+    ASSERT_LE(acc.accumulated(f.com1), 120.0);
+    ASSERT_LE(acc.accumulated(f.company), 300.0);
+    ASSERT_LE(acc.total(), 500.0);
+    ASSERT_DOUBLE_EQ(acc.accumulated(f.com1), sum_com1);
+    ASSERT_DOUBLE_EQ(acc.accumulated(f.company), sum_com1 + sum_com2);
+    ASSERT_DOUBLE_EQ(acc.total(),
+                     sum_com1 + sum_com2 + sum_pref + sum_root_direct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccumulatorPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 99, 12345));
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,57 @@
+#include "hierarchy/bound_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+TEST(BoundSpecTest, DefaultIsUnlimited) {
+  BoundSpec spec;
+  EXPECT_EQ(spec.LimitFor(kRootGroup), kUnbounded);
+  EXPECT_EQ(spec.LimitFor(42), kUnbounded);
+  EXPECT_FALSE(spec.IsSerializable());
+}
+
+TEST(BoundSpecTest, TransactionOnlySetsRoot) {
+  const BoundSpec spec = BoundSpec::TransactionOnly(10'000);
+  EXPECT_EQ(spec.transaction_limit(), 10'000);
+  EXPECT_EQ(spec.LimitFor(3), kUnbounded);
+  EXPECT_EQ(spec.num_limits(), 1u);
+}
+
+TEST(BoundSpecTest, ZeroRootMeansSerializable) {
+  EXPECT_TRUE(BoundSpec::TransactionOnly(0).IsSerializable());
+  EXPECT_FALSE(BoundSpec::TransactionOnly(1).IsSerializable());
+}
+
+TEST(BoundSpecTest, GroupLimitsAreIndependent) {
+  BoundSpec spec;
+  spec.SetTransactionLimit(10'000).SetLimit(1, 4'000).SetLimit(2, 3'000);
+  EXPECT_EQ(spec.transaction_limit(), 10'000);
+  EXPECT_EQ(spec.LimitFor(1), 4'000);
+  EXPECT_EQ(spec.LimitFor(2), 3'000);
+  EXPECT_EQ(spec.LimitFor(3), kUnbounded);
+}
+
+TEST(BoundSpecTest, SetLimitOverwrites) {
+  BoundSpec spec;
+  spec.SetLimit(5, 100).SetLimit(5, 200);
+  EXPECT_EQ(spec.LimitFor(5), 200);
+  EXPECT_EQ(spec.num_limits(), 1u);
+}
+
+TEST(BoundSpecTest, PaperExampleDeclaration) {
+  // BEGIN Query TIL 10000, LIMIT company 4000, LIMIT preferred 3000,
+  // LIMIT personal 3000, LIMIT com1 200 (Sec. 3.1).
+  BoundSpec spec;
+  spec.SetTransactionLimit(10'000)
+      .SetLimit(/*company=*/1, 4'000)
+      .SetLimit(/*preferred=*/2, 3'000)
+      .SetLimit(/*personal=*/3, 3'000)
+      .SetLimit(/*com1=*/4, 200);
+  EXPECT_EQ(spec.num_limits(), 5u);
+  EXPECT_EQ(spec.LimitFor(4), 200);
+}
+
+}  // namespace
+}  // namespace esr

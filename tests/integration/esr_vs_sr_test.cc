@@ -1,0 +1,139 @@
+// Integration tests over the full simulated prototype, checking the
+// qualitative relationships the paper's evaluation section reports.
+// These use short measurement windows; the bench harnesses regenerate the
+// full figures.
+
+#include <gtest/gtest.h>
+
+#include "esr/limits.h"
+#include "sim/cluster.h"
+
+namespace esr {
+namespace {
+
+ClusterOptions Options(int mpl, EpsilonLevel level, uint64_t seed) {
+  ClusterOptions opt;
+  opt.mpl = mpl;
+  const TransactionLimits limits = LimitsForLevel(level);
+  opt.workload.til = limits.til;
+  opt.workload.tel = limits.tel;
+  opt.warmup_s = 3.0;
+  opt.measure_s = 40.0;
+  opt.seed = seed;
+  return opt;
+}
+
+SimResult Averaged(int mpl, EpsilonLevel level) {
+  SimResult total;
+  constexpr int kSeeds = 3;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const SimResult r = RunCluster(Options(mpl, level, seed * 37));
+    total.mpl = r.mpl;
+    total.elapsed_s += r.elapsed_s;
+    total.committed += r.committed;
+    total.committed_query += r.committed_query;
+    total.committed_update += r.committed_update;
+    total.aborts += r.aborts;
+    total.ops_executed += r.ops_executed;
+    total.inconsistent_ops += r.inconsistent_ops;
+    total.waits += r.waits;
+    total.import_total += r.import_total;
+  }
+  return total;
+}
+
+TEST(EsrVsSrTest, ThroughputOrderedByEpsilonUnderContention) {
+  // Fig. 7: at higher bounds, ESR throughput is much higher than SR, and
+  // ESR approaches SR as bounds decrease.
+  const SimResult zero = Averaged(5, EpsilonLevel::kZero);
+  const SimResult low = Averaged(5, EpsilonLevel::kLow);
+  const SimResult high = Averaged(5, EpsilonLevel::kHigh);
+  EXPECT_GT(low.throughput(), zero.throughput());
+  EXPECT_GE(high.throughput(), low.throughput() * 0.95);
+  EXPECT_GT(high.throughput(), zero.throughput() * 1.3);
+}
+
+TEST(EsrVsSrTest, AbortsOrderedInverselyWithEpsilon) {
+  // Fig. 9: aborts at high bounds are almost zero; at zero bounds very
+  // high.
+  const SimResult zero = Averaged(5, EpsilonLevel::kZero);
+  const SimResult low = Averaged(5, EpsilonLevel::kLow);
+  const SimResult high = Averaged(5, EpsilonLevel::kHigh);
+  EXPECT_GT(zero.aborts, low.aborts);
+  EXPECT_GT(low.aborts, high.aborts);
+  // "Almost zero" relative to SR's abort storm, and a small fraction of
+  // the commit count.
+  EXPECT_LT(static_cast<double>(high.aborts),
+            0.35 * static_cast<double>(zero.aborts));
+  EXPECT_LT(static_cast<double>(high.aborts),
+            0.15 * static_cast<double>(high.committed));
+}
+
+TEST(EsrVsSrTest, InconsistentOpsGrowWithEpsilonAndMpl) {
+  // Fig. 8.
+  const SimResult low4 = Averaged(4, EpsilonLevel::kLow);
+  const SimResult high4 = Averaged(4, EpsilonLevel::kHigh);
+  const SimResult high8 = Averaged(8, EpsilonLevel::kHigh);
+  EXPECT_GE(high4.inconsistent_ops, low4.inconsistent_ops);
+  EXPECT_GT(high8.inconsistent_ops, high4.inconsistent_ops);
+  EXPECT_EQ(Averaged(4, EpsilonLevel::kZero).inconsistent_ops, 0);
+}
+
+TEST(EsrVsSrTest, WastedOperationsShrinkWithEpsilon) {
+  // Fig. 10: at high bounds nearly all executed operations belong to
+  // transactions that commit; lower bounds waste work in aborted
+  // attempts. Ops-per-commit is the normalized form (Fig. 13).
+  const SimResult zero = Averaged(5, EpsilonLevel::kZero);
+  const SimResult high = Averaged(5, EpsilonLevel::kHigh);
+  EXPECT_GT(zero.ops_per_committed_txn(),
+            high.ops_per_committed_txn() * 1.1);
+  // The workload averages ~20-op queries (60%) and ~6-op updates (40%);
+  // with near-zero aborts, ops/commit should sit near that mix average.
+  EXPECT_LT(high.ops_per_committed_txn(), 18.0);
+}
+
+TEST(EsrVsSrTest, ImportedInconsistencyScalesWithTil) {
+  const SimResult low = Averaged(5, EpsilonLevel::kLow);
+  const SimResult high = Averaged(5, EpsilonLevel::kHigh);
+  ASSERT_GT(low.committed_query, 0);
+  ASSERT_GT(high.committed_query, 0);
+  // Queries never import more than their TIL.
+  EXPECT_LE(low.avg_import_per_query(),
+            LimitsForLevel(EpsilonLevel::kLow).til);
+  // Looser bounds admit at least as much inconsistency on average.
+  EXPECT_GE(high.avg_import_per_query(),
+            low.avg_import_per_query() * 0.8);
+}
+
+TEST(EsrVsSrTest, ZeroEpsilonMatchesSrSemantics) {
+  // Zero-bound ESR *is* SR: no inconsistent op may ever execute, no
+  // inconsistency may ever be imported.
+  for (int mpl : {2, 6}) {
+    const SimResult r = RunCluster(Options(mpl, EpsilonLevel::kZero, 11));
+    EXPECT_EQ(r.inconsistent_ops, 0);
+    EXPECT_EQ(r.import_total, 0.0);
+    EXPECT_EQ(r.export_total, 0.0);
+  }
+}
+
+TEST(EsrVsSrTest, ThrashingShiftsToHigherMplWithHigherBounds) {
+  // The headline Fig. 7 observation. We compare the throughput DROP from
+  // each curve's peak to MPL 10: the zero/low curves must have collapsed
+  // much further than the high curve, i.e. high-epsilon pushes the
+  // thrashing point to a higher MPL.
+  auto retention = [](EpsilonLevel level) {
+    double peak = 0.0, at10 = 0.0;
+    for (int mpl : {4, 5, 6, 7, 8, 10}) {
+      const double t = Averaged(mpl, level).throughput();
+      peak = std::max(peak, t);
+      if (mpl == 10) at10 = t;
+    }
+    return at10 / peak;
+  };
+  const double zero_retention = retention(EpsilonLevel::kZero);
+  const double high_retention = retention(EpsilonLevel::kHigh);
+  EXPECT_LT(zero_retention, high_retention);
+}
+
+}  // namespace
+}  // namespace esr

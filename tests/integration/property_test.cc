@@ -1,0 +1,162 @@
+// End-to-end property tests of the ESR correctness guarantee on the
+// paper's TO engine.
+//
+// Setup: a small universe where every update ET is a TRANSFER (it moves
+// an amount between two objects, preserving the global total T0) and
+// every query ET sums ALL objects. Under any serializable execution a
+// query's sum is exactly T0, so ESR's promise — "the result is within
+// the imported inconsistency of some serializable result" (Sec. 3.2.1) —
+// becomes the machine-checkable invariant |sum - T0| <= imported <= TIL.
+//
+// Updates run with TEL = 0 (consistent update ETs), matching the paper's
+// scenario; that is what makes the import-only bound strict — a case-3
+// write would shift part of a query's deviation into the writer's export
+// account, which this invariant does not model.
+//
+// A deterministic interleaving harness (testing::ScriptedClient) drives
+// many logical clients one operation at a time in random order,
+// exercising waits, aborts with restart, all three ESR relaxation cases,
+// and shadow recovery. engines_test.cc runs the same harness over the
+// 2PL and MVTO engines.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "testing/scripted_client.h"
+#include "testing/test_util.h"
+
+namespace esr {
+namespace {
+
+using testing::EngineFixture;
+using testing::ScriptedClient;
+
+constexpr size_t kObjects = 12;
+
+struct PropertyCase {
+  uint64_t seed;
+  Inconsistency til;
+};
+
+class EsrGuaranteeTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(EsrGuaranteeTest, QueriesStayWithinTilOfSerializableSum) {
+  const PropertyCase param = GetParam();
+  EngineFixture f(kObjects, /*history_depth=*/64);
+  const Value total0 = f.store.TotalValue();
+
+  std::vector<std::unique_ptr<ScriptedClient>> clients;
+  // 3 query clients with the parameterized TIL, 4 transfer clients with
+  // TEL = 0.
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(std::make_unique<ScriptedClient>(
+        &f.manager, kObjects, static_cast<SiteId>(i + 1),
+        /*is_query=*/true, param.til, param.seed * 7 + i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<ScriptedClient>(
+        &f.manager, kObjects, static_cast<SiteId>(i + 10),
+        /*is_query=*/false, /*limit=*/0.0, param.seed * 13 + i));
+  }
+
+  Rng scheduler(param.seed);
+  for (int step = 0; step < 30000; ++step) {
+    const size_t pick = static_cast<size_t>(
+        scheduler.UniformInt(0, static_cast<int64_t>(clients.size()) - 1));
+    clients[pick]->Step();
+  }
+  // Drain: finish every in-flight transaction; no new ones start.
+  for (auto& client : clients) client->StartDraining();
+  for (int step = 0; step < 5000; ++step) {
+    for (auto& client : clients) client->Step();
+  }
+
+  int64_t query_commits = 0;
+  for (const auto& client : clients) {
+    for (const auto& outcome : client->outcomes()) {
+      ++query_commits;
+      // The headline ESR guarantee, end to end.
+      EXPECT_LE(std::llabs(outcome.sum - total0),
+                static_cast<int64_t>(outcome.imported) + 1)
+          << "query sum " << outcome.sum << " vs T0 " << total0
+          << " imported " << outcome.imported;
+      EXPECT_LE(outcome.imported, param.til);
+    }
+  }
+  // Tight bounds legitimately make query commits rare (they keep being
+  // rejected and retried); looser bounds must commit plenty.
+  ASSERT_GT(query_commits, 0);
+  if (param.til >= 2000.0) ASSERT_GT(query_commits, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBounds, EsrGuaranteeTest,
+    ::testing::Values(PropertyCase{1, 500.0}, PropertyCase{2, 500.0},
+                      PropertyCase{3, 2000.0}, PropertyCase{4, 2000.0},
+                      PropertyCase{5, 100.0}, PropertyCase{6, kUnbounded},
+                      PropertyCase{7, 50.0}, PropertyCase{8, 10000.0}));
+
+TEST(EngineQuiescenceTest, TotalsRestoredAfterMixedWorkload) {
+  EngineFixture f(kObjects, 64);
+  const Value total0 = f.store.TotalValue();
+  std::vector<std::unique_ptr<ScriptedClient>> clients;
+  for (int i = 0; i < 5; ++i) {
+    clients.push_back(std::make_unique<ScriptedClient>(
+        &f.manager, kObjects, static_cast<SiteId>(i + 1),
+        /*is_query=*/false, kUnbounded, 100 + static_cast<uint64_t>(i)));
+  }
+  Rng scheduler(42);
+  for (int step = 0; step < 20000; ++step) {
+    clients[static_cast<size_t>(scheduler.UniformInt(0, 4))]->Step();
+  }
+  for (auto& client : clients) client->StartDraining();
+  for (int step = 0; step < 5000; ++step) {
+    for (auto& client : clients) client->Step();
+  }
+  EXPECT_EQ(f.manager.num_active(), 0u);
+  EXPECT_EQ(f.store.TotalValue(), total0);
+  // No dangling CC state on any object.
+  for (ObjectId id = 0; id < kObjects; ++id) {
+    EXPECT_FALSE(f.store.Get(id).has_uncommitted_write());
+    EXPECT_TRUE(f.store.Get(id).query_readers().empty());
+  }
+}
+
+TEST(EngineQuiescenceTest, SerializableModeAlsoQuiesces) {
+  EngineFixture f(kObjects, 64);
+  const Value total0 = f.store.TotalValue();
+  std::vector<std::unique_ptr<ScriptedClient>> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(std::make_unique<ScriptedClient>(
+        &f.manager, kObjects, static_cast<SiteId>(i + 1),
+        /*is_query=*/true, /*limit=*/0.0, 200 + static_cast<uint64_t>(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(std::make_unique<ScriptedClient>(
+        &f.manager, kObjects, static_cast<SiteId>(i + 10),
+        /*is_query=*/false, /*limit=*/0.0, 300 + static_cast<uint64_t>(i)));
+  }
+  Rng scheduler(43);
+  for (int step = 0; step < 20000; ++step) {
+    clients[static_cast<size_t>(scheduler.UniformInt(0, 4))]->Step();
+  }
+  for (auto& client : clients) client->StartDraining();
+  for (int step = 0; step < 5000; ++step) {
+    for (auto& client : clients) client->Step();
+  }
+  EXPECT_EQ(f.store.TotalValue(), total0);
+  // SR queries that committed saw EXACTLY the serializable sum.
+  for (const auto& client : clients) {
+    for (const auto& outcome : client->outcomes()) {
+      EXPECT_EQ(outcome.sum, total0);
+      EXPECT_EQ(outcome.imported, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,92 @@
+// Robustness tests for the script-language front end: random garbage,
+// random token soup, and systematic truncation of valid programs must
+// produce a Status error (never a crash, hang, or CHECK failure).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "lang/parser.h"
+
+namespace esr {
+namespace lang {
+namespace {
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(2026);
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage;
+    const int64_t length = rng.UniformInt(0, 200);
+    for (int64_t i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.UniformInt(32, 126));
+    }
+    // Either parses (vanishingly unlikely) or errors; must not crash.
+    (void)ParseScript(garbage);
+  }
+}
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  const char* tokens[] = {"BEGIN", "Query",  "Update", "TIL",   "TEL",
+                          "LIMIT", "Read",   "Write",  "output", "COMMIT",
+                          "END",   "t1",     "t2",     "company", "1863",
+                          "=",     "+",      "-",      ",",       "(",
+                          ")",     "\"str\"", "#c",    "\n"};
+  Rng rng(77);
+  for (int round = 0; round < 500; ++round) {
+    std::string soup;
+    const int64_t length = rng.UniformInt(1, 60);
+    for (int64_t i = 0; i < length; ++i) {
+      soup += tokens[rng.UniformInt(0, 23)];
+      soup += ' ';
+    }
+    (void)ParseScript(soup);
+  }
+}
+
+TEST(ParserFuzzTest, TruncationsOfValidProgramErrorGracefully) {
+  const std::string program =
+      "BEGIN Update TEL = 10000\n"
+      "t1 = Read 1923\n"
+      "t2 = Read 1644\n"
+      "Write 1078 , t2+3000\n"
+      "output(\"x\", t1-t2)\n"
+      "COMMIT\n";
+  for (size_t cut = 0; cut < program.size(); ++cut) {
+    const auto result = ParseScript(program.substr(0, cut));
+    if (result.ok()) {
+      // Only the empty prefix, or one reaching the terminating COMMIT
+      // token, may parse — and then as at most one transaction.
+      EXPECT_LE(result->size(), 1u) << "cut=" << cut;
+      if (!result->empty()) {
+        EXPECT_GE(cut, program.size() - 1) << "cut=" << cut;
+      }
+    }
+  }
+  // The full program parses.
+  EXPECT_TRUE(ParseScript(program).ok());
+}
+
+TEST(ParserFuzzTest, DeeplyNestedExpressionsAreFine) {
+  std::string program = "BEGIN Query TIL 1\nt1 = Read 1\noutput(\"s\", t1";
+  for (int i = 0; i < 2000; ++i) program += " + 1";
+  program += ")\nCOMMIT\n";
+  const auto result = ParseScript(program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[0].statements[1].expr.terms.size(), 2001u);
+}
+
+TEST(ParserFuzzTest, ManyTransactionsParseLinearly) {
+  std::string program;
+  for (int i = 0; i < 500; ++i) {
+    program += "BEGIN Query TIL 10\nt1 = Read " + std::to_string(i) +
+               "\nCOMMIT\n";
+  }
+  const auto result = ParseScript(program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 500u);
+}
+
+}  // namespace
+}  // namespace lang
+}  // namespace esr

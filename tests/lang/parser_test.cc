@@ -1,0 +1,195 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace esr {
+namespace lang {
+namespace {
+
+TEST(ParserTest, PaperQueryExample) {
+  // Verbatim from Sec. 3.2.1 (shortened).
+  const auto txn = ParseSingleTxn(R"(
+    BEGIN Query TIL = 100000
+    t1 = Read 1863
+    t2 = Read 1427
+    t3 = Read 1912
+    output("Sum is: ", t1+t2+t3)
+    COMMIT
+  )");
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_EQ(txn->type, TxnType::kQuery);
+  EXPECT_EQ(txn->transaction_limit, 100000);
+  ASSERT_EQ(txn->statements.size(), 4u);
+  EXPECT_EQ(txn->statements[0].kind, Stmt::Kind::kRead);
+  EXPECT_EQ(txn->statements[0].variable, "t1");
+  EXPECT_EQ(txn->statements[0].object, 1863u);
+  EXPECT_EQ(txn->statements[3].kind, Stmt::Kind::kOutput);
+  EXPECT_EQ(txn->statements[3].label, "Sum is: ");
+  EXPECT_EQ(txn->statements[3].expr.terms.size(), 3u);
+}
+
+TEST(ParserTest, PaperUpdateExample) {
+  // Verbatim from Sec. 3.2.1.
+  const auto txn = ParseSingleTxn(R"(
+    BEGIN Update TEL = 10000
+    t1 = Read 1923
+    t2 = Read 1644
+    Write 1078 , t2+3000
+    t3 = Read 1066
+    t4 = Read 1213
+    Write 1727 , t3-t4+4230
+    Write 1501 , t1+t4+7935
+    COMMIT
+  )");
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_EQ(txn->type, TxnType::kUpdate);
+  EXPECT_EQ(txn->transaction_limit, 10000);
+  ASSERT_EQ(txn->statements.size(), 7u);
+  const Stmt& w2 = txn->statements[5];  // Write 1727 , t3-t4+4230
+  EXPECT_EQ(w2.kind, Stmt::Kind::kWrite);
+  EXPECT_EQ(w2.object, 1727u);
+  ASSERT_EQ(w2.expr.terms.size(), 3u);
+  EXPECT_EQ(w2.expr.terms[0].variable, "t3");
+  EXPECT_EQ(w2.expr.terms[0].sign, 1);
+  EXPECT_EQ(w2.expr.terms[1].variable, "t4");
+  EXPECT_EQ(w2.expr.terms[1].sign, -1);
+  EXPECT_EQ(w2.expr.terms[2].literal, 4230);
+}
+
+TEST(ParserTest, HierarchicalDeclarationFromSec31) {
+  const auto txn = ParseSingleTxn(R"(
+    BEGIN Query TIL 10000
+    LIMIT company 4000
+    LIMIT preferred 3000
+    LIMIT personal 3000
+    LIMIT com1 200
+    t1 = Read 2745
+    t2 = Read 4639
+    END
+  )");
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_EQ(txn->transaction_limit, 10000);
+  ASSERT_EQ(txn->group_limits.size(), 4u);
+  EXPECT_EQ(txn->group_limits[0].group, "company");
+  EXPECT_EQ(txn->group_limits[0].limit, 4000);
+  EXPECT_EQ(txn->group_limits[3].group, "com1");
+  EXPECT_EQ(txn->group_limits[3].limit, 200);
+}
+
+TEST(ParserTest, MultipleTransactionsAndComments) {
+  const auto txns = ParseScript(R"(
+    # load file with two transactions
+    BEGIN Query TIL 5
+    t1 = Read 1
+    COMMIT
+    // second one
+    BEGIN Update TEL 7
+    t1 = Read 2
+    Write 3 , t1 + 1
+    COMMIT
+  )");
+  ASSERT_TRUE(txns.ok()) << txns.status().ToString();
+  ASSERT_EQ(txns->size(), 2u);
+  EXPECT_EQ((*txns)[0].type, TxnType::kQuery);
+  EXPECT_EQ((*txns)[1].type, TxnType::kUpdate);
+}
+
+TEST(ParserTest, AbortTerminatorParses) {
+  const auto txn = ParseSingleTxn(R"(
+    BEGIN Update TEL 10
+    t1 = Read 1
+    Write 2 , t1+5
+    ABORT
+  )");
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_TRUE(txn->ends_with_abort);
+  EXPECT_EQ(txn->statements.size(), 2u);
+  const auto committed = ParseSingleTxn("BEGIN Query\nCOMMIT");
+  ASSERT_TRUE(committed.ok());
+  EXPECT_FALSE(committed->ends_with_abort);
+}
+
+TEST(ParserTest, MissingBoundMeansUnbounded) {
+  const auto txn = ParseSingleTxn("BEGIN Query\nt1 = Read 1\nCOMMIT");
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(txn->transaction_limit, kUnbounded);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSingleTxn("t1 = Read 1").ok());          // no BEGIN
+  EXPECT_FALSE(ParseSingleTxn("BEGIN Foo\nCOMMIT").ok());    // bad type
+  EXPECT_FALSE(ParseSingleTxn("BEGIN Query\nt1 = Read 1").ok());  // no end
+  EXPECT_FALSE(
+      ParseSingleTxn("BEGIN Query TEL 5\nCOMMIT").ok());  // TEL on query
+  EXPECT_FALSE(
+      ParseSingleTxn("BEGIN Query\nWrite 1 , 2\nCOMMIT").ok());  // RO
+  EXPECT_FALSE(
+      ParseSingleTxn("BEGIN Query\nt1 = Read\nCOMMIT").ok());  // no id
+  EXPECT_FALSE(ParseSingleTxn("BEGIN Update\nWrite 1 t1\nCOMMIT").ok());
+  EXPECT_FALSE(ParseSingleTxn("BEGIN Query $\nCOMMIT").ok());  // bad char
+  const auto err = ParseSingleTxn("BEGIN Query\nt1 = Read x\nCOMMIT");
+  ASSERT_FALSE(err.ok());
+  // Errors carry line numbers.
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, UnterminatedString) {
+  EXPECT_FALSE(
+      ParseSingleTxn("BEGIN Query\noutput(\"oops, t1)\nCOMMIT").ok());
+}
+
+TEST(FormatTest, GeneratedLoadRoundTrips) {
+  WorkloadSpec spec;
+  WorkloadGenerator generator(spec, 77);
+  const std::vector<TxnScript> load = generator.MakeLoad(20);
+  const std::string text = FormatLoad(load);
+
+  const auto parsed = ParseScript(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), load.size());
+  for (size_t i = 0; i < load.size(); ++i) {
+    const auto lowered = LowerToTxnScript((*parsed)[i]);
+    ASSERT_TRUE(lowered.ok()) << lowered.status().ToString();
+    ASSERT_EQ(lowered->type, load[i].type);
+    EXPECT_EQ(lowered->bounds.transaction_limit(),
+              load[i].bounds.transaction_limit());
+    ASSERT_EQ(lowered->ops.size(), load[i].ops.size());
+    for (size_t j = 0; j < load[i].ops.size(); ++j) {
+      EXPECT_EQ(lowered->ops[j].kind, load[i].ops[j].kind);
+      EXPECT_EQ(lowered->ops[j].object, load[i].ops[j].object);
+      EXPECT_EQ(lowered->ops[j].source_read, load[i].ops[j].source_read);
+      EXPECT_EQ(lowered->ops[j].delta, load[i].ops[j].delta);
+    }
+  }
+}
+
+TEST(LowerTest, RejectsComplexWriteExpressions) {
+  const auto txn = ParseSingleTxn(R"(
+    BEGIN Update TEL 10
+    t1 = Read 1
+    t2 = Read 2
+    Write 3 , t1+t2
+    COMMIT
+  )");
+  ASSERT_TRUE(txn.ok());
+  EXPECT_FALSE(LowerToTxnScript(*txn).ok());
+}
+
+TEST(LowerTest, RejectsUndefinedVariable) {
+  const auto txn = ParseSingleTxn(R"(
+    BEGIN Update TEL 10
+    t1 = Read 1
+    Write 3 , t9+5
+    COMMIT
+  )");
+  ASSERT_TRUE(txn.ok());
+  const auto lowered = LowerToTxnScript(*txn);
+  ASSERT_FALSE(lowered.ok());
+  EXPECT_NE(lowered.status().message().find("t9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lang
+}  // namespace esr

@@ -1,0 +1,130 @@
+#include "mvto/version_store.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+Timestamp Ts(int64_t t) { return Timestamp{t, 0}; }
+
+TEST(VersionChainTest, SeededWithInitialValue) {
+  VersionChain chain(1000, 8);
+  const auto r = chain.Read(Ts(5), /*reader=*/1);
+  EXPECT_EQ(r.status, VersionChain::ReadStatus::kOk);
+  EXPECT_EQ(r.value, 1000);
+  EXPECT_EQ(chain.LatestCommittedValue(), 1000);
+}
+
+TEST(VersionChainTest, ReadReturnsGoverningVersion) {
+  VersionChain chain(1000, 8);
+  ASSERT_EQ(chain.Write(Ts(10), 1, 1100).status,
+            VersionChain::WriteStatus::kOk);
+  chain.CommitVersions(1);
+  ASSERT_EQ(chain.Write(Ts(20), 2, 1200).status,
+            VersionChain::WriteStatus::kOk);
+  chain.CommitVersions(2);
+  EXPECT_EQ(chain.Read(Ts(15), 9).value, 1100);  // snapshot at ts 15
+  EXPECT_EQ(chain.Read(Ts(25), 9).value, 1200);
+  EXPECT_EQ(chain.Read(Ts(5), 9).value, 1000);
+}
+
+TEST(VersionChainTest, ReadOfUncommittedWaits) {
+  VersionChain chain(1000, 8);
+  ASSERT_EQ(chain.Write(Ts(10), 1, 1100).status,
+            VersionChain::WriteStatus::kOk);
+  const auto r = chain.Read(Ts(20), /*reader=*/2);
+  EXPECT_EQ(r.status, VersionChain::ReadStatus::kWaitForWriter);
+  EXPECT_EQ(r.writer, 1u);
+  // The writer itself reads its pending version.
+  const auto own = chain.Read(Ts(10), /*reader=*/1);
+  EXPECT_EQ(own.status, VersionChain::ReadStatus::kOk);
+  EXPECT_EQ(own.value, 1100);
+  // A reader older than the pending version reads the committed one.
+  EXPECT_EQ(chain.Read(Ts(5), 2).value, 1000);
+}
+
+TEST(VersionChainTest, LateWriteRejectedWhenPredecessorReadByNewer) {
+  VersionChain chain(1000, 8);
+  // Reader at ts 50 reads the seed version.
+  ASSERT_EQ(chain.Read(Ts(50), 9).status, VersionChain::ReadStatus::kOk);
+  // A write at ts 30 would invalidate that read: rejected.
+  EXPECT_EQ(chain.Write(Ts(30), 1, 1100).status,
+            VersionChain::WriteStatus::kReadByNewer);
+  // A write at ts 60 is fine.
+  EXPECT_EQ(chain.Write(Ts(60), 1, 1100).status,
+            VersionChain::WriteStatus::kOk);
+}
+
+TEST(VersionChainTest, WriteIntoThePastAllowedWhenUnread) {
+  VersionChain chain(1000, 8);
+  ASSERT_EQ(chain.Write(Ts(50), 1, 1500).status,
+            VersionChain::WriteStatus::kOk);
+  chain.CommitVersions(1);
+  // A write at ts 30: predecessor is the seed, unread since. Allowed —
+  // multiversioning serializes it before the ts-50 write.
+  ASSERT_EQ(chain.Write(Ts(30), 2, 1300).status,
+            VersionChain::WriteStatus::kOk);
+  chain.CommitVersions(2);
+  EXPECT_EQ(chain.Read(Ts(40), 9).value, 1300);
+  EXPECT_EQ(chain.Read(Ts(60), 9).value, 1500);
+}
+
+TEST(VersionChainTest, WriteBehindPendingVersionWaits) {
+  VersionChain chain(1000, 8);
+  ASSERT_EQ(chain.Write(Ts(20), 1, 1100).status,
+            VersionChain::WriteStatus::kOk);  // pending
+  const auto r = chain.Write(Ts(30), 2, 1200);
+  EXPECT_EQ(r.status, VersionChain::WriteStatus::kWaitForWriter);
+  EXPECT_EQ(r.conflict, 1u);
+}
+
+TEST(VersionChainTest, OwnPendingVersionOverwritten) {
+  VersionChain chain(1000, 8);
+  ASSERT_EQ(chain.Write(Ts(20), 1, 1100).status,
+            VersionChain::WriteStatus::kOk);
+  ASSERT_EQ(chain.Write(Ts(20), 1, 1150).status,
+            VersionChain::WriteStatus::kOk);
+  EXPECT_EQ(chain.size(), 2u);  // seed + one pending
+  chain.CommitVersions(1);
+  EXPECT_EQ(chain.LatestCommittedValue(), 1150);
+}
+
+TEST(VersionChainTest, AbortRemovesPendingVersions) {
+  VersionChain chain(1000, 8);
+  ASSERT_EQ(chain.Write(Ts(20), 1, 1100).status,
+            VersionChain::WriteStatus::kOk);
+  chain.AbortVersions(1);
+  EXPECT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain.Read(Ts(30), 9).value, 1000);
+}
+
+TEST(VersionChainTest, BoundedDepthEvictsOldCommitted) {
+  VersionChain chain(1000, 3);
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_EQ(chain.Write(Ts(i * 10), static_cast<TxnId>(i), 1000 + i)
+                  .status,
+              VersionChain::WriteStatus::kOk);
+    chain.CommitVersions(static_cast<TxnId>(i));
+  }
+  EXPECT_LE(chain.size(), 3u);
+  // A reader older than the oldest retained version fails.
+  EXPECT_EQ(chain.Read(Ts(15), 9).status, VersionChain::ReadStatus::kTooOld);
+  // Recent reads still work.
+  EXPECT_EQ(chain.Read(Ts(200), 9).value, 1010);
+}
+
+TEST(VersionStoreTest, SeedsMatchObjectStore) {
+  ObjectStoreOptions opt;
+  opt.num_objects = 50;
+  opt.seed = 3;
+  VersionStore versions(opt);
+  ObjectStore store(opt);
+  ASSERT_EQ(versions.size(), store.size());
+  for (ObjectId id = 0; id < 50; ++id) {
+    EXPECT_EQ(versions.Get(id).LatestCommittedValue(),
+              store.Get(id).value());
+  }
+}
+
+}  // namespace
+}  // namespace esr

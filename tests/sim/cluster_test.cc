@@ -1,0 +1,107 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "esr/limits.h"
+
+namespace esr {
+namespace {
+
+ClusterOptions FastOptions(int mpl, EpsilonLevel level, uint64_t seed = 7) {
+  ClusterOptions opt;
+  opt.mpl = mpl;
+  const TransactionLimits limits = LimitsForLevel(level);
+  opt.workload.til = limits.til;
+  opt.workload.tel = limits.tel;
+  opt.warmup_s = 2.0;
+  opt.measure_s = 20.0;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(ClusterTest, SingleClientMakesProgress) {
+  const SimResult r = RunCluster(FastOptions(1, EpsilonLevel::kHigh));
+  EXPECT_GT(r.committed, 20);
+  EXPECT_EQ(r.aborts, 0);          // nothing to conflict with
+  EXPECT_EQ(r.waits, 0);
+  EXPECT_GT(r.throughput(), 1.0);
+  EXPECT_GT(r.ops_executed, r.committed * 5);
+}
+
+TEST(ClusterTest, DeterministicGivenSeed) {
+  const SimResult a = RunCluster(FastOptions(4, EpsilonLevel::kMedium, 99));
+  const SimResult b = RunCluster(FastOptions(4, EpsilonLevel::kMedium, 99));
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.ops_executed, b.ops_executed);
+  EXPECT_EQ(a.inconsistent_ops, b.inconsistent_ops);
+  EXPECT_EQ(a.waits, b.waits);
+}
+
+TEST(ClusterTest, DifferentSeedsDiffer) {
+  const SimResult a = RunCluster(FastOptions(4, EpsilonLevel::kMedium, 1));
+  const SimResult b = RunCluster(FastOptions(4, EpsilonLevel::kMedium, 2));
+  EXPECT_NE(a.ops_executed, b.ops_executed);
+}
+
+TEST(ClusterTest, SrNeverExecutesInconsistentOps) {
+  const SimResult r = RunCluster(FastOptions(5, EpsilonLevel::kZero));
+  EXPECT_EQ(r.inconsistent_ops, 0);
+  EXPECT_EQ(r.import_total, 0.0);
+  EXPECT_GT(r.aborts, 0);  // high-conflict SR must abort sometimes
+}
+
+TEST(ClusterTest, EsrExecutesInconsistentOpsUnderContention) {
+  const SimResult r = RunCluster(FastOptions(5, EpsilonLevel::kHigh));
+  EXPECT_GT(r.inconsistent_ops, 0);
+  EXPECT_GT(r.import_total, 0.0);
+}
+
+TEST(ClusterTest, EsrOutperformsSrUnderContention) {
+  const SimResult sr = RunCluster(FastOptions(6, EpsilonLevel::kZero));
+  const SimResult esr = RunCluster(FastOptions(6, EpsilonLevel::kHigh));
+  EXPECT_GT(esr.throughput(), sr.throughput() * 1.2);
+  EXPECT_LT(esr.aborts, sr.aborts);
+}
+
+TEST(ClusterTest, ThroughputScalesAtLowMpl) {
+  const SimResult one = RunCluster(FastOptions(1, EpsilonLevel::kHigh));
+  const SimResult three = RunCluster(FastOptions(3, EpsilonLevel::kHigh));
+  EXPECT_GT(three.throughput(), one.throughput() * 1.8);
+}
+
+TEST(ClusterTest, MetricsAreInternallyConsistent) {
+  const SimResult r = RunCluster(FastOptions(4, EpsilonLevel::kMedium));
+  EXPECT_EQ(r.committed, r.committed_query + r.committed_update);
+  EXPECT_GE(r.ops_executed, r.committed);  // every commit ran ops
+  EXPECT_GE(r.ops_per_committed_txn(), 1.0);
+  EXPECT_GT(r.avg_txn_latency_ms(), 0.0);
+  EXPECT_EQ(r.mpl, 4);
+  EXPECT_EQ(r.elapsed_s, 20.0);
+}
+
+TEST(ClusterTest, ImportedInconsistencyRespectsTilOnAverage) {
+  // Every committed query imported at most TIL; so must the average.
+  const ClusterOptions opt = FastOptions(5, EpsilonLevel::kLow);
+  const SimResult r = RunCluster(opt);
+  ASSERT_GT(r.committed_query, 0);
+  EXPECT_LE(r.avg_import_per_query(),
+            LimitsForLevel(EpsilonLevel::kLow).til);
+}
+
+TEST(ClusterTest, ToStringMentionsKeyNumbers) {
+  const SimResult r = RunCluster(FastOptions(2, EpsilonLevel::kHigh));
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("mpl=2"), std::string::npos);
+  EXPECT_NE(s.find("tput="), std::string::npos);
+}
+
+TEST(ClusterTest, ServerObjectCountFollowsWorkload) {
+  ClusterOptions opt = FastOptions(1, EpsilonLevel::kHigh);
+  opt.workload.num_objects = 123;
+  Cluster cluster(opt);
+  EXPECT_EQ(cluster.server().store().size(), 123u);
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,95 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace esr {
+namespace {
+
+TEST(EventQueueTest, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.RunOne());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueueTest, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(10, [&] { order.push_back(2); });
+  q.ScheduleAt(10, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleAfterIsRelative) {
+  EventQueue q;
+  SimTime observed = -1;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAfter(50, [&] { observed = q.now(); });
+  });
+  q.RunAll();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(EventQueueTest, PastEventsClampToNow) {
+  EventQueue q;
+  SimTime observed = -1;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAt(10, [&] { observed = q.now(); });  // in the past
+  });
+  q.RunAll();
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(10, [&] { ++ran; });
+  q.ScheduleAt(20, [&] { ++ran; });
+  q.ScheduleAt(21, [&] { ++ran; });
+  q.RunUntil(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunUntil(100);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(q.now(), 100);  // clock advances to the horizon
+}
+
+TEST(EventQueueTest, EventsCanChainIndefinitely) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) q.ScheduleAfter(5, tick);
+  };
+  q.ScheduleAt(0, tick);
+  q.RunAll();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(q.now(), 99 * 5);
+  EXPECT_EQ(q.executed(), 100u);
+}
+
+TEST(EventQueueTest, RunAllGuardStopsRunaway) {
+  EventQueue q;
+  std::function<void()> forever = [&] { q.ScheduleAfter(1, forever); };
+  q.ScheduleAt(0, forever);
+  q.RunAll(/*max_events=*/500);
+  EXPECT_EQ(q.executed(), 500u);
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,71 @@
+#include "sim/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+TEST(LatencyModelTest, OpRpcWithinConfiguredRange) {
+  LatencyModel model({}, 1);
+  const LatencyModelOptions& opt = model.options();
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = model.SampleOpRpc();
+    EXPECT_GE(t, static_cast<SimTime>(opt.op_rpc_min_ms * 1000));
+    EXPECT_LE(t, static_cast<SimTime>(opt.op_rpc_max_ms * 1000) + 1);
+  }
+}
+
+TEST(LatencyModelTest, ControlRpcNearNullFigure) {
+  LatencyModel model({}, 2);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = model.SampleControlRpc();
+    // 11 ms +/- 10%.
+    EXPECT_GE(t, 9'800);
+    EXPECT_LE(t, 12'200);
+  }
+}
+
+TEST(LatencyModelTest, TotalOpLatencyMatchesPaperWindow) {
+  // RPC + server CPU should land in the prototype's measured 17-20 ms
+  // band for an uncontended op.
+  LatencyModelOptions opt;
+  LatencyModel model(opt, 3);
+  for (int i = 0; i < 100; ++i) {
+    const double total_ms =
+        static_cast<double>(model.SampleOpRpc()) / 1000.0 +
+        opt.server_cpu_per_op_ms;
+    EXPECT_GE(total_ms, 17.0);
+    EXPECT_LE(total_ms, 20.5);
+  }
+}
+
+TEST(LatencyModelTest, ServerCpuIsFifoResource) {
+  LatencyModelOptions opt;
+  opt.server_cpu_per_op_ms = 2.0;
+  LatencyModel model(opt, 4);
+  // First op at t=0 finishes at 2000us.
+  EXPECT_EQ(model.ReserveServerCpu(0), 2'000);
+  // Second op arriving at t=500 queues behind the first.
+  EXPECT_EQ(model.ReserveServerCpu(500), 4'000);
+  // An op arriving after the backlog drains starts immediately.
+  EXPECT_EQ(model.ReserveServerCpu(10'000), 12'000);
+}
+
+TEST(LatencyModelTest, FixedDelaysComeFromOptions) {
+  LatencyModelOptions opt;
+  opt.wait_retry_ms = 7.0;
+  opt.restart_delay_ms = 3.0;
+  LatencyModel model(opt, 5);
+  EXPECT_EQ(model.WaitRetryDelay(), 7'000);
+  EXPECT_EQ(model.RestartDelay(), 3'000);
+}
+
+TEST(LatencyModelTest, DeterministicGivenSeed) {
+  LatencyModel a({}, 42), b({}, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.SampleOpRpc(), b.SampleOpRpc());
+  }
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,86 @@
+#include "sim/replica_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+ReplicaClusterOptions FastOptions(uint64_t seed = 7) {
+  ReplicaClusterOptions opt;
+  opt.update_clients = 3;
+  opt.replica_query_clients = 2;
+  opt.replication.num_replicas = 2;
+  opt.replication.propagation_delay_ms = 100.0;
+  opt.query_til = 10'000;
+  opt.warmup_s = 2.0;
+  opt.measure_s = 15.0;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(ReplicaClusterTest, BothSidesMakeProgress) {
+  ReplicaCluster cluster(FastOptions());
+  const ReplicaSimResult r = cluster.Run();
+  EXPECT_GT(r.primary_commits, 50);
+  EXPECT_GT(r.queries_admitted, 50);
+  EXPECT_GT(r.admitted_fraction(), 0.5);
+}
+
+TEST(ReplicaClusterTest, DeterministicGivenSeed) {
+  const ReplicaSimResult a = ReplicaCluster(FastOptions(11)).Run();
+  const ReplicaSimResult b = ReplicaCluster(FastOptions(11)).Run();
+  EXPECT_EQ(a.primary_commits, b.primary_commits);
+  EXPECT_EQ(a.queries_attempted, b.queries_attempted);
+  EXPECT_EQ(a.queries_admitted, b.queries_admitted);
+}
+
+TEST(ReplicaClusterTest, AdmittedQueriesRespectBudgetAndTruth) {
+  ReplicaCluster cluster(FastOptions());
+  const ReplicaSimResult r = cluster.Run();
+  ASSERT_GT(r.queries_admitted, 0);
+  // Estimates are conservative: estimate >= truth, and within the TIL.
+  EXPECT_GE(r.avg_estimated_import + 1e-9, r.avg_true_import);
+  EXPECT_LE(r.avg_estimated_import, 10'000.0);
+}
+
+TEST(ReplicaClusterTest, TighterBudgetsAdmitFewerQueries) {
+  ReplicaClusterOptions tight = FastOptions();
+  tight.query_til = 500;
+  ReplicaClusterOptions loose = FastOptions();
+  loose.query_til = kUnbounded;
+  const ReplicaSimResult tight_result = ReplicaCluster(tight).Run();
+  const ReplicaSimResult loose_result = ReplicaCluster(loose).Run();
+  EXPECT_LT(tight_result.admitted_fraction(),
+            loose_result.admitted_fraction());
+  EXPECT_EQ(loose_result.admitted_fraction(), 1.0);
+}
+
+TEST(ReplicaClusterTest, LongerLagLowersAdmission) {
+  ReplicaClusterOptions fast = FastOptions();
+  fast.replication.propagation_delay_ms = 10.0;
+  ReplicaClusterOptions slow = FastOptions();
+  slow.replication.propagation_delay_ms = 2'000.0;
+  const ReplicaSimResult fast_result = ReplicaCluster(fast).Run();
+  const ReplicaSimResult slow_result = ReplicaCluster(slow).Run();
+  EXPECT_GT(fast_result.admitted_fraction(),
+            slow_result.admitted_fraction());
+}
+
+TEST(ReplicaClusterTest, ReplicaQueriesDoNotDepressPrimaryThroughput) {
+  // The scaling argument: replica queries consume no primary CPU, so
+  // doubling the dashboard load leaves update throughput essentially
+  // unchanged.
+  ReplicaClusterOptions light = FastOptions();
+  light.replica_query_clients = 1;
+  ReplicaClusterOptions heavy = FastOptions();
+  heavy.replica_query_clients = 8;
+  const ReplicaSimResult light_result = ReplicaCluster(light).Run();
+  const ReplicaSimResult heavy_result = ReplicaCluster(heavy).Run();
+  EXPECT_GT(heavy_result.queries_admitted, light_result.queries_admitted);
+  EXPECT_NEAR(static_cast<double>(heavy_result.primary_commits),
+              static_cast<double>(light_result.primary_commits),
+              0.15 * static_cast<double>(light_result.primary_commits));
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,59 @@
+#include "sim/skewed_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace esr {
+namespace {
+
+TEST(SkewedClockTest, RawSkewWithinTwoMinuteRange) {
+  Rng rng(1);
+  SkewedClockOptions opt;  // defaults: +/-60 s raw
+  for (SiteId site = 1; site <= 50; ++site) {
+    SkewedClock clock(site, opt, &rng);
+    const int64_t raw_offset = clock.ReadRaw(0);
+    EXPECT_LE(std::llabs(raw_offset), 60'000'000);
+  }
+}
+
+TEST(SkewedClockTest, CorrectionShrinksOffsetDramatically) {
+  Rng rng(2);
+  SkewedClockOptions opt;
+  for (SiteId site = 1; site <= 50; ++site) {
+    SkewedClock clock(site, opt, &rng);
+    const int64_t residual = clock.residual_offset_micros();
+    EXPECT_LE(std::llabs(residual),
+              static_cast<int64_t>(opt.residual_skew_ms * 1000));
+  }
+}
+
+TEST(SkewedClockTest, ReadAddsResidualToVirtualTime) {
+  Rng rng(3);
+  SkewedClock clock(1, {}, &rng);
+  const int64_t r = clock.residual_offset_micros();
+  EXPECT_EQ(clock.Read(1'000'000), 1'000'000 + r);
+  EXPECT_EQ(clock.Read(2'000'000) - clock.Read(1'000'000), 1'000'000);
+}
+
+TEST(SkewedClockTest, SitesGetDifferentOffsets) {
+  Rng rng(4);
+  SkewedClock a(1, {}, &rng), b(2, {}, &rng);
+  EXPECT_NE(a.residual_offset_micros(), b.residual_offset_micros());
+}
+
+TEST(SkewedClockTest, TimestampsAcrossSkewedSitesStayUnique) {
+  // Clock skew can reorder timestamps between sites, but the site id
+  // keeps them unique — the paper's correctness requirement.
+  Rng rng(5);
+  SkewedClock c1(1, {}, &rng), c2(2, {}, &rng);
+  TimestampGenerator g1(1), g2(2);
+  for (int64_t t = 0; t < 100'000; t += 1'000) {
+    const Timestamp a = g1.Next(c1.Read(t));
+    const Timestamp b = g2.Next(c2.Read(t));
+    EXPECT_NE(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,116 @@
+#include "storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace esr {
+namespace {
+
+ObjectStoreOptions SmallStore() {
+  ObjectStoreOptions opt;
+  opt.num_objects = 100;
+  opt.seed = 1;
+  return opt;
+}
+
+TEST(ObjectStoreTest, PopulatesRequestedNumberOfObjects) {
+  ObjectStore store(SmallStore());
+  EXPECT_EQ(store.size(), 100u);
+  EXPECT_TRUE(store.Contains(0));
+  EXPECT_TRUE(store.Contains(99));
+  EXPECT_FALSE(store.Contains(100));
+}
+
+TEST(ObjectStoreTest, InitialValuesWithinPaperRange) {
+  ObjectStore store(SmallStore());
+  for (ObjectId id = 0; id < 100; ++id) {
+    const Value v = store.Get(id).value();
+    EXPECT_GE(v, 1000);
+    EXPECT_LE(v, 9999);
+  }
+}
+
+TEST(ObjectStoreTest, DeterministicGivenSeed) {
+  ObjectStore a(SmallStore()), b(SmallStore());
+  for (ObjectId id = 0; id < 100; ++id) {
+    EXPECT_EQ(a.Get(id).value(), b.Get(id).value());
+  }
+}
+
+TEST(ObjectStoreTest, DifferentSeedsDiffer) {
+  ObjectStoreOptions opt2 = SmallStore();
+  opt2.seed = 2;
+  ObjectStore a(SmallStore()), b(opt2);
+  int same = 0;
+  for (ObjectId id = 0; id < 100; ++id) {
+    if (a.Get(id).value() == b.Get(id).value()) ++same;
+  }
+  EXPECT_LT(same, 20);
+}
+
+TEST(ObjectStoreTest, ReadValueChecksBounds) {
+  ObjectStore store(SmallStore());
+  EXPECT_TRUE(store.ReadValue(5).ok());
+  EXPECT_EQ(store.ReadValue(100).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectStoreTest, DefaultLimitsAreUnbounded) {
+  ObjectStore store(SmallStore());
+  EXPECT_EQ(store.Get(0).oil(), kUnbounded);
+  EXPECT_EQ(store.Get(0).oel(), kUnbounded);
+}
+
+TEST(ObjectStoreTest, RandomizedLimitsWithinRange) {
+  ObjectStoreOptions opt = SmallStore();
+  opt.min_oil = 100.0;
+  opt.max_oil = 200.0;
+  opt.min_oel = 50.0;
+  opt.max_oel = 60.0;
+  ObjectStore store(opt);
+  for (ObjectId id = 0; id < 100; ++id) {
+    EXPECT_GE(store.Get(id).oil(), 100.0);
+    EXPECT_LE(store.Get(id).oil(), 200.0);
+    EXPECT_GE(store.Get(id).oel(), 50.0);
+    EXPECT_LE(store.Get(id).oel(), 60.0);
+  }
+}
+
+TEST(ObjectStoreTest, SetObjectImportLimitsResamples) {
+  ObjectStore store(SmallStore());
+  store.SetObjectImportLimits(10.0, 20.0);
+  for (ObjectId id = 0; id < 100; ++id) {
+    EXPECT_GE(store.Get(id).oil(), 10.0);
+    EXPECT_LE(store.Get(id).oil(), 20.0);
+    EXPECT_EQ(store.Get(id).oel(), kUnbounded);  // untouched
+  }
+  store.SetObjectExportLimits(5.0, 5.0);
+  for (ObjectId id = 0; id < 100; ++id) {
+    EXPECT_EQ(store.Get(id).oel(), 5.0);
+  }
+}
+
+TEST(ObjectStoreTest, UnboundedRangeYieldsUnbounded) {
+  ObjectStore store(SmallStore());
+  store.SetObjectImportLimits(kUnbounded, kUnbounded);
+  EXPECT_TRUE(std::isinf(store.Get(0).oil()));
+}
+
+TEST(ObjectStoreTest, TotalValueSumsEverything) {
+  ObjectStoreOptions opt = SmallStore();
+  opt.num_objects = 3;
+  opt.min_value = 5;
+  opt.max_value = 5;
+  ObjectStore store(opt);
+  EXPECT_EQ(store.TotalValue(), 15);
+}
+
+TEST(ObjectStoreTest, HistoryDepthPropagates) {
+  ObjectStoreOptions opt = SmallStore();
+  opt.history_depth = 3;
+  ObjectStore store(opt);
+  EXPECT_EQ(store.Get(0).history().depth(), 3u);
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,128 @@
+#include "storage/object.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+Timestamp Ts(int64_t t) { return Timestamp{t, 0}; }
+
+TEST(ObjectRecordTest, InitialState) {
+  ObjectRecord obj(7, 1234, 20);
+  EXPECT_EQ(obj.id(), 7u);
+  EXPECT_EQ(obj.value(), 1234);
+  EXPECT_FALSE(obj.has_uncommitted_write());
+  EXPECT_EQ(obj.write_ts(), Timestamp::Min());
+  EXPECT_EQ(obj.query_read_ts(), Timestamp::Min());
+  EXPECT_EQ(obj.update_read_ts(), Timestamp::Min());
+}
+
+TEST(ObjectRecordTest, InitialValueIsProperForAnyQuery) {
+  ObjectRecord obj(1, 500, 20);
+  EXPECT_EQ(obj.ProperValueFor(Ts(1)).value(), 500);
+}
+
+TEST(ObjectRecordTest, ReadTimestampsAreMonotoneMaxima) {
+  ObjectRecord obj(1, 0, 4);
+  obj.NoteQueryRead(Ts(10));
+  obj.NoteQueryRead(Ts(5));  // older read does not regress the ts
+  EXPECT_EQ(obj.query_read_ts(), Ts(10));
+  obj.NoteUpdateRead(Ts(20));
+  EXPECT_EQ(obj.update_read_ts(), Ts(20));
+  EXPECT_EQ(obj.max_read_ts(), Ts(20));
+}
+
+TEST(ObjectRecordTest, WriteAppliesInPlaceWithShadow) {
+  ObjectRecord obj(1, 100, 4);
+  obj.ApplyWrite(/*txn=*/5, Ts(10), 150);
+  EXPECT_TRUE(obj.has_uncommitted_write());
+  EXPECT_EQ(obj.uncommitted_writer(), 5u);
+  // Present value reflects the uncommitted write (shadow paging).
+  EXPECT_EQ(obj.value(), 150);
+  EXPECT_EQ(obj.write_ts(), Ts(10));
+}
+
+TEST(ObjectRecordTest, CommitMakesWriteVisibleInHistory) {
+  ObjectRecord obj(1, 100, 4);
+  obj.ApplyWrite(5, Ts(10), 150);
+  obj.CommitWrite(5);
+  EXPECT_FALSE(obj.has_uncommitted_write());
+  EXPECT_EQ(obj.value(), 150);
+  EXPECT_EQ(obj.ProperValueFor(Ts(11)).value(), 150);
+  EXPECT_EQ(obj.ProperValueFor(Ts(9)).value(), 100);
+}
+
+TEST(ObjectRecordTest, AbortRestoresShadowValueAndTimestamp) {
+  ObjectRecord obj(1, 100, 4);
+  obj.ApplyWrite(5, Ts(10), 150);
+  obj.AbortWrite(5);
+  EXPECT_FALSE(obj.has_uncommitted_write());
+  EXPECT_EQ(obj.value(), 100);
+  EXPECT_EQ(obj.write_ts(), Timestamp::Min());
+  // The aborted write never enters the history.
+  EXPECT_EQ(obj.ProperValueFor(Ts(11)).value(), 100);
+}
+
+TEST(ObjectRecordTest, SameTxnOverwriteKeepsOriginalShadow) {
+  ObjectRecord obj(1, 100, 4);
+  obj.ApplyWrite(5, Ts(10), 150);
+  obj.ApplyWrite(5, Ts(10), 175);  // blind overwrite by the same txn
+  obj.AbortWrite(5);
+  EXPECT_EQ(obj.value(), 100);  // restored to the pre-transaction image
+}
+
+TEST(ObjectRecordTest, CommitAfterOverwriteRecordsFinalValue) {
+  ObjectRecord obj(1, 100, 4);
+  obj.ApplyWrite(5, Ts(10), 150);
+  obj.ApplyWrite(5, Ts(10), 175);
+  obj.CommitWrite(5);
+  EXPECT_EQ(obj.value(), 175);
+  EXPECT_EQ(obj.ProperValueFor(Ts(11)).value(), 175);
+}
+
+TEST(ObjectRecordTest, QueryReaderRegistrationIsIdempotent) {
+  ObjectRecord obj(1, 100, 4);
+  obj.RegisterQueryReader(9, Ts(5), 100);
+  obj.RegisterQueryReader(9, Ts(5), 100);  // one read per object per txn
+  EXPECT_EQ(obj.query_readers().size(), 1u);
+  EXPECT_EQ(obj.query_readers()[0].txn, 9u);
+  EXPECT_EQ(obj.query_readers()[0].proper_value, 100);
+}
+
+TEST(ObjectRecordTest, UnregisterRemovesOnlyNamedReader) {
+  ObjectRecord obj(1, 100, 4);
+  obj.RegisterQueryReader(9, Ts(5), 100);
+  obj.RegisterQueryReader(10, Ts(6), 101);
+  obj.UnregisterQueryReader(9);
+  ASSERT_EQ(obj.query_readers().size(), 1u);
+  EXPECT_EQ(obj.query_readers()[0].txn, 10u);
+  obj.UnregisterQueryReader(999);  // unknown reader is a no-op
+  EXPECT_EQ(obj.query_readers().size(), 1u);
+}
+
+TEST(ObjectRecordTest, LimitsAreStored) {
+  ObjectRecord obj(1, 0, 4);
+  EXPECT_EQ(obj.oil(), kUnbounded);
+  EXPECT_EQ(obj.oel(), kUnbounded);
+  obj.set_oil(500.0);
+  obj.set_oel(250.0);
+  EXPECT_EQ(obj.oil(), 500.0);
+  EXPECT_EQ(obj.oel(), 250.0);
+}
+
+TEST(ObjectRecordDeathTest, CommitByNonWriterIsFatal) {
+  ObjectRecord obj(1, 100, 4);
+  obj.ApplyWrite(5, Ts(10), 150);
+  EXPECT_DEATH(obj.CommitWrite(6), "commit by non-writer");
+}
+
+TEST(ObjectRecordDeathTest, ConcurrentSecondWriterIsFatal) {
+  // Strict ordering guarantees the engine never lets this happen; the
+  // storage layer enforces it as an invariant.
+  ObjectRecord obj(1, 100, 4);
+  obj.ApplyWrite(5, Ts(10), 150);
+  EXPECT_DEATH(obj.ApplyWrite(6, Ts(11), 160), "concurrent uncommitted");
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,120 @@
+#include "storage/write_history.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+Timestamp Ts(int64_t t) { return Timestamp{t, 0}; }
+
+TEST(WriteHistoryTest, EmptyHasNoProperValue) {
+  WriteHistory h(4);
+  EXPECT_TRUE(h.empty());
+  EXPECT_FALSE(h.ProperValueBefore(Ts(100)).has_value());
+  EXPECT_EQ(h.NewestTimestamp(), Timestamp::Min());
+}
+
+TEST(WriteHistoryTest, ProperValueIsNewestOlderWrite) {
+  WriteHistory h(8);
+  h.Record(Ts(10), 100);
+  h.Record(Ts(20), 200);
+  h.Record(Ts(30), 300);
+  // A query with ts 25 should see the value written at ts 20 as proper.
+  EXPECT_EQ(h.ProperValueBefore(Ts(25)).value(), 200);
+  EXPECT_EQ(h.ProperValueBefore(Ts(35)).value(), 300);
+  EXPECT_EQ(h.ProperValueBefore(Ts(15)).value(), 100);
+}
+
+TEST(WriteHistoryTest, ExactTimestampIsNotStrictlyOlder) {
+  WriteHistory h(4);
+  h.Record(Ts(10), 100);
+  h.Record(Ts(20), 200);
+  // "last write with a timestamp lesser than this read": strict.
+  EXPECT_EQ(h.ProperValueBefore(Ts(20)).value(), 100);
+}
+
+TEST(WriteHistoryTest, QueryOlderThanEverythingRetainedMisses) {
+  WriteHistory h(2);
+  h.Record(Ts(10), 100);
+  h.Record(Ts(20), 200);
+  h.Record(Ts(30), 300);  // evicts ts=10
+  EXPECT_FALSE(h.ProperValueBefore(Ts(15)).has_value());
+  EXPECT_EQ(h.ProperValueBefore(Ts(25)).value(), 200);
+}
+
+TEST(WriteHistoryTest, DepthBoundsRetention) {
+  WriteHistory h(20);  // the paper's empirical depth
+  for (int i = 1; i <= 50; ++i) h.Record(Ts(i * 10), i);
+  EXPECT_EQ(h.size(), 20u);
+  // Oldest retained write is #31 (50 - 20 + 1).
+  EXPECT_EQ(h.entries().front().value, 31);
+  EXPECT_FALSE(h.ProperValueBefore(Ts(305)).has_value());
+  EXPECT_EQ(h.ProperValueBefore(Ts(315)).value(), 31);
+}
+
+TEST(WriteHistoryTest, OutOfOrderInsertKeptSorted) {
+  WriteHistory h(8);
+  h.Record(Ts(10), 100);
+  h.Record(Ts(30), 300);
+  h.Record(Ts(20), 200);  // strict TO commits nearly in order, not exactly
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.entries()[0].ts, Ts(10));
+  EXPECT_EQ(h.entries()[1].ts, Ts(20));
+  EXPECT_EQ(h.entries()[2].ts, Ts(30));
+  EXPECT_EQ(h.ProperValueBefore(Ts(25)).value(), 200);
+}
+
+TEST(WriteHistoryTest, OutOfOrderEvictionDropsOldest) {
+  WriteHistory h(2);
+  h.Record(Ts(10), 100);
+  h.Record(Ts(30), 300);
+  h.Record(Ts(20), 200);  // sorted insert then eviction of ts=10
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.entries().front().ts, Ts(20));
+}
+
+TEST(WriteHistoryTest, DepthOneKeepsOnlyNewest) {
+  WriteHistory h(1);
+  h.Record(Ts(10), 100);
+  h.Record(Ts(20), 200);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.ProperValueBefore(Ts(100)).value(), 200);
+  EXPECT_FALSE(h.ProperValueBefore(Ts(15)).has_value());
+}
+
+TEST(WriteHistoryTest, NewestTimestampTracksTail) {
+  WriteHistory h(4);
+  h.Record(Ts(10), 1);
+  EXPECT_EQ(h.NewestTimestamp(), Ts(10));
+  h.Record(Ts(50), 2);
+  EXPECT_EQ(h.NewestTimestamp(), Ts(50));
+  h.Record(Ts(30), 3);  // older insert does not change the newest
+  EXPECT_EQ(h.NewestTimestamp(), Ts(50));
+}
+
+// Parameterized sweep: proper-value lookup is correct at every depth.
+class WriteHistoryDepthTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WriteHistoryDepthTest, LookupMatchesBruteForce) {
+  const size_t depth = GetParam();
+  WriteHistory h(depth);
+  constexpr int kWrites = 40;
+  for (int i = 1; i <= kWrites; ++i) h.Record(Ts(i * 10), i);
+  const int oldest_retained = kWrites - static_cast<int>(h.size()) + 1;
+  for (int q = 0; q <= kWrites + 1; ++q) {
+    const auto got = h.ProperValueBefore(Ts(q * 10 + 5));
+    // Brute force: newest write with ts < query is write #q (value q).
+    if (q >= oldest_retained) {
+      ASSERT_TRUE(got.has_value()) << "depth=" << depth << " q=" << q;
+      EXPECT_EQ(*got, std::min(q, kWrites));
+    } else {
+      EXPECT_FALSE(got.has_value()) << "depth=" << depth << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, WriteHistoryDepthTest,
+                         ::testing::Values(1, 2, 5, 20, 64));
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,159 @@
+#ifndef ESR_TESTS_TESTING_SCRIPTED_CLIENT_H_
+#define ESR_TESTS_TESTING_SCRIPTED_CLIENT_H_
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "txn/engine.h"
+
+namespace esr {
+namespace testing {
+
+/// A logical client for deterministic interleaving tests, driving any
+/// TransactionEngine one operation per Step(): either sum-preserving
+/// TRANSFER update ETs over a small universe, or full-universe SUM query
+/// ETs. Handles waits (retry), aborts (restart with a fresh timestamp),
+/// and a draining mode that finishes in-flight work without starting
+/// more.
+class ScriptedClient {
+ public:
+  ScriptedClient(TransactionEngine* engine, size_t num_objects, SiteId site,
+                 bool is_query, Inconsistency limit, uint64_t seed)
+      : engine_(engine),
+        num_objects_(num_objects),
+        is_query_(is_query),
+        limit_(limit),
+        rng_(seed),
+        ts_gen_(site) {}
+
+  void Step() {
+    if (txn_ == kInvalidTxnId) {
+      if (draining_) return;
+      BeginAttempt();
+      return;
+    }
+    if (is_query_) {
+      StepQuery();
+    } else {
+      StepTransfer();
+    }
+  }
+
+  /// Stops starting new transactions; in-flight work still completes.
+  void StartDraining() { draining_ = true; }
+
+  int64_t commits() const { return commits_; }
+  int64_t aborts() const { return aborts_; }
+
+  /// Committed query results with the inconsistency they imported.
+  struct QueryOutcome {
+    Value sum;
+    Inconsistency imported;
+  };
+  const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  void BeginAttempt() {
+    const Timestamp ts = ts_gen_.Next(++clock_);
+    txn_ = engine_->Begin(is_query_ ? TxnType::kQuery : TxnType::kUpdate,
+                          ts, BoundSpec::TransactionOnly(limit_));
+    step_ = 0;
+    sum_ = 0;
+    src_value_ = 0;
+    if (!is_query_) {
+      const int64_t n = static_cast<int64_t>(num_objects_);
+      src_ = static_cast<ObjectId>(rng_.UniformInt(0, n - 1));
+      dst_ = static_cast<ObjectId>(rng_.UniformInt(0, n - 1));
+      while (dst_ == src_) {
+        dst_ = static_cast<ObjectId>(rng_.UniformInt(0, n - 1));
+      }
+      amount_ = rng_.UniformInt(1, 200);
+    }
+  }
+
+  void StepQuery() {
+    if (step_ < static_cast<int>(num_objects_)) {
+      const OpResult r = engine_->Read(txn_, static_cast<ObjectId>(step_));
+      if (!Advance(r)) return;
+      sum_ += r.value;
+      return;
+    }
+    const Transaction* state = engine_->Find(txn_);
+    ASSERT_NE(state, nullptr);
+    outcomes_.push_back(
+        QueryOutcome{sum_, state->accumulator().total()});
+    ASSERT_TRUE(engine_->Commit(txn_).ok());
+    txn_ = kInvalidTxnId;
+    ++commits_;
+  }
+
+  void StepTransfer() {
+    switch (step_) {
+      case 0: {
+        const OpResult r = engine_->Read(txn_, src_);
+        if (!Advance(r)) return;
+        src_value_ = r.value;
+        return;
+      }
+      case 1: {
+        const OpResult r = engine_->Read(txn_, dst_);
+        if (!Advance(r)) return;
+        dst_value_ = r.value;
+        return;
+      }
+      case 2:
+        Advance(engine_->Write(txn_, src_, src_value_ - amount_));
+        return;
+      case 3:
+        Advance(engine_->Write(txn_, dst_, dst_value_ + amount_));
+        return;
+      default: {
+        ASSERT_TRUE(engine_->Commit(txn_).ok());
+        txn_ = kInvalidTxnId;
+        ++commits_;
+      }
+    }
+  }
+
+  bool Advance(const OpResult& r) {
+    switch (r.kind) {
+      case OpResult::Kind::kOk:
+        ++step_;
+        return true;
+      case OpResult::Kind::kWait:
+        return false;
+      case OpResult::Kind::kAbort:
+        txn_ = kInvalidTxnId;
+        ++aborts_;
+        return false;
+    }
+    return false;
+  }
+
+  TransactionEngine* engine_;
+  size_t num_objects_;
+  bool is_query_;
+  Inconsistency limit_;
+  Rng rng_;
+  TimestampGenerator ts_gen_;
+  int64_t clock_ = 0;
+
+  TxnId txn_ = kInvalidTxnId;
+  int step_ = 0;
+  Value sum_ = 0;
+  ObjectId src_ = 0, dst_ = 0;
+  Value src_value_ = 0, dst_value_ = 0;
+  Value amount_ = 0;
+
+  bool draining_ = false;
+  int64_t commits_ = 0;
+  int64_t aborts_ = 0;
+  std::vector<QueryOutcome> outcomes_;
+};
+
+}  // namespace testing
+}  // namespace esr
+
+#endif  // ESR_TESTS_TESTING_SCRIPTED_CLIENT_H_

@@ -1,0 +1,144 @@
+#include "twopl/lock_table.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+LockTable::Request Req(TxnId txn, int64_t ts) {
+  return LockTable::Request{txn, Timestamp{ts, 0}};
+}
+
+TEST(LockTableTest, SharedLocksAreCompatible) {
+  LockTable locks;
+  EXPECT_EQ(locks.AcquireShared(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks.AcquireShared(1, Req(11, 110)).outcome,
+            LockOutcome::kGranted);
+  EXPECT_TRUE(locks.HoldsShared(1, 10));
+  EXPECT_TRUE(locks.HoldsShared(1, 11));
+}
+
+TEST(LockTableTest, SharedAcquireIsIdempotent) {
+  LockTable locks;
+  EXPECT_EQ(locks.AcquireShared(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks.AcquireShared(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks.num_locked_objects(), 1u);
+}
+
+TEST(LockTableTest, ExclusiveExcludesEverything) {
+  LockTable locks;
+  ASSERT_EQ(locks.AcquireExclusive(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  // Older requester waits for the younger holder? No: wait-die says the
+  // OLDER (smaller ts) requester waits...
+  EXPECT_EQ(locks.AcquireShared(1, Req(11, 50)).outcome, LockOutcome::kWait);
+  // ...and the younger requester dies.
+  EXPECT_EQ(locks.AcquireShared(1, Req(12, 150)).outcome, LockOutcome::kDie);
+  EXPECT_EQ(locks.AcquireExclusive(1, Req(13, 50)).outcome,
+            LockOutcome::kWait);
+  EXPECT_EQ(locks.AcquireExclusive(1, Req(14, 150)).outcome,
+            LockOutcome::kDie);
+}
+
+TEST(LockTableTest, ConflictReportsHolder) {
+  LockTable locks;
+  ASSERT_EQ(locks.AcquireExclusive(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  const LockTable::Grant grant = locks.AcquireShared(1, Req(11, 50));
+  EXPECT_EQ(grant.outcome, LockOutcome::kWait);
+  EXPECT_EQ(grant.conflict, 10u);
+}
+
+TEST(LockTableTest, ExclusiveVsSharedHoldersWaitDie) {
+  LockTable locks;
+  ASSERT_EQ(locks.AcquireShared(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(locks.AcquireShared(1, Req(11, 200)).outcome,
+            LockOutcome::kGranted);
+  // Requester older than both shared holders: wait.
+  EXPECT_EQ(locks.AcquireExclusive(1, Req(12, 50)).outcome,
+            LockOutcome::kWait);
+  // Requester younger than the oldest holder: die (even though it is
+  // older than holder 11).
+  EXPECT_EQ(locks.AcquireExclusive(1, Req(13, 150)).outcome,
+            LockOutcome::kDie);
+}
+
+TEST(LockTableTest, UpgradeWhenSoleSharedHolder) {
+  LockTable locks;
+  ASSERT_EQ(locks.AcquireShared(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks.AcquireExclusive(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  EXPECT_TRUE(locks.HoldsExclusive(1, 10));
+  EXPECT_FALSE(locks.HoldsShared(1, 10));
+}
+
+TEST(LockTableTest, UpgradeBlockedByOtherSharedHolder) {
+  LockTable locks;
+  ASSERT_EQ(locks.AcquireShared(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(locks.AcquireShared(1, Req(11, 200)).outcome,
+            LockOutcome::kGranted);
+  // Txn 10 (older than 11) waits to upgrade.
+  EXPECT_EQ(locks.AcquireExclusive(1, Req(10, 100)).outcome,
+            LockOutcome::kWait);
+  // Txn 11 (younger than 10) dies trying to upgrade.
+  EXPECT_EQ(locks.AcquireExclusive(1, Req(11, 200)).outcome,
+            LockOutcome::kDie);
+}
+
+TEST(LockTableTest, ExclusiveIsReentrant) {
+  LockTable locks;
+  ASSERT_EQ(locks.AcquireExclusive(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks.AcquireExclusive(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  // Own X lock also covers a shared request.
+  EXPECT_EQ(locks.AcquireShared(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+}
+
+TEST(LockTableTest, ReleaseAllFreesEveryObject) {
+  LockTable locks;
+  ASSERT_EQ(locks.AcquireShared(1, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  ASSERT_EQ(locks.AcquireExclusive(2, Req(10, 100)).outcome,
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks.num_locked_objects(), 2u);
+  locks.ReleaseAll(10);
+  EXPECT_EQ(locks.num_locked_objects(), 0u);
+  // Previously blocked requests now succeed.
+  EXPECT_EQ(locks.AcquireExclusive(2, Req(11, 300)).outcome,
+            LockOutcome::kGranted);
+}
+
+TEST(LockTableTest, ReleaseOfUnknownTxnIsNoOp) {
+  LockTable locks;
+  locks.ReleaseAll(99);
+  EXPECT_EQ(locks.num_locked_objects(), 0u);
+}
+
+TEST(LockTableTest, WaitEdgesAlwaysPointOldToYoung) {
+  // Structural deadlock-freedom of wait-die: a requester may only WAIT
+  // for a younger holder, so wait cycles cannot form.
+  LockTable locks;
+  ASSERT_EQ(locks.AcquireExclusive(1, Req(20, 200)).outcome,
+            LockOutcome::kGranted);
+  for (int64_t requester_ts : {50, 150, 199, 201, 250}) {
+    const LockTable::Grant grant =
+        locks.AcquireExclusive(1, Req(99, requester_ts));
+    if (grant.outcome == LockOutcome::kWait) {
+      EXPECT_LT(requester_ts, 200);
+    } else {
+      EXPECT_EQ(grant.outcome, LockOutcome::kDie);
+      EXPECT_GE(requester_ts, 200);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esr

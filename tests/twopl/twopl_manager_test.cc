@@ -1,0 +1,228 @@
+#include "twopl/twopl_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace esr {
+namespace {
+
+using testing::Ts;
+
+/// Like EngineFixture but running the 2PL engine.
+struct TwoPLFixture {
+  ObjectStore store;
+  GroupSchema schema;
+  MetricRegistry metrics;
+  TwoPLManager manager;
+
+  explicit TwoPLFixture(size_t num_objects = 10)
+      : store(testing::EngineFixture::StoreOptions(num_objects, 20)),
+        manager(&store, &schema, &metrics) {
+    for (ObjectId id = 0; id < num_objects; ++id) {
+      SetValue(id, static_cast<Value>(1000 * (id + 1)));
+    }
+  }
+
+  void SetValue(ObjectId id, Value v) {
+    ObjectRecord& rec = store.Get(id);
+    rec.ApplyWrite(UINT64_MAX, Timestamp::Min(), v);
+    rec.CommitWrite(UINT64_MAX);
+  }
+};
+
+TEST(TwoPLManagerTest, SimpleReadWriteCommit) {
+  TwoPLFixture f;
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(10), BoundSpec());
+  const OpResult r = f.manager.Read(u, 0);
+  ASSERT_EQ(r.kind, OpResult::Kind::kOk);
+  EXPECT_EQ(r.value, 1000);
+  ASSERT_EQ(f.manager.Write(u, 0, 1500).kind, OpResult::Kind::kOk);
+  ASSERT_TRUE(f.manager.Commit(u).ok());
+  EXPECT_EQ(f.store.Get(0).value(), 1500);
+  EXPECT_EQ(f.manager.lock_table().num_locked_objects(), 0u);
+}
+
+TEST(TwoPLManagerTest, AbortRestoresShadowAndReleasesLocks) {
+  TwoPLFixture f;
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(10), BoundSpec());
+  ASSERT_EQ(f.manager.Write(u, 0, 1500).kind, OpResult::Kind::kOk);
+  ASSERT_TRUE(f.manager.Abort(u).ok());
+  EXPECT_EQ(f.store.Get(0).value(), 1000);
+  EXPECT_EQ(f.manager.lock_table().num_locked_objects(), 0u);
+}
+
+TEST(TwoPLManagerTest, WriteWriteConflictWaitDie) {
+  TwoPLFixture f;
+  const TxnId old_txn = f.manager.Begin(TxnType::kUpdate, Ts(10),
+                                        BoundSpec());
+  const TxnId young_txn = f.manager.Begin(TxnType::kUpdate, Ts(20),
+                                          BoundSpec());
+  ASSERT_EQ(f.manager.Write(young_txn, 0, 1500).kind, OpResult::Kind::kOk);
+  // Older requester waits.
+  const OpResult wait = f.manager.Write(old_txn, 0, 1600);
+  EXPECT_EQ(wait.kind, OpResult::Kind::kWait);
+  EXPECT_EQ(wait.blocker, young_txn);
+  // After the holder commits, the retry succeeds.
+  ASSERT_TRUE(f.manager.Commit(young_txn).ok());
+  EXPECT_EQ(f.manager.Write(old_txn, 0, 1600).kind, OpResult::Kind::kOk);
+  ASSERT_TRUE(f.manager.Commit(old_txn).ok());
+  EXPECT_EQ(f.store.Get(0).value(), 1600);
+}
+
+TEST(TwoPLManagerTest, YoungerRequesterDies) {
+  TwoPLFixture f;
+  const TxnId old_txn = f.manager.Begin(TxnType::kUpdate, Ts(10),
+                                        BoundSpec());
+  const TxnId young_txn = f.manager.Begin(TxnType::kUpdate, Ts(20),
+                                          BoundSpec());
+  ASSERT_EQ(f.manager.Write(old_txn, 0, 1500).kind, OpResult::Kind::kOk);
+  const OpResult died = f.manager.Write(young_txn, 0, 1600);
+  EXPECT_EQ(died.kind, OpResult::Kind::kAbort);
+  EXPECT_EQ(died.abort_reason, AbortReason::kDeadlockVictim);
+  EXPECT_FALSE(f.manager.IsActive(young_txn));
+  EXPECT_EQ(f.metrics.CounterValue("abort.deadlock_victim"), 1);
+  ASSERT_TRUE(f.manager.Commit(old_txn).ok());
+}
+
+TEST(TwoPLManagerTest, SrQueryBlocksBehindWriter) {
+  TwoPLFixture f;
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(20), BoundSpec());
+  ASSERT_EQ(f.manager.Write(u, 0, 1500).kind, OpResult::Kind::kOk);
+  // SR query (zero TIL) takes S locks: older query waits on the X lock.
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(10),
+                                  BoundSpec::TransactionOnly(0));
+  EXPECT_EQ(f.manager.Read(q, 0).kind, OpResult::Kind::kWait);
+  ASSERT_TRUE(f.manager.Commit(u).ok());
+  const OpResult r = f.manager.Read(q, 0);
+  ASSERT_EQ(r.kind, OpResult::Kind::kOk);
+  EXPECT_EQ(r.value, 1500);  // 2PL reads current committed state
+  ASSERT_TRUE(f.manager.Commit(q).ok());
+}
+
+TEST(TwoPLManagerTest, EsrQueryReadsThroughExclusiveLock) {
+  TwoPLFixture f;
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(20), BoundSpec());
+  ASSERT_EQ(f.manager.Write(u, 0, 1800).kind, OpResult::Kind::kOk);
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(30),
+                                  BoundSpec::TransactionOnly(5000));
+  const OpResult r = f.manager.Read(q, 0);
+  ASSERT_EQ(r.kind, OpResult::Kind::kOk);
+  EXPECT_EQ(r.value, 1800);  // dirty read, divergence-controlled
+  EXPECT_TRUE(r.relaxed);
+  EXPECT_EQ(r.inconsistency, 800.0);
+  ASSERT_TRUE(f.manager.Commit(q).ok());
+  ASSERT_TRUE(f.manager.Commit(u).ok());
+}
+
+TEST(TwoPLManagerTest, EsrQueryRespectsTil) {
+  TwoPLFixture f;
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(20), BoundSpec());
+  ASSERT_EQ(f.manager.Write(u, 0, 1800).kind, OpResult::Kind::kOk);
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(30),
+                                  BoundSpec::TransactionOnly(500));
+  const OpResult r = f.manager.Read(q, 0);  // d = 800 > TIL 500
+  EXPECT_EQ(r.kind, OpResult::Kind::kAbort);
+  EXPECT_EQ(r.abort_reason, AbortReason::kTransactionBound);
+  ASSERT_TRUE(f.manager.Commit(u).ok());
+}
+
+TEST(TwoPLManagerTest, EsrQueryRespectsOil) {
+  TwoPLFixture f;
+  f.store.Get(0).set_oil(500.0);
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(20), BoundSpec());
+  ASSERT_EQ(f.manager.Write(u, 0, 1800).kind, OpResult::Kind::kOk);
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(30),
+                                  BoundSpec::TransactionOnly(kUnbounded));
+  const OpResult r = f.manager.Read(q, 0);
+  EXPECT_EQ(r.kind, OpResult::Kind::kAbort);
+  EXPECT_EQ(r.abort_reason, AbortReason::kObjectBound);
+  ASSERT_TRUE(f.manager.Commit(u).ok());
+}
+
+TEST(TwoPLManagerTest, WriteExportsToRegisteredEsrReaders) {
+  TwoPLFixture f;
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(10),
+                                  BoundSpec::TransactionOnly(kUnbounded));
+  ASSERT_EQ(f.manager.Read(q, 0).kind, OpResult::Kind::kOk);  // proper 1000
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(20),
+                                  BoundSpec::TransactionOnly(700));
+  const OpResult w = f.manager.Write(u, 0, 1600);  // d = 600 <= TEL 700
+  ASSERT_EQ(w.kind, OpResult::Kind::kOk);
+  EXPECT_EQ(w.inconsistency, 600.0);
+  EXPECT_TRUE(w.relaxed);
+  // A second write elsewhere with the remaining budget too small fails.
+  const TxnId q2 = f.manager.Begin(TxnType::kQuery, Ts(12),
+                                   BoundSpec::TransactionOnly(kUnbounded));
+  ASSERT_EQ(f.manager.Read(q2, 1).kind, OpResult::Kind::kOk);  // proper 2000
+  const OpResult w2 = f.manager.Write(u, 1, 2300);  // 600 + 300 > 700
+  EXPECT_EQ(w2.kind, OpResult::Kind::kAbort);
+  EXPECT_EQ(w2.abort_reason, AbortReason::kTransactionBound);
+  // The first write was rolled back.
+  EXPECT_EQ(f.store.Get(0).value(), 1000);
+  ASSERT_TRUE(f.manager.Commit(q).ok());
+  ASSERT_TRUE(f.manager.Commit(q2).ok());
+}
+
+TEST(TwoPLManagerTest, WriteRespectsOel) {
+  TwoPLFixture f;
+  f.store.Get(0).set_oel(500.0);
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(10),
+                                  BoundSpec::TransactionOnly(kUnbounded));
+  ASSERT_EQ(f.manager.Read(q, 0).kind, OpResult::Kind::kOk);
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(20), BoundSpec());
+  const OpResult w = f.manager.Write(u, 0, 1600);  // d = 600 > OEL 500
+  EXPECT_EQ(w.kind, OpResult::Kind::kAbort);
+  EXPECT_EQ(w.abort_reason, AbortReason::kObjectBound);
+  ASSERT_TRUE(f.manager.Commit(q).ok());
+}
+
+TEST(TwoPLManagerTest, UpdateReadThenWriteUpgrades) {
+  TwoPLFixture f;
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(10), BoundSpec());
+  ASSERT_EQ(f.manager.Read(u, 0).kind, OpResult::Kind::kOk);
+  ASSERT_EQ(f.manager.Write(u, 0, 1100).kind, OpResult::Kind::kOk);
+  const OpResult own = f.manager.Read(u, 0);
+  ASSERT_EQ(own.kind, OpResult::Kind::kOk);
+  EXPECT_EQ(own.value, 1100);  // sees its own write
+  ASSERT_TRUE(f.manager.Commit(u).ok());
+}
+
+TEST(TwoPLManagerTest, CommitCleansReaderRegistrations) {
+  TwoPLFixture f;
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(10),
+                                  BoundSpec::TransactionOnly(1000));
+  ASSERT_EQ(f.manager.Read(q, 0).kind, OpResult::Kind::kOk);
+  EXPECT_EQ(f.store.Get(0).query_readers().size(), 1u);
+  ASSERT_TRUE(f.manager.Commit(q).ok());
+  EXPECT_EQ(f.store.Get(0).query_readers().size(), 0u);
+}
+
+TEST(TwoPLManagerTest, HierarchicalBoundsApplyToLockFreeReads) {
+  // The bottom-up group checks of Sec. 5.3.1 are engine-independent:
+  // a 2PL ESR query's lock-free read is charged through the same
+  // hierarchy.
+  TwoPLFixture f;
+  const GroupId company = *f.schema.AddGroup("company", kRootGroup);
+  ASSERT_TRUE(f.schema.AssignObject(0, company).ok());
+  const TxnId u = f.manager.Begin(TxnType::kUpdate, Ts(20), BoundSpec());
+  ASSERT_EQ(f.manager.Write(u, 0, 1800).kind, OpResult::Kind::kOk);
+
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(kUnbounded);
+  bounds.SetLimit(company, 500.0);
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(30), bounds);
+  const OpResult r = f.manager.Read(q, 0);  // d = 800 > company 500
+  EXPECT_EQ(r.kind, OpResult::Kind::kAbort);
+  EXPECT_EQ(r.abort_reason, AbortReason::kGroupBound);
+  ASSERT_TRUE(f.manager.Commit(u).ok());
+}
+
+TEST(TwoPLManagerDeathTest, QueryWriteIsProgrammerError) {
+  TwoPLFixture f;
+  const TxnId q = f.manager.Begin(TxnType::kQuery, Ts(1), BoundSpec());
+  EXPECT_DEATH(f.manager.Write(q, 0, 1), "read-only");
+}
+
+}  // namespace
+}  // namespace esr

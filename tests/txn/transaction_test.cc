@@ -1,0 +1,90 @@
+#include "txn/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace esr {
+namespace {
+
+Timestamp Ts(int64_t t) { return Timestamp{t, 0}; }
+
+TEST(TransactionTest, BasicAccessors) {
+  GroupSchema schema;
+  Transaction txn(7, TxnType::kQuery, Ts(100), &schema,
+                  BoundSpec::TransactionOnly(500));
+  EXPECT_EQ(txn.id(), 7u);
+  EXPECT_EQ(txn.type(), TxnType::kQuery);
+  EXPECT_TRUE(txn.is_query());
+  EXPECT_EQ(txn.ts(), Ts(100));
+  EXPECT_EQ(txn.state(), TxnState::kActive);
+  EXPECT_TRUE(txn.esr_enabled());
+}
+
+TEST(TransactionTest, ZeroBoundsDisableEsr) {
+  GroupSchema schema;
+  Transaction txn(1, TxnType::kQuery, Ts(1), &schema,
+                  BoundSpec::TransactionOnly(0));
+  EXPECT_FALSE(txn.esr_enabled());
+  EXPECT_FALSE(txn.View().esr_enabled);
+}
+
+TEST(TransactionTest, ViewMirrorsIdentity) {
+  GroupSchema schema;
+  Transaction txn(9, TxnType::kUpdate, Ts(55), &schema,
+                  BoundSpec::TransactionOnly(10));
+  const TxnView view = txn.View();
+  EXPECT_EQ(view.id, 9u);
+  EXPECT_EQ(view.type, TxnType::kUpdate);
+  EXPECT_EQ(view.ts, Ts(55));
+  EXPECT_TRUE(view.esr_enabled);
+}
+
+TEST(TransactionTest, ReadAndWriteSetsDeduplicate) {
+  GroupSchema schema;
+  Transaction txn(1, TxnType::kUpdate, Ts(1), &schema, BoundSpec());
+  txn.NoteRegisteredRead(3);
+  txn.NoteRegisteredRead(3);
+  txn.NoteRegisteredRead(4);
+  EXPECT_EQ(txn.registered_reads().size(), 2u);
+  txn.NotePendingWrite(5);
+  txn.NotePendingWrite(5);
+  EXPECT_EQ(txn.pending_writes().size(), 1u);
+  EXPECT_TRUE(txn.HasPendingWrite(5));
+  EXPECT_FALSE(txn.HasPendingWrite(3));
+}
+
+TEST(TransactionTest, ObserveValueTracksMinMaxLast) {
+  GroupSchema schema;
+  Transaction txn(1, TxnType::kQuery, Ts(1), &schema, BoundSpec());
+  txn.ObserveValue(2, 50);
+  txn.ObserveValue(2, 10);
+  txn.ObserveValue(2, 30);
+  const Transaction::ValueRange* range = txn.RangeFor(2);
+  ASSERT_NE(range, nullptr);
+  EXPECT_EQ(range->min, 10);
+  EXPECT_EQ(range->max, 50);
+  EXPECT_EQ(range->last, 30);
+  EXPECT_EQ(range->reads, 3);
+  EXPECT_EQ(txn.RangeFor(99), nullptr);
+}
+
+TEST(TransactionTest, OpCountersAccumulate) {
+  GroupSchema schema;
+  Transaction txn(1, TxnType::kQuery, Ts(1), &schema, BoundSpec());
+  txn.CountOp();
+  txn.CountOp();
+  txn.CountInconsistentOp();
+  EXPECT_EQ(txn.ops_executed(), 2);
+  EXPECT_EQ(txn.inconsistent_ops(), 1);
+}
+
+TEST(TransactionTest, AccumulatorUsesDeclaredBounds) {
+  GroupSchema schema;
+  Transaction txn(1, TxnType::kQuery, Ts(1), &schema,
+                  BoundSpec::TransactionOnly(100));
+  EXPECT_TRUE(txn.accumulator().TryCharge(0, 60).admitted);
+  EXPECT_FALSE(txn.accumulator().TryCharge(0, 60).admitted);
+  EXPECT_EQ(txn.accumulator().total(), 60);
+}
+
+}  // namespace
+}  // namespace esr

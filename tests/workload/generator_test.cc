@@ -1,0 +1,186 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace esr {
+namespace {
+
+WorkloadSpec DefaultSpec() { return WorkloadSpec{}; }
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  WorkloadGenerator a(DefaultSpec(), 42), b(DefaultSpec(), 42);
+  for (int i = 0; i < 50; ++i) {
+    const TxnScript sa = a.Next();
+    const TxnScript sb = b.Next();
+    ASSERT_EQ(sa.type, sb.type);
+    ASSERT_EQ(sa.ops.size(), sb.ops.size());
+    for (size_t j = 0; j < sa.ops.size(); ++j) {
+      EXPECT_EQ(sa.ops[j].object, sb.ops[j].object);
+      EXPECT_EQ(sa.ops[j].delta, sb.ops[j].delta);
+    }
+  }
+}
+
+TEST(GeneratorTest, QueryShapeMatchesPaper) {
+  WorkloadGenerator gen(DefaultSpec(), 1);
+  for (int i = 0; i < 100; ++i) {
+    const TxnScript s = gen.NextQuery();
+    EXPECT_EQ(s.type, TxnType::kQuery);
+    EXPECT_GE(s.num_reads(), 16);
+    EXPECT_LE(s.num_reads(), 24);
+    EXPECT_EQ(s.num_writes(), 0);  // query ETs are read-only
+  }
+}
+
+TEST(GeneratorTest, UpdateShapeMatchesPaper) {
+  WorkloadGenerator gen(DefaultSpec(), 2);
+  for (int i = 0; i < 100; ++i) {
+    const TxnScript s = gen.NextUpdate();
+    EXPECT_EQ(s.type, TxnType::kUpdate);
+    EXPECT_GE(s.ops.size(), 4u);
+    EXPECT_LE(s.ops.size(), 8u);
+    EXPECT_GE(s.num_reads(), 1);
+    EXPECT_GE(s.num_writes(), 1);
+  }
+}
+
+TEST(GeneratorTest, AverageOpCountsNearPaperFigures) {
+  WorkloadGenerator gen(DefaultSpec(), 3);
+  double query_ops = 0, update_ops = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    query_ops += static_cast<double>(gen.NextQuery().ops.size());
+    update_ops += static_cast<double>(gen.NextUpdate().ops.size());
+  }
+  EXPECT_NEAR(query_ops / n, 20.0, 0.5);   // "about 20 operations"
+  EXPECT_NEAR(update_ops / n, 6.0, 0.25);  // "around 6 operations"
+}
+
+TEST(GeneratorTest, WritesDeriveFromEarlierReads) {
+  WorkloadGenerator gen(DefaultSpec(), 4);
+  for (int i = 0; i < 100; ++i) {
+    const TxnScript s = gen.NextUpdate();
+    const int64_t reads = s.num_reads();
+    for (const ScriptOp& op : s.ops) {
+      if (op.kind == ScriptOp::Kind::kWrite) {
+        EXPECT_GE(op.source_read, 0);
+        EXPECT_LT(op.source_read, reads);
+        EXPECT_NE(op.delta, 0);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, ObjectsWithinTransactionAreDistinct) {
+  // One read per object per transaction (Sec. 3.2.1); the generator also
+  // keeps write targets distinct from each other.
+  WorkloadGenerator gen(DefaultSpec(), 5);
+  for (int i = 0; i < 50; ++i) {
+    const TxnScript s = gen.NextQuery();
+    std::set<ObjectId> seen;
+    for (const ScriptOp& op : s.ops) {
+      EXPECT_TRUE(seen.insert(op.object).second)
+          << "duplicate object " << op.object;
+    }
+  }
+}
+
+TEST(GeneratorTest, QueryHotSetSkewApproximatesSpec) {
+  WorkloadSpec spec = DefaultSpec();
+  spec.query_hot_prob = 0.9;
+  WorkloadGenerator gen(spec, 6);
+  int64_t hot = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (const ScriptOp& op : gen.NextQuery().ops) {
+      hot += op.object < spec.hot_set_size ? 1 : 0;
+      ++total;
+    }
+  }
+  // Distinctness truncates the skew (only 20 hot objects exist), so the
+  // realized hot fraction sits below the nominal probability but far
+  // above uniform (20/1000 = 2%).
+  const double frac = static_cast<double>(hot) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.6);
+}
+
+TEST(GeneratorTest, DeltasHaveMeanMagnitudeW) {
+  WorkloadSpec spec = DefaultSpec();
+  spec.small_write_delta = 250;
+  spec.large_write_delta = 5000;
+  spec.large_delta_prob = 0.1;
+  WorkloadGenerator gen(spec, 7);
+  double sum = 0;
+  int64_t n = 0, large = 0;
+  for (int i = 0; i < 4000; ++i) {
+    for (const ScriptOp& op : gen.NextUpdate().ops) {
+      if (op.kind == ScriptOp::Kind::kWrite) {
+        const double mag =
+            static_cast<double>(op.delta < 0 ? -op.delta : op.delta);
+        sum += mag;
+        large += mag >= 2500.0 ? 1 : 0;
+        ++n;
+      }
+    }
+  }
+  // Mixture mean = 0.9 * 250 + 0.1 * 5000 = 725.
+  EXPECT_NEAR(sum / static_cast<double>(n), spec.MeanWriteDelta(), 40.0);
+  // About 10% of writes are large.
+  EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(n), 0.1,
+              0.02);
+}
+
+TEST(GeneratorTest, MixFollowsQueryFraction) {
+  WorkloadSpec spec = DefaultSpec();
+  spec.query_fraction = 0.25;
+  WorkloadGenerator gen(spec, 8);
+  int queries = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    queries += gen.Next().type == TxnType::kQuery ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(queries) / n, 0.25, 0.03);
+}
+
+TEST(GeneratorTest, BoundsComeFromSpecLimits) {
+  WorkloadSpec spec = DefaultSpec();
+  spec.til = 12345;
+  spec.tel = 678;
+  WorkloadGenerator gen(spec, 9);
+  EXPECT_EQ(gen.NextQuery().bounds.transaction_limit(), 12345);
+  EXPECT_EQ(gen.NextUpdate().bounds.transaction_limit(), 678);
+}
+
+TEST(GeneratorTest, BoundFactoryOverridesLimits) {
+  WorkloadSpec spec = DefaultSpec();
+  spec.bound_factory = [](TxnType type) {
+    return BoundSpec::TransactionOnly(type == TxnType::kQuery ? 7 : 8);
+  };
+  WorkloadGenerator gen(spec, 10);
+  EXPECT_EQ(gen.NextQuery().bounds.transaction_limit(), 7);
+  EXPECT_EQ(gen.NextUpdate().bounds.transaction_limit(), 8);
+}
+
+TEST(GeneratorTest, MakeLoadProducesRequestedCount) {
+  WorkloadGenerator gen(DefaultSpec(), 11);
+  EXPECT_EQ(gen.MakeLoad(37).size(), 37u);
+}
+
+TEST(ApplyDeltaTest, StaysInRangeAndReflects) {
+  EXPECT_EQ(ApplyDeltaReflecting(5000, 200, 1000, 9999), 5200);
+  EXPECT_EQ(ApplyDeltaReflecting(5000, -200, 1000, 9999), 4800);
+  // Reflection at the top edge: 9900 + 300 = 10200 -> 9999 - 201 = 9798.
+  EXPECT_EQ(ApplyDeltaReflecting(9900, 300, 1000, 9999), 9798);
+  // Reflection at the bottom edge: 1100 - 300 = 800 -> 1000 + 200 = 1200.
+  EXPECT_EQ(ApplyDeltaReflecting(1100, -300, 1000, 9999), 1200);
+}
+
+TEST(ApplyDeltaTest, ExtremeDeltasStillClamped) {
+  const Value v = ApplyDeltaReflecting(5000, 100000, 1000, 9999);
+  EXPECT_GE(v, 1000);
+  EXPECT_LE(v, 9999);
+}
+
+}  // namespace
+}  // namespace esr
