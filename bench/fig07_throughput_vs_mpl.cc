@@ -13,6 +13,7 @@ namespace {
 
 using esr::EpsilonLevel;
 using esr::bench::BaseOptions;
+using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
 using esr::bench::RunAveraged;
 using esr::bench::RunScale;
@@ -21,16 +22,18 @@ using esr::bench::Table;
 constexpr EpsilonLevel kLevels[] = {EpsilonLevel::kZero, EpsilonLevel::kLow,
                                     EpsilonLevel::kMedium,
                                     EpsilonLevel::kHigh};
+constexpr const char* kNames[] = {"zero(SR)", "low", "medium", "high"};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 7: Throughput vs MPL",
               "ESR >> SR at high bounds; thrashing at MPL~3 for low/zero "
               "bounds shifting to MPL~5 for high bounds",
               scale);
 
+  JsonReport report("fig07_throughput_vs_mpl", scale);
   Table table({"mpl", "zero(SR)", "low", "medium", "high"});
   double peak[4] = {0, 0, 0, 0};
   int peak_mpl[4] = {0, 0, 0, 0};
@@ -39,6 +42,7 @@ int main() {
     std::vector<std::string> row{std::to_string(mpl)};
     for (int l = 0; l < 4; ++l) {
       const auto r = RunAveraged(BaseOptions(kLevels[l], mpl, scale), scale);
+      report.AddPoint(kNames[l], mpl, r);
       const double tput = r.throughput;
       if (tput > 0.0) {
         max_rel_stddev =
@@ -53,15 +57,20 @@ int main() {
     table.AddRow(row);
   }
   table.Print();
+  const esr::Status json_status =
+      report.WriteToFile(JsonReport::PathFromArgs(argc, argv));
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.ToString().c_str());
+    return 1;
+  }
   std::printf(
       "\nDispersion: max per-cell stddev/mean across seeds = %.1f%% "
       "(paper: 90%% CI within +/-3%%).\n",
       100.0 * max_rel_stddev);
 
   std::printf("\nThrashing points (MPL at peak throughput, tps):\n");
-  const char* names[] = {"zero(SR)", "low", "medium", "high"};
   for (int l = 0; l < 4; ++l) {
-    std::printf("  %-8s peak %.2f tps at MPL %d\n", names[l], peak[l],
+    std::printf("  %-8s peak %.2f tps at MPL %d\n", kNames[l], peak[l],
                 peak_mpl[l]);
   }
   return 0;

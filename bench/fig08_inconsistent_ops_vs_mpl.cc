@@ -5,10 +5,14 @@
 
 #include "harness/harness.h"
 
+#include <cstdio>
+
 namespace {
 
 using esr::EpsilonLevel;
+using esr::EpsilonLevelToString;
 using esr::bench::BaseOptions;
+using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
 using esr::bench::RunAveraged;
 using esr::bench::RunScale;
@@ -16,23 +20,30 @@ using esr::bench::Table;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 8: Successful Inconsistent Operations vs MPL",
               "steady increase with each bound level and with MPL",
               scale);
 
+  JsonReport report("fig08_inconsistent_ops_vs_mpl", scale);
   Table table({"mpl", "low", "medium", "high"});
   for (int mpl = 1; mpl <= 10; ++mpl) {
     std::vector<std::string> row{std::to_string(mpl)};
     for (EpsilonLevel level : {EpsilonLevel::kLow, EpsilonLevel::kMedium,
                                EpsilonLevel::kHigh}) {
-      row.push_back(Table::Int(
-          RunAveraged(BaseOptions(level, mpl, scale), scale)
-              .inconsistent_ops));
+      const auto r = RunAveraged(BaseOptions(level, mpl, scale), scale);
+      report.AddPoint(std::string(EpsilonLevelToString(level)), mpl, r);
+      row.push_back(Table::Int(r.inconsistent_ops));
     }
     table.AddRow(row);
   }
   table.Print();
+  const esr::Status json_status =
+      report.WriteToFile(JsonReport::PathFromArgs(argc, argv));
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -10,7 +10,9 @@
 namespace {
 
 using esr::EpsilonLevel;
+using esr::EpsilonLevelToString;
 using esr::bench::BaseOptions;
+using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
 using esr::bench::RunAveraged;
 using esr::bench::RunScale;
@@ -18,13 +20,14 @@ using esr::bench::Table;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 10: Number of Operations (R+W) vs MPL",
               "ops at high bounds ~= useful work; the excess at lower "
               "bounds measures wasted effort from aborted transactions",
               scale);
 
+  JsonReport report("fig10_operations_vs_mpl", scale);
   Table table(
       {"mpl", "zero(SR)", "low", "medium", "high", "waste(SR-vs-high)"});
   for (int mpl = 1; mpl <= 10; ++mpl) {
@@ -34,6 +37,7 @@ int main() {
          {EpsilonLevel::kZero, EpsilonLevel::kLow, EpsilonLevel::kMedium,
           EpsilonLevel::kHigh}) {
       const auto r = RunAveraged(BaseOptions(level, mpl, scale), scale);
+      report.AddPoint(std::string(EpsilonLevelToString(level)), mpl, r);
       row.push_back(Table::Int(r.ops_executed));
       if (level == EpsilonLevel::kZero) {
         zero_ops = r.ops_executed;
@@ -57,5 +61,11 @@ int main() {
   std::printf(
       "\nwaste(SR-vs-high): extra ops per committed txn under SR compared "
       "with the high-epsilon useful-work baseline.\n");
+  const esr::Status json_status =
+      report.WriteToFile(JsonReport::PathFromArgs(argc, argv));
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

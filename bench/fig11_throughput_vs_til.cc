@@ -7,10 +7,14 @@
 
 #include "harness/harness.h"
 
+#include <cstdio>
+#include <string>
+
 namespace {
 
 using esr::Inconsistency;
 using esr::bench::BaseOptions;
+using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
 using esr::bench::RunAveraged;
 using esr::bench::RunScale;
@@ -23,23 +27,30 @@ constexpr double kTelLevels[] = {1'000, 5'000, 10'000};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 11: Throughput vs TIL (TEL varies), MPL = 4",
               "throughput rises with TIL; slope highest at small-to-medium "
               "TIL, flattening at high TIL",
               scale);
 
+  JsonReport report("fig11_throughput_vs_til", scale);
   Table table({"TIL", "TEL=1000(low)", "TEL=5000(med)", "TEL=10000(high)"});
   for (const double til : kTilSweep) {
     std::vector<std::string> row{Table::Int(til)};
     for (const double tel : kTelLevels) {
-      row.push_back(Table::Num(
-          RunAveraged(BaseOptions(til, tel, kMpl, scale), scale)
-              .throughput));
+      const auto r = RunAveraged(BaseOptions(til, tel, kMpl, scale), scale);
+      report.AddPoint("tel=" + Table::Int(tel), til, r);
+      row.push_back(Table::Num(r.throughput));
     }
     table.AddRow(row);
   }
   table.Print();
+  const esr::Status json_status =
+      report.WriteToFile(JsonReport::PathFromArgs(argc, argv));
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

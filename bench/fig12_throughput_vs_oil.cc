@@ -19,6 +19,7 @@
 namespace {
 
 using esr::bench::BaseOptions;
+using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
 using esr::bench::RunAveraged;
 using esr::bench::RunScale;
@@ -31,7 +32,7 @@ constexpr double kTilLevels[] = {10'000, 50'000, 100'000};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 12: Throughput vs OIL (TIL varies), MPL = 4",
               "for low/medium TIL the peak throughput occurs at an "
@@ -39,6 +40,7 @@ int main() {
               "case",
               scale);
 
+  JsonReport report("fig12_throughput_vs_oil", scale);
   Table table({"OIL(w)", "TIL=10000(low)", "TIL=50000(med)",
                "TIL=100000(high)"});
   for (const double oil_w : kOilInW) {
@@ -50,7 +52,9 @@ int main() {
       opt.server.store.max_oil = oil_w * w;
       opt.server.store.min_oel = oil_w * w;
       opt.server.store.max_oel = oil_w * w;
-      row.push_back(Table::Num(RunAveraged(opt, scale).throughput));
+      const auto r = RunAveraged(opt, scale);
+      report.AddPoint("til=" + Table::Int(til), oil_w, r);
+      row.push_back(Table::Num(r.throughput));
     }
     table.AddRow(row);
   }
@@ -58,5 +62,11 @@ int main() {
   std::printf("\nOIL(w): object import limit in units of w = average "
               "write delta (%.0f).\n",
               esr::WorkloadSpec{}.MeanWriteDelta());
+  const esr::Status json_status =
+      report.WriteToFile(JsonReport::PathFromArgs(argc, argv));
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

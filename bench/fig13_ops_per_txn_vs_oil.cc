@@ -19,6 +19,7 @@
 namespace {
 
 using esr::bench::BaseOptions;
+using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
 using esr::bench::RunAveraged;
 using esr::bench::RunScale;
@@ -30,7 +31,7 @@ constexpr double kTilLevels[] = {10'000, 50'000, 100'000};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const RunScale scale = RunScale::FromEnv();
   PrintHeader(
       "Figure 13: Avg operations per completed txn vs OIL (TIL varies), "
@@ -39,6 +40,7 @@ int main() {
       "intermediate OIL (late TIL aborts waste more ops per transaction)",
       scale);
 
+  JsonReport report("fig13_ops_per_txn_vs_oil", scale);
   Table all({"OIL(w)", "TIL=10000(low)", "TIL=50000(med)",
              "TIL=100000(high)"});
   Table queries({"OIL(w)", "TIL=10000(low)", "TIL=50000(med)",
@@ -54,6 +56,7 @@ int main() {
       opt.server.store.min_oel = oil_w * w;
       opt.server.store.max_oel = oil_w * w;
       const auto r = RunAveraged(opt, scale);
+      report.AddPoint("til=" + Table::Int(til), oil_w, r);
       all_row.push_back(Table::Num(r.ops_per_committed_txn));
       query_row.push_back(Table::Num(r.query_ops_per_committed_query));
     }
@@ -65,5 +68,11 @@ int main() {
   std::printf("\nQuery ETs only (ops per committed query, where the "
               "TIL-driven waste concentrates):\n");
   queries.Print();
+  const esr::Status json_status =
+      report.WriteToFile(JsonReport::PathFromArgs(argc, argv));
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <vector>
+
+#include "obs/exporter.h"
 
 namespace esr {
 namespace bench {
@@ -54,6 +57,7 @@ AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale) {
     avg.query_ops_per_committed_query += r.query_ops_per_committed_query();
     avg.avg_import_per_query += r.avg_import_per_query();
     avg.avg_txn_latency_ms += r.avg_txn_latency_ms();
+    avg.latency_ms.Merge(r.latency_ms);
   }
   const double n = static_cast<double>(scale.seeds);
   avg.throughput /= n;
@@ -119,6 +123,92 @@ std::string Table::Int(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v + 0.5));
   return buf;
+}
+
+std::string JsonReport::PathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  const char* env = std::getenv("ESR_BENCH_JSON");
+  return env != nullptr ? env : "";
+}
+
+JsonReport::JsonReport(std::string figure, const RunScale& scale)
+    : figure_(std::move(figure)), scale_(scale) {}
+
+void JsonReport::AddPoint(const std::string& series, double x,
+                          const AveragedResult& result) {
+  for (auto& entry : series_) {
+    if (entry.first == series) {
+      entry.second.push_back(Point{x, result});
+      return;
+    }
+  }
+  series_.emplace_back(series, std::vector<Point>{Point{x, result}});
+}
+
+Status JsonReport::WriteToFile(const std::string& path) const {
+  if (path.empty()) return Status::OK();
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open bench JSON output file: " + path);
+  }
+  JsonWriter w(out);
+  w.BeginObject();
+  w.KV("figure", figure_);
+  w.Key("scale");
+  w.BeginObject();
+  w.KV("warmup_s", scale_.warmup_s);
+  w.KV("measure_s", scale_.measure_s);
+  w.KV("seeds", static_cast<int64_t>(scale_.seeds));
+  w.EndObject();
+  w.Key("series");
+  w.BeginObject();
+  for (const auto& [name, points] : series_) {
+    w.Key(name);
+    w.BeginArray();
+    for (const Point& p : points) {
+      const AveragedResult& r = p.result;
+      w.BeginObject();
+      w.KV("x", p.x);
+      w.KV("throughput", r.throughput);
+      w.KV("throughput_stddev", r.throughput_stddev);
+      w.KV("committed", r.committed);
+      w.KV("aborts", r.aborts);
+      w.KV("ops_executed", r.ops_executed);
+      w.KV("inconsistent_ops", r.inconsistent_ops);
+      w.KV("waits", r.waits);
+      w.KV("ops_per_committed_txn", r.ops_per_committed_txn);
+      w.KV("query_ops_per_committed_query",
+           r.query_ops_per_committed_query);
+      w.KV("avg_import_per_query", r.avg_import_per_query);
+      w.KV("avg_txn_latency_ms", r.avg_txn_latency_ms);
+      w.Key("latency_ms");
+      w.BeginObject();
+      const PercentileSummary pct = r.latency_ms.Percentiles();
+      w.KV("count", r.latency_ms.count());
+      w.KV("mean", r.latency_ms.mean());
+      w.KV("min", r.latency_ms.min());
+      w.KV("max", r.latency_ms.max());
+      w.KV("stddev", r.latency_ms.stddev());
+      w.KV("p50", pct.p50);
+      w.KV("p90", pct.p90);
+      w.KV("p99", pct.p99);
+      w.KV("p999", pct.p999);
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.EndObject();
+  out << "\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing bench JSON to: " + path);
+  }
+  std::fprintf(stderr, "wrote bench JSON to %s\n", path.c_str());
+  return Status::OK();
 }
 
 void PrintHeader(const std::string& figure, const std::string& paper_claim,

@@ -2,8 +2,11 @@
 #define ESR_BENCH_HARNESS_HARNESS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/status.h"
 #include "esr/limits.h"
 #include "sim/cluster.h"
 
@@ -48,6 +51,9 @@ struct AveragedResult {
   double query_ops_per_committed_query = 0.0;
   double avg_import_per_query = 0.0;
   double avg_txn_latency_ms = 0.0;
+  /// Commit-latency distribution (ms) merged across all seeds' runs;
+  /// source of the percentile columns in the JSON report.
+  Histogram latency_ms;
 };
 
 AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale);
@@ -72,6 +78,44 @@ class Table {
 /// and the scale in effect.
 void PrintHeader(const std::string& figure, const std::string& paper_claim,
                  const RunScale& scale);
+
+/// Machine-readable companion to the printed tables: collects every
+/// (series, x, AveragedResult) point a figure harness produces and writes
+/// them as one JSON document, so plots and regression dashboards consume
+/// the same numbers the tables show.
+///
+/// Output shape:
+///   {"figure": "...",
+///    "scale": {"warmup_s": _, "measure_s": _, "seeds": _},
+///    "series": {"<name>": [{"x": _, "throughput": _, ...,
+///                           "latency_ms": {"count": _, ..., "p999": _}},
+///                          ...], ...}}
+class JsonReport {
+ public:
+  /// Resolves the output path: a `--json <path>` pair anywhere in argv
+  /// wins over the ESR_BENCH_JSON environment variable; empty string when
+  /// neither is present (callers then skip writing).
+  static std::string PathFromArgs(int argc, char** argv);
+
+  JsonReport(std::string figure, const RunScale& scale);
+
+  void AddPoint(const std::string& series, double x,
+                const AveragedResult& result);
+
+  /// No-op returning OK when `path` is empty.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  struct Point {
+    double x;
+    AveragedResult result;
+  };
+
+  std::string figure_;
+  RunScale scale_;
+  /// Insertion-ordered series.
+  std::vector<std::pair<std::string, std::vector<Point>>> series_;
+};
 
 }  // namespace bench
 }  // namespace esr

@@ -5,14 +5,24 @@
 // and the server's internal counters.
 //
 // Usage:  ./build/examples/threaded_server [num_clients] [txns_per_client]
+//             [--json metrics.json] [--trace trace.json]
+//
+// --json dumps the final epsilon level's metric registry (counters plus
+// latency percentiles) as JSON; --trace captures that run's transaction
+// lifecycle events and writes them as Chrome trace-event JSON loadable in
+// Perfetto / about:tracing.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "esr/limits.h"
+#include "obs/exporter.h"
+#include "obs/trace.h"
 #include "txn/server.h"
 #include "workload/generator.h"
 
@@ -34,7 +44,8 @@ struct ClientResult {
 
 // Executes `txns` transactions from a generated load against the server,
 // retrying waits and resubmitting aborts, exactly like the prototype's
-// clients (Sec. 6).
+// clients (Sec. 6). Per-transaction commit latency lands in the server's
+// metric registry ("client.txn_latency_ms").
 ClientResult RunClient(esr::Server* server, esr::SiteId site,
                        const esr::WorkloadSpec& spec, int txns) {
   ClientResult result;
@@ -42,6 +53,7 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
   esr::TimestampGenerator ts_gen(site);
   for (int i = 0; i < txns; ++i) {
     const esr::TxnScript script = generator.Next();
+    const int64_t started_us = NowMicros();
     bool committed = false;
     while (!committed) {
       const esr::TxnId txn =
@@ -79,6 +91,9 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
       if (server->Commit(txn).ok()) {
         committed = true;
         ++result.committed;
+        server->metrics().RecordSample(
+            "client.txn_latency_ms",
+            static_cast<double>(NowMicros() - started_us) / 1000.0);
       }
     }
   }
@@ -88,17 +103,43 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_clients = argc > 1 ? std::atoi(argv[1]) : 4;
-  const int txns_per_client = argc > 2 ? std::atoi(argv[2]) : 250;
+  int num_clients = 4;
+  int txns_per_client = 250;
+  std::string json_path;
+  std::string trace_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const bool is_json = std::strcmp(argv[i], "--json") == 0;
+    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    if (is_json || is_trace) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a path argument\n", argv[i]);
+        return 1;
+      }
+      (is_json ? json_path : trace_path) = argv[++i];
+    } else if (positional == 0) {
+      num_clients = std::atoi(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      txns_per_client = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 1;
+    }
+  }
 
   std::printf("threaded client/server run: %d clients x %d transactions\n\n",
               num_clients, txns_per_client);
-  std::printf("%-8s %10s %10s %10s %10s\n", "epsilon", "tput(tps)",
-              "commits", "aborts", "waits");
+  std::printf("%-8s %10s %10s %10s %10s %12s\n", "epsilon", "tput(tps)",
+              "commits", "aborts", "waits", "p99 lat(ms)");
 
-  for (const esr::EpsilonLevel level :
-       {esr::EpsilonLevel::kZero, esr::EpsilonLevel::kLow,
-        esr::EpsilonLevel::kHigh}) {
+  const esr::EpsilonLevel levels[] = {esr::EpsilonLevel::kZero,
+                                      esr::EpsilonLevel::kLow,
+                                      esr::EpsilonLevel::kHigh};
+  const esr::EpsilonLevel last_level = levels[2];
+
+  for (const esr::EpsilonLevel level : levels) {
     esr::ServerOptions options;
     options.store.num_objects = 1000;
     esr::Server server(options);
@@ -107,6 +148,14 @@ int main(int argc, char** argv) {
     const esr::TransactionLimits limits = esr::LimitsForLevel(level);
     spec.til = limits.til;
     spec.tel = limits.tel;
+
+    // Trace only the last (most relaxed) level so the capture covers one
+    // coherent run rather than three concatenated ones.
+    const bool tracing = !trace_path.empty() && level == last_level;
+    if (tracing) {
+      esr::GlobalTrace().Reset();
+      esr::GlobalTrace().set_enabled(true);
+    }
 
     std::vector<std::thread> threads;
     std::vector<ClientResult> results(
@@ -123,18 +172,46 @@ int main(int argc, char** argv) {
     const double elapsed_s =
         std::chrono::duration<double>(Clock::now() - start).count();
 
+    if (tracing) {
+      esr::GlobalTrace().set_enabled(false);
+      const esr::Status s =
+          esr::GlobalTrace().ExportChromeTraceToFile(trace_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                   esr::GlobalTrace().size(), trace_path.c_str());
+    }
+
     ClientResult total;
     for (const ClientResult& r : results) {
       total.committed += r.committed;
       total.aborts += r.aborts;
       total.waits += r.waits;
     }
-    std::printf("%-8s %10.0f %10lld %10lld %10lld\n",
+    const esr::Histogram* latency =
+        server.metrics().FindHistogram("client.txn_latency_ms");
+    std::printf("%-8s %10.0f %10lld %10lld %10lld %12.2f\n",
                 std::string(esr::EpsilonLevelToString(level)).c_str(),
                 static_cast<double>(total.committed) / elapsed_s,
                 static_cast<long long>(total.committed),
                 static_cast<long long>(total.aborts),
-                static_cast<long long>(total.waits));
+                static_cast<long long>(total.waits),
+                latency != nullptr ? latency->ApproximatePercentile(0.99)
+                                   : 0.0);
+
+    if (!json_path.empty() && level == last_level) {
+      const esr::Status s =
+          esr::ExportMetricsJsonToFile(server.metrics(), json_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "metrics export failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote metrics JSON to %s\n", json_path.c_str());
+    }
   }
   std::printf("\nNote: without the simulated RPC latency the engine is "
               "memory-speed, so absolute\nnumbers dwarf the paper's; the "

@@ -33,6 +33,9 @@ enum class AbortReason : uint8_t {
   kDeadlockVictim,
 };
 
+inline constexpr size_t kNumAbortReasons =
+    static_cast<size_t>(AbortReason::kDeadlockVictim) + 1;
+
 const char* AbortReasonToString(AbortReason reason);
 
 /// What the timestamp-ordering policy decides for a read request.

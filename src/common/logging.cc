@@ -1,17 +1,65 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+#include <ctime>
 
 namespace esr {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_mutex;
+std::atomic<LogSink*> g_sink{nullptr};
 
-const char* LevelName(LogLevel level) {
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The default sink: one formatted line per record to stderr, serialized
+/// by a mutex so concurrent threads never interleave.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override {
+    // 2026-08-06T12:34:56.789012Z, UTC.
+    const std::time_t secs =
+        static_cast<std::time_t>(record.wall_micros / 1'000'000);
+    const int64_t sub_micros = record.wall_micros % 1'000'000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char when[64];
+    std::snprintf(when, sizeof(when),
+                  "%04d-%02d-%02dT%02d:%02d:%02d.%06lldZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<long long>(sub_micros));
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(stderr, "[%s %s t%u %s:%d] %.*s\n",
+                 LogLevelName(record.level), when, record.thread_id,
+                 record.file, record.line,
+                 static_cast<int>(record.message.size()),
+                 record.message.data());
+    std::fflush(stderr);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+StderrLogSink& DefaultSink() {
+  static StderrLogSink* sink = new StderrLogSink();
+  return *sink;
+}
+
+LogSink& ActiveSink() {
+  LogSink* sink = g_sink.load(std::memory_order_acquire);
+  return sink != nullptr ? *sink : DefaultSink();
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -27,8 +75,6 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
 void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
@@ -37,20 +83,62 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
-namespace internal_logging {
-
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+LogSink* SetLogSink(LogSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
 }
 
+void CapturingLogSink::Write(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(Captured{record.level, record.file, record.line,
+                              record.wall_micros, record.thread_id,
+                              std::string(record.message)});
+}
+
+std::vector<CapturingLogSink::Captured> CapturingLogSink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t CapturingLogSink::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void CapturingLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+namespace internal_logging {
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
 LogMessage::~LogMessage() {
-  {
-    std::lock_guard<std::mutex> lock(g_mutex);
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+  const std::string message = stream_.str();
+  LogRecord record;
+  record.level = level_;
+  record.file = file_;
+  record.line = line_;
+  record.wall_micros = WallMicros();
+  record.thread_id = CurrentThreadId();
+  record.message = message;
+  ActiveSink().Write(record);
+  if (level_ == LogLevel::kFatal) {
+    // A fatal line must reach stderr even when a test sink is installed,
+    // both for humans and for death-test matchers.
+    if (g_sink.load(std::memory_order_acquire) != nullptr) {
+      DefaultSink().Write(record);
+    }
+    std::abort();
   }
-  if (level_ == LogLevel::kFatal) std::abort();
 }
 
 }  // namespace internal_logging

@@ -1,8 +1,12 @@
 #ifndef ESR_COMMON_LOGGING_H_
 #define ESR_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace esr {
 
@@ -15,12 +19,69 @@ enum class LogLevel : int {
   kFatal = 4,
 };
 
+const char* LogLevelName(LogLevel level);
+
 /// Sets the global threshold; defaults to kWarning so library internals are
 /// silent in tests and benches unless asked for.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// One structured log line as handed to a sink: severity, source
+/// location, wall-clock microseconds since the Unix epoch, a small
+/// process-unique id of the emitting thread, and the formatted message.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  int64_t wall_micros = 0;
+  uint32_t thread_id = 0;
+  std::string_view message;
+};
+
+/// Destination for emitted log records. Implementations must be
+/// thread-safe: records arrive from any thread, already filtered by the
+/// global level threshold.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Replaces the process-wide sink; nullptr restores the default stderr
+/// sink. Returns the previous sink (nullptr when the default was active)
+/// so tests can restore it. The caller keeps ownership of the sink, which
+/// must outlive its installation.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Test sink: retains every record (with the message copied) for
+/// assertions on log output.
+class CapturingLogSink : public LogSink {
+ public:
+  struct Captured {
+    LogLevel level;
+    std::string file;
+    int line;
+    int64_t wall_micros;
+    uint32_t thread_id;
+    std::string message;
+  };
+
+  void Write(const LogRecord& record) override;
+
+  std::vector<Captured> records() const;
+  size_t count() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Captured> records_;
+};
+
 namespace internal_logging {
+
+/// Small process-unique id of the calling thread (1, 2, ... in first-log
+/// order); stable for the thread's lifetime.
+uint32_t CurrentThreadId();
 
 /// Stream-style one-shot logger; emits on destruction. kFatal aborts.
 class LogMessage {
@@ -35,6 +96,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -7,11 +7,37 @@
 namespace esr {
 namespace {
 
-// Index of the log2 bucket for a non-negative sample.
-int BucketIndex(double sample) {
+constexpr int kNumBuckets = 64;
+constexpr int kSubBuckets = 16;
+
+// Major (log2) bucket for a non-negative sample: bucket 0 covers [0, 1),
+// bucket m >= 1 covers [2^(m-1), 2^m).
+int MajorIndex(double sample) {
   if (sample < 1.0) return 0;
   int idx = 1 + static_cast<int>(std::log2(sample));
-  return std::min(idx, 63);
+  return std::min(idx, kNumBuckets - 1);
+}
+
+// Lower bound and width of one linear sub-bucket.
+void SubBucketBounds(int major, int sub, double* lo, double* width) {
+  if (major == 0) {
+    *width = 1.0 / kSubBuckets;
+    *lo = sub * *width;
+    return;
+  }
+  const double base = std::pow(2.0, major - 1);
+  *width = base / kSubBuckets;
+  *lo = base + sub * *width;
+}
+
+int FlatIndex(double sample) {
+  const int major = MajorIndex(sample);
+  double lo;
+  double width;
+  SubBucketBounds(major, 0, &lo, &width);
+  int sub = static_cast<int>((sample - lo) / width);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return major * kSubBuckets + sub;
 }
 
 }  // namespace
@@ -27,7 +53,7 @@ void Histogram::Record(double sample) {
     min_ = std::min(min_, sample);
     max_ = std::max(max_, sample);
   }
-  ++buckets_[BucketIndex(std::max(sample, 0.0))];
+  ++buckets_[FlatIndex(std::max(sample, 0.0))];
 }
 
 double Histogram::variance() const {
@@ -39,43 +65,119 @@ double Histogram::stddev() const { return std::sqrt(variance()); }
 double Histogram::ApproximatePercentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
-  const int64_t rank = static_cast<int64_t>(p * static_cast<double>(count_));
+  // 0-based fractional target rank; walk the sub-buckets to the one
+  // containing it and interpolate linearly inside.
+  const double target = p * static_cast<double>(count_ - 1);
   int64_t seen = 0;
-  for (int i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen > rank) {
-      return i == 0 ? 1.0 : std::pow(2.0, i);
+  for (int i = 0; i < kTotalBuckets; ++i) {
+    const int64_t n = buckets_[i];
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) > target) {
+      double lo;
+      double width;
+      SubBucketBounds(i / kSubBuckets, i % kSubBuckets, &lo, &width);
+      const double within =
+          (target - static_cast<double>(seen) + 0.5) /
+          static_cast<double>(n);
+      const double value = lo + std::clamp(within, 0.0, 1.0) * width;
+      return std::clamp(value, min_, max_);
     }
+    seen += n;
   }
   return max_;
+}
+
+PercentileSummary Histogram::Percentiles() const {
+  return PercentileSummary{
+      ApproximatePercentile(0.50), ApproximatePercentile(0.90),
+      ApproximatePercentile(0.99), ApproximatePercentile(0.999)};
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan's parallel combination of the Welford moments.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kTotalBuckets; ++i) buckets_[i] += other.buckets_[i];
 }
 
 void Histogram::Reset() { *this = Histogram(); }
 
 std::string Histogram::ToString() const {
-  char buf[160];
+  const PercentileSummary p = Percentiles();
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
-                "count=%lld mean=%.3f min=%.3f max=%.3f stddev=%.3f",
+                "count=%lld mean=%.3f min=%.3f max=%.3f stddev=%.3f "
+                "p50=%.3f p99=%.3f",
                 static_cast<long long>(count_), mean(), min(), max(),
-                stddev());
+                stddev(), p.p50, p.p99);
   return buf;
 }
 
-int64_t MetricRegistry::CounterValue(const std::string& name) const {
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+const Counter* MetricRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second.value();
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+int64_t MetricRegistry::CounterValue(const std::string& name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+void MetricRegistry::RecordSample(const std::string& name, double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Record(sample);
 }
 
 void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.Reset();
   for (auto& [name, h] : histograms_) h.Reset();
 }
 
 std::vector<std::pair<std::string, int64_t>> MetricRegistry::CounterSnapshot()
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram>>
+MetricRegistry::HistogramSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h);
   return out;
 }
 

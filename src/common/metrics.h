@@ -1,26 +1,47 @@
 #ifndef ESR_COMMON_METRICS_H_
 #define ESR_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace esr {
 
-/// A monotonically increasing event counter.
+/// A monotonically increasing event counter. Increments are relaxed
+/// atomics, so counters may be bumped concurrently (the threaded-server
+/// path) without a registry lock.
 class Counter {
  public:
-  void Increment(int64_t delta = 1) { value_ += delta; }
-  int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Percentile summary of a histogram (interpolated; see
+/// Histogram::ApproximatePercentile).
+struct PercentileSummary {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 /// Streaming summary of a series of samples (count/mean/min/max/stddev via
-/// Welford), plus a coarse log2-bucketed histogram for tail inspection.
+/// Welford), plus a two-level bucketed histogram — 64 log2 major buckets,
+/// each split into 16 linear sub-buckets — giving percentiles with
+/// bounded relative error (~1/16 of the value) instead of the up-to-2x
+/// error of plain log2 buckets.
+///
+/// NOT thread-safe: one writer at a time (use MetricRegistry::RecordSample
+/// for the mutex-guarded multi-writer path).
 class Histogram {
  public:
   void Record(double sample);
@@ -32,9 +53,19 @@ class Histogram {
   double variance() const;
   double stddev() const;
 
-  /// Approximate percentile from the log2 buckets (upper bound of the
-  /// bucket containing the requested rank); good enough for reporting.
+  /// Percentile estimate by exact rank over the sub-buckets with linear
+  /// interpolation inside the containing sub-bucket, clamped to the
+  /// observed [min, max]. Error is bounded by one sub-bucket width
+  /// (1/16 of the bucket's lower bound).
   double ApproximatePercentile(double p) const;
+
+  /// p50/p90/p99/p999 in one pass-friendly struct (reporting convenience).
+  PercentileSummary Percentiles() const;
+
+  /// Folds `other` into this histogram (parallel Welford combination plus
+  /// bucket-wise addition) — used to merge per-client simulator
+  /// histograms into one run-level distribution.
+  void Merge(const Histogram& other);
 
   void Reset();
 
@@ -42,30 +73,58 @@ class Histogram {
 
  private:
   static constexpr int kNumBuckets = 64;
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kTotalBuckets = kNumBuckets * kSubBuckets;
 
   int64_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
-  int64_t buckets_[kNumBuckets] = {};
+  int64_t buckets_[kTotalBuckets] = {};
 };
 
 /// Named registry of counters and histograms used by the transaction
-/// engine and the simulator; snapshots feed the benchmark tables.
+/// engine and the simulator; snapshots feed the benchmark tables and the
+/// obs/ exporters.
+///
+/// Thread-safety contract: the registry map itself is mutex-guarded, so
+/// concurrent `counter(name)` / `histogram(name)` lookups (including
+/// first-use creation) are safe, and Counter increments are atomic.
+/// Histogram recording through the returned reference is single-writer;
+/// concurrent recorders must go through RecordSample(), which holds the
+/// registry mutex across the write.
 class MetricRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  /// Returns (creating on first use) a named counter. The reference stays
+  /// valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  /// Returns (creating on first use) a named histogram. Recording through
+  /// this reference is single-writer; see class comment.
+  Histogram& histogram(const std::string& name);
+
+  /// Const lookups that never default-construct an entry; nullptr when
+  /// the name was never registered.
+  const Counter* FindCounter(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
 
   int64_t CounterValue(const std::string& name) const;
+
+  /// Mutex-guarded histogram record for multi-threaded writers (the
+  /// threaded-server client path).
+  void RecordSample(const std::string& name, double sample);
 
   void Reset();
 
   /// All counters as (name, value), sorted by name.
   std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const;
 
+  /// All histograms as (name, copy), sorted by name. Copies are cheap
+  /// (few KB) and decouple the reader from later recording.
+  std::vector<std::pair<std::string, Histogram>> HistogramSnapshot() const;
+
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Histogram> histograms_;
 };

@@ -1,8 +1,28 @@
 #include "hierarchy/accumulator.h"
 
+#include <string>
+
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace esr {
+
+Counter* BoundCheckStats::Slot(std::vector<Counter*>& slots, size_t depth,
+                               const char* suffix) {
+  if (depth >= slots.size()) slots.resize(depth + 1, nullptr);
+  if (slots[depth] == nullptr) {
+    slots[depth] = &metrics_->counter("bound_check.level" +
+                                      std::to_string(depth) + suffix);
+  }
+  return slots[depth];
+}
+
+void BoundCheckStats::Count(size_t depth, bool admitted) {
+  if (metrics_ == nullptr) return;
+  Counter* c = admitted ? Slot(admit_, depth, ".admit")
+                        : Slot(reject_, depth, ".reject");
+  c->Increment();
+}
 
 InconsistencyAccumulator::InconsistencyAccumulator(const GroupSchema* schema,
                                                    BoundSpec bounds)
@@ -28,10 +48,57 @@ ChargeResult InconsistencyAccumulator::Check(ObjectId object,
 }
 
 ChargeResult InconsistencyAccumulator::TryCharge(ObjectId object,
-                                                 Inconsistency d) {
-  ChargeResult result = Check(object, d);
-  if (!result.admitted || d == 0.0) return result;
+                                                 Inconsistency d,
+                                                 BoundCheckStats* stats,
+                                                 TxnId txn, SiteId site) {
+  ESR_CHECK(d >= 0.0) << "negative inconsistency";
+  if (d == 0.0) return ChargeResult{true, kInvalidGroup};
+
+#ifdef ESR_TRACE_DISABLED
+  const bool tracing = false;
+#else
+  const bool tracing = GlobalTrace().enabled();
+#endif
+  // Depth of the object's group below the root, for per-level
+  // attribution; skipped entirely on the unobserved fast path.
+  size_t leaf_depth = 0;
+  if (stats != nullptr || tracing) {
+    for (GroupId g = schema_->GroupOf(object); g != kRootGroup;
+         g = schema_->parent(g)) {
+      ++leaf_depth;
+    }
+  }
+
+  // Check pass, bottom-up (Sec. 5.3.1): stop at the first rejecting node.
+  ChargeResult result{true, kInvalidGroup};
   GroupId g = schema_->GroupOf(object);
+  size_t depth = leaf_depth;
+  while (true) {
+    const Inconsistency charge = d * schema_->weight(g);
+    const Inconsistency limit = bounds_.LimitFor(g);
+    const bool admitted = accumulated_[g] + charge <= limit;
+    if (stats != nullptr) stats->Count(depth, admitted);
+#ifndef ESR_TRACE_DISABLED
+    // Reuses the enabled() load from above instead of ESR_TRACE_EVENT,
+    // which would re-read it on every node of the path.
+    if (tracing) {
+      GlobalTrace().Record(TraceEvent::BoundCheck(
+          txn, site, static_cast<uint16_t>(depth), g, charge, limit,
+          admitted));
+    }
+#endif
+    if (!admitted) {
+      result = ChargeResult{false, g};
+      break;
+    }
+    if (g == kRootGroup) break;
+    g = schema_->parent(g);
+    --depth;
+  }
+  if (!result.admitted) return result;
+
+  // Charge pass: every check admitted, so increment the whole path.
+  g = schema_->GroupOf(object);
   while (true) {
     accumulated_[g] += d * schema_->weight(g);
     if (g == kRootGroup) break;

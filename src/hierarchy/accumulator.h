@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/timestamp.h"
 #include "common/types.h"
 #include "hierarchy/bound_spec.h"
 #include "hierarchy/group_schema.h"
@@ -15,6 +17,34 @@ struct ChargeResult {
   bool admitted = false;
   /// Node whose limit rejected the charge (kInvalidGroup when admitted).
   GroupId violated_group = kInvalidGroup;
+};
+
+/// Per-level bound-check outcome counters, lazily registered in a
+/// MetricRegistry as `bound_check.level<depth>.admit|reject` (depth 0 is
+/// the transaction level / root, deeper levels are groups). One instance
+/// lives in each engine and is handed to TryCharge so the Sec. 5
+/// machinery stops being a black box: the metrics snapshot shows exactly
+/// which level of the hierarchy admits or rejects charges.
+///
+/// Not internally synchronized: callers invoke Count under the engine's
+/// latch (the counters themselves are atomic).
+class BoundCheckStats {
+ public:
+  /// `metrics` may be nullptr (all counting disabled); it must outlive
+  /// this object otherwise.
+  explicit BoundCheckStats(MetricRegistry* metrics) : metrics_(metrics) {}
+
+  void Count(size_t depth, bool admitted);
+
+ private:
+  Counter* Slot(std::vector<Counter*>& slots, size_t depth,
+                const char* suffix);
+
+  MetricRegistry* metrics_;
+  // Indexed by depth; grown lazily since the schema may gain levels after
+  // the engine is constructed.
+  std::vector<Counter*> admit_;
+  std::vector<Counter*> reject_;
 };
 
 /// Per-transaction, per-direction (import or export) accumulation of
@@ -37,7 +67,15 @@ class InconsistencyAccumulator {
   /// Checks the full leaf-to-root path for `object` and, if every level
   /// admits `d`, charges every level. d must be >= 0; d == 0 always
   /// succeeds without modifying state.
-  ChargeResult TryCharge(ObjectId object, Inconsistency d);
+  ///
+  /// When `stats` is non-null every node check is counted per level, and
+  /// when the global trace recorder is enabled a BoundCheck event is
+  /// emitted per node (attributed to `txn`/`site`). The bottom-up
+  /// short-circuit is observable: nodes above the first rejecting one are
+  /// neither checked nor counted.
+  ChargeResult TryCharge(ObjectId object, Inconsistency d,
+                         BoundCheckStats* stats = nullptr,
+                         TxnId txn = kInvalidTxnId, SiteId site = 0);
 
   /// Pure check: would `d` on `object` be admitted? Never charges.
   ChargeResult Check(ObjectId object, Inconsistency d) const;

@@ -3,19 +3,16 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace esr {
-namespace {
-
-const char* TypeTag(TxnType type) {
-  return type == TxnType::kQuery ? "query" : "update";
-}
-
-}  // namespace
 
 MvtoManager::MvtoManager(const ObjectStoreOptions& store_options,
                          const GroupSchema* schema, MetricRegistry* metrics)
-    : schema_(schema), metrics_(metrics), store_(store_options) {
+    : schema_(schema),
+      metrics_(metrics),
+      store_(store_options),
+      counters_(metrics) {
   ESR_CHECK(schema_ != nullptr);
   ESR_CHECK(metrics_ != nullptr);
 }
@@ -25,7 +22,8 @@ TxnId MvtoManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
   const TxnId id = next_txn_id_++;
   transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
-  metrics_->counter(std::string("txn.begin.") + TypeTag(type)).Increment();
+  counters_.BeginFor(type)->Increment();
+  ESR_TRACE_EVENT(TraceEvent::BeginTxn(id, type, ts.site));
   return id;
 }
 
@@ -38,11 +36,14 @@ OpResult MvtoManager::Read(TxnId txn, ObjectId object) {
     case VersionChain::ReadStatus::kOk: {
       t.ObserveValue(object, r.value);
       t.CountOp();
-      metrics_->counter("op.read").Increment();
+      counters_.op_read->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kRead, t.id(),
+                                     t.ts().site, object));
       return OpResult::Ok(r.value, 0.0, /*was_relaxed=*/false);
     }
     case VersionChain::ReadStatus::kWaitForWriter:
-      metrics_->counter("op.wait").Increment();
+      counters_.op_wait->Increment();
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(t.id(), t.ts().site, object));
       return OpResult::Wait(r.writer);
     case VersionChain::ReadStatus::kTooOld:
       return AbortOp(t, AbortReason::kHistoryExhausted);
@@ -62,11 +63,14 @@ OpResult MvtoManager::Write(TxnId txn, ObjectId object, Value value) {
     case VersionChain::WriteStatus::kOk: {
       t.NotePendingWrite(object);
       t.CountOp();
-      metrics_->counter("op.write").Increment();
+      counters_.op_write->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kWrite, t.id(),
+                                     t.ts().site, object));
       return OpResult::Ok(value, 0.0, /*was_relaxed=*/false);
     }
     case VersionChain::WriteStatus::kWaitForWriter:
-      metrics_->counter("op.wait").Increment();
+      counters_.op_wait->Increment();
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(t.id(), t.ts().site, object));
       return OpResult::Wait(r.conflict);
     case VersionChain::WriteStatus::kReadByNewer:
       return AbortOp(t, AbortReason::kLateWrite);
@@ -137,12 +141,13 @@ void MvtoManager::Teardown(Transaction& txn, TxnState final_state,
     }
   }
   if (final_state == TxnState::kCommitted) {
-    metrics_->counter(std::string("txn.commit.") + TypeTag(txn.type()))
-        .Increment();
+    counters_.CommitFor(txn.type())->Increment();
+    ESR_TRACE_EVENT(TraceEvent::CommitTxn(txn.id(), txn.ts().site));
   } else {
-    metrics_->counter("txn.abort").Increment();
-    metrics_->counter(std::string("abort.") + AbortReasonToString(reason))
-        .Increment();
+    counters_.txn_abort->Increment();
+    counters_.AbortFor(reason)->Increment();
+    ESR_TRACE_EVENT(TraceEvent::AbortTxn(txn.id(), txn.ts().site,
+                                         static_cast<uint8_t>(reason)));
   }
   transactions_.erase(txn.id());
 }

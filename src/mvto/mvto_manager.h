@@ -53,6 +53,9 @@ class MvtoManager final : public TransactionEngine {
   VersionStore store_;
   TxnId next_txn_id_ = 1;
   std::unordered_map<TxnId, Transaction> transactions_;
+  /// Hot-path counters resolved once at construction so per-operation
+  /// accounting is an atomic increment, not a map lookup.
+  EngineCounters counters_;
 };
 
 }  // namespace esr

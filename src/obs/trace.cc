@@ -1,0 +1,206 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "cc/to_policy.h"
+
+namespace esr {
+
+const char* TraceEventTypeToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kBegin:
+      return "Begin";
+    case TraceEventType::kRead:
+      return "Read";
+    case TraceEventType::kWrite:
+      return "Write";
+    case TraceEventType::kCommit:
+      return "Commit";
+    case TraceEventType::kAbort:
+      return "Abort";
+    case TraceEventType::kBoundCheck:
+      return "BoundCheck";
+    case TraceEventType::kImportCharge:
+      return "ImportCharge";
+    case TraceEventType::kWait:
+      return "Wait";
+  }
+  return "?";
+}
+
+TraceEvent TraceEvent::BeginTxn(TxnId txn, TxnType type, SiteId site) {
+  TraceEvent e;
+  e.type = TraceEventType::kBegin;
+  e.detail = static_cast<uint8_t>(type);
+  e.site = site;
+  e.txn = txn;
+  return e;
+}
+
+TraceEvent TraceEvent::Op(TraceEventType type, TxnId txn, SiteId site,
+                          ObjectId object) {
+  TraceEvent e;
+  e.type = type;
+  e.site = site;
+  e.txn = txn;
+  e.target = object;
+  return e;
+}
+
+TraceEvent TraceEvent::CommitTxn(TxnId txn, SiteId site) {
+  TraceEvent e;
+  e.type = TraceEventType::kCommit;
+  e.site = site;
+  e.txn = txn;
+  return e;
+}
+
+TraceEvent TraceEvent::AbortTxn(TxnId txn, SiteId site, uint8_t reason) {
+  TraceEvent e;
+  e.type = TraceEventType::kAbort;
+  e.detail = reason;
+  e.site = site;
+  e.txn = txn;
+  return e;
+}
+
+TraceEvent TraceEvent::BoundCheck(TxnId txn, SiteId site, uint16_t level,
+                                  uint64_t group, Inconsistency charged,
+                                  Inconsistency limit, bool admitted) {
+  TraceEvent e;
+  e.type = TraceEventType::kBoundCheck;
+  e.detail = admitted ? 1 : 0;
+  e.level = level;
+  e.site = site;
+  e.txn = txn;
+  e.target = group;
+  e.charged = charged;
+  e.limit = limit;
+  return e;
+}
+
+TraceEvent TraceEvent::ImportCharge(TxnId txn, SiteId site, ObjectId object,
+                                    Inconsistency d) {
+  TraceEvent e;
+  e.type = TraceEventType::kImportCharge;
+  e.site = site;
+  e.txn = txn;
+  e.target = object;
+  e.charged = d;
+  return e;
+}
+
+TraceEvent TraceEvent::WaitOn(TxnId txn, SiteId site, ObjectId object) {
+  TraceEvent e;
+  e.type = TraceEventType::kWait;
+  e.site = site;
+  e.txn = txn;
+  e.target = object;
+  return e;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+int64_t TraceRecorder::NowMicros() const {
+  const TimeSourceFn fn = time_fn_.load(std::memory_order_acquire);
+  if (fn != nullptr) {
+    return fn(time_ctx_.load(std::memory_order_acquire));
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TraceRecorder::SetTimeSource(TimeSourceFn fn, void* ctx) {
+  time_ctx_.store(ctx, std::memory_order_release);
+  time_fn_.store(fn, std::memory_order_release);
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  event.ts_micros = NowMicros();
+  const uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  ring_[slot % ring_.size()] = event;
+}
+
+size_t TraceRecorder::size() const {
+  const uint64_t n = next_.load(std::memory_order_relaxed);
+  return n < ring_.size() ? static_cast<size_t>(n) : ring_.size();
+}
+
+uint64_t TraceRecorder::dropped() const {
+  const uint64_t n = next_.load(std::memory_order_relaxed);
+  return n > ring_.size() ? n - ring_.size() : 0;
+}
+
+void TraceRecorder::Reset() { next_.store(0, std::memory_order_relaxed); }
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  const uint64_t n = next_.load(std::memory_order_relaxed);
+  const size_t cap = ring_.size();
+  std::vector<TraceEvent> out;
+  const size_t count = n < cap ? static_cast<size_t>(n) : cap;
+  out.reserve(count);
+  // Oldest retained event first: when wrapped, the slot after the last
+  // write holds the oldest survivor.
+  const uint64_t start = n < cap ? 0 : n - cap;
+  for (uint64_t i = start; i < n; ++i) out.push_back(ring_[i % cap]);
+  return out;
+}
+
+void TraceRecorder::ExportChromeTrace(std::ostream& out) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  out << "[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\":\"" << TraceEventTypeToString(e.type)
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.ts_micros
+        << ",\"pid\":" << e.site << ",\"tid\":" << e.txn << ",\"args\":{";
+    out << "\"target\":" << e.target << ",\"level\":" << e.level
+        << ",\"detail\":" << static_cast<int>(e.detail);
+    if (e.type == TraceEventType::kAbort) {
+      out << ",\"reason\":\""
+          << AbortReasonToString(static_cast<AbortReason>(e.detail)) << "\"";
+    }
+    if (e.type == TraceEventType::kBoundCheck ||
+        e.type == TraceEventType::kImportCharge) {
+      std::snprintf(buf, sizeof(buf), "%.17g", e.charged);
+      out << ",\"charged\":" << buf;
+    }
+    if (e.type == TraceEventType::kBoundCheck) {
+      // Infinity is not valid JSON; clamp unbounded limits to a sentinel.
+      const double limit = e.limit == kUnbounded ? -1.0 : e.limit;
+      std::snprintf(buf, sizeof(buf), "%.17g", limit);
+      out << ",\"limit\":" << buf
+          << ",\"outcome\":\"" << (e.detail != 0 ? "admit" : "reject")
+          << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]\n";
+}
+
+Status TraceRecorder::ExportChromeTraceToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open trace output file: " + path);
+  }
+  ExportChromeTrace(out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing trace to: " + path);
+  }
+  return Status::OK();
+}
+
+TraceRecorder& GlobalTrace() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+}  // namespace esr

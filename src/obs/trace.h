@@ -1,0 +1,179 @@
+#ifndef ESR_OBS_TRACE_H_
+#define ESR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timestamp.h"
+#include "common/types.h"
+
+namespace esr {
+
+/// Kind of a transaction-lifecycle trace event. One enumerator per probe
+/// point the engines and the divergence-control machinery expose.
+enum class TraceEventType : uint8_t {
+  kBegin = 0,
+  kRead,
+  kWrite,
+  kCommit,
+  kAbort,
+  /// One hierarchy-node check of the bottom-up control loop (Sec. 5.3.1):
+  /// level 0 is the transaction level (root), deeper levels are groups.
+  kBoundCheck,
+  /// A relaxed read successfully charged imported inconsistency.
+  kImportCharge,
+  /// Strict ordering told the operation to wait for an uncommitted writer.
+  kWait,
+};
+
+const char* TraceEventTypeToString(TraceEventType type);
+
+/// One fixed-size trace record. Which payload fields are meaningful
+/// depends on `type`; unused fields are zero. POD on purpose: recording
+/// must be a handful of stores.
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kBegin;
+  /// Type-dependent discriminator: TxnType for kBegin, AbortReason for
+  /// kAbort, 1/0 admitted flag for kBoundCheck.
+  uint8_t detail = 0;
+  /// Hierarchy depth for kBoundCheck (0 = root/transaction level).
+  uint16_t level = 0;
+  /// Issuing site (from the transaction timestamp); 0 when unknown.
+  SiteId site = 0;
+  TxnId txn = 0;
+  /// Wall or virtual microseconds, from the recorder's time source.
+  int64_t ts_micros = 0;
+  /// ObjectId for operation events, GroupId for kBoundCheck.
+  uint64_t target = 0;
+  /// Inconsistency charged/imported (kBoundCheck, kImportCharge).
+  double charged = 0.0;
+  /// The node limit the charge was checked against (kBoundCheck).
+  double limit = 0.0;
+
+  // -- Factories for the probe sites --------------------------------------
+  static TraceEvent BeginTxn(TxnId txn, TxnType type, SiteId site);
+  static TraceEvent Op(TraceEventType type, TxnId txn, SiteId site,
+                       ObjectId object);
+  static TraceEvent CommitTxn(TxnId txn, SiteId site);
+  static TraceEvent AbortTxn(TxnId txn, SiteId site, uint8_t reason);
+  /// `group` is the GroupId of the checked node, widened so this header
+  /// does not depend on the hierarchy layer.
+  static TraceEvent BoundCheck(TxnId txn, SiteId site, uint16_t level,
+                               uint64_t group, Inconsistency charged,
+                               Inconsistency limit, bool admitted);
+  static TraceEvent ImportCharge(TxnId txn, SiteId site, ObjectId object,
+                                 Inconsistency d);
+  static TraceEvent WaitOn(TxnId txn, SiteId site, ObjectId object);
+};
+
+/// Bounded ring-buffer recorder of trace events.
+///
+/// Recording is wait-free: a relaxed fetch_add claims a slot and the event
+/// is copied in, so the single-threaded simulator pays a few stores per
+/// event and the threaded server never serializes on the recorder. When
+/// the ring wraps, the oldest events are overwritten (`dropped()` counts
+/// them). Snapshot/export must run while no writer is active — the same
+/// quiescence the benchmarks' end-of-run reporting already has.
+///
+/// Runtime-off by default: `Record` is only called behind the
+/// `ESR_TRACE_EVENT` macro, which checks `enabled()` (one relaxed atomic
+/// load) first, so a disabled recorder costs a predictable branch.
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Stamps `event` with the current time source reading and stores it.
+  void Record(TraceEvent event);
+
+  /// Redirects event timestamps, e.g. to the simulator's virtual clock.
+  /// `fn(ctx)` must stay valid until ClearTimeSource(); `fn == nullptr`
+  /// restores the default wall-clock (steady, microseconds) source.
+  using TimeSourceFn = int64_t (*)(void* ctx);
+  void SetTimeSource(TimeSourceFn fn, void* ctx);
+  void ClearTimeSource() { SetTimeSource(nullptr, nullptr); }
+
+  size_t capacity() const { return ring_.size(); }
+  /// Events currently retained (<= capacity).
+  size_t size() const;
+  /// Total events ever recorded.
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const;
+
+  /// Drops all events (keeps enabled state and time source).
+  void Reset();
+
+  /// Retained events, oldest first. Caller must ensure no concurrent
+  /// writers (see class comment).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Writes the retained events as Chrome trace-event JSON (the format
+  /// Perfetto / about:tracing load): a JSON array of instant events with
+  /// "name", "ph", "ts", "pid" (site), "tid" (transaction) and an "args"
+  /// object carrying the payload fields.
+  void ExportChromeTrace(std::ostream& out) const;
+  Status ExportChromeTraceToFile(const std::string& path) const;
+
+ private:
+  int64_t NowMicros() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_{0};
+  std::atomic<TimeSourceFn> time_fn_{nullptr};
+  std::atomic<void*> time_ctx_{nullptr};
+  std::vector<TraceEvent> ring_;
+};
+
+/// The process-wide recorder the ESR_TRACE_EVENT probes feed. Disabled by
+/// default; tests, examples, and the bench/threaded-server flags enable it
+/// around the region of interest.
+TraceRecorder& GlobalTrace();
+
+/// RAII redirect of the global recorder's clock — e.g. to a simulator's
+/// virtual time for the duration of a run — restored on scope exit.
+class ScopedTraceTimeSource {
+ public:
+  ScopedTraceTimeSource(TraceRecorder::TimeSourceFn fn, void* ctx) {
+    GlobalTrace().SetTimeSource(fn, ctx);
+  }
+  ~ScopedTraceTimeSource() { GlobalTrace().ClearTimeSource(); }
+
+  ScopedTraceTimeSource(const ScopedTraceTimeSource&) = delete;
+  ScopedTraceTimeSource& operator=(const ScopedTraceTimeSource&) = delete;
+};
+
+}  // namespace esr
+
+/// Probe macro: evaluates `event_expr` and records it iff the global
+/// recorder is enabled. Compiles away entirely (including `event_expr`)
+/// when the build defines ESR_TRACE_DISABLED (CMake -DESR_DISABLE_TRACING).
+#ifdef ESR_TRACE_DISABLED
+#define ESR_TRACE_EVENT(event_expr) \
+  do {                              \
+  } while (0)
+#else
+#define ESR_TRACE_EVENT(event_expr)                 \
+  do {                                              \
+    if (::esr::GlobalTrace().enabled()) {           \
+      ::esr::GlobalTrace().Record((event_expr));    \
+    }                                               \
+  } while (0)
+#endif
+
+#endif  // ESR_OBS_TRACE_H_

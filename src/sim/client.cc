@@ -144,7 +144,9 @@ void SimClient::IssueCommit() {
       ++stats_.committed_update;
       stats_.export_total += attempt_inconsistency_;
     }
-    stats_.txn_latency_total_us += queue_->now() - first_submit_at_;
+    const SimTime latency_us = queue_->now() - first_submit_at_;
+    stats_.txn_latency_total_us += latency_us;
+    latency_ms_.Record(static_cast<double>(latency_us) / 1000.0);
     txn_ = kInvalidTxnId;
     SubmitNextTransaction();
   });

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/timestamp.h"
 #include "sim/event_queue.h"
 #include "sim/latency_model.h"
@@ -61,6 +62,13 @@ class SimClient {
   const ClientStats& stats() const { return stats_; }
   SiteId site() const { return site_; }
 
+  /// Commit-latency distribution (ms) since the last reset. The cluster
+  /// resets it at the end of warm-up so the merged run-level histogram
+  /// covers exactly the measurement window (histograms, unlike the
+  /// counters above, cannot be delta-subtracted).
+  const Histogram& latency_histogram() const { return latency_ms_; }
+  void ResetLatencyHistogram() { latency_ms_.Reset(); }
+
  private:
   // The client is strictly synchronous (one outstanding RPC), so these
   // steps chain through scheduled events without any reentrancy.
@@ -93,6 +101,7 @@ class SimClient {
   double attempt_inconsistency_ = 0.0;
 
   ClientStats stats_;
+  Histogram latency_ms_;
 };
 
 }  // namespace esr

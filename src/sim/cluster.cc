@@ -4,8 +4,19 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/trace.h"
 
 namespace esr {
+namespace {
+
+/// Time-source hook stamping trace events with the simulator's virtual
+/// clock, so a trace of a simulated run lines up with the virtual
+/// timeline the metrics are reported in.
+int64_t VirtualNowMicros(void* ctx) {
+  return static_cast<int64_t>(static_cast<EventQueue*>(ctx)->now());
+}
+
+}  // namespace
 
 std::string SimResult::ToString() const {
   char buf[256];
@@ -47,6 +58,7 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
 }
 
 SimResult Cluster::Run() {
+  ScopedTraceTimeSource trace_clock(&VirtualNowMicros, &queue_);
   // Stagger client start-up slightly so sites do not run in lockstep.
   for (size_t i = 0; i < clients_.size(); ++i) {
     clients_[i]->Start(static_cast<SimTime>(i) * 3 * kMicrosPerMilli);
@@ -61,7 +73,10 @@ SimResult Cluster::Run() {
   queue_.RunUntil(warmup_end);
   std::vector<ClientStats> at_warmup;
   at_warmup.reserve(clients_.size());
-  for (const auto& client : clients_) at_warmup.push_back(client->stats());
+  for (const auto& client : clients_) {
+    at_warmup.push_back(client->stats());
+    client->ResetLatencyHistogram();
+  }
 
   queue_.RunUntil(measure_end);
 
@@ -84,6 +99,7 @@ SimResult Cluster::Run() {
     result.export_total += delta.export_total;
     result.txn_latency_total_us +=
         static_cast<double>(delta.txn_latency_total_us);
+    result.latency_ms.Merge(clients_[i]->latency_histogram());
   }
   return result;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sim/client.h"
 #include "sim/event_queue.h"
 #include "sim/latency_model.h"
@@ -47,6 +48,9 @@ struct SimResult {
   double import_total = 0.0;
   double export_total = 0.0;
   double txn_latency_total_us = 0.0;
+  /// Commit-latency distribution over the measurement window (ms), merged
+  /// across clients; feeds the percentile columns of the bench JSON.
+  Histogram latency_ms;
 
   /// Committed transactions per virtual second.
   double throughput() const {

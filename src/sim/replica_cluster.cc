@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace esr {
+namespace {
+
+int64_t VirtualNowMicros(void* ctx) {
+  return static_cast<int64_t>(static_cast<EventQueue*>(ctx)->now());
+}
+
+}  // namespace
 
 // ------------------------------------------------------- update client --
 
@@ -236,6 +244,7 @@ ReplicaCluster::ReplicaCluster(const ReplicaClusterOptions& options)
 ReplicaCluster::~ReplicaCluster() = default;
 
 ReplicaSimResult ReplicaCluster::Run() {
+  ScopedTraceTimeSource trace_clock(&VirtualNowMicros, &queue_);
   for (size_t i = 0; i < update_clients_.size(); ++i) {
     update_clients_[i]->Start(static_cast<SimTime>(i) * 3 *
                               kMicrosPerMilli);

@@ -3,13 +3,10 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace esr {
 namespace {
-
-const char* TypeTag(TxnType type) {
-  return type == TxnType::kQuery ? "query" : "update";
-}
 
 AbortReason BoundAbortReason(GroupId violated_group) {
   return violated_group == kRootGroup ? AbortReason::kTransactionBound
@@ -21,7 +18,11 @@ AbortReason BoundAbortReason(GroupId violated_group) {
 TwoPLManager::TwoPLManager(ObjectStore* store, const GroupSchema* schema,
                            MetricRegistry* metrics,
                            const DivergenceOptions& divergence)
-    : schema_(schema), metrics_(metrics), data_manager_(store, divergence) {
+    : schema_(schema),
+      metrics_(metrics),
+      data_manager_(store, divergence),
+      bound_stats_(metrics),
+      counters_(metrics) {
   ESR_CHECK(schema_ != nullptr);
   ESR_CHECK(metrics_ != nullptr);
 }
@@ -31,7 +32,8 @@ TxnId TwoPLManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
   const TxnId id = next_txn_id_++;
   transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
-  metrics_->counter(std::string("txn.begin.") + TypeTag(type)).Increment();
+  counters_.BeginFor(type)->Increment();
+  ESR_TRACE_EVENT(TraceEvent::BeginTxn(id, type, ts.site));
   return id;
 }
 
@@ -52,7 +54,9 @@ bool TwoPLManager::HandleGrant(Transaction& txn,
     case LockOutcome::kGranted:
       return true;
     case LockOutcome::kWait:
-      metrics_->counter("op.wait").Increment();
+      counters_.op_wait->Increment();
+      ESR_TRACE_EVENT(
+          TraceEvent::WaitOn(txn.id(), txn.ts().site, grant.conflict));
       *result = OpResult::Wait(grant.conflict);
       return false;
     case LockOutcome::kDie:
@@ -76,7 +80,8 @@ OpResult TwoPLManager::DoRead(Transaction& txn, ObjectId object) {
     if (!data_manager_.WithinObjectImportLimit(obj, measure.d)) {
       return AbortOp(txn, AbortReason::kObjectBound);
     }
-    const ChargeResult charge = txn.accumulator().TryCharge(object, measure.d);
+    const ChargeResult charge = txn.accumulator().TryCharge(
+        object, measure.d, &bound_stats_, txn.id(), txn.ts().site);
     if (!charge.admitted) {
       return AbortOp(txn, BoundAbortReason(charge.violated_group));
     }
@@ -85,12 +90,16 @@ OpResult TwoPLManager::DoRead(Transaction& txn, ObjectId object) {
     txn.NoteRegisteredRead(object);
     txn.ObserveValue(object, present);
     txn.CountOp();
-    metrics_->counter("op.read").Increment();
+    counters_.op_read->Increment();
+    ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kRead, txn.id(),
+                                   txn.ts().site, object));
     const bool relaxed =
         obj.has_uncommitted_write() || measure.d > 0.0;
     if (measure.d > 0.0) {
       txn.CountInconsistentOp();
-      metrics_->counter("op.inconsistent_ok").Increment();
+      counters_.op_inconsistent_ok->Increment();
+      ESR_TRACE_EVENT(TraceEvent::ImportCharge(txn.id(), txn.ts().site,
+                                               object, measure.d));
     }
     return OpResult::Ok(present, measure.d, relaxed);
   }
@@ -104,7 +113,9 @@ OpResult TwoPLManager::DoRead(Transaction& txn, ObjectId object) {
   const Value present = obj.value();
   txn.ObserveValue(object, present);
   txn.CountOp();
-  metrics_->counter("op.read").Increment();
+  counters_.op_read->Increment();
+  ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kRead, txn.id(),
+                                 txn.ts().site, object));
   return OpResult::Ok(present, 0.0, /*was_relaxed=*/false);
 }
 
@@ -128,7 +139,8 @@ OpResult TwoPLManager::DoWrite(Transaction& txn, ObjectId object,
     if (!data_manager_.WithinObjectExportLimit(obj, d)) {
       return AbortOp(txn, AbortReason::kObjectBound);
     }
-    const ChargeResult charge = txn.accumulator().TryCharge(object, d);
+    const ChargeResult charge = txn.accumulator().TryCharge(
+        object, d, &bound_stats_, txn.id(), txn.ts().site);
     if (!charge.admitted) {
       return AbortOp(txn, BoundAbortReason(charge.violated_group));
     }
@@ -136,10 +148,12 @@ OpResult TwoPLManager::DoWrite(Transaction& txn, ObjectId object,
   obj.ApplyWrite(txn.id(), txn.ts(), value);
   txn.NotePendingWrite(object);
   txn.CountOp();
-  metrics_->counter("op.write").Increment();
+  counters_.op_write->Increment();
+  ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kWrite, txn.id(),
+                                 txn.ts().site, object));
   if (d > 0.0) {
     txn.CountInconsistentOp();
-    metrics_->counter("op.inconsistent_ok").Increment();
+    counters_.op_inconsistent_ok->Increment();
   }
   return OpResult::Ok(value, d, relaxed);
 }
@@ -201,15 +215,16 @@ void TwoPLManager::Teardown(Transaction& txn, TxnState final_state,
     for (const ObjectId object : txn.pending_writes()) {
       store.Get(object).CommitWrite(txn.id());
     }
-    metrics_->counter(std::string("txn.commit.") + TypeTag(txn.type()))
-        .Increment();
+    counters_.CommitFor(txn.type())->Increment();
+    ESR_TRACE_EVENT(TraceEvent::CommitTxn(txn.id(), txn.ts().site));
   } else {
     for (const ObjectId object : txn.pending_writes()) {
       store.Get(object).AbortWrite(txn.id());
     }
-    metrics_->counter("txn.abort").Increment();
-    metrics_->counter(std::string("abort.") + AbortReasonToString(reason))
-        .Increment();
+    counters_.txn_abort->Increment();
+    counters_.AbortFor(reason)->Increment();
+    ESR_TRACE_EVENT(TraceEvent::AbortTxn(txn.id(), txn.ts().site,
+                                         static_cast<uint8_t>(reason)));
   }
   for (const ObjectId object : txn.registered_reads()) {
     store.Get(object).UnregisterQueryReader(txn.id());

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/metrics.h"
+#include "hierarchy/accumulator.h"
 #include "hierarchy/group_schema.h"
 #include "storage/object_store.h"
 #include "twopl/lock_table.h"
@@ -70,6 +71,11 @@ class TwoPLManager final : public TransactionEngine {
   LockTable locks_;
   TxnId next_txn_id_ = 1;
   std::unordered_map<TxnId, Transaction> transactions_;
+  /// Per-level bound-check outcome counters (Sec. 5 observability).
+  BoundCheckStats bound_stats_;
+  /// Hot-path counters resolved once at construction so per-operation
+  /// accounting is an atomic increment, not a map lookup.
+  EngineCounters counters_;
 };
 
 }  // namespace esr

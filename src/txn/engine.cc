@@ -1,6 +1,25 @@
 #include "txn/engine.h"
 
+#include <string>
+
 namespace esr {
+
+EngineCounters::EngineCounters(MetricRegistry* metrics) {
+  op_read = &metrics->counter("op.read");
+  op_write = &metrics->counter("op.write");
+  op_wait = &metrics->counter("op.wait");
+  op_inconsistent_ok = &metrics->counter("op.inconsistent_ok");
+  begin[0] = &metrics->counter("txn.begin.query");
+  begin[1] = &metrics->counter("txn.begin.update");
+  commit[0] = &metrics->counter("txn.commit.query");
+  commit[1] = &metrics->counter("txn.commit.update");
+  txn_abort = &metrics->counter("txn.abort");
+  for (size_t r = 0; r < kNumAbortReasons; ++r) {
+    abort_reason[r] = &metrics->counter(
+        std::string("abort.") +
+        AbortReasonToString(static_cast<AbortReason>(r)));
+  }
+}
 
 std::string_view EngineKindToString(EngineKind kind) {
   switch (kind) {

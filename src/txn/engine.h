@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/timestamp.h"
 #include "common/types.h"
@@ -32,6 +33,35 @@ enum class EngineKind : uint8_t {
 };
 
 std::string_view EngineKindToString(EngineKind kind);
+
+/// The counters every engine bumps on its hot path, resolved against the
+/// registry once at engine construction: per-operation accounting is then
+/// a single relaxed atomic increment instead of a name lookup. The
+/// registry owns the counters and must outlive the engine.
+struct EngineCounters {
+  explicit EngineCounters(MetricRegistry* metrics);
+
+  Counter* op_read;
+  Counter* op_write;
+  Counter* op_wait;
+  Counter* op_inconsistent_ok;
+  /// Indexed by TxnType (kQuery = 0, kUpdate = 1).
+  Counter* begin[2];
+  Counter* commit[2];
+  Counter* txn_abort;
+  /// Indexed by AbortReason.
+  Counter* abort_reason[kNumAbortReasons];
+
+  Counter* BeginFor(TxnType type) {
+    return begin[static_cast<size_t>(type)];
+  }
+  Counter* CommitFor(TxnType type) {
+    return commit[static_cast<size_t>(type)];
+  }
+  Counter* AbortFor(AbortReason reason) {
+    return abort_reason[static_cast<size_t>(reason)];
+  }
+};
 
 /// The protocol-independent transaction-engine interface the server, the
 /// simulated clients, and the public API program against. All engines

@@ -4,13 +4,10 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace esr {
 namespace {
-
-const char* TypeTag(TxnType type) {
-  return type == TxnType::kQuery ? "query" : "update";
-}
 
 AbortReason BoundAbortReason(GroupId violated_group) {
   return violated_group == kRootGroup ? AbortReason::kTransactionBound
@@ -23,7 +20,11 @@ TransactionManager::TransactionManager(ObjectStore* store,
                                        const GroupSchema* schema,
                                        MetricRegistry* metrics,
                                        const DivergenceOptions& divergence)
-    : schema_(schema), metrics_(metrics), data_manager_(store, divergence) {
+    : schema_(schema),
+      metrics_(metrics),
+      data_manager_(store, divergence),
+      bound_stats_(metrics),
+      counters_(metrics) {
   ESR_CHECK(schema_ != nullptr);
   ESR_CHECK(metrics_ != nullptr);
 }
@@ -34,7 +35,8 @@ TxnId TransactionManager::Begin(TxnType type, Timestamp ts,
   const TxnId id = next_txn_id_++;
   transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
-  metrics_->counter(std::string("txn.begin.") + TypeTag(type)).Increment();
+  counters_.BeginFor(type)->Increment();
+  ESR_TRACE_EVENT(TraceEvent::BeginTxn(id, type, ts.site));
   return id;
 }
 
@@ -46,7 +48,8 @@ TxnId TransactionManager::BeginUpdateWithImport(Timestamp ts,
   transactions_.emplace(
       id, Transaction(id, ts, schema_, std::move(export_bounds),
                       std::move(import_bounds)));
-  metrics_->counter("txn.begin.update").Increment();
+  counters_.BeginFor(TxnType::kUpdate)->Increment();
+  ESR_TRACE_EVENT(TraceEvent::BeginTxn(id, TxnType::kUpdate, ts.site));
   return id;
 }
 
@@ -66,7 +69,8 @@ OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
 
   switch (decision) {
     case ReadDecision::kWait:
-      metrics_->counter("op.wait").Increment();
+      counters_.op_wait->Increment();
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object));
       return OpResult::Wait(obj.uncommitted_writer());
 
     case ReadDecision::kAbortLate:
@@ -84,7 +88,9 @@ OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
       }
       txn.ObserveValue(object, present);
       txn.CountOp();
-      metrics_->counter("op.read").Increment();
+      counters_.op_read->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kRead, txn.id(),
+                                     txn.ts().site, object));
       return OpResult::Ok(present, 0.0, /*was_relaxed=*/false);
     }
 
@@ -107,8 +113,8 @@ OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
       const Inconsistency increment =
           std::max(0.0, measure.d - txn.ChargedFor(object));
       // Group and transaction levels, bottom-up (Sec. 5.3.1).
-      const ChargeResult charge =
-          txn.read_accumulator().TryCharge(object, increment);
+      const ChargeResult charge = txn.read_accumulator().TryCharge(
+          object, increment, &bound_stats_, txn.id(), txn.ts().site);
       if (!charge.admitted) {
         return AbortOp(txn, BoundAbortReason(charge.violated_group));
       }
@@ -123,10 +129,14 @@ OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
       }
       txn.ObserveValue(object, present);
       txn.CountOp();
-      metrics_->counter("op.read").Increment();
+      counters_.op_read->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kRead, txn.id(),
+                                     txn.ts().site, object));
       if (measure.d > 0.0) {
         txn.CountInconsistentOp();
-        metrics_->counter("op.inconsistent_ok").Increment();
+        counters_.op_inconsistent_ok->Increment();
+        ESR_TRACE_EVENT(TraceEvent::ImportCharge(txn.id(), txn.ts().site,
+                                                 object, measure.d));
       }
       return OpResult::Ok(present, measure.d, /*was_relaxed=*/true);
     }
@@ -144,7 +154,8 @@ OpResult TransactionManager::DoWrite(Transaction& txn, ObjectId object,
 
   switch (decision) {
     case WriteDecision::kWait:
-      metrics_->counter("op.wait").Increment();
+      counters_.op_wait->Increment();
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object));
       return OpResult::Wait(obj.uncommitted_writer());
 
     case WriteDecision::kAbortLateRead:
@@ -155,7 +166,9 @@ OpResult TransactionManager::DoWrite(Transaction& txn, ObjectId object,
       obj.ApplyWrite(txn.id(), txn.ts(), value);
       txn.NotePendingWrite(object);
       txn.CountOp();
-      metrics_->counter("op.write").Increment();
+      counters_.op_write->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kWrite, txn.id(),
+                                     txn.ts().site, object));
       return OpResult::Ok(value, 0.0, /*was_relaxed=*/false);
     }
 
@@ -166,17 +179,20 @@ OpResult TransactionManager::DoWrite(Transaction& txn, ObjectId object,
       if (!data_manager_.WithinObjectExportLimit(obj, d)) {
         return AbortOp(txn, AbortReason::kObjectBound);
       }
-      const ChargeResult charge = txn.accumulator().TryCharge(object, d);
+      const ChargeResult charge = txn.accumulator().TryCharge(
+          object, d, &bound_stats_, txn.id(), txn.ts().site);
       if (!charge.admitted) {
         return AbortOp(txn, BoundAbortReason(charge.violated_group));
       }
       obj.ApplyWrite(txn.id(), txn.ts(), value);
       txn.NotePendingWrite(object);
       txn.CountOp();
-      metrics_->counter("op.write").Increment();
+      counters_.op_write->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kWrite, txn.id(),
+                                     txn.ts().site, object));
       if (d > 0.0) {
         txn.CountInconsistentOp();
-        metrics_->counter("op.inconsistent_ok").Increment();
+        counters_.op_inconsistent_ok->Increment();
       }
       return OpResult::Ok(value, d, /*was_relaxed=*/true);
     }
@@ -242,17 +258,18 @@ void TransactionManager::Teardown(Transaction& txn, TxnState final_state,
     for (const ObjectId object : txn.pending_writes()) {
       store.Get(object).CommitWrite(txn.id());
     }
-    metrics_->counter(std::string("txn.commit.") + TypeTag(txn.type()))
-        .Increment();
+    counters_.CommitFor(txn.type())->Increment();
+    ESR_TRACE_EVENT(TraceEvent::CommitTxn(txn.id(), txn.ts().site));
   } else {
     // Shadow-value recovery: restore pre-images instead of rollback
     // (Sec. 6); the client will resubmit with a new timestamp.
     for (const ObjectId object : txn.pending_writes()) {
       store.Get(object).AbortWrite(txn.id());
     }
-    metrics_->counter("txn.abort").Increment();
-    metrics_->counter(std::string("abort.") + AbortReasonToString(reason))
-        .Increment();
+    counters_.txn_abort->Increment();
+    counters_.AbortFor(reason)->Increment();
+    ESR_TRACE_EVENT(TraceEvent::AbortTxn(txn.id(), txn.ts().site,
+                                         static_cast<uint8_t>(reason)));
   }
   for (const ObjectId object : txn.registered_reads()) {
     store.Get(object).UnregisterQueryReader(txn.id());

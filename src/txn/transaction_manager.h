@@ -6,6 +6,7 @@
 
 #include "cc/to_policy.h"
 #include "common/metrics.h"
+#include "hierarchy/accumulator.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "hierarchy/bound_spec.h"
@@ -99,6 +100,11 @@ class TransactionManager final : public TransactionEngine {
   DataManager data_manager_;
   TxnId next_txn_id_ = 1;
   std::unordered_map<TxnId, Transaction> transactions_;
+  /// Per-level bound-check outcome counters (Sec. 5 observability).
+  BoundCheckStats bound_stats_;
+  /// Hot-path counters resolved once at construction so per-operation
+  /// accounting is an atomic increment, not a map lookup.
+  EngineCounters counters_;
 };
 
 }  // namespace esr

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+
 namespace esr {
 namespace {
 
@@ -47,6 +50,71 @@ TEST(LoggingTest, AtOrAboveThresholdEvaluates) {
 TEST(LoggingTest, CheckPassesSilently) {
   ESR_CHECK(1 + 1 == 2) << "unused";
   SUCCEED();
+}
+
+TEST(LoggingSinkTest, CapturesStructuredRecords) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  CapturingLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+
+  ESR_LOG(kInfo) << "hello " << 42;
+  const int expected_line = __LINE__ - 1;
+  ESR_LOG(kWarning) << "warn";
+  ESR_LOG(kDebug) << "filtered out";
+
+  SetLogSink(previous);
+  SetLogLevel(original);
+
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records[0].message, "hello 42");
+  EXPECT_NE(records[0].file.find("logging_test.cc"), std::string::npos);
+  EXPECT_EQ(records[0].line, expected_line);
+  EXPECT_GT(records[0].wall_micros, 0);
+  EXPECT_GT(records[0].thread_id, 0u);
+  EXPECT_EQ(records[1].level, LogLevel::kWarning);
+  EXPECT_EQ(records[1].message, "warn");
+}
+
+TEST(LoggingSinkTest, SetSinkReturnsPreviousForRestore) {
+  CapturingLogSink first;
+  CapturingLogSink second;
+  LogSink* original = SetLogSink(&first);
+  EXPECT_EQ(SetLogSink(&second), &first);
+  EXPECT_EQ(SetLogSink(original), &second);
+}
+
+TEST(LoggingSinkTest, ThreadIdsDistinguishThreads) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  CapturingLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+
+  ESR_LOG(kInfo) << "main thread";
+  std::thread other([] { ESR_LOG(kInfo) << "other thread"; });
+  other.join();
+
+  SetLogSink(previous);
+  SetLogLevel(original);
+
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].thread_id, records[1].thread_id);
+}
+
+TEST(LoggingSinkTest, ClearEmptiesCapturedRecords) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  CapturingLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  ESR_LOG(kInfo) << "one";
+  EXPECT_EQ(sink.count(), 1u);
+  sink.Clear();
+  EXPECT_EQ(sink.count(), 0u);
+  SetLogSink(previous);
+  SetLogLevel(original);
 }
 
 TEST(LoggingDeathTest, CheckFailureAborts) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace esr {
 namespace {
 
@@ -54,6 +57,69 @@ TEST(HistogramTest, PercentileApproximatesOrder) {
   EXPECT_LE(h.ApproximatePercentile(0.0), h.ApproximatePercentile(1.0));
 }
 
+TEST(HistogramTest, InterpolatedPercentilesArePinned) {
+  Histogram h;
+  for (int i = 1; i <= 1024; ++i) h.Record(static_cast<double>(i));
+  // The sub-bucket scheme bounds the error by one sub-bucket width, which
+  // for values in [512, 1024) is 512/16 = 32.
+  EXPECT_NEAR(h.ApproximatePercentile(0.5), 512.0, 33.0);
+  EXPECT_NEAR(h.ApproximatePercentile(0.9), 922.0, 33.0);
+  EXPECT_NEAR(h.ApproximatePercentile(0.99), 1014.0, 33.0);
+  EXPECT_NEAR(h.ApproximatePercentile(0.999), 1023.0, 33.0);
+  // Extremes clamp to the observed range.
+  EXPECT_GE(h.ApproximatePercentile(0.0), 1.0);
+  EXPECT_LE(h.ApproximatePercentile(1.0), 1024.0);
+
+  const PercentileSummary p = h.Percentiles();
+  EXPECT_DOUBLE_EQ(p.p50, h.ApproximatePercentile(0.5));
+  EXPECT_DOUBLE_EQ(p.p90, h.ApproximatePercentile(0.9));
+  EXPECT_DOUBLE_EQ(p.p99, h.ApproximatePercentile(0.99));
+  EXPECT_DOUBLE_EQ(p.p999, h.ApproximatePercentile(0.999));
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneInP) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i % 97));
+  double prev = h.ApproximatePercentile(0.0);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = h.ApproximatePercentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeCombinesMomentsAndBuckets) {
+  Histogram lo, hi;
+  for (int i = 1; i <= 512; ++i) lo.Record(static_cast<double>(i));
+  for (int i = 513; i <= 1024; ++i) hi.Record(static_cast<double>(i));
+
+  Histogram all;
+  for (int i = 1; i <= 1024; ++i) all.Record(static_cast<double>(i));
+
+  lo.Merge(hi);
+  EXPECT_EQ(lo.count(), 1024);
+  EXPECT_DOUBLE_EQ(lo.mean(), all.mean());
+  EXPECT_EQ(lo.min(), 1.0);
+  EXPECT_EQ(lo.max(), 1024.0);
+  EXPECT_NEAR(lo.variance(), all.variance(), 1e-6 * all.variance());
+  // Percentiles from merged buckets match recording everything into one.
+  EXPECT_DOUBLE_EQ(lo.ApproximatePercentile(0.5),
+                   all.ApproximatePercentile(0.5));
+  EXPECT_DOUBLE_EQ(lo.ApproximatePercentile(0.99),
+                   all.ApproximatePercentile(0.99));
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram h, empty;
+  h.Record(5.0);
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.mean(), 5.0);
+  empty.Merge(h);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_EQ(empty.mean(), 5.0);
+}
+
 TEST(HistogramTest, ResetClearsState) {
   Histogram h;
   h.Record(3.0);
@@ -89,6 +155,60 @@ TEST(MetricRegistryTest, ResetZeroesEverything) {
   reg.Reset();
   EXPECT_EQ(reg.CounterValue("x"), 0);
   EXPECT_EQ(reg.histogram("h").count(), 0);
+}
+
+TEST(MetricRegistryTest, FindNeverCreates) {
+  MetricRegistry reg;
+  EXPECT_EQ(reg.FindCounter("nope"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("nope"), nullptr);
+  EXPECT_TRUE(reg.CounterSnapshot().empty());
+
+  reg.counter("c").Increment(3);
+  reg.histogram("h").Record(2.0);
+  const Counter* c = reg.FindCounter("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 3);
+  const Histogram* h = reg.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1);
+  // Still no cross-kind leakage.
+  EXPECT_EQ(reg.FindCounter("h"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("c"), nullptr);
+}
+
+TEST(MetricRegistryTest, HistogramSnapshotIsSortedAndDecoupled) {
+  MetricRegistry reg;
+  reg.histogram("b").Record(1.0);
+  reg.histogram("a").Record(2.0);
+  auto snap = reg.HistogramSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[1].first, "b");
+  // The snapshot is a copy: later recording must not alter it.
+  reg.histogram("a").Record(3.0);
+  EXPECT_EQ(snap[0].second.count(), 1);
+  EXPECT_EQ(reg.histogram("a").count(), 2);
+}
+
+TEST(MetricRegistryTest, RecordSampleSupportsConcurrentWriters) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  MetricRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.RecordSample("latency", static_cast<double>(i + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Histogram* h = reg.FindHistogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  EXPECT_EQ(h->min(), 1.0);
+  EXPECT_EQ(h->max(), static_cast<double>(kPerThread));
+  EXPECT_DOUBLE_EQ(h->mean(), (kPerThread + 1) / 2.0);
 }
 
 }  // namespace

@@ -144,6 +144,42 @@ TEST(BankHierarchyTest, InconsistencyCheckedBottomUp) {
   ASSERT_TRUE(u1.Abort().ok());
 }
 
+TEST(BankHierarchyTest, PerLevelBoundCheckCountersExposeControlFlow) {
+  // The bound_check.level<N>.admit|reject counters make the bottom-up
+  // control loop of Sec. 5.3.1 observable: an admitted charge counts one
+  // admit per level on the leaf-to-root path, a rejected charge counts a
+  // single reject at the leafmost violating level and nothing above it.
+  Bank bank;
+  TxnHandle u1 = bank.PendingDelta(10, 0, 300);  // com1, depth 2
+
+  BoundSpec loose;
+  loose.SetTransactionLimit(10'000);
+  loose.SetLimit(bank.com1, 400);
+  Session session = bank.db.CreateSession(1);
+  const auto admitted = session.AggregateQuery({0}, AggregateKind::kSum,
+                                               loose, /*max_restarts=*/0);
+  ASSERT_TRUE(admitted.ok());
+  const MetricRegistry& m = bank.db.metrics();
+  EXPECT_EQ(m.CounterValue("bound_check.level2.admit"), 1);
+  EXPECT_EQ(m.CounterValue("bound_check.level1.admit"), 1);
+  EXPECT_EQ(m.CounterValue("bound_check.level0.admit"), 1);
+  EXPECT_EQ(m.CounterValue("bound_check.level2.reject"), 0);
+
+  // Same read under a tight com1 limit: the depth-2 check rejects and
+  // short-circuits, so the level-1/level-0 counters do not move.
+  BoundSpec tight;
+  tight.SetTransactionLimit(10'000);
+  tight.SetLimit(bank.com1, 50);
+  const auto rejected = session.AggregateQuery({0}, AggregateKind::kSum,
+                                               tight, /*max_restarts=*/0);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(m.CounterValue("bound_check.level2.reject"), 1);
+  EXPECT_EQ(m.CounterValue("bound_check.level2.admit"), 1);
+  EXPECT_EQ(m.CounterValue("bound_check.level1.admit"), 1);
+  EXPECT_EQ(m.CounterValue("bound_check.level0.admit"), 1);
+  ASSERT_TRUE(u1.Abort().ok());
+}
+
 TEST(BankHierarchyTest, WeightedGroupsScaleCharges) {
   Bank bank;
   ASSERT_TRUE(bank.db.schema().SetWeight(bank.preferred, 3.0).ok());

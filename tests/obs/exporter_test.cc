@@ -1,0 +1,191 @@
+#include "obs/exporter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "testing/minimal_json.h"
+
+namespace esr {
+namespace {
+
+using testing::JsonValue;
+using testing::ParseJson;
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(JsonWriterTest, WritesNestedStructures) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.KV("name", "run");
+  w.Key("points");
+  w.BeginArray();
+  w.Value(static_cast<int64_t>(1));
+  w.Value(2.5);
+  w.Value(true);
+  w.Null();
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.KV("x", static_cast<int64_t>(-3));
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"run\",\"points\":[1,2.5,true,null],"
+            "\"nested\":{\"x\":-3}}");
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &root, &error)) << error;
+  EXPECT_EQ(root.Find("points")->array.size(), 4u);
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.KV("key \"q\"", "line1\nline2");
+  w.EndObject();
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &root, &error)) << error;
+  const JsonValue* v = root.Find("key \"q\"");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->string, "line1\nline2");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginArray();
+  w.Value(std::nan(""));
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(1.0);
+  w.EndArray();
+  EXPECT_EQ(out.str(), "[null,null,1]");
+}
+
+TEST(MetricsJsonTest, ExportsCountersAndHistogramSummaries) {
+  MetricRegistry reg;
+  reg.counter("txn.commit").Increment(12);
+  reg.counter("txn.abort").Increment(3);
+  for (int i = 1; i <= 100; ++i) {
+    reg.histogram("latency_ms").Record(static_cast<double>(i));
+  }
+
+  std::ostringstream out;
+  WriteMetricsJson(reg, out);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &root, &error)) << error;
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("txn.commit"), nullptr);
+  EXPECT_EQ(counters->Find("txn.commit")->number, 12.0);
+  EXPECT_EQ(counters->Find("txn.abort")->number, 3.0);
+
+  const JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* latency = histograms->Find("latency_ms");
+  ASSERT_NE(latency, nullptr);
+  for (const char* key :
+       {"count", "mean", "min", "max", "stddev", "p50", "p90", "p99",
+        "p999"}) {
+    ASSERT_NE(latency->Find(key), nullptr) << key;
+    EXPECT_TRUE(latency->Find(key)->is_number()) << key;
+  }
+  EXPECT_EQ(latency->Find("count")->number, 100.0);
+  EXPECT_DOUBLE_EQ(latency->Find("mean")->number, 50.5);
+  EXPECT_EQ(latency->Find("min")->number, 1.0);
+  EXPECT_EQ(latency->Find("max")->number, 100.0);
+  EXPECT_NEAR(latency->Find("p50")->number, 50.5, 5.0);
+}
+
+TEST(MetricsJsonTest, EmptyRegistryIsStillValidJson) {
+  MetricRegistry reg;
+  std::ostringstream out;
+  WriteMetricsJson(reg, out);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &root, &error)) << error;
+  EXPECT_TRUE(root.Find("counters")->object.empty());
+  EXPECT_TRUE(root.Find("histograms")->object.empty());
+}
+
+TEST(MetricsCsvTest, EmitsHeaderAndOneRowPerMetric) {
+  MetricRegistry reg;
+  reg.counter("aborts").Increment(7);
+  reg.histogram("latency").Record(2.0);
+  reg.histogram("latency").Record(4.0);
+
+  std::ostringstream out;
+  WriteMetricsCsv(reg, out);
+  const std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "kind,name,count,value,mean,min,max,stddev,p50,p90,p99,p999");
+  EXPECT_EQ(lines[1], "counter,aborts,,7,,,,,,,,");
+  EXPECT_EQ(lines[2].rfind("histogram,latency,2,,3,2,4,", 0), 0u)
+      << lines[2];
+}
+
+TEST(MetricsCsvTest, QuotesNamesContainingCommas) {
+  MetricRegistry reg;
+  reg.counter("weird,name").Increment();
+  std::ostringstream out;
+  WriteMetricsCsv(reg, out);
+  const std::vector<std::string> lines = SplitLines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "counter,\"weird,name\",,1,,,,,,,,");
+}
+
+TEST(MetricsExportFileTest, JsonAndCsvRoundTripThroughDisk) {
+  MetricRegistry reg;
+  reg.counter("c").Increment(5);
+  reg.histogram("h").Record(1.5);
+
+  const std::string json_path =
+      ::testing::TempDir() + "/esr_exporter_test_metrics.json";
+  ASSERT_TRUE(ExportMetricsJsonToFile(reg, json_path).ok());
+  std::ifstream json_in(json_path);
+  std::stringstream json_buf;
+  json_buf << json_in.rdbuf();
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json_buf.str(), &root, &error)) << error;
+  EXPECT_EQ(root.Find("counters")->Find("c")->number, 5.0);
+
+  const std::string csv_path =
+      ::testing::TempDir() + "/esr_exporter_test_metrics.csv";
+  ASSERT_TRUE(ExportMetricsCsvToFile(reg, csv_path).ok());
+  std::ifstream csv_in(csv_path);
+  std::stringstream csv_buf;
+  csv_buf << csv_in.rdbuf();
+  EXPECT_EQ(SplitLines(csv_buf.str()).size(), 3u);
+}
+
+TEST(MetricsExportFileTest, BadPathReturnsError) {
+  MetricRegistry reg;
+  EXPECT_FALSE(ExportMetricsJsonToFile(reg, "/nonexistent-dir/m.json").ok());
+  EXPECT_FALSE(ExportMetricsCsvToFile(reg, "/nonexistent-dir/m.csv").ok());
+}
+
+}  // namespace
+}  // namespace esr

@@ -1,0 +1,262 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "testing/minimal_json.h"
+
+namespace esr {
+namespace {
+
+using testing::JsonValue;
+using testing::ParseJson;
+
+TEST(TraceRecorderTest, StartsEmptyAndDisabled) {
+  TraceRecorder recorder(/*capacity=*/16);
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_EQ(recorder.capacity(), 16u);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+}
+
+TEST(TraceRecorderTest, CapturesLifecycleEventsInOrder) {
+  TraceRecorder recorder(/*capacity=*/64);
+  recorder.Record(TraceEvent::BeginTxn(7, TxnType::kQuery, /*site=*/3));
+  recorder.Record(TraceEvent::Op(TraceEventType::kRead, 7, 3, /*object=*/42));
+  recorder.Record(TraceEvent::ImportCharge(7, 3, 42, 12.5));
+  recorder.Record(TraceEvent::WaitOn(7, 3, /*object=*/43));
+  recorder.Record(TraceEvent::CommitTxn(7, 3));
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].type, TraceEventType::kBegin);
+  EXPECT_EQ(events[0].txn, 7u);
+  EXPECT_EQ(events[0].site, 3);
+  EXPECT_EQ(events[1].type, TraceEventType::kRead);
+  EXPECT_EQ(events[1].target, 42u);
+  EXPECT_EQ(events[2].type, TraceEventType::kImportCharge);
+  EXPECT_DOUBLE_EQ(events[2].charged, 12.5);
+  EXPECT_EQ(events[3].type, TraceEventType::kWait);
+  EXPECT_EQ(events[3].target, 43u);
+  EXPECT_EQ(events[4].type, TraceEventType::kCommit);
+}
+
+TEST(TraceRecorderTest, BoundCheckEventCarriesHierarchyPayload) {
+  TraceRecorder recorder(/*capacity=*/8);
+  recorder.Record(TraceEvent::BoundCheck(/*txn=*/9, /*site=*/1, /*level=*/2,
+                                         /*group=*/5, /*charged=*/300.0,
+                                         /*limit=*/50.0, /*admitted=*/false));
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceEventType::kBoundCheck);
+  EXPECT_EQ(events[0].level, 2);
+  EXPECT_EQ(events[0].target, 5u);
+  EXPECT_DOUBLE_EQ(events[0].charged, 300.0);
+  EXPECT_DOUBLE_EQ(events[0].limit, 50.0);
+  EXPECT_EQ(events[0].detail, 0);  // rejected
+}
+
+TEST(TraceRecorderTest, RingWrapsKeepingNewestEvents) {
+  TraceRecorder recorder(/*capacity=*/4);
+  for (TxnId id = 1; id <= 10; ++id) {
+    recorder.Record(TraceEvent::CommitTxn(id, /*site=*/0));
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the four youngest commits, 7..10.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].txn, 7u + i);
+  }
+}
+
+TEST(TraceRecorderTest, ResetDropsEventsButKeepsEnabledState) {
+  TraceRecorder recorder(/*capacity=*/8);
+  recorder.set_enabled(true);
+  recorder.Record(TraceEvent::CommitTxn(1, 0));
+  recorder.Reset();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.enabled());
+}
+
+int64_t CountingClock(void* ctx) {
+  auto* next = static_cast<int64_t*>(ctx);
+  return ++*next;
+}
+
+TEST(TraceRecorderTest, TimeSourceStampsEvents) {
+  TraceRecorder recorder(/*capacity=*/8);
+  int64_t clock = 100;
+  recorder.SetTimeSource(&CountingClock, &clock);
+  recorder.Record(TraceEvent::CommitTxn(1, 0));
+  recorder.Record(TraceEvent::CommitTxn(2, 0));
+  recorder.ClearTimeSource();
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ts_micros, 101);
+  EXPECT_EQ(events[1].ts_micros, 102);
+}
+
+TEST(TraceRecorderTest, ScopedTimeSourceRestoresWallClockOnExit) {
+  TraceRecorder& global = GlobalTrace();
+  global.Reset();
+  global.set_enabled(true);
+  int64_t clock = 0;
+  {
+    ScopedTraceTimeSource scoped(&CountingClock, &clock);
+    global.Record(TraceEvent::CommitTxn(1, 0));
+  }
+  global.Record(TraceEvent::CommitTxn(2, 0));
+  const std::vector<TraceEvent> events = global.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ts_micros, 1);
+  // Outside the scope the default wall clock stamps far past the counter.
+  EXPECT_GT(events[1].ts_micros, 1000);
+  global.set_enabled(false);
+  global.Reset();
+}
+
+TEST(TraceMacroTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& global = GlobalTrace();
+  global.Reset();
+  global.set_enabled(false);
+  int evaluations = 0;
+  ESR_TRACE_EVENT(
+      (++evaluations, TraceEvent::CommitTxn(/*txn=*/1, /*site=*/0)));
+  EXPECT_EQ(global.recorded(), 0u);
+  // The macro must not even evaluate the event expression when disabled.
+  EXPECT_EQ(evaluations, 0);
+}
+
+#ifndef ESR_TRACE_DISABLED
+TEST(TraceMacroTest, EnabledRecorderCapturesMacroEvents) {
+  TraceRecorder& global = GlobalTrace();
+  global.Reset();
+  global.set_enabled(true);
+  ESR_TRACE_EVENT(TraceEvent::BeginTxn(5, TxnType::kUpdate, /*site=*/2));
+  ESR_TRACE_EVENT(TraceEvent::CommitTxn(5, /*site=*/2));
+  EXPECT_EQ(global.recorded(), 2u);
+  const std::vector<TraceEvent> events = global.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, TraceEventType::kBegin);
+  EXPECT_EQ(events[1].type, TraceEventType::kCommit);
+  global.set_enabled(false);
+  global.Reset();
+}
+#endif  // ESR_TRACE_DISABLED
+
+TEST(TraceRecorderTest, ConcurrentRecordLosesNothingWithinCapacity) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  TraceRecorder recorder(/*capacity=*/8192);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(TraceEvent::Op(TraceEventType::kWrite,
+                                       /*txn=*/static_cast<TxnId>(t + 1),
+                                       /*site=*/0,
+                                       /*object=*/static_cast<ObjectId>(i)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  std::vector<int> per_txn(kThreads + 1, 0);
+  for (const TraceEvent& e : events) {
+    ASSERT_GE(e.txn, 1u);
+    ASSERT_LE(e.txn, static_cast<TxnId>(kThreads));
+    ++per_txn[e.txn];
+  }
+  for (int t = 1; t <= kThreads; ++t) EXPECT_EQ(per_txn[t], kPerThread);
+}
+
+TEST(ChromeTraceExportTest, ProducesValidTraceEventJson) {
+  TraceRecorder recorder(/*capacity=*/32);
+  recorder.Record(TraceEvent::BeginTxn(11, TxnType::kQuery, /*site=*/2));
+  recorder.Record(TraceEvent::Op(TraceEventType::kRead, 11, 2, 7));
+  recorder.Record(TraceEvent::BoundCheck(11, 2, /*level=*/1, /*group=*/3,
+                                         /*charged=*/25.0, kUnbounded,
+                                         /*admitted=*/true));
+  recorder.Record(TraceEvent::AbortTxn(11, 2, /*reason=*/2));
+
+  std::ostringstream out;
+  recorder.ExportChromeTrace(out);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(out.str(), &root, &error)) << error;
+  ASSERT_TRUE(root.is_array());
+  ASSERT_EQ(root.array.size(), 4u);
+  for (const JsonValue& event : root.array) {
+    ASSERT_TRUE(event.is_object());
+    // The keys Perfetto / about:tracing require of every event.
+    ASSERT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("ph"), nullptr);
+    ASSERT_NE(event.Find("ts"), nullptr);
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    EXPECT_TRUE(event.Find("name")->is_string());
+    EXPECT_EQ(event.Find("ph")->string, "i");
+    EXPECT_TRUE(event.Find("ts")->is_number());
+    EXPECT_EQ(event.Find("pid")->number, 2.0);
+    EXPECT_EQ(event.Find("tid")->number, 11.0);
+  }
+  // Unbounded limits must serialize as the -1 sentinel, not bare inf.
+  const JsonValue& check = root.array[2];
+  const JsonValue* args = check.Find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_NE(args->Find("limit"), nullptr);
+  EXPECT_EQ(args->Find("limit")->number, -1.0);
+  ASSERT_NE(args->Find("outcome"), nullptr);
+  EXPECT_EQ(args->Find("outcome")->string, "admit");
+  // Abort events name their reason.
+  const JsonValue* abort_args = root.array[3].Find("args");
+  ASSERT_NE(abort_args, nullptr);
+  ASSERT_NE(abort_args->Find("reason"), nullptr);
+  EXPECT_TRUE(abort_args->Find("reason")->is_string());
+}
+
+TEST(ChromeTraceExportTest, ExportToFileRoundTrips) {
+  TraceRecorder recorder(/*capacity=*/8);
+  recorder.Record(TraceEvent::CommitTxn(3, /*site=*/1));
+  const std::string path =
+      ::testing::TempDir() + "/esr_trace_test_export.json";
+  ASSERT_TRUE(recorder.ExportChromeTraceToFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(buffer.str(), &root, &error)) << error;
+  ASSERT_TRUE(root.is_array());
+  EXPECT_EQ(root.array.size(), 1u);
+}
+
+TEST(ChromeTraceExportTest, BadPathReturnsError) {
+  TraceRecorder recorder(/*capacity=*/8);
+  EXPECT_FALSE(
+      recorder.ExportChromeTraceToFile("/nonexistent-dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace esr
