@@ -108,7 +108,8 @@ RunOutcome RunShape(const Shape& shape, const RunScale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader(
       "Ablation: hierarchy depth in the bound declaration (MPL = 4, "

@@ -23,7 +23,8 @@ using esr::bench::Table;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Ablation: update-ET import budgets (Sec. 1 generalization)",
               "paper evaluates consistent update ETs only (budget 0); "

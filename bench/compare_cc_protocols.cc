@@ -22,7 +22,8 @@ using esr::bench::Table;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader(
       "Protocol comparison: TO vs 2PL(wait-die) vs MVTO",

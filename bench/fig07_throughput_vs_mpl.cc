@@ -27,6 +27,7 @@ constexpr const char* kNames[] = {"zero(SR)", "low", "medium", "high"};
 }  // namespace
 
 int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 7: Throughput vs MPL",
               "ESR >> SR at high bounds; thrashing at MPL~3 for low/zero "

@@ -21,6 +21,7 @@ using esr::bench::Table;
 }  // namespace
 
 int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 8: Successful Inconsistent Operations vs MPL",
               "steady increase with each bound level and with MPL",

@@ -21,6 +21,7 @@ using esr::bench::Table;
 }  // namespace
 
 int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 9: Number of Aborts vs MPL",
               "aborts at high bounds are almost zero; at low bounds they "

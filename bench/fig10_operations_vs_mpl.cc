@@ -21,6 +21,7 @@ using esr::bench::Table;
 }  // namespace
 
 int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 10: Number of Operations (R+W) vs MPL",
               "ops at high bounds ~= useful work; the excess at lower "

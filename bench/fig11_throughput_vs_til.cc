@@ -28,6 +28,7 @@ constexpr double kTelLevels[] = {1'000, 5'000, 10'000};
 }  // namespace
 
 int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 11: Throughput vs TIL (TEL varies), MPL = 4",
               "throughput rises with TIL; slope highest at small-to-medium "

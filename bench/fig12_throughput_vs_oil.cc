@@ -33,6 +33,7 @@ constexpr double kTilLevels[] = {10'000, 50'000, 100'000};
 }  // namespace
 
 int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader("Figure 12: Throughput vs OIL (TIL varies), MPL = 4",
               "for low/medium TIL the peak throughput occurs at an "

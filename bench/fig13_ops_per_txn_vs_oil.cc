@@ -32,6 +32,7 @@ constexpr double kTilLevels[] = {10'000, 50'000, 100'000};
 }  // namespace
 
 int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader(
       "Figure 13: Avg operations per completed txn vs OIL (TIL varies), "

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/exporter.h"
+#include "obs/trace.h"
 
 namespace esr {
 namespace bench {
@@ -209,6 +210,33 @@ Status JsonReport::WriteToFile(const std::string& path) const {
   }
   std::fprintf(stderr, "wrote bench JSON to %s\n", path.c_str());
   return Status::OK();
+}
+
+std::string TraceCapture::PathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) return argv[i + 1];
+  }
+  const char* env = std::getenv("ESR_BENCH_TRACE");
+  return env != nullptr ? env : "";
+}
+
+TraceCapture::TraceCapture(int argc, char** argv)
+    : path_(PathFromArgs(argc, argv)) {
+  if (path_.empty()) return;
+  GlobalTrace().Reset();
+  GlobalTrace().set_enabled(true);
+}
+
+TraceCapture::~TraceCapture() {
+  if (path_.empty()) return;
+  GlobalTrace().set_enabled(false);
+  const Status s = GlobalTrace().ExportChromeTraceToFile(path_);
+  if (!s.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "wrote %zu trace events to %s\n",
+               GlobalTrace().size(), path_.c_str());
 }
 
 void PrintHeader(const std::string& figure, const std::string& paper_claim,

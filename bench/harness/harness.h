@@ -117,6 +117,34 @@ class JsonReport {
   std::vector<std::pair<std::string, std::vector<Point>>> series_;
 };
 
+/// RAII trace capture for figure binaries: when a `--trace <path>` pair
+/// appears in argv (or ESR_BENCH_TRACE is set), resets and enables the
+/// global trace recorder for the harness's whole run and exports Chrome
+/// trace JSON on destruction. Inert (zero-overhead beyond one enabled
+/// check per probe) when no path was given. Declare one at the top of
+/// main(), before the RunAveraged calls:
+///
+///   esr::bench::TraceCapture trace(argc, argv);
+class TraceCapture {
+ public:
+  /// `--trace <path>` anywhere in argv wins over ESR_BENCH_TRACE; empty
+  /// (capture disabled) when neither is present.
+  static std::string PathFromArgs(int argc, char** argv);
+
+  TraceCapture(int argc, char** argv);
+  /// Disables the recorder and writes the capture (a warning is printed
+  /// on export if the ring dropped events).
+  ~TraceCapture();
+
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
 }  // namespace bench
 }  // namespace esr
 

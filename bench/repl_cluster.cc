@@ -50,7 +50,8 @@ ReplicaSimResult Averaged(ReplicaClusterOptions opt, const RunScale& scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   std::printf(
       "=== Replicated deployment (DES): bounded dashboards on replicas "

@@ -115,7 +115,8 @@ Outcome RunOnce(double delay_ms, Inconsistency til, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   std::printf(
       "=== Replication: bounded replica queries vs propagation lag ===\n");
   std::printf(

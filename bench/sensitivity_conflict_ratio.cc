@@ -36,7 +36,8 @@ double Speedup(size_t hot_set, double query_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   PrintHeader(
       "Sensitivity: ESR(high)/SR throughput ratio vs conflict ratio, "

@@ -24,7 +24,8 @@ using esr::bench::Table;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   const RunScale scale = RunScale::FromEnv();
   std::printf("=== Sec. 6: Prototype system characteristics ===\n\n");
 

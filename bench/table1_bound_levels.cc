@@ -24,7 +24,8 @@ using esr::bench::Table;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  esr::bench::TraceCapture trace_capture(argc, argv);
   std::printf("=== Table 1: Inconsistency bound levels (Sec. 7) ===\n\n");
   Table bounds({"Level", "TIL", "TEL"});
   for (EpsilonLevel level : {EpsilonLevel::kHigh, EpsilonLevel::kMedium,

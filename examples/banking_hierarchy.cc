@@ -10,12 +10,19 @@
 // While tellers keep posting updates, the estimate proceeds and the
 // inconsistency absorbed from each category stays within its own limit.
 //
-// Build & run:  ./build/examples/banking_hierarchy
+// Build & run:  ./build/examples/banking_hierarchy [--trace trace.json]
+//
+// --trace captures the whole run (spans, bound-check walks, conflict
+// flows) as Chrome trace-event JSON; feed it to tools/esr_audit to
+// recertify every hierarchical bound offline.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "api/database.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -52,7 +59,21 @@ struct Bank {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace trace.json]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (!trace_path.empty()) {
+    esr::GlobalTrace().Reset();
+    esr::GlobalTrace().set_enabled(true);
+  }
+
   Bank bank;
   esr::Session tellers = bank.db.CreateSession(1);
   esr::Session accounting = bank.db.CreateSession(2);
@@ -121,5 +142,18 @@ int main() {
   std::printf("\nall deposits committed; exact total now $%lld\n",
               static_cast<long long>(
                   bank.db.server().store().TotalValue()));
+
+  if (!trace_path.empty()) {
+    esr::GlobalTrace().set_enabled(false);
+    const esr::Status s =
+        esr::GlobalTrace().ExportChromeTraceToFile(trace_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 esr::GlobalTrace().size(), trace_path.c_str());
+  }
   return 0;
 }

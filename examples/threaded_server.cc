@@ -6,24 +6,35 @@
 //
 // Usage:  ./build/examples/threaded_server [num_clients] [txns_per_client]
 //             [--json metrics.json] [--trace trace.json]
+//             [--metrics-port N] [--metrics-linger-ms N]
 //
 // --json dumps the final epsilon level's metric registry (counters plus
 // latency percentiles) as JSON; --trace captures that run's transaction
-// lifecycle events and writes them as Chrome trace-event JSON loadable in
-// Perfetto / about:tracing.
+// lifecycle as causal spans and writes Chrome trace-event JSON loadable
+// in Perfetto / about:tracing (and replayable by tools/esr_audit).
+// --metrics-port serves the live registry as Prometheus text on
+// 127.0.0.1:<port>/metrics (0 picks a free port, printed on stderr) with
+// a background sampler recording active-transaction gauges;
+// --metrics-linger-ms keeps the endpoint up that long after the last
+// level finishes so an external scraper can collect the final state.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "esr/limits.h"
 #include "obs/exporter.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "txn/server.h"
+#include "txn/transaction.h"
 #include "workload/generator.h"
 
 namespace {
@@ -42,10 +53,31 @@ struct ClientResult {
   int64_t waits = 0;
 };
 
+// The /metrics endpoint outlives each per-level Server, so scrapes go
+// through this mutex-guarded indirection instead of a raw pointer.
+struct MetricsHub {
+  std::mutex mu;
+  esr::Server* server = nullptr;
+
+  void Set(esr::Server* s) {
+    std::lock_guard<std::mutex> lock(mu);
+    server = s;
+  }
+
+  std::string Render() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (server == nullptr) return "# no active server\n";
+    std::ostringstream out;
+    esr::WritePrometheusText(server->metrics(), out);
+    return out.str();
+  }
+};
+
 // Executes `txns` transactions from a generated load against the server,
 // retrying waits and resubmitting aborts, exactly like the prototype's
 // clients (Sec. 6). Per-transaction commit latency lands in the server's
-// metric registry ("client.txn_latency_ms").
+// metric registry ("client.txn_latency_ms"); every server call is wrapped
+// in an RPC span so captured traces decompose like the simulator's.
 ClientResult RunClient(esr::Server* server, esr::SiteId site,
                        const esr::WorkloadSpec& spec, int txns) {
   ClientResult result;
@@ -59,6 +91,8 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
       const esr::TxnId txn =
           server->Begin(script.type, ts_gen.Next(NowMicros()),
                         script.bounds);
+      const esr::Transaction* t = server->engine().Find(txn);
+      const uint64_t txn_span = t != nullptr ? t->trace_span() : 0;
       std::vector<esr::Value> reads;
       bool aborted = false;
       for (const esr::ScriptOp& op : script.ops) {
@@ -68,13 +102,20 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
         std::this_thread::sleep_for(std::chrono::microseconds(150));
         esr::OpResult r;
         while (true) {
-          if (op.kind == esr::ScriptOp::Kind::kRead) {
-            r = server->Read(txn, op.object);
-          } else {
-            const esr::Value value = esr::ApplyDeltaReflecting(
-                reads[static_cast<size_t>(op.source_read)], op.delta,
-                spec.min_value, spec.max_value);
-            r = server->Write(txn, op.object, value);
+          {
+            // One RPC span per attempt: the engine's op span (and bound
+            // walk) nest inside it, and the gap to the next attempt is
+            // the wait backoff the auditor attributes to conflicts.
+            esr::TraceSpan rpc(esr::SpanKind::kRpc, txn, site, op.object,
+                               txn_span);
+            if (op.kind == esr::ScriptOp::Kind::kRead) {
+              r = server->Read(txn, op.object);
+            } else {
+              const esr::Value value = esr::ApplyDeltaReflecting(
+                  reads[static_cast<size_t>(op.source_read)], op.delta,
+                  spec.min_value, spec.max_value);
+              r = server->Write(txn, op.object, value);
+            }
           }
           if (r.kind != esr::OpResult::Kind::kWait) break;
           ++result.waits;
@@ -88,7 +129,12 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
         if (op.kind == esr::ScriptOp::Kind::kRead) reads.push_back(r.value);
       }
       if (aborted) continue;  // immediate restart with a new timestamp
-      if (server->Commit(txn).ok()) {
+      bool commit_ok;
+      {
+        esr::TraceSpan rpc(esr::SpanKind::kRpc, txn, site, 0, txn_span);
+        commit_ok = server->Commit(txn).ok();
+      }
+      if (commit_ok) {
         committed = true;
         ++result.committed;
         server->metrics().RecordSample(
@@ -107,16 +153,28 @@ int main(int argc, char** argv) {
   int txns_per_client = 250;
   std::string json_path;
   std::string trace_path;
+  int metrics_port = -1;
+  int metrics_linger_ms = 0;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const bool is_json = std::strcmp(argv[i], "--json") == 0;
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
-    if (is_json || is_trace) {
+    const bool is_port = std::strcmp(argv[i], "--metrics-port") == 0;
+    const bool is_linger = std::strcmp(argv[i], "--metrics-linger-ms") == 0;
+    if (is_json || is_trace || is_port || is_linger) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a path argument\n", argv[i]);
+        std::fprintf(stderr, "%s requires an argument\n", argv[i]);
         return 1;
       }
-      (is_json ? json_path : trace_path) = argv[++i];
+      if (is_json) {
+        json_path = argv[++i];
+      } else if (is_trace) {
+        trace_path = argv[++i];
+      } else if (is_port) {
+        metrics_port = std::atoi(argv[++i]);
+      } else {
+        metrics_linger_ms = std::atoi(argv[++i]);
+      }
     } else if (positional == 0) {
       num_clients = std::atoi(argv[i]);
       ++positional;
@@ -127,6 +185,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 1;
     }
+  }
+
+  MetricsHub hub;
+  esr::MetricsHttpServer metrics_http([&hub] { return hub.Render(); });
+  if (metrics_port >= 0) {
+    const esr::Status s =
+        metrics_http.Start(static_cast<uint16_t>(metrics_port));
+    if (!s.ok()) {
+      std::fprintf(stderr, "metrics endpoint failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving /metrics on 127.0.0.1:%u\n",
+                 metrics_http.port());
   }
 
   std::printf("threaded client/server run: %d clients x %d transactions\n\n",
@@ -143,6 +215,7 @@ int main(int argc, char** argv) {
     esr::ServerOptions options;
     options.store.num_objects = 1000;
     esr::Server server(options);
+    hub.Set(&server);
 
     esr::WorkloadSpec spec;
     const esr::TransactionLimits limits = esr::LimitsForLevel(level);
@@ -156,6 +229,19 @@ int main(int argc, char** argv) {
       esr::GlobalTrace().Reset();
       esr::GlobalTrace().set_enabled(true);
     }
+
+    // Periodic snapshot sampler: a live gauge of concurrent transactions
+    // (and a tick counter proving liveness), visible on /metrics.
+    std::atomic<bool> sampling{true};
+    std::thread sampler([&server, &sampling] {
+      while (sampling.load(std::memory_order_acquire)) {
+        server.metrics().RecordSample(
+            "server.active_txns",
+            static_cast<double>(server.engine().num_active()));
+        server.metrics().counter("sampler.ticks").Increment();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
 
     std::vector<std::thread> threads;
     std::vector<ClientResult> results(
@@ -171,6 +257,8 @@ int main(int argc, char** argv) {
     for (auto& thread : threads) thread.join();
     const double elapsed_s =
         std::chrono::duration<double>(Clock::now() - start).count();
+    sampling.store(false, std::memory_order_release);
+    sampler.join();
 
     if (tracing) {
       esr::GlobalTrace().set_enabled(false);
@@ -212,7 +300,16 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "wrote metrics JSON to %s\n", json_path.c_str());
     }
+
+    if (level == last_level && metrics_linger_ms > 0 &&
+        metrics_http.running()) {
+      // Keep the final registry scrapeable for external collectors.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(metrics_linger_ms));
+    }
+    hub.Set(nullptr);
   }
+  metrics_http.Stop();
   std::printf("\nNote: without the simulated RPC latency the engine is "
               "memory-speed, so absolute\nnumbers dwarf the paper's; the "
               "epsilon ordering of aborts is what carries over.\n");

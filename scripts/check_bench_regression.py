@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Tolerance-gated bench regression check.
+
+Compares a freshly produced bench JSON report (harness JsonReport format)
+against a committed baseline, point by point:
+
+    check_bench_regression.py --baseline bench/baseline/fig07.json \
+        --current /tmp/fig07.json [--tolerance 0.05] [--metric throughput]
+
+A point regresses when the current metric falls below baseline * (1 -
+tolerance); improvements never fail the gate. Points present in only one
+file fail loudly — a silently dropped MPL point is itself a regression.
+The simulator is deterministic per seed, so the tolerance only needs to
+absorb floating-point variation across compilers, not run-to-run noise.
+
+Exit status: 0 within tolerance, 1 regression or shape mismatch, 2 usage.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_series(path):
+    with open(path) as f:
+        doc = json.load(f)
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        raise ValueError(f"{path}: no 'series' object")
+    return doc.get("figure", "?"), series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative drop (default 0.05 = 5%%)")
+    parser.add_argument("--metric", default="throughput")
+    args = parser.parse_args()
+
+    try:
+        base_fig, baseline = load_series(args.baseline)
+        cur_fig, current = load_series(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    if base_fig != cur_fig:
+        print(f"figure mismatch: baseline '{base_fig}' vs current "
+              f"'{cur_fig}'", file=sys.stderr)
+        return 1
+
+    failures = []
+    checked = 0
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            failures.append(f"series '{name}' missing from current run")
+            continue
+        if name not in baseline:
+            failures.append(f"series '{name}' not in baseline "
+                            f"(regenerate the baseline?)")
+            continue
+        base_by_x = {p["x"]: p for p in baseline[name]}
+        cur_by_x = {p["x"]: p for p in current[name]}
+        for x in sorted(set(base_by_x) | set(cur_by_x)):
+            if x not in cur_by_x:
+                failures.append(f"{name} x={x}: point missing from current")
+                continue
+            if x not in base_by_x:
+                failures.append(f"{name} x={x}: point not in baseline")
+                continue
+            base_v = base_by_x[x][args.metric]
+            cur_v = cur_by_x[x][args.metric]
+            checked += 1
+            floor = base_v * (1.0 - args.tolerance)
+            status = "ok"
+            if cur_v < floor:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name} x={x}: {args.metric} {cur_v:.4g} < "
+                    f"{floor:.4g} (baseline {base_v:.4g} - "
+                    f"{args.tolerance:.0%})")
+            delta = (cur_v / base_v - 1.0) * 100 if base_v else 0.0
+            print(f"  {name:>12} x={x:<6g} {args.metric} "
+                  f"{base_v:>9.3f} -> {cur_v:>9.3f}  ({delta:+6.2f}%)"
+                  f"  {status}")
+
+    print(f"{checked} points checked against {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench regression gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

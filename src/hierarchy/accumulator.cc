@@ -1,6 +1,7 @@
 #include "hierarchy/accumulator.h"
 
 #include <string>
+#include <type_traits>
 
 #include "common/logging.h"
 #include "obs/trace.h"
@@ -24,9 +25,14 @@ void BoundCheckStats::Count(size_t depth, bool admitted) {
   c->Increment();
 }
 
+const char* ChargeDirectionToString(ChargeDirection direction) {
+  return direction == ChargeDirection::kExport ? "export" : "import";
+}
+
 InconsistencyAccumulator::InconsistencyAccumulator(const GroupSchema* schema,
-                                                   BoundSpec bounds)
-    : schema_(schema), bounds_(std::move(bounds)) {
+                                                   BoundSpec bounds,
+                                                   ChargeDirection direction)
+    : schema_(schema), bounds_(std::move(bounds)), direction_(direction) {
   ESR_CHECK(schema_ != nullptr);
   accumulated_.assign(schema_->num_groups(), 0.0);
 }
@@ -47,22 +53,27 @@ ChargeResult InconsistencyAccumulator::Check(ObjectId object,
   return ChargeResult{true, kInvalidGroup};
 }
 
-ChargeResult InconsistencyAccumulator::TryCharge(ObjectId object,
-                                                 Inconsistency d,
-                                                 BoundCheckStats* stats,
-                                                 TxnId txn, SiteId site) {
+// The walk body is stamped out twice so the untraced instantiation is
+// instruction-identical to an ESR_TRACE_DISABLED build: TryCharge sits on
+// every relaxed read's critical path, where even a dead per-node branch
+// on a register bool is measurable.
+template <bool kTraced>
+ChargeResult InconsistencyAccumulator::TryChargeImpl(ObjectId object,
+                                                     Inconsistency d,
+                                                     BoundCheckStats* stats,
+                                                     TxnId txn, SiteId site) {
   ESR_CHECK(d >= 0.0) << "negative inconsistency";
-  if (d == 0.0) return ChargeResult{true, kInvalidGroup};
-
-#ifdef ESR_TRACE_DISABLED
-  const bool tracing = false;
-#else
-  const bool tracing = GlobalTrace().enabled();
-#endif
+  // The walk gets its own causal span so every BoundCheck instant below
+  // attaches to it and Perfetto shows the walk's cost inside the op.
+  struct NoopSpan {
+    NoopSpan(SpanKind, TxnId, SiteId, uint64_t) {}
+  };
+  using WalkSpan = std::conditional_t<kTraced, TraceSpan, NoopSpan>;
+  WalkSpan walk_span(SpanKind::kBoundWalk, txn, site, object);
   // Depth of the object's group below the root, for per-level
   // attribution; skipped entirely on the unobserved fast path.
   size_t leaf_depth = 0;
-  if (stats != nullptr || tracing) {
+  if (stats != nullptr || kTraced) {
     for (GroupId g = schema_->GroupOf(object); g != kRootGroup;
          g = schema_->parent(g)) {
       ++leaf_depth;
@@ -78,15 +89,15 @@ ChargeResult InconsistencyAccumulator::TryCharge(ObjectId object,
     const Inconsistency limit = bounds_.LimitFor(g);
     const bool admitted = accumulated_[g] + charge <= limit;
     if (stats != nullptr) stats->Count(depth, admitted);
-#ifndef ESR_TRACE_DISABLED
-    // Reuses the enabled() load from above instead of ESR_TRACE_EVENT,
-    // which would re-read it on every node of the path.
-    if (tracing) {
-      GlobalTrace().Record(TraceEvent::BoundCheck(
+    if constexpr (kTraced) {
+      TraceEvent check = TraceEvent::BoundCheck(
           txn, site, static_cast<uint16_t>(depth), g, charge, limit,
-          admitted));
+          admitted);
+      // detail bit 0 = admitted, bit 1 = direction; the auditor replays
+      // each accumulator (import vs export) separately.
+      check.detail |= static_cast<uint8_t>(direction_) << 1;
+      GlobalTrace().Record(check);
     }
-#endif
     if (!admitted) {
       result = ChargeResult{false, g};
       break;
@@ -106,6 +117,13 @@ ChargeResult InconsistencyAccumulator::TryCharge(ObjectId object,
   }
   return result;
 }
+
+template ChargeResult InconsistencyAccumulator::TryChargeImpl<true>(
+    ObjectId object, Inconsistency d, BoundCheckStats* stats, TxnId txn,
+    SiteId site);
+template ChargeResult InconsistencyAccumulator::TryChargeImpl<false>(
+    ObjectId object, Inconsistency d, BoundCheckStats* stats, TxnId txn,
+    SiteId site);
 
 Inconsistency InconsistencyAccumulator::accumulated(GroupId group) const {
   ESR_CHECK(schema_->Contains(group));

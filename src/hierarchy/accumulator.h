@@ -8,8 +8,21 @@
 #include "common/types.h"
 #include "hierarchy/bound_spec.h"
 #include "hierarchy/group_schema.h"
+#include "obs/trace.h"
 
 namespace esr {
+
+/// Which direction of inconsistency an accumulator tracks: imported (what
+/// relaxed reads absorbed, the paper's script-I) or exported (what this
+/// transaction's writes leaked to others, script-E). Recorded in every
+/// BoundCheck trace event so the offline auditor can recertify each
+/// accumulator's bounds independently.
+enum class ChargeDirection : uint8_t {
+  kImport = 0,
+  kExport = 1,
+};
+
+const char* ChargeDirectionToString(ChargeDirection direction);
 
 /// Outcome of attempting to charge an operation's inconsistency against a
 /// transaction's hierarchical bounds.
@@ -61,8 +74,10 @@ class BoundCheckStats {
 class InconsistencyAccumulator {
  public:
   /// `schema` must outlive the accumulator. `bounds` is copied (it is a
-  /// per-transaction declaration).
-  InconsistencyAccumulator(const GroupSchema* schema, BoundSpec bounds);
+  /// per-transaction declaration). `direction` only labels the trace
+  /// events this accumulator emits; it does not change the arithmetic.
+  InconsistencyAccumulator(const GroupSchema* schema, BoundSpec bounds,
+                           ChargeDirection direction = ChargeDirection::kImport);
 
   /// Checks the full leaf-to-root path for `object` and, if every level
   /// admits `d`, charges every level. d must be >= 0; d == 0 always
@@ -75,7 +90,16 @@ class InconsistencyAccumulator {
   /// neither checked nor counted.
   ChargeResult TryCharge(ObjectId object, Inconsistency d,
                          BoundCheckStats* stats = nullptr,
-                         TxnId txn = kInvalidTxnId, SiteId site = 0);
+                         TxnId txn = kInvalidTxnId, SiteId site = 0) {
+    if (d == 0.0) return ChargeResult{true, kInvalidGroup};
+    // Dispatch inline so call sites on the per-operation hot path reach
+    // the untraced walk — whose frame matches an ESR_TRACE_DISABLED
+    // build's exactly — through one predicted branch.
+    if (GlobalTraceEnabled()) {
+      return TryChargeImpl<true>(object, d, stats, txn, site);
+    }
+    return TryChargeImpl<false>(object, d, stats, txn, site);
+  }
 
   /// Pure check: would `d` on `object` be admitted? Never charges.
   ChargeResult Check(ObjectId object, Inconsistency d) const;
@@ -90,10 +114,18 @@ class InconsistencyAccumulator {
   Inconsistency Headroom() const;
 
   const BoundSpec& bounds() const { return bounds_; }
+  ChargeDirection direction() const { return direction_; }
 
  private:
+  /// The walk body; instantiated untraced (branch-identical to an
+  /// ESR_TRACE_DISABLED build) and traced, selected once per call.
+  template <bool kTraced>
+  ChargeResult TryChargeImpl(ObjectId object, Inconsistency d,
+                             BoundCheckStats* stats, TxnId txn, SiteId site);
+
   const GroupSchema* schema_;
   BoundSpec bounds_;
+  ChargeDirection direction_;
   // Indexed by GroupId; lazily sized to schema_->num_groups().
   std::vector<Inconsistency> accumulated_;
 };

@@ -20,16 +20,19 @@ MvtoManager::MvtoManager(const ObjectStoreOptions& store_options,
 TxnId MvtoManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   const TxnId id = next_txn_id_++;
-  transactions_.emplace(
+  auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
+  it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(type)->Increment();
-  ESR_TRACE_EVENT(TraceEvent::BeginTxn(id, type, ts.site));
+  ESR_TRACE_EVENT(
+      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), it->second.trace_span()));
   return id;
 }
 
 OpResult MvtoManager::Read(TxnId txn, ObjectId object) {
   std::lock_guard<std::mutex> lock(mu_);
   Transaction& t = GetActive(txn);
+  TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
   VersionChain& chain = store_.Get(object);
   const VersionChain::ReadResult r = chain.Read(t.ts(), t.id());
   switch (r.status) {
@@ -43,7 +46,10 @@ OpResult MvtoManager::Read(TxnId txn, ObjectId object) {
     }
     case VersionChain::ReadStatus::kWaitForWriter:
       counters_.op_wait->Increment();
-      ESR_TRACE_EVENT(TraceEvent::WaitOn(t.id(), t.ts().site, object));
+      ESR_TRACE_EVENT(
+          TraceEvent::WaitOn(t.id(), t.ts().site, object, r.writer));
+      ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowBegin, r.writer,
+                                       t.id(), t.ts().site));
       return OpResult::Wait(r.writer);
     case VersionChain::ReadStatus::kTooOld:
       return AbortOp(t, AbortReason::kHistoryExhausted);
@@ -57,6 +63,7 @@ OpResult MvtoManager::Write(TxnId txn, ObjectId object, Value value) {
   Transaction& t = GetActive(txn);
   ESR_CHECK(t.type() == TxnType::kUpdate)
       << "query ETs are read-only; Write from txn " << t.id();
+  TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
   VersionChain& chain = store_.Get(object);
   const VersionChain::WriteResult r = chain.Write(t.ts(), t.id(), value);
   switch (r.status) {
@@ -70,7 +77,10 @@ OpResult MvtoManager::Write(TxnId txn, ObjectId object, Value value) {
     }
     case VersionChain::WriteStatus::kWaitForWriter:
       counters_.op_wait->Increment();
-      ESR_TRACE_EVENT(TraceEvent::WaitOn(t.id(), t.ts().site, object));
+      ESR_TRACE_EVENT(
+          TraceEvent::WaitOn(t.id(), t.ts().site, object, r.conflict));
+      ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowBegin,
+                                       r.conflict, t.id(), t.ts().site));
       return OpResult::Wait(r.conflict);
     case VersionChain::WriteStatus::kReadByNewer:
       return AbortOp(t, AbortReason::kLateWrite);
@@ -88,6 +98,8 @@ Status MvtoManager::Commit(TxnId txn) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
+  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
+                        it->second.trace_span());
   Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
   return Status::OK();
 }
@@ -99,6 +111,8 @@ Status MvtoManager::Abort(TxnId txn) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
+  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
+                        it->second.trace_span());
   Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
   return Status::OK();
 }
@@ -149,6 +163,11 @@ void MvtoManager::Teardown(Transaction& txn, TxnState final_state,
     ESR_TRACE_EVENT(TraceEvent::AbortTxn(txn.id(), txn.ts().site,
                                          static_cast<uint8_t>(reason)));
   }
+  if (!txn.pending_writes().empty()) {
+    ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowEnd, txn.id(),
+                                     txn.id(), txn.ts().site));
+  }
+  EndSpan(SpanKind::kTxn, txn.trace_span(), txn.id(), txn.ts().site);
   transactions_.erase(txn.id());
 }
 

@@ -1,0 +1,466 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "obs/exporter.h"
+
+namespace esr {
+
+namespace {
+
+struct SpanInfo {
+  SpanKind kind = SpanKind::kOp;
+  TxnId txn = 0;
+  uint64_t parent = 0;
+  int64_t begin_ts = 0;
+  int64_t end_ts = -1;
+
+  bool complete() const { return end_ts >= begin_ts; }
+  int64_t duration() const { return end_ts - begin_ts; }
+};
+
+struct TxnInfo {
+  SiteId site = 0;
+  int64_t begin_ts = -1;
+  int64_t end_ts = -1;
+  /// 0 end not captured, 1 committed, 2 aborted.
+  int outcome = 0;
+  /// Begin timestamps of this transaction's RPC spans, in trace order
+  /// (monotonic), for locating the retry that follows a Wait verdict.
+  std::vector<int64_t> rpc_begins;
+};
+
+/// One node of an in-flight bound-check walk awaiting its root verdict.
+struct PendingNode {
+  uint64_t group = 0;
+  uint16_t level = 0;
+  int64_t ts = 0;
+  double charge = 0.0;
+  double limit = 0.0;
+};
+
+/// Replay state is keyed per (transaction, accumulator direction): import
+/// and export accumulators have independent bounds.
+using ReplayKey = std::pair<TxnId, int>;
+
+}  // namespace
+
+AuditReport AuditTrace(const std::vector<TraceEvent>& events,
+                       const TraceMetadata& metadata) {
+  AuditReport report;
+  report.metadata = metadata;
+  report.num_events = events.size();
+
+  // ---- Pass 1: span index and transaction lifecycle ----------------------
+  std::unordered_map<uint64_t, SpanInfo> spans;
+  std::unordered_map<TxnId, TxnInfo> txns;
+  int64_t last_ts = 0;
+
+  auto touch_txn = [&txns](const TraceEvent& e) -> TxnInfo& {
+    TxnInfo& t = txns[e.txn];
+    if (t.site == 0) t.site = e.site;
+    return t;
+  };
+
+  for (const TraceEvent& e : events) {
+    last_ts = std::max(last_ts, e.ts_micros);
+    switch (e.type) {
+      case TraceEventType::kSpanBegin: {
+        SpanInfo& s = spans[e.span];
+        s.kind = static_cast<SpanKind>(e.detail);
+        s.txn = e.txn;
+        s.parent = e.parent;
+        s.begin_ts = e.ts_micros;
+        if (e.txn != 0) {
+          TxnInfo& t = touch_txn(e);
+          if (s.kind == SpanKind::kRpc) t.rpc_begins.push_back(e.ts_micros);
+        }
+        break;
+      }
+      case TraceEventType::kSpanEnd: {
+        auto it = spans.find(e.span);
+        if (it != spans.end()) it->second.end_ts = e.ts_micros;
+        break;
+      }
+      case TraceEventType::kBegin:
+        if (e.txn != 0) touch_txn(e).begin_ts = e.ts_micros;
+        break;
+      case TraceEventType::kCommit:
+        if (e.txn != 0) {
+          TxnInfo& t = touch_txn(e);
+          t.end_ts = e.ts_micros;
+          t.outcome = 1;
+        }
+        break;
+      case TraceEventType::kAbort:
+        if (e.txn != 0) {
+          TxnInfo& t = touch_txn(e);
+          t.end_ts = e.ts_micros;
+          t.outcome = 2;
+        }
+        break;
+      default:
+        if (e.txn != 0) touch_txn(e);
+        break;
+    }
+  }
+
+  report.txns_seen = txns.size();
+  for (const auto& [id, t] : txns) {
+    (void)id;
+    if (t.outcome == 1) ++report.txns_committed;
+    if (t.outcome == 2) ++report.txns_aborted;
+  }
+
+  // ---- Pass 2: hierarchical bound recertification ------------------------
+  // Replays Sec. 5.3.1's protocol from the event stream alone: nodes of a
+  // walk buffer until the root (level 0) verdict; an admitted root applies
+  // every buffered charge to the replayed accumulators, a reject discards
+  // the walk. A violation is an *admitted* node whose replayed
+  // accumulation exceeds the limit the event itself declared. Truncated
+  // traces (ring wraparound) can only under-count accumulation, so a
+  // certified verdict on a lossy trace is still sound — lost history never
+  // manufactures a false violation.
+  std::map<ReplayKey, std::unordered_map<uint64_t, double>> replay;
+  std::map<ReplayKey, std::vector<PendingNode>> pending;
+  // First crossing per (txn, dir, group) so a node that stays above its
+  // limit yields one violation, not one per subsequent charge.
+  std::map<std::pair<ReplayKey, uint64_t>, size_t> violation_index;
+
+  for (const TraceEvent& e : events) {
+    if (e.type != TraceEventType::kBoundCheck) continue;
+    const bool admitted = (e.detail & 1) != 0;
+    const int dir = (e.detail >> 1) & 1;
+    const ReplayKey key{e.txn, dir};
+    pending[key].push_back(
+        PendingNode{e.target, e.level, e.ts_micros, e.charged, e.limit});
+    if (!admitted) {
+      // Bottom-up short-circuit: the walk ends at the first reject and
+      // nothing is charged.
+      pending.erase(key);
+      ++report.walks_replayed;
+      continue;
+    }
+    if (e.level != 0) continue;  // walk still climbing toward the root
+    auto& acc = replay[key];
+    for (const PendingNode& node : pending[key]) {
+      const double next = acc[node.group] + node.charge;
+      const double slack =
+          1e-9 * std::max(1.0, std::fabs(node.limit)) + 1e-12;
+      if (node.limit != kUnbounded && next > node.limit + slack) {
+        const auto vkey = std::make_pair(key, node.group);
+        auto it = violation_index.find(vkey);
+        if (it == violation_index.end()) {
+          violation_index[vkey] = report.violations.size();
+          BoundViolation v;
+          v.txn = e.txn;
+          v.direction = static_cast<ChargeDirection>(dir);
+          v.group = node.group;
+          v.level = node.level;
+          v.ts_begin = node.ts;
+          v.accumulated = next;
+          v.limit = node.limit;
+          report.violations.push_back(v);
+        } else {
+          // Still above the limit: remember how far it eventually got.
+          BoundViolation& v = report.violations[it->second];
+          v.accumulated = std::max(v.accumulated, next);
+        }
+      }
+      acc[node.group] = next;
+      ++report.charges_applied;
+    }
+    pending.erase(key);
+    ++report.walks_replayed;
+  }
+
+  for (BoundViolation& v : report.violations) {
+    const auto it = txns.find(v.txn);
+    v.ts_end = (it != txns.end() && it->second.end_ts >= 0)
+                   ? it->second.end_ts
+                   : last_ts;
+  }
+
+  // ---- Pass 3: conflict chains -------------------------------------------
+  std::unordered_map<TxnId, int64_t> conflict_wait_by_txn;
+  for (const TraceEvent& e : events) {
+    if (e.type != TraceEventType::kWait) continue;
+    ConflictEdge edge;
+    edge.waiter = e.txn;
+    edge.writer = e.parent;
+    edge.object = e.target;
+    edge.ts_wait = e.ts_micros;
+    const auto it = txns.find(e.txn);
+    if (it != txns.end()) {
+      // The wait ends when the client comes back: the first RPC attempt
+      // issued after the verdict.
+      const std::vector<int64_t>& rpcs = it->second.rpc_begins;
+      const auto retry =
+          std::upper_bound(rpcs.begin(), rpcs.end(), e.ts_micros);
+      if (retry != rpcs.end()) edge.wait_micros = *retry - e.ts_micros;
+    }
+    conflict_wait_by_txn[edge.waiter] += edge.wait_micros;
+    report.conflicts.push_back(edge);
+  }
+
+  std::unordered_map<TxnId, BlockerSummary> blockers;
+  for (const ConflictEdge& edge : report.conflicts) {
+    BlockerSummary& b = blockers[edge.writer];
+    b.writer = edge.writer;
+    ++b.waits_induced;
+    b.total_wait_micros += edge.wait_micros;
+  }
+  for (auto& [writer, b] : blockers) {
+    const auto it = txns.find(writer);
+    if (it != txns.end() && it->second.outcome == 1) b.outcome = 'c';
+    if (it != txns.end() && it->second.outcome == 2) b.outcome = 'a';
+    report.blockers.push_back(b);
+  }
+  std::sort(report.blockers.begin(), report.blockers.end(),
+            [](const BlockerSummary& a, const BlockerSummary& b) {
+              if (a.total_wait_micros != b.total_wait_micros) {
+                return a.total_wait_micros > b.total_wait_micros;
+              }
+              return a.waits_induced > b.waits_induced;
+            });
+
+  // ---- Pass 4: critical-path decomposition -------------------------------
+  struct PathAccum {
+    int64_t rpc = 0;
+    int64_t service = 0;
+    int64_t service_in_rpc = 0;
+    int64_t txn_span = -1;
+  };
+  std::unordered_map<TxnId, PathAccum> paths;
+  for (const auto& [id, s] : spans) {
+    (void)id;
+    if (!s.complete() || s.txn == 0) continue;
+    PathAccum& p = paths[s.txn];
+    switch (s.kind) {
+      case SpanKind::kTxn:
+        p.txn_span = s.duration();
+        break;
+      case SpanKind::kRpc:
+        p.rpc += s.duration();
+        break;
+      case SpanKind::kOp:
+      case SpanKind::kCommit: {
+        p.service += s.duration();
+        const auto parent = spans.find(s.parent);
+        if (parent != spans.end() &&
+            parent->second.kind == SpanKind::kRpc) {
+          p.service_in_rpc += s.duration();
+        }
+        break;
+      }
+      case SpanKind::kBoundWalk:
+        break;  // nested inside an op; already counted as service
+    }
+  }
+
+  double sum_total = 0, sum_rpc = 0, sum_service = 0, sum_conflict = 0,
+         sum_other = 0;
+  for (const auto& [id, t] : txns) {
+    if (t.outcome != 1) continue;
+    TxnBreakdown b;
+    b.txn = id;
+    b.site = t.site;
+    b.committed = true;
+    const auto pit = paths.find(id);
+    const PathAccum p = pit != paths.end() ? pit->second : PathAccum{};
+    if (p.txn_span >= 0) {
+      b.total_micros = p.txn_span;
+    } else if (t.begin_ts >= 0 && t.end_ts >= t.begin_ts) {
+      b.total_micros = t.end_ts - t.begin_ts;
+    } else {
+      continue;  // lifetime not captured; nothing to decompose
+    }
+    b.rpc_wait_micros = std::max<int64_t>(0, p.rpc - p.service_in_rpc);
+    b.service_micros = p.service;
+    const auto cit = conflict_wait_by_txn.find(id);
+    b.conflict_wait_micros = cit != conflict_wait_by_txn.end() ? cit->second : 0;
+    b.other_micros =
+        std::max<int64_t>(0, b.total_micros - b.rpc_wait_micros -
+                                 b.service_micros - b.conflict_wait_micros);
+    sum_total += static_cast<double>(b.total_micros);
+    sum_rpc += static_cast<double>(b.rpc_wait_micros);
+    sum_service += static_cast<double>(b.service_micros);
+    sum_conflict += static_cast<double>(b.conflict_wait_micros);
+    sum_other += static_cast<double>(b.other_micros);
+    report.breakdowns.push_back(b);
+  }
+  std::sort(report.breakdowns.begin(), report.breakdowns.end(),
+            [](const TxnBreakdown& a, const TxnBreakdown& b) {
+              if (a.total_micros != b.total_micros) {
+                return a.total_micros > b.total_micros;
+              }
+              return a.txn < b.txn;
+            });
+  if (!report.breakdowns.empty()) {
+    const double n = static_cast<double>(report.breakdowns.size());
+    report.avg_total = sum_total / n;
+    report.avg_rpc_wait = sum_rpc / n;
+    report.avg_service = sum_service / n;
+    report.avg_conflict_wait = sum_conflict / n;
+    report.avg_other = sum_other / n;
+  }
+
+  return report;
+}
+
+void PrintAuditReport(const AuditReport& report, std::ostream& out,
+                      size_t top_n) {
+  out << "== esr_audit ==\n";
+  out << "events: " << report.num_events
+      << " (recorded " << report.metadata.recorded << ", dropped "
+      << report.metadata.dropped << ", ring capacity "
+      << report.metadata.capacity << ")\n";
+  if (report.metadata.dropped > 0) {
+    out << "warning: trace is truncated; accumulations replay from the "
+           "retained suffix (certification stays sound, latency/conflict "
+           "stats cover the suffix only)\n";
+  }
+  out << "transactions: " << report.txns_seen << " seen, "
+      << report.txns_committed << " committed, " << report.txns_aborted
+      << " aborted\n";
+  out << "bound walks replayed: " << report.walks_replayed << " ("
+      << report.charges_applied << " node charges)\n";
+
+  if (report.certified()) {
+    out << "bound certification: PASS — every admitted charge within its "
+           "declared hierarchical bounds\n";
+  } else {
+    out << "bound certification: FAIL — " << report.violations.size()
+        << " node(s) exceeded their declared bound\n";
+    for (const BoundViolation& v : report.violations) {
+      out << "  VIOLATION txn " << v.txn << " "
+          << ChargeDirectionToString(v.direction) << " group " << v.group
+          << " (level " << v.level << "): accumulated " << v.accumulated
+          << " > limit " << v.limit << " during [" << v.ts_begin << ", "
+          << v.ts_end << "] us\n";
+    }
+  }
+
+  out << "conflicts: " << report.conflicts.size() << " wait(s)";
+  if (report.blockers.empty()) {
+    out << "\n";
+  } else {
+    out << "; top blockers:\n";
+    size_t shown = 0;
+    for (const BlockerSummary& b : report.blockers) {
+      if (shown++ >= top_n) break;
+      out << "  writer " << b.writer << " ["
+          << (b.outcome == 'c' ? "committed"
+                               : (b.outcome == 'a' ? "aborted" : "unknown"))
+          << "]: " << b.waits_induced << " wait(s), "
+          << b.total_wait_micros << " us induced\n";
+    }
+  }
+
+  if (!report.breakdowns.empty()) {
+    out << "commit critical path (avg over " << report.breakdowns.size()
+        << " committed txns, us): total " << report.avg_total
+        << " = rpc wait " << report.avg_rpc_wait << " + service "
+        << report.avg_service << " + conflict wait "
+        << report.avg_conflict_wait << " + other " << report.avg_other
+        << "\n";
+    out << "slowest commits:\n";
+    size_t shown = 0;
+    for (const TxnBreakdown& b : report.breakdowns) {
+      if (shown++ >= top_n) break;
+      out << "  txn " << b.txn << " (site " << b.site << "): total "
+          << b.total_micros << " us = rpc " << b.rpc_wait_micros
+          << " + service " << b.service_micros << " + conflict "
+          << b.conflict_wait_micros << " + other " << b.other_micros
+          << "\n";
+    }
+  }
+}
+
+void WriteAuditJson(const AuditReport& report, std::ostream& out,
+                    size_t top_n) {
+  JsonWriter w(out);
+  w.BeginObject();
+  w.KV("certified", report.certified());
+  w.KV("events", static_cast<uint64_t>(report.num_events));
+  w.Key("metadata");
+  w.BeginObject();
+  w.KV("recorded", report.metadata.recorded);
+  w.KV("dropped", report.metadata.dropped);
+  w.KV("capacity", report.metadata.capacity);
+  w.EndObject();
+  w.Key("transactions");
+  w.BeginObject();
+  w.KV("seen", static_cast<uint64_t>(report.txns_seen));
+  w.KV("committed", static_cast<uint64_t>(report.txns_committed));
+  w.KV("aborted", static_cast<uint64_t>(report.txns_aborted));
+  w.EndObject();
+  w.KV("walks_replayed", static_cast<uint64_t>(report.walks_replayed));
+  w.KV("charges_applied", static_cast<uint64_t>(report.charges_applied));
+
+  w.Key("violations");
+  w.BeginArray();
+  for (const BoundViolation& v : report.violations) {
+    w.BeginObject();
+    w.KV("txn", v.txn);
+    w.KV("direction", ChargeDirectionToString(v.direction));
+    w.KV("group", v.group);
+    w.KV("level", static_cast<int64_t>(v.level));
+    w.KV("ts_begin", v.ts_begin);
+    w.KV("ts_end", v.ts_end);
+    w.KV("accumulated", v.accumulated);
+    w.KV("limit", v.limit);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.KV("conflict_waits", static_cast<uint64_t>(report.conflicts.size()));
+  w.Key("top_blockers");
+  w.BeginArray();
+  size_t shown = 0;
+  for (const BlockerSummary& b : report.blockers) {
+    if (shown++ >= top_n) break;
+    w.BeginObject();
+    w.KV("writer", b.writer);
+    w.KV("waits_induced", b.waits_induced);
+    w.KV("total_wait_micros", b.total_wait_micros);
+    w.KV("outcome", b.outcome == 'c' ? "committed"
+                                     : (b.outcome == 'a' ? "aborted"
+                                                         : "unknown"));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("critical_path_avg_micros");
+  w.BeginObject();
+  w.KV("total", report.avg_total);
+  w.KV("rpc_wait", report.avg_rpc_wait);
+  w.KV("service", report.avg_service);
+  w.KV("conflict_wait", report.avg_conflict_wait);
+  w.KV("other", report.avg_other);
+  w.EndObject();
+
+  w.Key("slowest_commits");
+  w.BeginArray();
+  shown = 0;
+  for (const TxnBreakdown& b : report.breakdowns) {
+    if (shown++ >= top_n) break;
+    w.BeginObject();
+    w.KV("txn", b.txn);
+    w.KV("site", static_cast<uint64_t>(b.site));
+    w.KV("total_micros", b.total_micros);
+    w.KV("rpc_wait_micros", b.rpc_wait_micros);
+    w.KV("service_micros", b.service_micros);
+    w.KV("conflict_wait_micros", b.conflict_wait_micros);
+    w.KV("other_micros", b.other_micros);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  out << "\n";
+}
+
+}  // namespace esr

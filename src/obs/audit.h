@@ -1,0 +1,120 @@
+#ifndef ESR_OBS_AUDIT_H_
+#define ESR_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.h"
+#include "hierarchy/accumulator.h"
+#include "obs/trace.h"
+#include "obs/trace_reader.h"
+
+namespace esr {
+
+/// One recertification failure: the engine admitted a charge that pushed a
+/// hierarchy node past its declared limit. On a correct engine this never
+/// happens — the auditor exists to prove that from the trace alone, and to
+/// catch it when a bug (or an injected history) breaks the invariant.
+struct BoundViolation {
+  TxnId txn = 0;
+  ChargeDirection direction = ChargeDirection::kImport;
+  /// Violated hierarchy node (GroupId) and its depth (0 = root).
+  uint64_t group = 0;
+  uint16_t level = 0;
+  /// Interval during which the node sat above its limit: from the
+  /// admitting check that crossed it to the transaction's end (or the
+  /// last trace event when the end was not captured).
+  int64_t ts_begin = 0;
+  int64_t ts_end = 0;
+  /// Replayed accumulation after the offending charge, vs the limit.
+  double accumulated = 0.0;
+  double limit = 0.0;
+};
+
+/// One wait edge of the conflict graph: `waiter` blocked on `object`
+/// because `writer` held an uncommitted write.
+struct ConflictEdge {
+  TxnId waiter = 0;
+  TxnId writer = 0;
+  uint64_t object = 0;
+  int64_t ts_wait = 0;
+  /// Time until the waiter's next RPC attempt (backoff + retry travel);
+  /// 0 when no retry was captured.
+  int64_t wait_micros = 0;
+};
+
+/// Aggregated view of one blocking writer.
+struct BlockerSummary {
+  TxnId writer = 0;
+  uint64_t waits_induced = 0;
+  int64_t total_wait_micros = 0;
+  /// 'c' committed, 'a' aborted, '?' end not in trace.
+  char outcome = '?';
+};
+
+/// Critical-path decomposition of one transaction's lifetime:
+///   total = rpc_wait + service + conflict_wait + other
+/// where rpc_wait is RPC time minus the engine work nested inside it
+/// (network travel + CPU queueing), service is engine op/commit CPU time,
+/// conflict_wait is time between a Wait verdict and the retry RPC, and
+/// other is client think time / scheduling (and any uninstrumented gap).
+struct TxnBreakdown {
+  TxnId txn = 0;
+  SiteId site = 0;
+  bool committed = false;
+  int64_t total_micros = 0;
+  int64_t rpc_wait_micros = 0;
+  int64_t service_micros = 0;
+  int64_t conflict_wait_micros = 0;
+  int64_t other_micros = 0;
+};
+
+struct AuditReport {
+  TraceMetadata metadata;
+  size_t num_events = 0;
+  size_t txns_seen = 0;
+  size_t txns_committed = 0;
+  size_t txns_aborted = 0;
+  /// Bound-check walks replayed / individual node charges applied.
+  size_t walks_replayed = 0;
+  size_t charges_applied = 0;
+
+  std::vector<BoundViolation> violations;
+  std::vector<ConflictEdge> conflicts;
+  /// Sorted by total induced wait, descending.
+  std::vector<BlockerSummary> blockers;
+  /// Committed transactions, sorted by total latency, descending.
+  std::vector<TxnBreakdown> breakdowns;
+
+  /// Averages over committed transactions (microseconds).
+  double avg_total = 0.0;
+  double avg_rpc_wait = 0.0;
+  double avg_service = 0.0;
+  double avg_conflict_wait = 0.0;
+  double avg_other = 0.0;
+
+  /// Every admitted charge stayed within its declared bounds.
+  bool certified() const { return violations.empty(); }
+};
+
+/// Replays a captured trace: recertifies every hierarchical bound from the
+/// BoundCheck stream (Sec. 5.3.1's invariant, checked offline), rebuilds
+/// the conflict graph from Wait events, and decomposes commit latency from
+/// the causal spans. Events must be in record order (as Snapshot and
+/// ReadChromeTrace return them).
+AuditReport AuditTrace(const std::vector<TraceEvent>& events,
+                       const TraceMetadata& metadata = TraceMetadata{});
+
+/// Human-readable report; `top_n` bounds the blocker and slowest-commit
+/// tables.
+void PrintAuditReport(const AuditReport& report, std::ostream& out,
+                      size_t top_n = 10);
+
+/// Machine-readable report (one JSON object).
+void WriteAuditJson(const AuditReport& report, std::ostream& out,
+                    size_t top_n = 10);
+
+}  // namespace esr
+
+#endif  // ESR_OBS_AUDIT_H_

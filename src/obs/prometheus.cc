@@ -1,0 +1,161 @@
+#include "obs/prometheus.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace esr {
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "esr_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+void WriteSample(std::ostream& out, const std::string& name,
+                 const std::string& labels, double value) {
+  out << name << labels << " ";
+  if (std::isnan(value)) {
+    out << "NaN";
+  } else if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out << buf;
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+void WritePrometheusText(const MetricRegistry& metrics, std::ostream& out) {
+  for (const auto& [name, value] : metrics.CounterSnapshot()) {
+    const std::string prom = PrometheusMetricName(name) + "_total";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << value << "\n";
+  }
+  for (const auto& [name, hist] : metrics.HistogramSnapshot()) {
+    const std::string prom = PrometheusMetricName(name);
+    out << "# TYPE " << prom << " summary\n";
+    const PercentileSummary p = hist.Percentiles();
+    WriteSample(out, prom, "{quantile=\"0.5\"}", p.p50);
+    WriteSample(out, prom, "{quantile=\"0.9\"}", p.p90);
+    WriteSample(out, prom, "{quantile=\"0.99\"}", p.p99);
+    WriteSample(out, prom, "{quantile=\"0.999\"}", p.p999);
+    WriteSample(out, prom + "_sum", "",
+                hist.mean() * static_cast<double>(hist.count()));
+    out << prom << "_count " << hist.count() << "\n";
+  }
+}
+
+MetricsHttpServer::MetricsHttpServer(RenderFn render)
+    : render_(std::move(render)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start(uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("metrics server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket(): " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind(): " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen(): " + std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&MetricsHttpServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() wakes the blocked accept() so the loop observes running_
+  // == false and exits.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;  // transient accept failure; keep serving
+    }
+    char buf[2048];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    std::string request = n > 0 ? std::string(buf, static_cast<size_t>(n))
+                                : std::string();
+    // "GET <path> HTTP/1.x" — only the path matters.
+    std::string path;
+    {
+      std::istringstream line(request);
+      std::string method;
+      line >> method >> path;
+    }
+    std::string response;
+    if (path == "/metrics" || path == "/") {
+      const std::string body = render_ ? render_() : std::string();
+      std::ostringstream r;
+      r << "HTTP/1.0 200 OK\r\n"
+        << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << body;
+      response = r.str();
+    } else {
+      static const char kNotFound[] =
+          "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: "
+          "close\r\n\r\n";
+      response = kNotFound;
+    }
+    size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t w =
+          ::send(fd, response.data() + sent, response.size() - sent, 0);
+      if (w <= 0) break;
+      sent += static_cast<size_t>(w);
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace esr

@@ -1,0 +1,72 @@
+#ifndef ESR_OBS_PROMETHEUS_H_
+#define ESR_OBS_PROMETHEUS_H_
+
+#include <atomic>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace esr {
+
+/// Writes the registry in Prometheus text exposition format 0.0.4:
+/// counters as `esr_<name>_total`, histograms as summaries
+/// (`esr_<name>{quantile="0.5"}` ... plus `_sum`/`_count`). Metric names
+/// are sanitized (dots and dashes become underscores) and prefixed with
+/// `esr_` so a scrape of a mixed fleet stays collision-free.
+void WritePrometheusText(const MetricRegistry& metrics, std::ostream& out);
+
+/// `esr_` + `name` with every character Prometheus disallows in metric
+/// names replaced by '_'.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Minimal blocking HTTP/1.0 server exposing a /metrics endpoint, backed
+/// by plain POSIX sockets (no dependencies). One accept loop on a
+/// background thread, one request per connection, response rendered by a
+/// caller-supplied callback — an indirection rather than a registry
+/// pointer because the threaded-server example swaps its MetricRegistry
+/// per epsilon level while the endpoint stays up.
+///
+/// GET /metrics returns the render callback's output as
+/// text/plain; version=0.0.4. Any other path returns 404. Not a general
+/// web server: single-threaded handling is plenty for a scraper.
+class MetricsHttpServer {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  /// `render` is invoked on the accept thread for every scrape; it must
+  /// be safe to call concurrently with the rest of the program.
+  explicit MetricsHttpServer(RenderFn render);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — query port()
+  /// after Start) and launches the accept loop.
+  Status Start(uint16_t port);
+
+  /// Stops the accept loop and joins the thread. Idempotent; also called
+  /// by the destructor.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop();
+
+  RenderFn render_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_OBS_PROMETHEUS_H_

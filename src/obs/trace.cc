@@ -26,6 +26,30 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "ImportCharge";
     case TraceEventType::kWait:
       return "Wait";
+    case TraceEventType::kSpanBegin:
+      return "SpanBegin";
+    case TraceEventType::kSpanEnd:
+      return "SpanEnd";
+    case TraceEventType::kFlowBegin:
+      return "FlowBegin";
+    case TraceEventType::kFlowEnd:
+      return "FlowEnd";
+  }
+  return "?";
+}
+
+const char* SpanKindToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kTxn:
+      return "txn";
+    case SpanKind::kRpc:
+      return "rpc";
+    case SpanKind::kOp:
+      return "op";
+    case SpanKind::kCommit:
+      return "commit";
+    case SpanKind::kBoundWalk:
+      return "bound_walk";
   }
   return "?";
 }
@@ -92,12 +116,49 @@ TraceEvent TraceEvent::ImportCharge(TxnId txn, SiteId site, ObjectId object,
   return e;
 }
 
-TraceEvent TraceEvent::WaitOn(TxnId txn, SiteId site, ObjectId object) {
+TraceEvent TraceEvent::WaitOn(TxnId txn, SiteId site, ObjectId object,
+                              TxnId writer) {
   TraceEvent e;
   e.type = TraceEventType::kWait;
   e.site = site;
   e.txn = txn;
   e.target = object;
+  e.parent = writer;
+  return e;
+}
+
+TraceEvent TraceEvent::SpanBeginEvent(SpanKind kind, uint64_t span,
+                                      uint64_t parent, TxnId txn, SiteId site,
+                                      uint64_t target) {
+  TraceEvent e;
+  e.type = TraceEventType::kSpanBegin;
+  e.detail = static_cast<uint8_t>(kind);
+  e.site = site;
+  e.txn = txn;
+  e.target = target;
+  e.span = span;
+  e.parent = parent;
+  return e;
+}
+
+TraceEvent TraceEvent::SpanEndEvent(SpanKind kind, uint64_t span, TxnId txn,
+                                    SiteId site) {
+  TraceEvent e;
+  e.type = TraceEventType::kSpanEnd;
+  e.detail = static_cast<uint8_t>(kind);
+  e.site = site;
+  e.txn = txn;
+  e.span = span;
+  return e;
+}
+
+TraceEvent TraceEvent::Flow(TraceEventType type, uint64_t flow, TxnId txn,
+                            SiteId site) {
+  TraceEvent e;
+  e.type = type;
+  e.site = site;
+  e.txn = txn;
+  e.span = flow;
   return e;
 }
 
@@ -121,6 +182,15 @@ void TraceRecorder::SetTimeSource(TimeSourceFn fn, void* ctx) {
 
 void TraceRecorder::Record(TraceEvent event) {
   event.ts_micros = NowMicros();
+  // Instants recorded inside a span inherit it, so the auditor can tie a
+  // BoundCheck or Wait back to the op/walk that produced it. Span and
+  // flow events carry their own ids and are left alone.
+  if (event.span == 0 && event.type != TraceEventType::kSpanBegin &&
+      event.type != TraceEventType::kSpanEnd &&
+      event.type != TraceEventType::kFlowBegin &&
+      event.type != TraceEventType::kFlowEnd) {
+    event.span = CurrentSpan();
+  }
   const uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
   ring_[slot % ring_.size()] = event;
 }
@@ -135,7 +205,10 @@ uint64_t TraceRecorder::dropped() const {
   return n > ring_.size() ? n - ring_.size() : 0;
 }
 
-void TraceRecorder::Reset() { next_.store(0, std::memory_order_relaxed); }
+void TraceRecorder::Reset() {
+  next_.store(0, std::memory_order_relaxed);
+  next_span_id_.store(1, std::memory_order_relaxed);
+}
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   const uint64_t n = next_.load(std::memory_order_relaxed);
@@ -150,39 +223,102 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   return out;
 }
 
+namespace {
+
+void WriteCommonFields(std::ostream& out, const TraceEvent& e) {
+  out << "\"ts\":" << e.ts_micros << ",\"pid\":" << e.site
+      << ",\"tid\":" << e.txn;
+}
+
+void WriteDouble(std::ostream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+}  // namespace
+
 void TraceRecorder::ExportChromeTrace(std::ostream& out) const {
   const std::vector<TraceEvent> events = Snapshot();
-  out << "[";
+  out << "{\"traceEvents\":[";
   bool first = true;
-  char buf[64];
   for (const TraceEvent& e : events) {
     if (!first) out << ",";
     first = false;
-    out << "\n  {\"name\":\"" << TraceEventTypeToString(e.type)
-        << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.ts_micros
-        << ",\"pid\":" << e.site << ",\"tid\":" << e.txn << ",\"args\":{";
+    out << "\n  {";
+    switch (e.type) {
+      case TraceEventType::kSpanBegin:
+      case TraceEventType::kSpanEnd: {
+        const SpanKind kind = static_cast<SpanKind>(e.detail);
+        const bool begin = e.type == TraceEventType::kSpanBegin;
+        out << "\"name\":\"" << SpanKindToString(kind) << "\",";
+        if (kind == SpanKind::kTxn) {
+          // The transaction span's end is recorded while an op or commit
+          // span is still open on the same (pid, tid) track, which would
+          // violate the strict LIFO rule of sync B/E pairs. Async
+          // nestable events are matched by id instead of stack order.
+          out << "\"ph\":\"" << (begin ? "b" : "e")
+              << "\",\"cat\":\"txn\",\"id\":" << e.span << ",";
+        } else {
+          out << "\"ph\":\"" << (begin ? "B" : "E") << "\",";
+        }
+        WriteCommonFields(out, e);
+        out << ",\"args\":{\"span\":" << e.span;
+        if (begin) {
+          out << ",\"parent\":" << e.parent << ",\"target\":" << e.target;
+        }
+        out << "}}";
+        continue;
+      }
+      case TraceEventType::kFlowBegin:
+      case TraceEventType::kFlowEnd: {
+        const bool begin = e.type == TraceEventType::kFlowBegin;
+        out << "\"name\":\"conflict\",\"cat\":\"conflict\",\"ph\":\""
+            << (begin ? "s" : "f") << "\"";
+        // Bind the arrow to the enclosing slice's *end*, so it lands on
+        // the waiter's op and the writer's commit rather than floating.
+        if (!begin) out << ",\"bp\":\"e\"";
+        out << ",\"id\":" << e.span << ",";
+        WriteCommonFields(out, e);
+        out << "}";
+        continue;
+      }
+      default:
+        break;
+    }
+    out << "\"name\":\"" << TraceEventTypeToString(e.type)
+        << "\",\"ph\":\"i\",\"s\":\"t\",";
+    WriteCommonFields(out, e);
+    out << ",\"args\":{";
     out << "\"target\":" << e.target << ",\"level\":" << e.level
-        << ",\"detail\":" << static_cast<int>(e.detail);
+        << ",\"detail\":" << static_cast<int>(e.detail)
+        << ",\"span\":" << e.span;
     if (e.type == TraceEventType::kAbort) {
       out << ",\"reason\":\""
           << AbortReasonToString(static_cast<AbortReason>(e.detail)) << "\"";
     }
+    if (e.type == TraceEventType::kWait) {
+      out << ",\"writer\":" << e.parent;
+    }
     if (e.type == TraceEventType::kBoundCheck ||
         e.type == TraceEventType::kImportCharge) {
-      std::snprintf(buf, sizeof(buf), "%.17g", e.charged);
-      out << ",\"charged\":" << buf;
+      out << ",\"charged\":";
+      WriteDouble(out, e.charged);
     }
     if (e.type == TraceEventType::kBoundCheck) {
       // Infinity is not valid JSON; clamp unbounded limits to a sentinel.
-      const double limit = e.limit == kUnbounded ? -1.0 : e.limit;
-      std::snprintf(buf, sizeof(buf), "%.17g", limit);
-      out << ",\"limit\":" << buf
-          << ",\"outcome\":\"" << (e.detail != 0 ? "admit" : "reject")
+      out << ",\"limit\":";
+      WriteDouble(out, e.limit == kUnbounded ? -1.0 : e.limit);
+      // detail bit 0 = admitted, bit 1 = accumulator direction.
+      out << ",\"outcome\":\"" << ((e.detail & 1) != 0 ? "admit" : "reject")
+          << "\",\"dir\":\"" << ((e.detail & 2) != 0 ? "export" : "import")
           << "\"";
     }
     out << "}}";
   }
-  out << "\n]\n";
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"recorded\":" << recorded() << ",\"dropped\":" << dropped()
+      << ",\"capacity\":" << capacity() << "}}\n";
 }
 
 Status TraceRecorder::ExportChromeTraceToFile(const std::string& path) const {
@@ -195,12 +331,86 @@ Status TraceRecorder::ExportChromeTraceToFile(const std::string& path) const {
   if (!out.good()) {
     return Status::Internal("failed writing trace to: " + path);
   }
+  if (dropped() > 0) {
+    std::fprintf(stderr,
+                 "[esr-trace] warning: ring wrapped, %llu of %llu events "
+                 "lost (capacity %zu); trace %s is truncated\n",
+                 static_cast<unsigned long long>(dropped()),
+                 static_cast<unsigned long long>(recorded()), capacity(),
+                 path.c_str());
+  }
   return Status::OK();
 }
 
+namespace internal {
+std::atomic<bool> g_global_trace_enabled{false};
+}  // namespace internal
+
 TraceRecorder& GlobalTrace() {
-  static TraceRecorder* recorder = new TraceRecorder();
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    r->enabled_mirror_ = &internal::g_global_trace_enabled;
+    return r;
+  }();
   return *recorder;
 }
+
+// -- Thread-local span context --------------------------------------------
+
+namespace {
+thread_local std::vector<uint64_t> t_span_stack;
+}  // namespace
+
+uint64_t CurrentSpan() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
+}
+
+void PushSpan(uint64_t span) { t_span_stack.push_back(span); }
+
+void PopSpan() {
+  if (!t_span_stack.empty()) t_span_stack.pop_back();
+}
+
+#ifndef ESR_TRACE_DISABLED
+
+namespace internal {
+
+uint64_t BeginSpanSlow(SpanKind kind, TxnId txn, SiteId site,
+                       uint64_t target, uint64_t parent) {
+  TraceRecorder& trace = GlobalTrace();
+  if (!trace.enabled()) return 0;
+  const uint64_t id = trace.NextSpanId();
+  if (parent == 0) parent = CurrentSpan();
+  trace.Record(
+      TraceEvent::SpanBeginEvent(kind, id, parent, txn, site, target));
+  return id;
+}
+
+void EndSpanSlow(SpanKind kind, uint64_t span, TxnId txn, SiteId site) {
+  GlobalTrace().Record(TraceEvent::SpanEndEvent(kind, span, txn, site));
+}
+
+}  // namespace internal
+
+void TraceSpan::Open(SpanKind kind, TxnId txn, SiteId site, uint64_t target,
+                     uint64_t fallback_parent) {
+  kind_ = kind;
+  txn_ = txn;
+  site_ = site;
+  TraceRecorder& trace = GlobalTrace();
+  uint64_t parent = CurrentSpan();
+  if (parent == 0) parent = fallback_parent;
+  id_ = trace.NextSpanId();
+  trace.Record(
+      TraceEvent::SpanBeginEvent(kind, id_, parent, txn, site, target));
+  PushSpan(id_);
+}
+
+void TraceSpan::Close() {
+  PopSpan();
+  GlobalTrace().Record(TraceEvent::SpanEndEvent(kind_, id_, txn_, site_));
+}
+
+#endif  // !ESR_TRACE_DISABLED
 
 }  // namespace esr

@@ -14,7 +14,8 @@
 namespace esr {
 
 /// Kind of a transaction-lifecycle trace event. One enumerator per probe
-/// point the engines and the divergence-control machinery expose.
+/// point the engines and the divergence-control machinery expose, plus
+/// the span/flow structure events the causal tracer emits.
 enum class TraceEventType : uint8_t {
   kBegin = 0,
   kRead,
@@ -28,9 +29,43 @@ enum class TraceEventType : uint8_t {
   kImportCharge,
   /// Strict ordering told the operation to wait for an uncommitted writer.
   kWait,
+  /// Opens a causal span (`span` = id, `parent` = parent span id,
+  /// `detail` = SpanKind). Exported as Chrome "B" (sync) or "b" (async).
+  kSpanBegin,
+  /// Closes the span with the same `span` id.
+  kSpanEnd,
+  /// Flow-arrow anchor at a conflict site (`span` = flow id, which is the
+  /// blocking writer's TxnId). Exported as Chrome "s".
+  kFlowBegin,
+  /// Flow-arrow target at the blocking writer's commit/abort (`span` =
+  /// the writer's own TxnId). Exported as Chrome "f".
+  kFlowEnd,
 };
 
 const char* TraceEventTypeToString(TraceEventType type);
+
+/// What a causal span covers. Spans nest: txn > rpc > op > bound_walk,
+/// with commit taking op's place for the commit/abort processing leg.
+enum class SpanKind : uint8_t {
+  /// Server-side transaction lifetime, Begin to commit/abort teardown.
+  /// Exported as a Chrome *async* pair ("b"/"e") because its end is
+  /// recorded while an op or commit span is still open on the same track.
+  kTxn = 0,
+  /// Client-observed RPC leg: issue, travel, CPU queueing, service, and
+  /// the response's travel back.
+  kRpc,
+  /// One engine Read/Write under the engine latch (CPU service time).
+  kOp,
+  /// Engine commit/abort processing.
+  kCommit,
+  /// One bottom-up bound-check walk in the accumulator; its kBoundCheck
+  /// instants attach to this span.
+  kBoundWalk,
+};
+
+const char* SpanKindToString(SpanKind kind);
+inline constexpr size_t kNumSpanKinds =
+    static_cast<size_t>(SpanKind::kBoundWalk) + 1;
 
 /// One fixed-size trace record. Which payload fields are meaningful
 /// depends on `type`; unused fields are zero. POD on purpose: recording
@@ -38,7 +73,8 @@ const char* TraceEventTypeToString(TraceEventType type);
 struct TraceEvent {
   TraceEventType type = TraceEventType::kBegin;
   /// Type-dependent discriminator: TxnType for kBegin, AbortReason for
-  /// kAbort, 1/0 admitted flag for kBoundCheck.
+  /// kAbort, 1/0 admitted flag for kBoundCheck, SpanKind for
+  /// kSpanBegin/kSpanEnd.
   uint8_t detail = 0;
   /// Hierarchy depth for kBoundCheck (0 = root/transaction level).
   uint16_t level = 0;
@@ -49,6 +85,14 @@ struct TraceEvent {
   int64_t ts_micros = 0;
   /// ObjectId for operation events, GroupId for kBoundCheck.
   uint64_t target = 0;
+  /// Causal linkage: the span's own id for kSpanBegin/kSpanEnd, the flow
+  /// id for kFlowBegin/kFlowEnd, and the *enclosing* span for every other
+  /// event (auto-filled by TraceRecorder::Record from the thread's span
+  /// stack when left zero).
+  uint64_t span = 0;
+  /// Parent span id for kSpanBegin; for kWait, the TxnId of the
+  /// uncommitted writer the operation is blocked on.
+  uint64_t parent = 0;
   /// Inconsistency charged/imported (kBoundCheck, kImportCharge).
   double charged = 0.0;
   /// The node limit the charge was checked against (kBoundCheck).
@@ -67,8 +111,28 @@ struct TraceEvent {
                                Inconsistency limit, bool admitted);
   static TraceEvent ImportCharge(TxnId txn, SiteId site, ObjectId object,
                                  Inconsistency d);
-  static TraceEvent WaitOn(TxnId txn, SiteId site, ObjectId object);
+  /// `writer` is the uncommitted writer the operation must wait for; the
+  /// offline auditor reconstructs conflict chains from it.
+  static TraceEvent WaitOn(TxnId txn, SiteId site, ObjectId object,
+                           TxnId writer);
+  static TraceEvent SpanBeginEvent(SpanKind kind, uint64_t span,
+                                   uint64_t parent, TxnId txn, SiteId site,
+                                   uint64_t target);
+  static TraceEvent SpanEndEvent(SpanKind kind, uint64_t span, TxnId txn,
+                                 SiteId site);
+  /// `type` must be kFlowBegin or kFlowEnd; `flow` is the flow id (the
+  /// blocking writer's TxnId by convention).
+  static TraceEvent Flow(TraceEventType type, uint64_t flow, TxnId txn,
+                         SiteId site);
 };
+
+/// Stamps an explicit enclosing span on an instant event (used where the
+/// enclosing span is known but not on the thread's span stack, e.g. the
+/// kBegin instant inside the just-opened transaction span).
+inline TraceEvent WithSpan(TraceEvent event, uint64_t span) {
+  event.span = span;
+  return event;
+}
 
 /// Bounded ring-buffer recorder of trace events.
 ///
@@ -84,7 +148,7 @@ struct TraceEvent {
 /// load) first, so a disabled recorder costs a predictable branch.
 class TraceRecorder {
  public:
-  static constexpr size_t kDefaultCapacity = 1 << 16;
+  static constexpr size_t kDefaultCapacity = 1 << 18;
 
   explicit TraceRecorder(size_t capacity = kDefaultCapacity);
 
@@ -94,10 +158,20 @@ class TraceRecorder {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool enabled) {
     enabled_.store(enabled, std::memory_order_relaxed);
+    if (enabled_mirror_ != nullptr) {
+      enabled_mirror_->store(enabled, std::memory_order_relaxed);
+    }
   }
 
-  /// Stamps `event` with the current time source reading and stores it.
+  /// Stamps `event` with the current time source reading, attaches the
+  /// calling thread's current span to instant events recorded without an
+  /// explicit one, and stores it.
   void Record(TraceEvent event);
+
+  /// Allocates a process-unique causal span id (never 0).
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Redirects event timestamps, e.g. to the simulator's virtual clock.
   /// `fn(ctx)` must stay valid until ClearTimeSource(); `fn == nullptr`
@@ -124,17 +198,30 @@ class TraceRecorder {
   std::vector<TraceEvent> Snapshot() const;
 
   /// Writes the retained events as Chrome trace-event JSON (the format
-  /// Perfetto / about:tracing load): a JSON array of instant events with
-  /// "name", "ph", "ts", "pid" (site), "tid" (transaction) and an "args"
-  /// object carrying the payload fields.
+  /// Perfetto / about:tracing load): an object with a "traceEvents" array
+  /// — "pid" is the site, "tid" the transaction, spans are "B"/"E"
+  /// (sync) or "b"/"e" (async, transaction lifetime) pairs, conflict
+  /// flow arrows are "s"/"f" pairs — plus an "otherData" object carrying
+  /// recorder metadata (recorded/dropped/capacity), so a consumer can
+  /// tell whether the capture lost events to ring wraparound.
   void ExportChromeTrace(std::ostream& out) const;
+  /// File variant; logs a warning line to stderr when events were
+  /// dropped, so lossy captures never pass silently.
   Status ExportChromeTraceToFile(const std::string& path) const;
 
  private:
+  friend TraceRecorder& GlobalTrace();
+
   int64_t NowMicros() const;
 
   std::atomic<bool> enabled_{false};
+  /// Set only on the GlobalTrace() recorder: mirrors enabled_ into the
+  /// constant-initialized flag the inline probe fast path reads, so a
+  /// disabled probe costs one relaxed load and a branch — no call, no
+  /// static-init guard.
+  std::atomic<bool>* enabled_mirror_ = nullptr;
   std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> next_span_id_{1};
   std::atomic<TimeSourceFn> time_fn_{nullptr};
   std::atomic<void*> time_ctx_{nullptr};
   std::vector<TraceEvent> ring_;
@@ -144,6 +231,123 @@ class TraceRecorder {
 /// default; tests, examples, and the bench/threaded-server flags enable it
 /// around the region of interest.
 TraceRecorder& GlobalTrace();
+
+namespace internal {
+/// Mirror of the global recorder's enabled flag (kept in sync by
+/// TraceRecorder::set_enabled). Constant-initialized so probes inlined
+/// into static initializers read a well-defined `false`.
+extern std::atomic<bool> g_global_trace_enabled;
+}  // namespace internal
+
+/// Probe-site fast path: is the process-wide recorder enabled? One inline
+/// relaxed load — the engines call this on every operation, so it must
+/// not involve a function call or a local-static guard.
+inline bool GlobalTraceEnabled() {
+#ifdef ESR_TRACE_DISABLED
+  return false;
+#else
+  return internal::g_global_trace_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+// -- Thread-local span context --------------------------------------------
+// Each thread keeps a small stack of open span ids; Record attaches the
+// top to instant events so BoundCheck/Wait/... land inside the span that
+// caused them. The single-threaded simulator shares one stack, which is
+// empty between event-queue callbacks; cross-callback spans (RPC legs)
+// are re-established with ScopedSpanParent.
+
+/// Innermost open span on this thread (0 when none).
+uint64_t CurrentSpan();
+void PushSpan(uint64_t span);
+void PopSpan();
+
+#ifndef ESR_TRACE_DISABLED
+namespace internal {
+uint64_t BeginSpanSlow(SpanKind kind, TxnId txn, SiteId site,
+                       uint64_t target, uint64_t parent);
+void EndSpanSlow(SpanKind kind, uint64_t span, TxnId txn, SiteId site);
+}  // namespace internal
+
+/// Opens a span whose end is recorded elsewhere (possibly another
+/// event-queue callback). Returns 0 when tracing is disabled. `parent` 0
+/// resolves to the thread's current span.
+inline uint64_t BeginSpan(SpanKind kind, TxnId txn, SiteId site,
+                          uint64_t target = 0, uint64_t parent = 0) {
+  return GlobalTraceEnabled()
+             ? internal::BeginSpanSlow(kind, txn, site, target, parent)
+             : 0;
+}
+/// Ends a span opened with BeginSpan; no-op when `span` is 0.
+inline void EndSpan(SpanKind kind, uint64_t span, TxnId txn, SiteId site) {
+  if (span != 0) internal::EndSpanSlow(kind, span, txn, site);
+}
+#else
+inline uint64_t BeginSpan(SpanKind, TxnId, SiteId, uint64_t = 0,
+                          uint64_t = 0) {
+  return 0;
+}
+inline void EndSpan(SpanKind, uint64_t, TxnId, SiteId) {}
+#endif
+
+/// RAII span for synchronous scopes (engine operations, bound walks,
+/// threaded-server RPC attempts): opens on construction if tracing is
+/// enabled, pushes itself as the thread's current span, and closes on
+/// scope exit. The parent is the thread's current span if one is open,
+/// else `fallback_parent` (typically the transaction span).
+class TraceSpan {
+ public:
+#ifndef ESR_TRACE_DISABLED
+  TraceSpan(SpanKind kind, TxnId txn, SiteId site, uint64_t target = 0,
+            uint64_t fallback_parent = 0) {
+    if (GlobalTraceEnabled()) Open(kind, txn, site, target, fallback_parent);
+  }
+  ~TraceSpan() {
+    if (id_ != 0) Close();
+  }
+#else
+  TraceSpan(SpanKind, TxnId, SiteId, uint64_t = 0, uint64_t = 0) {}
+  ~TraceSpan() = default;
+#endif
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+
+ private:
+#ifndef ESR_TRACE_DISABLED
+  void Open(SpanKind kind, TxnId txn, SiteId site, uint64_t target,
+            uint64_t fallback_parent);
+  void Close();
+#endif
+
+  uint64_t id_ = 0;
+#ifndef ESR_TRACE_DISABLED
+  SpanKind kind_ = SpanKind::kOp;
+  TxnId txn_ = 0;
+  SiteId site_ = 0;
+#endif
+};
+
+/// Re-establishes an externally-owned span (e.g. the sim client's open
+/// RPC span) as the thread's current span for a scope, so spans opened
+/// inside — the engine's op span — parent to it.
+class ScopedSpanParent {
+ public:
+  explicit ScopedSpanParent(uint64_t span) : active_(span != 0) {
+    if (active_) PushSpan(span);
+  }
+  ~ScopedSpanParent() {
+    if (active_) PopSpan();
+  }
+
+  ScopedSpanParent(const ScopedSpanParent&) = delete;
+  ScopedSpanParent& operator=(const ScopedSpanParent&) = delete;
+
+ private:
+  bool active_;
+};
 
 /// RAII redirect of the global recorder's clock — e.g. to a simulator's
 /// virtual time for the duration of a run — restored on scope exit.
@@ -170,7 +374,7 @@ class ScopedTraceTimeSource {
 #else
 #define ESR_TRACE_EVENT(event_expr)                 \
   do {                                              \
-    if (::esr::GlobalTrace().enabled()) {           \
+    if (::esr::GlobalTraceEnabled()) {              \
       ::esr::GlobalTrace().Record((event_expr));    \
     }                                               \
   } while (0)

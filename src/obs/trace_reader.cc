@@ -1,0 +1,152 @@
+#include "obs/trace_reader.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json_value.h"
+
+namespace esr {
+
+namespace {
+
+bool NameToInstantType(const std::string& name, TraceEventType* out) {
+  if (name == "Begin") *out = TraceEventType::kBegin;
+  else if (name == "Read") *out = TraceEventType::kRead;
+  else if (name == "Write") *out = TraceEventType::kWrite;
+  else if (name == "Commit") *out = TraceEventType::kCommit;
+  else if (name == "Abort") *out = TraceEventType::kAbort;
+  else if (name == "BoundCheck") *out = TraceEventType::kBoundCheck;
+  else if (name == "ImportCharge") *out = TraceEventType::kImportCharge;
+  else if (name == "Wait") *out = TraceEventType::kWait;
+  else return false;
+  return true;
+}
+
+bool NameToSpanKind(const std::string& name, SpanKind* out) {
+  if (name == "txn") *out = SpanKind::kTxn;
+  else if (name == "rpc") *out = SpanKind::kRpc;
+  else if (name == "op") *out = SpanKind::kOp;
+  else if (name == "commit") *out = SpanKind::kCommit;
+  else if (name == "bound_walk") *out = SpanKind::kBoundWalk;
+  else return false;
+  return true;
+}
+
+uint64_t U64Or(const JsonValue& obj, const std::string& key,
+               uint64_t fallback) {
+  const double d = obj.NumberOr(key, -1.0);
+  return d < 0 ? fallback : static_cast<uint64_t>(d);
+}
+
+// One exported Chrome event object -> TraceEvent. Returns false to skip
+// (unknown name/phase, metadata rows) — skipping is not an error.
+bool DecodeEvent(const JsonValue& obj, TraceEvent* e) {
+  const JsonValue* name = obj.Find("name");
+  const JsonValue* ph = obj.Find("ph");
+  if (name == nullptr || !name->is_string() || ph == nullptr ||
+      !ph->is_string()) {
+    return false;
+  }
+  *e = TraceEvent{};
+  e->ts_micros = static_cast<int64_t>(obj.NumberOr("ts", 0.0));
+  e->site = static_cast<SiteId>(obj.NumberOr("pid", 0.0));
+  e->txn = static_cast<TxnId>(obj.NumberOr("tid", 0.0));
+  const JsonValue* args = obj.Find("args");
+
+  const std::string& phase = ph->string;
+  if (phase == "B" || phase == "E" || phase == "b" || phase == "e") {
+    SpanKind kind;
+    if (!NameToSpanKind(name->string, &kind)) return false;
+    const bool begin = phase == "B" || phase == "b";
+    e->type = begin ? TraceEventType::kSpanBegin : TraceEventType::kSpanEnd;
+    e->detail = static_cast<uint8_t>(kind);
+    if (args != nullptr) {
+      e->span = U64Or(*args, "span", 0);
+      if (begin) {
+        e->parent = U64Or(*args, "parent", 0);
+        e->target = U64Or(*args, "target", 0);
+      }
+    }
+    // Async txn spans also carry the id at top level; prefer args' span
+    // but fall back for traces trimmed by other tools.
+    if (e->span == 0) e->span = U64Or(obj, "id", 0);
+    return e->span != 0;
+  }
+  if (phase == "s" || phase == "f") {
+    e->type = phase == "s" ? TraceEventType::kFlowBegin
+                           : TraceEventType::kFlowEnd;
+    e->span = U64Or(obj, "id", 0);
+    return true;
+  }
+  if (phase != "i" && phase != "I") return false;
+
+  if (!NameToInstantType(name->string, &e->type)) return false;
+  if (args != nullptr) {
+    e->target = U64Or(*args, "target", 0);
+    e->level = static_cast<uint16_t>(args->NumberOr("level", 0.0));
+    e->detail = static_cast<uint8_t>(args->NumberOr("detail", 0.0));
+    e->span = U64Or(*args, "span", 0);
+    e->charged = args->NumberOr("charged", 0.0);
+    if (e->type == TraceEventType::kWait) {
+      e->parent = U64Or(*args, "writer", 0);
+    }
+    if (e->type == TraceEventType::kBoundCheck) {
+      const double limit = args->NumberOr("limit", -1.0);
+      // The exporter clamps unbounded limits to -1 (inf is not JSON).
+      e->limit = limit < 0 ? kUnbounded : limit;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ReadChromeTrace(const std::string& json, std::vector<TraceEvent>* out,
+                       TraceMetadata* metadata) {
+  JsonValue root;
+  std::string error;
+  if (!ParseJson(json, &root, &error)) {
+    return Status::InvalidArgument("malformed trace JSON: " + error);
+  }
+  const JsonValue* events = nullptr;
+  if (root.is_array()) {
+    events = &root;
+  } else if (root.is_object()) {
+    events = root.Find("traceEvents");
+    if (metadata != nullptr) {
+      *metadata = TraceMetadata{};
+      if (const JsonValue* other = root.Find("otherData")) {
+        metadata->recorded = U64Or(*other, "recorded", 0);
+        metadata->dropped = U64Or(*other, "dropped", 0);
+        metadata->capacity = U64Or(*other, "capacity", 0);
+      }
+    }
+  }
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument(
+        "trace JSON has no traceEvents array");
+  }
+  out->clear();
+  out->reserve(events->array.size());
+  for (const JsonValue& obj : events->array) {
+    if (!obj.is_object()) continue;
+    TraceEvent e;
+    if (DecodeEvent(obj, &e)) out->push_back(e);
+  }
+  return Status::OK();
+}
+
+Status ReadChromeTraceFile(const std::string& path,
+                           std::vector<TraceEvent>* out,
+                           TraceMetadata* metadata) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open trace file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadChromeTrace(buffer.str(), out, metadata);
+}
+
+}  // namespace esr

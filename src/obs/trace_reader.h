@@ -1,0 +1,35 @@
+#ifndef ESR_OBS_TRACE_READER_H_
+#define ESR_OBS_TRACE_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace esr {
+
+/// Recorder metadata carried in the Chrome trace's "otherData" object.
+struct TraceMetadata {
+  uint64_t recorded = 0;
+  uint64_t dropped = 0;
+  uint64_t capacity = 0;
+};
+
+/// Parses a Chrome trace-event JSON document produced by
+/// TraceRecorder::ExportChromeTrace back into TraceEvents (inverse of the
+/// exporter; the auditor and its tests run on this). Accepts both the
+/// object form ({"traceEvents":[...]}) and a bare event array. Unknown
+/// event names and phases are skipped, not errors, so traces from newer
+/// writers still load.
+Status ReadChromeTrace(const std::string& json, std::vector<TraceEvent>* out,
+                       TraceMetadata* metadata = nullptr);
+
+/// File variant of ReadChromeTrace.
+Status ReadChromeTraceFile(const std::string& path,
+                           std::vector<TraceEvent>* out,
+                           TraceMetadata* metadata = nullptr);
+
+}  // namespace esr
+
+#endif  // ESR_OBS_TRACE_READER_H_

@@ -60,6 +60,10 @@ void SimClient::BeginCurrentTransaction() {
     } else {
       txn_ = server_->Begin(script_.type, ts, script_.bounds);
     }
+    // The engine opened the transaction's lifetime span during Begin;
+    // this client's RPC spans parent to it across callbacks.
+    const Transaction* t = server_->engine().Find(txn_);
+    txn_span_ = t != nullptr ? t->trace_span() : 0;
     IssueCurrentOp();
   });
 }
@@ -69,6 +73,10 @@ void SimClient::IssueCurrentOp() {
     IssueCommit();
     return;
   }
+  // Client-observed RPC leg: request travel + CPU queueing + service +
+  // response travel; closed when the response lands in HandleOpResult.
+  rpc_span_ = BeginSpan(SpanKind::kRpc, txn_, site_,
+                        script_.ops[op_index_].object, txn_span_);
   const SimTime rpc = latency_->SampleOpRpc();
   const SimTime request_travel = rpc / 2;
   const SimTime response_travel = rpc - request_travel;
@@ -84,16 +92,24 @@ void SimClient::IssueCurrentOp() {
 void SimClient::ExecuteOpAtServer(SimTime response_travel) {
   const ScriptOp& op = script_.ops[op_index_];
   OpResult result;
-  if (op.kind == ScriptOp::Kind::kRead) {
-    result = server_->Read(txn_, op.object);
-  } else {
-    result = server_->Write(txn_, op.object, WriteValueFor(op));
+  {
+    // Re-establish the in-flight RPC span as this callback's context so
+    // the engine's op span (and the bound walk under it) parent to it.
+    ScopedSpanParent rpc(rpc_span_);
+    if (op.kind == ScriptOp::Kind::kRead) {
+      result = server_->Read(txn_, op.object);
+    } else {
+      result = server_->Write(txn_, op.object, WriteValueFor(op));
+    }
   }
   queue_->ScheduleAfter(response_travel,
                         [this, result] { HandleOpResult(result); });
 }
 
 void SimClient::HandleOpResult(const OpResult& result) {
+  // Response delivered: the RPC leg is over regardless of the verdict.
+  EndSpan(SpanKind::kRpc, rpc_span_, txn_, site_);
+  rpc_span_ = 0;
   switch (result.kind) {
     case OpResult::Kind::kOk: {
       ++stats_.ops_executed;
@@ -124,6 +140,7 @@ void SimClient::HandleOpResult(const OpResult& result) {
       // transaction with a new timestamp after a short turnaround.
       ++stats_.aborts;
       txn_ = kInvalidTxnId;
+      txn_span_ = 0;
       queue_->ScheduleAfter(latency_->RestartDelay(),
                             [this] { BeginCurrentTransaction(); });
       return;
@@ -133,9 +150,15 @@ void SimClient::HandleOpResult(const OpResult& result) {
 }
 
 void SimClient::IssueCommit() {
-  queue_->ScheduleAfter(latency_->SampleControlRpc(), [this] {
-    const Status status = server_->Commit(txn_);
-    ESR_CHECK(status.ok()) << status.ToString();
+  const uint64_t commit_rpc =
+      BeginSpan(SpanKind::kRpc, txn_, site_, 0, txn_span_);
+  queue_->ScheduleAfter(latency_->SampleControlRpc(), [this, commit_rpc] {
+    {
+      ScopedSpanParent rpc(commit_rpc);
+      const Status status = server_->Commit(txn_);
+      ESR_CHECK(status.ok()) << status.ToString();
+    }
+    EndSpan(SpanKind::kRpc, commit_rpc, txn_, site_);
     ++stats_.committed;
     if (script_.type == TxnType::kQuery) {
       ++stats_.committed_query;
@@ -148,6 +171,7 @@ void SimClient::IssueCommit() {
     stats_.txn_latency_total_us += latency_us;
     latency_ms_.Record(static_cast<double>(latency_us) / 1000.0);
     txn_ = kInvalidTxnId;
+    txn_span_ = 0;
     SubmitNextTransaction();
   });
 }

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/timestamp.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/latency_model.h"
 #include "sim/skewed_clock.h"
@@ -93,6 +94,12 @@ class SimClient {
 
   TxnScript script_;
   TxnId txn_ = kInvalidTxnId;
+  /// Causal-span plumbing across event-queue callbacks: the server-side
+  /// transaction span (parent for this client's RPC spans) and the RPC
+  /// span currently in flight. The BEGIN control RPC itself is not
+  /// spanned — its TxnId does not exist until the server executes it.
+  uint64_t txn_span_ = 0;
+  uint64_t rpc_span_ = 0;
   size_t op_index_ = 0;
   std::vector<Value> read_results_;
   SimTime first_submit_at_ = 0;

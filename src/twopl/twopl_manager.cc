@@ -30,24 +30,31 @@ TwoPLManager::TwoPLManager(ObjectStore* store, const GroupSchema* schema,
 TxnId TwoPLManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   const TxnId id = next_txn_id_++;
-  transactions_.emplace(
+  auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
+  it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(type)->Increment();
-  ESR_TRACE_EVENT(TraceEvent::BeginTxn(id, type, ts.site));
+  ESR_TRACE_EVENT(
+      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), it->second.trace_span()));
   return id;
 }
 
 OpResult TwoPLManager::Read(TxnId txn, ObjectId object) {
   std::lock_guard<std::mutex> lock(mu_);
-  return DoRead(GetActive(txn), object);
+  Transaction& t = GetActive(txn);
+  TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
+  return DoRead(t, object);
 }
 
 OpResult TwoPLManager::Write(TxnId txn, ObjectId object, Value value) {
   std::lock_guard<std::mutex> lock(mu_);
-  return DoWrite(GetActive(txn), object, value);
+  Transaction& t = GetActive(txn);
+  TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
+  return DoWrite(t, object, value);
 }
 
 bool TwoPLManager::HandleGrant(Transaction& txn,
+                               [[maybe_unused]] ObjectId object,
                                const LockTable::Grant& grant,
                                OpResult* result) {
   switch (grant.outcome) {
@@ -55,8 +62,11 @@ bool TwoPLManager::HandleGrant(Transaction& txn,
       return true;
     case LockOutcome::kWait:
       counters_.op_wait->Increment();
-      ESR_TRACE_EVENT(
-          TraceEvent::WaitOn(txn.id(), txn.ts().site, grant.conflict));
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object,
+                                         grant.conflict));
+      ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowBegin,
+                                       grant.conflict, txn.id(),
+                                       txn.ts().site));
       *result = OpResult::Wait(grant.conflict);
       return false;
     case LockOutcome::kDie:
@@ -108,7 +118,7 @@ OpResult TwoPLManager::DoRead(Transaction& txn, ObjectId object) {
   OpResult result;
   const LockTable::Grant grant = locks_.AcquireShared(
       object, LockTable::Request{txn.id(), txn.ts()});
-  if (!HandleGrant(txn, grant, &result)) return result;
+  if (!HandleGrant(txn, object, grant, &result)) return result;
 
   const Value present = obj.value();
   txn.ObserveValue(object, present);
@@ -128,7 +138,7 @@ OpResult TwoPLManager::DoWrite(Transaction& txn, ObjectId object,
   OpResult result;
   const LockTable::Grant grant = locks_.AcquireExclusive(
       object, LockTable::Request{txn.id(), txn.ts()});
-  if (!HandleGrant(txn, grant, &result)) return result;
+  if (!HandleGrant(txn, object, grant, &result)) return result;
 
   // Export control against lock-free ESR query readers (the X lock has
   // already excluded locked readers).
@@ -165,6 +175,8 @@ Status TwoPLManager::Commit(TxnId txn) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
+  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
+                        it->second.trace_span());
   Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
   return Status::OK();
 }
@@ -176,6 +188,8 @@ Status TwoPLManager::Abort(TxnId txn) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
+  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
+                        it->second.trace_span());
   Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
   return Status::OK();
 }
@@ -229,6 +243,13 @@ void TwoPLManager::Teardown(Transaction& txn, TxnState final_state,
   for (const ObjectId object : txn.registered_reads()) {
     store.Get(object).UnregisterQueryReader(txn.id());
   }
+  // Writers (lock holders) resolve the conflict flows that targeted them;
+  // then the lifetime span closes.
+  if (!txn.pending_writes().empty()) {
+    ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowEnd, txn.id(),
+                                     txn.id(), txn.ts().site));
+  }
+  EndSpan(SpanKind::kTxn, txn.trace_span(), txn.id(), txn.ts().site);
   locks_.ReleaseAll(txn.id());
   transactions_.erase(txn.id());
 }

@@ -61,8 +61,8 @@ class TwoPLManager final : public TransactionEngine {
   OpResult DoRead(Transaction& txn, ObjectId object);
   OpResult DoWrite(Transaction& txn, ObjectId object, Value value);
   /// Maps a lock grant to the OpResult control flow; true if granted.
-  bool HandleGrant(Transaction& txn, const LockTable::Grant& grant,
-                   OpResult* result);
+  bool HandleGrant(Transaction& txn, ObjectId object,
+                   const LockTable::Grant& grant, OpResult* result);
 
   mutable std::mutex mu_;
   const GroupSchema* schema_;

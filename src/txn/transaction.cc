@@ -9,16 +9,18 @@ Transaction::Transaction(TxnId id, TxnType type, Timestamp ts,
     : id_(id),
       type_(type),
       ts_(ts),
-      accumulator_(schema, std::move(bounds)) {}
+      accumulator_(schema, std::move(bounds),
+                   type == TxnType::kQuery ? ChargeDirection::kImport
+                                           : ChargeDirection::kExport) {}
 
 Transaction::Transaction(TxnId id, Timestamp ts, const GroupSchema* schema,
                          BoundSpec bounds, BoundSpec import_bounds)
     : id_(id),
       type_(TxnType::kUpdate),
       ts_(ts),
-      accumulator_(schema, std::move(bounds)),
+      accumulator_(schema, std::move(bounds), ChargeDirection::kExport),
       import_accumulator_(std::make_unique<InconsistencyAccumulator>(
-          schema, std::move(import_bounds))) {}
+          schema, std::move(import_bounds), ChargeDirection::kImport)) {}
 
 Inconsistency Transaction::ChargedFor(ObjectId object) const {
   auto it = charged_.find(object);

@@ -124,6 +124,13 @@ class Transaction {
     return observed_;
   }
 
+  // -- Causal tracing -------------------------------------------------------
+  /// Id of this transaction's lifetime trace span (0 when tracing was off
+  /// at Begin). Engine ops and bound walks parent to it; the sim client
+  /// parents its RPC spans to it across event-queue callbacks.
+  uint64_t trace_span() const { return trace_span_; }
+  void set_trace_span(uint64_t span) { trace_span_ = span; }
+
   // -- Operation statistics (feed Figs. 8, 10, 13) -------------------------
   int64_t ops_executed() const { return ops_executed_; }
   int64_t inconsistent_ops() const { return inconsistent_ops_; }
@@ -143,6 +150,7 @@ class Transaction {
   std::unordered_map<ObjectId, ValueRange> observed_;
   int64_t ops_executed_ = 0;
   int64_t inconsistent_ops_ = 0;
+  uint64_t trace_span_ = 0;
 };
 
 }  // namespace esr

@@ -33,10 +33,12 @@ TxnId TransactionManager::Begin(TxnType type, Timestamp ts,
                                 BoundSpec bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   const TxnId id = next_txn_id_++;
-  transactions_.emplace(
+  auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
+  it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(type)->Increment();
-  ESR_TRACE_EVENT(TraceEvent::BeginTxn(id, type, ts.site));
+  ESR_TRACE_EVENT(
+      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), it->second.trace_span()));
   return id;
 }
 
@@ -45,22 +47,28 @@ TxnId TransactionManager::BeginUpdateWithImport(Timestamp ts,
                                                 BoundSpec import_bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   const TxnId id = next_txn_id_++;
-  transactions_.emplace(
+  auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, ts, schema_, std::move(export_bounds),
                       std::move(import_bounds)));
+  it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(TxnType::kUpdate)->Increment();
-  ESR_TRACE_EVENT(TraceEvent::BeginTxn(id, TxnType::kUpdate, ts.site));
+  ESR_TRACE_EVENT(WithSpan(TraceEvent::BeginTxn(id, TxnType::kUpdate, ts.site),
+                           it->second.trace_span()));
   return id;
 }
 
 OpResult TransactionManager::Read(TxnId txn, ObjectId object) {
   std::lock_guard<std::mutex> lock(mu_);
-  return DoRead(GetActive(txn), object);
+  Transaction& t = GetActive(txn);
+  TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
+  return DoRead(t, object);
 }
 
 OpResult TransactionManager::Write(TxnId txn, ObjectId object, Value value) {
   std::lock_guard<std::mutex> lock(mu_);
-  return DoWrite(GetActive(txn), object, value);
+  Transaction& t = GetActive(txn);
+  TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
+  return DoWrite(t, object, value);
 }
 
 OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
@@ -70,7 +78,12 @@ OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
   switch (decision) {
     case ReadDecision::kWait:
       counters_.op_wait->Increment();
-      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object));
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object,
+                                         obj.uncommitted_writer()));
+      // Flow arrow from this wait to the blocking writer's resolution.
+      ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowBegin,
+                                       obj.uncommitted_writer(), txn.id(),
+                                       txn.ts().site));
       return OpResult::Wait(obj.uncommitted_writer());
 
     case ReadDecision::kAbortLate:
@@ -155,7 +168,11 @@ OpResult TransactionManager::DoWrite(Transaction& txn, ObjectId object,
   switch (decision) {
     case WriteDecision::kWait:
       counters_.op_wait->Increment();
-      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object));
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object,
+                                         obj.uncommitted_writer()));
+      ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowBegin,
+                                       obj.uncommitted_writer(), txn.id(),
+                                       txn.ts().site));
       return OpResult::Wait(obj.uncommitted_writer());
 
     case WriteDecision::kAbortLateRead:
@@ -208,6 +225,8 @@ Status TransactionManager::Commit(TxnId txn) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
+  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
+                        it->second.trace_span());
   Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
   return Status::OK();
 }
@@ -219,6 +238,8 @@ Status TransactionManager::Abort(TxnId txn) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
+  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
+                        it->second.trace_span());
   Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
   return Status::OK();
 }
@@ -274,6 +295,14 @@ void TransactionManager::Teardown(Transaction& txn, TxnState final_state,
   for (const ObjectId object : txn.registered_reads()) {
     store.Get(object).UnregisterQueryReader(txn.id());
   }
+  // Writers resolve any conflict flows that targeted them (arrows bind by
+  // writer TxnId; unmatched ends are ignored by trace viewers), then the
+  // transaction's lifetime span closes.
+  if (!txn.pending_writes().empty()) {
+    ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowEnd, txn.id(),
+                                     txn.id(), txn.ts().site));
+  }
+  EndSpan(SpanKind::kTxn, txn.trace_span(), txn.id(), txn.ts().site);
   transactions_.erase(txn.id());
 }
 

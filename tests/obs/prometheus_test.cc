@@ -1,0 +1,163 @@
+// Prometheus text exposition and the minimal /metrics HTTP endpoint:
+// format conformance, name sanitization, and a real scrape over a
+// loopback socket.
+
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace esr {
+namespace {
+
+TEST(PrometheusNameTest, SanitizesDisallowedCharacters) {
+  EXPECT_EQ(PrometheusMetricName("txn.commit"), "esr_txn_commit");
+  EXPECT_EQ(PrometheusMetricName("client.txn_latency-ms"),
+            "esr_client_txn_latency_ms");
+  EXPECT_EQ(PrometheusMetricName("plain"), "esr_plain");
+  EXPECT_EQ(PrometheusMetricName("weird name!"), "esr_weird_name_");
+}
+
+TEST(PrometheusTextTest, WritesCountersWithTypeAndTotalSuffix) {
+  MetricRegistry reg;
+  reg.counter("txn.commit").Increment(12);
+
+  std::ostringstream out;
+  WritePrometheusText(reg, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE esr_txn_commit_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("esr_txn_commit_total 12\n"), std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTextTest, WritesHistogramsAsSummaries) {
+  MetricRegistry reg;
+  for (int i = 1; i <= 4; ++i) {
+    reg.histogram("latency").Record(static_cast<double>(i));
+  }
+
+  std::ostringstream out;
+  WritePrometheusText(reg, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE esr_latency summary\n"), std::string::npos);
+  for (const char* q : {"0.5", "0.9", "0.99", "0.999"}) {
+    EXPECT_NE(text.find("esr_latency{quantile=\"" + std::string(q) + "\"}"),
+              std::string::npos)
+        << q << " missing in:\n"
+        << text;
+  }
+  // _sum is mean * count = 2.5 * 4; _count is the sample count.
+  EXPECT_NE(text.find("esr_latency_sum 10\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("esr_latency_count 4\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusTextTest, EmptyRegistryProducesEmptyExposition) {
+  MetricRegistry reg;
+  std::ostringstream out;
+  WritePrometheusText(reg, out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+// Blocking one-shot HTTP GET against 127.0.0.1:port; empty on failure.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t w =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (w <= 0) break;
+    sent += static_cast<size_t>(w);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServerTest, ServesScrapeOnEphemeralPort) {
+  MetricRegistry reg;
+  reg.counter("scrapes").Increment(3);
+  MetricsHttpServer server([&reg] {
+    std::ostringstream out;
+    WritePrometheusText(reg, out);
+    return out.str();
+  });
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("esr_scrapes_total 3"), std::string::npos)
+      << response;
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(MetricsHttpServerTest, UnknownPathIs404) {
+  MetricsHttpServer server([] { return std::string("body\n"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = HttpGet(server.port(), "/other");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos) << response;
+  // Root serves the same body as /metrics for curl convenience.
+  const std::string root = HttpGet(server.port(), "/");
+  EXPECT_NE(root.find("200 OK"), std::string::npos) << root;
+}
+
+TEST(MetricsHttpServerTest, RendersLiveValuesPerScrape) {
+  MetricRegistry reg;
+  MetricsHttpServer server([&reg] {
+    std::ostringstream out;
+    WritePrometheusText(reg, out);
+    return out.str();
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  reg.counter("ticks").Increment();
+  EXPECT_NE(HttpGet(server.port(), "/metrics").find("esr_ticks_total 1"),
+            std::string::npos);
+  reg.counter("ticks").Increment();
+  EXPECT_NE(HttpGet(server.port(), "/metrics").find("esr_ticks_total 2"),
+            std::string::npos);
+}
+
+TEST(MetricsHttpServerTest, StopIsIdempotentAndStartRejectsDoubleStart) {
+  MetricsHttpServer server([] { return std::string(); });
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_FALSE(server.Start(0).ok());  // already running
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace esr

@@ -34,7 +34,7 @@ TEST(TraceRecorderTest, CapturesLifecycleEventsInOrder) {
   recorder.Record(TraceEvent::BeginTxn(7, TxnType::kQuery, /*site=*/3));
   recorder.Record(TraceEvent::Op(TraceEventType::kRead, 7, 3, /*object=*/42));
   recorder.Record(TraceEvent::ImportCharge(7, 3, 42, 12.5));
-  recorder.Record(TraceEvent::WaitOn(7, 3, /*object=*/43));
+  recorder.Record(TraceEvent::WaitOn(7, 3, /*object=*/43, /*writer=*/5));
   recorder.Record(TraceEvent::CommitTxn(7, 3));
 
   const std::vector<TraceEvent> events = recorder.Snapshot();
@@ -48,6 +48,8 @@ TEST(TraceRecorderTest, CapturesLifecycleEventsInOrder) {
   EXPECT_DOUBLE_EQ(events[2].charged, 12.5);
   EXPECT_EQ(events[3].type, TraceEventType::kWait);
   EXPECT_EQ(events[3].target, 43u);
+  // The blocking writer rides in `parent` for the offline auditor.
+  EXPECT_EQ(events[3].parent, 5u);
   EXPECT_EQ(events[4].type, TraceEventType::kCommit);
 }
 
@@ -204,9 +206,22 @@ TEST(ChromeTraceExportTest, ProducesValidTraceEventJson) {
   JsonValue root;
   std::string error;
   ASSERT_TRUE(ParseJson(out.str(), &root, &error)) << error;
-  ASSERT_TRUE(root.is_array());
-  ASSERT_EQ(root.array.size(), 4u);
-  for (const JsonValue& event : root.array) {
+  // Object form: the event array plus recorder metadata, so consumers can
+  // tell whether the capture lost events to ring wraparound.
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* other = root.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->Find("recorded"), nullptr);
+  EXPECT_EQ(other->Find("recorded")->number, 4.0);
+  ASSERT_NE(other->Find("dropped"), nullptr);
+  EXPECT_EQ(other->Find("dropped")->number, 0.0);
+  ASSERT_NE(other->Find("capacity"), nullptr);
+  EXPECT_EQ(other->Find("capacity")->number, 32.0);
+  const JsonValue* trace_events = root.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  ASSERT_EQ(trace_events->array.size(), 4u);
+  for (const JsonValue& event : trace_events->array) {
     ASSERT_TRUE(event.is_object());
     // The keys Perfetto / about:tracing require of every event.
     ASSERT_NE(event.Find("name"), nullptr);
@@ -221,7 +236,7 @@ TEST(ChromeTraceExportTest, ProducesValidTraceEventJson) {
     EXPECT_EQ(event.Find("tid")->number, 11.0);
   }
   // Unbounded limits must serialize as the -1 sentinel, not bare inf.
-  const JsonValue& check = root.array[2];
+  const JsonValue& check = trace_events->array[2];
   const JsonValue* args = check.Find("args");
   ASSERT_NE(args, nullptr);
   ASSERT_NE(args->Find("limit"), nullptr);
@@ -229,7 +244,7 @@ TEST(ChromeTraceExportTest, ProducesValidTraceEventJson) {
   ASSERT_NE(args->Find("outcome"), nullptr);
   EXPECT_EQ(args->Find("outcome")->string, "admit");
   // Abort events name their reason.
-  const JsonValue* abort_args = root.array[3].Find("args");
+  const JsonValue* abort_args = trace_events->array[3].Find("args");
   ASSERT_NE(abort_args, nullptr);
   ASSERT_NE(abort_args->Find("reason"), nullptr);
   EXPECT_TRUE(abort_args->Find("reason")->is_string());
@@ -248,8 +263,11 @@ TEST(ChromeTraceExportTest, ExportToFileRoundTrips) {
   JsonValue root;
   std::string error;
   ASSERT_TRUE(ParseJson(buffer.str(), &root, &error)) << error;
-  ASSERT_TRUE(root.is_array());
-  EXPECT_EQ(root.array.size(), 1u);
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* trace_events = root.Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  EXPECT_EQ(trace_events->array.size(), 1u);
 }
 
 TEST(ChromeTraceExportTest, BadPathReturnsError) {
