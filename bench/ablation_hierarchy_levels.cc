@@ -24,6 +24,8 @@ using esr::ObjectId;
 using esr::SimResult;
 using esr::TxnType;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
+using esr::bench::ParallelFor;
 using esr::bench::PrintHeader;
 using esr::bench::RunScale;
 using esr::bench::Table;
@@ -47,62 +49,59 @@ struct RunOutcome {
   double import_per_query = 0.0;
 };
 
-RunOutcome RunShape(const Shape& shape, const RunScale& scale) {
-  RunOutcome out;
-  for (int seed = 1; seed <= scale.seeds; ++seed) {
-    auto opt = BaseOptions(kTil, /*tel=*/10'000, kMpl, scale);
-    opt.seed = static_cast<uint64_t>(seed) * 7919;
+// One (shape, seed) run; self-contained so runs can execute on worker
+// threads. `owns_trace` must be false when other runs may be in flight.
+RunOutcome RunShapeSeed(const Shape& shape, int seed, const RunScale& scale,
+                        bool owns_trace) {
+  auto opt = BaseOptions(kTil, /*tel=*/10'000, kMpl, scale);
+  opt.seed = static_cast<uint64_t>(seed) * 7919;
+  opt.owns_trace = owns_trace;
 
-    // Group ids are deterministic given the construction order below, so
-    // the bound factory can reference them before the cluster exists.
-    std::vector<GroupId> level1;  // 4 categories: ids 1..4
-    std::vector<GroupId> level2;  // 8 subgroups:  ids 5..12
-    if (shape.levels >= 1) level1 = {1, 2, 3, 4};
-    if (shape.levels >= 2) level2 = {5, 6, 7, 8, 9, 10, 11, 12};
+  // Group ids are deterministic given the construction order below, so
+  // the bound factory can reference them before the cluster exists.
+  std::vector<GroupId> level1;  // 4 categories: ids 1..4
+  std::vector<GroupId> level2;  // 8 subgroups:  ids 5..12
+  if (shape.levels >= 1) level1 = {1, 2, 3, 4};
+  if (shape.levels >= 2) level2 = {5, 6, 7, 8, 9, 10, 11, 12};
 
-    opt.workload.bound_factory = [&, shape](TxnType type) {
-      if (type == TxnType::kUpdate) {
-        return BoundSpec::TransactionOnly(10'000);
-      }
-      BoundSpec bounds;
-      bounds.SetTransactionLimit(kTil);
-      for (const GroupId g : level1) bounds.SetLimit(g, kTil / 4);
-      for (const GroupId g : level2) bounds.SetLimit(g, kTil / 8);
-      return bounds;
-    };
+  opt.workload.bound_factory = [level1, level2](TxnType type) {
+    if (type == TxnType::kUpdate) {
+      return BoundSpec::TransactionOnly(10'000);
+    }
+    BoundSpec bounds;
+    bounds.SetTransactionLimit(kTil);
+    for (const GroupId g : level1) bounds.SetLimit(g, kTil / 4);
+    for (const GroupId g : level2) bounds.SetLimit(g, kTil / 8);
+    return bounds;
+  };
 
-    Cluster cluster(opt);
-    GroupSchema& schema = cluster.server().schema();
-    if (shape.levels >= 1) {
-      for (int c = 0; c < 4; ++c) {
-        (void)schema.AddGroup("cat" + std::to_string(c), esr::kRootGroup);
-      }
-      if (shape.levels >= 2) {
-        for (int s = 0; s < 8; ++s) {
-          (void)schema.AddGroup("sub" + std::to_string(s),
-                                static_cast<GroupId>(1 + s / 2));
-        }
-      }
-      for (ObjectId id = 0; id < 1000; ++id) {
-        const GroupId leaf =
-            shape.levels >= 2 ? static_cast<GroupId>(5 + id % 8)
-                              : static_cast<GroupId>(1 + id % 4);
-        (void)schema.AssignObject(id, leaf);
+  Cluster cluster(opt);
+  GroupSchema& schema = cluster.server().schema();
+  if (shape.levels >= 1) {
+    for (int c = 0; c < 4; ++c) {
+      (void)schema.AddGroup("cat" + std::to_string(c), esr::kRootGroup);
+    }
+    if (shape.levels >= 2) {
+      for (int s = 0; s < 8; ++s) {
+        (void)schema.AddGroup("sub" + std::to_string(s),
+                              static_cast<GroupId>(1 + s / 2));
       }
     }
-
-    const SimResult r = cluster.Run();
-    out.tput += r.throughput();
-    out.aborts += static_cast<double>(r.aborts);
-    out.group_aborts += static_cast<double>(
-        cluster.server().metrics().CounterValue("abort.group_bound"));
-    out.import_per_query += r.avg_import_per_query();
+    for (ObjectId id = 0; id < 1000; ++id) {
+      const GroupId leaf = shape.levels >= 2
+                               ? static_cast<GroupId>(5 + id % 8)
+                               : static_cast<GroupId>(1 + id % 4);
+      (void)schema.AssignObject(id, leaf);
+    }
   }
-  const double n = static_cast<double>(scale.seeds);
-  out.tput /= n;
-  out.aborts /= n;
-  out.group_aborts /= n;
-  out.import_per_query /= n;
+
+  const SimResult r = cluster.Run();
+  RunOutcome out;
+  out.tput = r.throughput();
+  out.aborts = static_cast<double>(r.aborts);
+  out.group_aborts = static_cast<double>(
+      cluster.server().metrics().CounterValue("abort.group_bound"));
+  out.import_per_query = r.avg_import_per_query();
   return out;
 }
 
@@ -123,12 +122,37 @@ int main(int argc, char** argv) {
       {"+4 categories (3-level)", 1},
       {"+8 subgroups (4-level)", 2},
   };
+  constexpr size_t kShapeCount = 3;
+  const size_t seeds = static_cast<size_t>(scale.seeds);
+  const int jobs = JobsFromArgs(argc, argv);
+
+  // Fan the (shape, seed) grid across workers; merge on the main thread
+  // in seed order so the averages are bit-identical to a serial run.
+  std::vector<RunOutcome> raw(kShapeCount * seeds);
+  ParallelFor(raw.size(), jobs, [&](size_t task) {
+    const Shape& shape = shapes[task / seeds];
+    const int seed = static_cast<int>(task % seeds) + 1;
+    raw[task] = RunShapeSeed(shape, seed, scale, /*owns_trace=*/jobs == 1);
+  });
+
   Table table({"declaration", "tput(tps)", "aborts", "group_aborts",
                "import/query"});
-  for (const Shape& shape : shapes) {
-    const RunOutcome out = RunShape(shape, scale);
-    table.AddRow({shape.name, Table::Num(out.tput), Table::Int(out.aborts),
-                  Table::Int(out.group_aborts),
+  for (size_t s = 0; s < kShapeCount; ++s) {
+    RunOutcome out;
+    for (size_t seed = 0; seed < seeds; ++seed) {
+      const RunOutcome& r = raw[s * seeds + seed];
+      out.tput += r.tput;
+      out.aborts += r.aborts;
+      out.group_aborts += r.group_aborts;
+      out.import_per_query += r.import_per_query;
+    }
+    const double n = static_cast<double>(scale.seeds);
+    out.tput /= n;
+    out.aborts /= n;
+    out.group_aborts /= n;
+    out.import_per_query /= n;
+    table.AddRow({shapes[s].name, Table::Num(out.tput),
+                  Table::Int(out.aborts), Table::Int(out.group_aborts),
                   Table::Num(out.import_per_query, 0)});
   }
   table.Print();

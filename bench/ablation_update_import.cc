@@ -11,15 +11,21 @@
 #include "harness/harness.h"
 
 #include <cstdio>
+#include <iterator>
 
 namespace {
 
 using esr::Inconsistency;
+using esr::bench::AveragedResult;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
 using esr::bench::PrintHeader;
-using esr::bench::RunAveraged;
 using esr::bench::RunScale;
+using esr::bench::Sweep;
 using esr::bench::Table;
+
+constexpr int kMpls[] = {2, 4, 6, 8, 10};
+constexpr Inconsistency kBudgets[] = {0, 2'000, 10'000, 50'000};
 
 }  // namespace
 
@@ -32,19 +38,27 @@ int main(int argc, char** argv) {
               "update aborts",
               scale);
 
-  const Inconsistency budgets[] = {0, 2'000, 10'000, 50'000};
+  Sweep sweep(scale, JobsFromArgs(argc, argv));
+  for (int mpl : kMpls) {
+    for (const Inconsistency budget : kBudgets) {
+      // High query/export bounds so the update-read path is what varies.
+      auto opt = BaseOptions(/*til=*/100'000, /*tel=*/10'000, mpl, scale);
+      opt.workload.update_import_til = budget;
+      sweep.Add(opt);
+    }
+  }
+  sweep.Run();
+
   Table tput({"mpl", "import=0(paper)", "import=2k", "import=10k",
               "import=50k"});
   Table aborts({"mpl", "import=0(paper)", "import=2k", "import=10k",
                 "import=50k"});
-  for (int mpl : {2, 4, 6, 8, 10}) {
+  size_t point = 0;
+  for (int mpl : kMpls) {
     std::vector<std::string> tput_row{std::to_string(mpl)};
     std::vector<std::string> abort_row{std::to_string(mpl)};
-    for (const Inconsistency budget : budgets) {
-      // High query/export bounds so the update-read path is what varies.
-      auto opt = BaseOptions(/*til=*/100'000, /*tel=*/10'000, mpl, scale);
-      opt.workload.update_import_til = budget;
-      const auto r = RunAveraged(opt, scale);
+    for (size_t b = 0; b < std::size(kBudgets); ++b) {
+      const AveragedResult& r = sweep.Result(point++);
       tput_row.push_back(Table::Num(r.throughput));
       abort_row.push_back(Table::Int(r.aborts));
     }

@@ -14,11 +14,15 @@ namespace {
 
 using esr::EngineKind;
 using esr::EpsilonLevel;
+using esr::bench::AveragedResult;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
 using esr::bench::PrintHeader;
-using esr::bench::RunAveraged;
 using esr::bench::RunScale;
+using esr::bench::Sweep;
 using esr::bench::Table;
+
+constexpr int kMpls[] = {1, 2, 4, 6, 8, 10};
 
 }  // namespace
 
@@ -44,20 +48,29 @@ int main(int argc, char** argv) {
       {"MVTO", EngineKind::kMultiversion, EpsilonLevel::kHigh},
   };
 
+  Sweep sweep(scale, JobsFromArgs(argc, argv));
+  for (int mpl : kMpls) {
+    for (const Config& config : configs) {
+      auto opt = BaseOptions(config.level, mpl, scale);
+      opt.server.engine = config.engine;
+      sweep.Add(opt);
+    }
+  }
+  sweep.Run();
+
   std::printf("Throughput (tps):\n");
   Table tput({"mpl", "TO-SR", "TO-ESR(high)", "2PL-SR", "2PL-ESR(high)",
               "MVTO"});
   Table aborts({"mpl", "TO-SR", "TO-ESR(high)", "2PL-SR", "2PL-ESR(high)",
                 "MVTO"});
   Table inconsistent({"mpl", "TO-ESR(high)", "2PL-ESR(high)", "MVTO"});
-  for (int mpl : {1, 2, 4, 6, 8, 10}) {
+  size_t point = 0;
+  for (int mpl : kMpls) {
     std::vector<std::string> tput_row{std::to_string(mpl)};
     std::vector<std::string> abort_row{std::to_string(mpl)};
     std::vector<std::string> incons_row{std::to_string(mpl)};
     for (const Config& config : configs) {
-      auto opt = BaseOptions(config.level, mpl, scale);
-      opt.server.engine = config.engine;
-      const auto r = RunAveraged(opt, scale);
+      const AveragedResult& r = sweep.Result(point++);
       tput_row.push_back(Table::Num(r.throughput));
       abort_row.push_back(Table::Int(r.aborts));
       if (config.level == EpsilonLevel::kHigh) {

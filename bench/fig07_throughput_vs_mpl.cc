@@ -12,11 +12,13 @@
 namespace {
 
 using esr::EpsilonLevel;
+using esr::bench::AveragedResult;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
 using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
-using esr::bench::RunAveraged;
 using esr::bench::RunScale;
+using esr::bench::Sweep;
 using esr::bench::Table;
 
 constexpr EpsilonLevel kLevels[] = {EpsilonLevel::kZero, EpsilonLevel::kLow,
@@ -34,15 +36,24 @@ int main(int argc, char** argv) {
               "bounds shifting to MPL~5 for high bounds",
               scale);
 
+  Sweep sweep(scale, JobsFromArgs(argc, argv));
+  for (int mpl = 1; mpl <= 10; ++mpl) {
+    for (int l = 0; l < 4; ++l) {
+      sweep.Add(BaseOptions(kLevels[l], mpl, scale));
+    }
+  }
+  sweep.Run();
+
   JsonReport report("fig07_throughput_vs_mpl", scale);
   Table table({"mpl", "zero(SR)", "low", "medium", "high"});
   double peak[4] = {0, 0, 0, 0};
   int peak_mpl[4] = {0, 0, 0, 0};
   double max_rel_stddev = 0.0;
+  size_t point = 0;
   for (int mpl = 1; mpl <= 10; ++mpl) {
     std::vector<std::string> row{std::to_string(mpl)};
     for (int l = 0; l < 4; ++l) {
-      const auto r = RunAveraged(BaseOptions(kLevels[l], mpl, scale), scale);
+      const AveragedResult& r = sweep.Result(point++);
       report.AddPoint(kNames[l], mpl, r);
       const double tput = r.throughput;
       if (tput > 0.0) {

@@ -11,12 +11,18 @@ namespace {
 
 using esr::EpsilonLevel;
 using esr::EpsilonLevelToString;
+using esr::bench::AveragedResult;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
 using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
-using esr::bench::RunAveraged;
 using esr::bench::RunScale;
+using esr::bench::Sweep;
 using esr::bench::Table;
+
+constexpr EpsilonLevel kLevels[] = {EpsilonLevel::kZero, EpsilonLevel::kLow,
+                                    EpsilonLevel::kMedium,
+                                    EpsilonLevel::kHigh};
 
 }  // namespace
 
@@ -28,14 +34,21 @@ int main(int argc, char** argv) {
               "shoot up rapidly; zero epsilon (SR) is very high",
               scale);
 
+  Sweep sweep(scale, JobsFromArgs(argc, argv));
+  for (int mpl = 1; mpl <= 10; ++mpl) {
+    for (EpsilonLevel level : kLevels) {
+      sweep.Add(BaseOptions(level, mpl, scale));
+    }
+  }
+  sweep.Run();
+
   JsonReport report("fig09_aborts_vs_mpl", scale);
   Table table({"mpl", "zero(SR)", "low", "medium", "high"});
+  size_t point = 0;
   for (int mpl = 1; mpl <= 10; ++mpl) {
     std::vector<std::string> row{std::to_string(mpl)};
-    for (EpsilonLevel level :
-         {EpsilonLevel::kZero, EpsilonLevel::kLow, EpsilonLevel::kMedium,
-          EpsilonLevel::kHigh}) {
-      const auto r = RunAveraged(BaseOptions(level, mpl, scale), scale);
+    for (EpsilonLevel level : kLevels) {
+      const AveragedResult& r = sweep.Result(point++);
       report.AddPoint(std::string(EpsilonLevelToString(level)), mpl, r);
       row.push_back(Table::Int(r.aborts));
     }

@@ -13,11 +13,13 @@
 namespace {
 
 using esr::Inconsistency;
+using esr::bench::AveragedResult;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
 using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
-using esr::bench::RunAveraged;
 using esr::bench::RunScale;
+using esr::bench::Sweep;
 using esr::bench::Table;
 
 constexpr int kMpl = 4;
@@ -35,12 +37,21 @@ int main(int argc, char** argv) {
               "TIL, flattening at high TIL",
               scale);
 
+  Sweep sweep(scale, JobsFromArgs(argc, argv));
+  for (const double til : kTilSweep) {
+    for (const double tel : kTelLevels) {
+      sweep.Add(BaseOptions(til, tel, kMpl, scale));
+    }
+  }
+  sweep.Run();
+
   JsonReport report("fig11_throughput_vs_til", scale);
   Table table({"TIL", "TEL=1000(low)", "TEL=5000(med)", "TEL=10000(high)"});
+  size_t point = 0;
   for (const double til : kTilSweep) {
     std::vector<std::string> row{Table::Int(til)};
     for (const double tel : kTelLevels) {
-      const auto r = RunAveraged(BaseOptions(til, tel, kMpl, scale), scale);
+      const AveragedResult& r = sweep.Result(point++);
       report.AddPoint("tel=" + Table::Int(tel), til, r);
       row.push_back(Table::Num(r.throughput));
     }

@@ -18,17 +18,30 @@
 
 namespace {
 
+using esr::bench::AveragedResult;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
 using esr::bench::JsonReport;
 using esr::bench::PrintHeader;
-using esr::bench::RunAveraged;
 using esr::bench::RunScale;
+using esr::bench::Sweep;
 using esr::bench::Table;
 
 constexpr int kMpl = 4;
 constexpr double kOilInW[] = {0, 0.5, 1, 2, 3, 4, 6, 8, 12};
 // TIL levels; TEL held high so exports do not interfere.
 constexpr double kTilLevels[] = {10'000, 50'000, 100'000};
+
+esr::ClusterOptions PointOptions(double oil_w, double til,
+                                 const RunScale& scale) {
+  auto opt = BaseOptions(til, /*tel=*/10'000, kMpl, scale);
+  const double w = opt.workload.MeanWriteDelta();
+  opt.server.store.min_oil = oil_w * w;
+  opt.server.store.max_oil = oil_w * w;
+  opt.server.store.min_oel = oil_w * w;
+  opt.server.store.max_oel = oil_w * w;
+  return opt;
+}
 
 }  // namespace
 
@@ -41,19 +54,22 @@ int main(int argc, char** argv) {
               "case",
               scale);
 
+  Sweep sweep(scale, JobsFromArgs(argc, argv));
+  for (const double oil_w : kOilInW) {
+    for (const double til : kTilLevels) {
+      sweep.Add(PointOptions(oil_w, til, scale));
+    }
+  }
+  sweep.Run();
+
   JsonReport report("fig12_throughput_vs_oil", scale);
   Table table({"OIL(w)", "TIL=10000(low)", "TIL=50000(med)",
                "TIL=100000(high)"});
+  size_t point = 0;
   for (const double oil_w : kOilInW) {
     std::vector<std::string> row{Table::Num(oil_w, 1)};
     for (const double til : kTilLevels) {
-      auto opt = BaseOptions(til, /*tel=*/10'000, kMpl, scale);
-      const double w = opt.workload.MeanWriteDelta();
-      opt.server.store.min_oil = oil_w * w;
-      opt.server.store.max_oil = oil_w * w;
-      opt.server.store.min_oel = oil_w * w;
-      opt.server.store.max_oel = oil_w * w;
-      const auto r = RunAveraged(opt, scale);
+      const AveragedResult& r = sweep.Result(point++);
       report.AddPoint("til=" + Table::Int(til), oil_w, r);
       row.push_back(Table::Num(r.throughput));
     }

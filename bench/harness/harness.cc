@@ -1,5 +1,6 @@
 #include "harness/harness.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -7,46 +8,23 @@
 #include <fstream>
 #include <vector>
 
+#include "common/logging.h"
 #include "obs/exporter.h"
 #include "obs/trace.h"
 
 namespace esr {
 namespace bench {
+namespace {
 
-RunScale RunScale::FromEnv() {
-  RunScale scale;
-  const char* full = std::getenv("ESR_BENCH_FULL");
-  if (full != nullptr && std::strcmp(full, "0") != 0) {
-    scale.warmup_s = 5.0;
-    scale.measure_s = 120.0;
-    scale.seeds = 7;
-  }
-  return scale;
-}
-
-ClusterOptions BaseOptions(Inconsistency til, Inconsistency tel, int mpl,
-                           const RunScale& scale) {
-  ClusterOptions opt;
-  opt.mpl = mpl;
-  opt.workload.til = til;
-  opt.workload.tel = tel;
-  opt.warmup_s = scale.warmup_s;
-  opt.measure_s = scale.measure_s;
-  return opt;
-}
-
-ClusterOptions BaseOptions(EpsilonLevel level, int mpl,
-                           const RunScale& scale) {
-  const TransactionLimits limits = LimitsForLevel(level);
-  return BaseOptions(limits.til, limits.tel, mpl, scale);
-}
-
-AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale) {
+/// Merges `seeds` per-seed runs into one averaged point, in seed order.
+/// This is the single merge path for both the serial and the parallel
+/// executor, so their arithmetic — and therefore their output bytes —
+/// cannot diverge.
+AveragedResult MergeSeedResults(const SimResult* runs, int seeds) {
   AveragedResult avg;
   std::vector<double> throughputs;
-  for (int seed = 1; seed <= scale.seeds; ++seed) {
-    options.seed = static_cast<uint64_t>(seed) * 7919;
-    const SimResult r = RunCluster(options);
+  for (int i = 0; i < seeds; ++i) {
+    const SimResult& r = runs[i];
     throughputs.push_back(r.throughput());
     avg.throughput += r.throughput();
     avg.committed += static_cast<double>(r.committed);
@@ -60,7 +38,7 @@ AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale) {
     avg.avg_txn_latency_ms += r.avg_txn_latency_ms();
     avg.latency_ms.Merge(r.latency_ms);
   }
-  const double n = static_cast<double>(scale.seeds);
+  const double n = static_cast<double>(seeds);
   avg.throughput /= n;
   avg.committed /= n;
   avg.aborts /= n;
@@ -80,6 +58,154 @@ AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale) {
         std::sqrt(m2 / static_cast<double>(throughputs.size() - 1));
   }
   return avg;
+}
+
+}  // namespace
+
+RunScale RunScale::FromEnv() {
+  RunScale scale;
+  const char* full = std::getenv("ESR_BENCH_FULL");
+  if (full != nullptr && std::strcmp(full, "0") != 0) {
+    scale.warmup_s = 5.0;
+    scale.measure_s = 120.0;
+    scale.seeds = 7;
+  }
+  return scale;
+}
+
+std::string FlagValue(int argc, char** argv, const char* flag,
+                      const char* env_var) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  if (env_var != nullptr) {
+    const char* env = std::getenv(env_var);
+    if (env != nullptr) return env;
+  }
+  return "";
+}
+
+int JobsFromArgs(int argc, char** argv) {
+  int jobs = 0;
+  const std::string value = FlagValue(argc, argv, "--jobs", "ESR_BENCH_JOBS");
+  if (!value.empty()) {
+    jobs = std::atoi(value.c_str());
+    if (jobs < 1) {
+      std::fprintf(stderr, "ignoring invalid --jobs/ESR_BENCH_JOBS '%s'\n",
+                   value.c_str());
+      jobs = 0;
+    }
+  }
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (jobs > 1 && GlobalTrace().enabled()) {
+    std::fprintf(stderr,
+                 "--trace captures one coherent run: forcing --jobs 1 "
+                 "(was %d)\n",
+                 jobs);
+    jobs = 1;
+  }
+  return jobs;
+}
+
+void ParallelFor(size_t count, int jobs,
+                 const std::function<void(size_t)>& task) {
+  const size_t workers =
+      std::min(count, static_cast<size_t>(jobs < 1 ? 1 : jobs));
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, count, &task] {
+      for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        task(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+uint64_t SeedForRun(int run_index) {
+  return static_cast<uint64_t>(run_index + 1) * 7919;
+}
+
+Sweep::Sweep(const RunScale& scale, int jobs)
+    : scale_(scale),
+      jobs_(jobs < 1 ? 1 : jobs),
+      coordinator_(std::this_thread::get_id()) {
+  // Defense in depth: JobsFromArgs already clamps while a capture is
+  // active, but a Sweep constructed with an explicit jobs count must not
+  // let workers race the recorder either.
+  if (jobs_ > 1 && GlobalTrace().enabled()) jobs_ = 1;
+}
+
+size_t Sweep::Add(const ClusterOptions& options) {
+  ESR_CHECK(!ran_) << "Sweep::Add after Run";
+  configs_.push_back(options);
+  return configs_.size() - 1;
+}
+
+void Sweep::Run() {
+  ESR_CHECK(!ran_) << "Sweep::Run called twice";
+  ran_ = true;
+  const int seeds = scale_.seeds;
+  std::vector<SimResult> raw(configs_.size() * static_cast<size_t>(seeds));
+  // Worker-pool phase: every (config, seed) run is independent and writes
+  // only its own pre-sized slot. With jobs == 1 this executes inline on
+  // the coordinator in the exact order the serial harness always used
+  // (config-major, seed-minor), preserving --trace's last-run-wins export.
+  ParallelFor(raw.size(), jobs_, [&](size_t task) {
+    ClusterOptions options = configs_[task / static_cast<size_t>(seeds)];
+    options.seed = SeedForRun(static_cast<int>(task % seeds));
+    options.owns_trace = jobs_ == 1;
+    raw[task] = RunCluster(options);
+  });
+  // Merge phase, coordinator only: Histogram::Merge (and the averaging
+  // arithmetic) is single-threaded by contract — see common/metrics.h.
+  ESR_CHECK(std::this_thread::get_id() == coordinator_)
+      << "Sweep results must be merged on the coordinating thread";
+  results_.resize(configs_.size());
+  for (size_t c = 0; c < configs_.size(); ++c) {
+    results_[c] =
+        MergeSeedResults(&raw[c * static_cast<size_t>(seeds)], seeds);
+  }
+}
+
+const AveragedResult& Sweep::Result(size_t handle) const {
+  ESR_CHECK(ran_) << "Sweep::Result before Run";
+  ESR_CHECK(handle < results_.size()) << "bad sweep handle " << handle;
+  return results_[handle];
+}
+
+AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale,
+                           int jobs) {
+  Sweep sweep(scale, jobs);
+  sweep.Add(options);
+  sweep.Run();
+  return sweep.Result(0);
+}
+
+ClusterOptions BaseOptions(Inconsistency til, Inconsistency tel, int mpl,
+                           const RunScale& scale) {
+  ClusterOptions opt;
+  opt.mpl = mpl;
+  opt.workload.til = til;
+  opt.workload.tel = tel;
+  opt.warmup_s = scale.warmup_s;
+  opt.measure_s = scale.measure_s;
+  return opt;
+}
+
+ClusterOptions BaseOptions(EpsilonLevel level, int mpl,
+                           const RunScale& scale) {
+  const TransactionLimits limits = LimitsForLevel(level);
+  return BaseOptions(limits.til, limits.tel, mpl, scale);
 }
 
 Table::Table(std::vector<std::string> columns)
@@ -127,11 +253,7 @@ std::string Table::Int(double v) {
 }
 
 std::string JsonReport::PathFromArgs(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
-  }
-  const char* env = std::getenv("ESR_BENCH_JSON");
-  return env != nullptr ? env : "";
+  return FlagValue(argc, argv, "--json", "ESR_BENCH_JSON");
 }
 
 JsonReport::JsonReport(std::string figure, const RunScale& scale)
@@ -148,12 +270,7 @@ void JsonReport::AddPoint(const std::string& series, double x,
   series_.emplace_back(series, std::vector<Point>{Point{x, result}});
 }
 
-Status JsonReport::WriteToFile(const std::string& path) const {
-  if (path.empty()) return Status::OK();
-  std::ofstream out(path);
-  if (!out.is_open()) {
-    return Status::NotFound("cannot open bench JSON output file: " + path);
-  }
+void JsonReport::Write(std::ostream& out) const {
   JsonWriter w(out);
   w.BeginObject();
   w.KV("figure", figure_);
@@ -203,6 +320,15 @@ Status JsonReport::WriteToFile(const std::string& path) const {
   }
   w.EndObject();
   w.EndObject();
+}
+
+Status JsonReport::WriteToFile(const std::string& path) const {
+  if (path.empty()) return Status::OK();
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open bench JSON output file: " + path);
+  }
+  Write(out);
   out << "\n";
   out.flush();
   if (!out.good()) {
@@ -213,11 +339,7 @@ Status JsonReport::WriteToFile(const std::string& path) const {
 }
 
 std::string TraceCapture::PathFromArgs(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) return argv[i + 1];
-  }
-  const char* env = std::getenv("ESR_BENCH_TRACE");
-  return env != nullptr ? env : "";
+  return FlagValue(argc, argv, "--trace", "ESR_BENCH_TRACE");
 }
 
 TraceCapture::TraceCapture(int argc, char** argv)

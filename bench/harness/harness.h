@@ -1,7 +1,11 @@
 #ifndef ESR_BENCH_HARNESS_HARNESS_H_
 #define ESR_BENCH_HARNESS_HARNESS_H_
 
+#include <cstddef>
+#include <functional>
+#include <ostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,6 +29,31 @@ struct RunScale {
   /// Reads ESR_BENCH_FULL from the environment.
   static RunScale FromEnv();
 };
+
+/// Shared `--flag <value>` scan for the figure binaries: the first
+/// `<flag> <value>` pair anywhere in argv wins over the `env_var`
+/// environment variable (pass nullptr for no fallback); empty string when
+/// neither is present.
+std::string FlagValue(int argc, char** argv, const char* flag,
+                      const char* env_var);
+
+/// Worker count for the sweep executor: `--jobs N` wins over
+/// ESR_BENCH_JOBS; defaults to std::thread::hardware_concurrency().
+/// Forced to 1 (with a stderr note) while a `--trace` capture is active,
+/// because the global trace recorder records one coherent run at a time.
+int JobsFromArgs(int argc, char** argv);
+
+/// Runs tasks [0, count) across up to `jobs` worker threads pulling from
+/// a shared index, inline on the calling thread when jobs <= 1. Tasks
+/// must be independent; result merging belongs on the calling thread
+/// after this returns (see Histogram's thread-safety contract).
+void ParallelFor(size_t count, int jobs,
+                 const std::function<void(size_t)>& task);
+
+/// Seed of the k-th (0-based) run of an averaged point. Exposed so
+/// binaries that drive Cluster directly average over the same seeds the
+/// standard executor uses.
+uint64_t SeedForRun(int run_index);
 
 /// The canonical high-conflict experiment configuration of Sec. 7 (about
 /// 1000 objects, ~20-object hot set, query ETs ~20 ops / update ETs ~6
@@ -56,7 +85,56 @@ struct AveragedResult {
   Histogram latency_ms;
 };
 
-AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale);
+/// Deterministic worker-pool sweep executor for the figure binaries. A
+/// figure schedules every averaged point up front (`Add`, in table
+/// order), calls `Run()` once, then reads results back by handle in the
+/// same order it scheduled them:
+///
+///   Sweep sweep(scale, JobsFromArgs(argc, argv));
+///   for (...) handles.push_back(sweep.Add(BaseOptions(...)));
+///   sweep.Run();
+///   for (...) consume(sweep.Result(handles[i]));
+///
+/// `Run()` fans the individual (config, seed) simulator runs across the
+/// worker pool; each run is self-contained (private EventQueue, Server,
+/// MetricRegistry; the global trace recorder is never touched by workers)
+/// and deterministic given its seed, and the per-seed SimResults are
+/// merged into AveragedResults on the calling thread in seed order — so
+/// the results, and therefore every table row and JSON byte a figure
+/// emits, are identical for any jobs count, including jobs == 1.
+class Sweep {
+ public:
+  Sweep(const RunScale& scale, int jobs);
+
+  /// Effective worker count (after the trace-capture clamp).
+  int jobs() const { return jobs_; }
+
+  /// Schedules one averaged point; returns its result handle. Handles are
+  /// assigned sequentially from 0 in Add order. Must precede Run().
+  size_t Add(const ClusterOptions& options);
+
+  /// Executes all scheduled (config, seed) runs and merges their results;
+  /// call exactly once, from the thread that constructed the Sweep.
+  void Run();
+
+  const AveragedResult& Result(size_t handle) const;
+
+ private:
+  RunScale scale_;
+  int jobs_;
+  /// Merging (AveragedResult::latency_ms.Merge in particular — Histogram
+  /// is NOT thread-safe) is pinned to this thread; Run() enforces it.
+  std::thread::id coordinator_;
+  bool ran_ = false;
+  std::vector<ClusterOptions> configs_;
+  std::vector<AveragedResult> results_;
+};
+
+/// Runs `options` under each of `scale.seeds` seeds — fanned across
+/// `jobs` workers when jobs > 1 — and merges on the calling thread.
+/// Identical output for any jobs value.
+AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale,
+                           int jobs = 1);
 
 /// Fixed-width table printer for the figure harnesses.
 class Table {
@@ -102,6 +180,9 @@ class JsonReport {
   void AddPoint(const std::string& series, double x,
                 const AveragedResult& result);
 
+  /// Writes the document to `out` (no trailing newline).
+  void Write(std::ostream& out) const;
+
   /// No-op returning OK when `path` is empty.
   Status WriteToFile(const std::string& path) const;
 
@@ -122,7 +203,8 @@ class JsonReport {
 /// global trace recorder for the harness's whole run and exports Chrome
 /// trace JSON on destruction. Inert (zero-overhead beyond one enabled
 /// check per probe) when no path was given. Declare one at the top of
-/// main(), before the RunAveraged calls:
+/// main(), before JobsFromArgs and the sweep runs — an active capture
+/// forces the sweep serial so the export stays one coherent run:
 ///
 ///   esr::bench::TraceCapture trace(argc, argv);
 class TraceCapture {

@@ -1,0 +1,176 @@
+// Microbenchmark of the DES kernel: the shipped slab/SBO EventQueue
+// against an in-file reimplementation of the previous kernel (a
+// std::priority_queue of heap-allocating std::function events). The
+// workload is the simulator's hot loop — schedule-one-run-one at a steady
+// queue depth — at several depths, plus an oversized-capture variant that
+// forces the slab's out-of-line path. Counters report events/sec, so the
+// two kernels are directly comparable; see bench/baseline/SPEED.md for
+// recorded ratios.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace esr {
+namespace {
+
+// The pre-slab kernel, verbatim in structure: every ScheduleAt allocates
+// a std::function control block, and the priority_queue moves whole
+// events during sift operations.
+class LegacyEventQueue {
+ public:
+  SimTime now() const { return now_; }
+
+  void ScheduleAt(SimTime at, std::function<void()> fn) {
+    events_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+  }
+
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  bool RunOne() {
+    if (events_.empty()) return false;
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.at;
+    ++executed_;
+    event.fn();
+    return true;
+  }
+
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+// Steady-state schedule/run churn at a fixed queue depth: pre-fill the
+// queue, then each iteration runs the earliest event, whose callback
+// reschedules itself — the exact shape of a simulator client loop. The
+// capture (a pointer and a counter) fits any small-buffer optimization.
+template <typename Queue>
+void SteadyChurn(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Queue q;
+  uint64_t ticks = 0;
+  std::function<void(SimTime)> arm = [&](SimTime at) {
+    q.ScheduleAt(at, [&q, &ticks, &arm] {
+      ++ticks;
+      arm(q.now() + 10);
+    });
+  };
+  for (int i = 0; i < depth; ++i) arm(i);
+  for (auto _ : state) {
+    q.RunOne();
+  }
+  benchmark::DoNotOptimize(ticks);
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_LegacyKernelChurn(benchmark::State& state) {
+  SteadyChurn<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyKernelChurn)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_SlabKernelChurn(benchmark::State& state) {
+  SteadyChurn<EventQueue>(state);
+}
+BENCHMARK(BM_SlabKernelChurn)->Arg(1)->Arg(64)->Arg(4096);
+
+// Oversized captures (larger than the 64-byte inline slot) exercise the
+// slab's retained-heap-block path vs std::function's fresh allocation.
+struct FatPayload {
+  uint64_t data[24] = {};
+};
+
+template <typename Queue>
+void OversizeChurn(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Queue q;
+  uint64_t sum = 0;
+  FatPayload payload;
+  payload.data[0] = 1;
+  std::function<void(SimTime)> arm = [&](SimTime at) {
+    q.ScheduleAt(at, [&q, &sum, &arm, payload] {
+      sum += payload.data[0];
+      arm(q.now() + 10);
+    });
+  };
+  for (int i = 0; i < depth; ++i) arm(i);
+  for (auto _ : state) {
+    q.RunOne();
+  }
+  benchmark::DoNotOptimize(sum);
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_LegacyKernelOversize(benchmark::State& state) {
+  OversizeChurn<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyKernelOversize)->Arg(64);
+
+void BM_SlabKernelOversize(benchmark::State& state) {
+  OversizeChurn<EventQueue>(state);
+}
+BENCHMARK(BM_SlabKernelOversize)->Arg(64);
+
+// Bulk fill-then-drain, the shape of warmup scheduling bursts.
+template <typename Queue>
+void FillDrain(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  uint64_t ticks = 0;
+  for (auto _ : state) {
+    Queue q;
+    for (int i = 0; i < count; ++i) {
+      q.ScheduleAt((i * 7919) % 97, [&ticks] { ++ticks; });
+    }
+    while (q.RunOne()) {
+    }
+  }
+  benchmark::DoNotOptimize(ticks);
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * count,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_LegacyKernelFillDrain(benchmark::State& state) {
+  FillDrain<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_LegacyKernelFillDrain)->Arg(4096);
+
+void BM_SlabKernelFillDrain(benchmark::State& state) {
+  FillDrain<EventQueue>(state);
+}
+BENCHMARK(BM_SlabKernelFillDrain)->Arg(4096);
+
+}  // namespace
+}  // namespace esr
+
+BENCHMARK_MAIN();

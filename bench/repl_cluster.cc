@@ -16,6 +16,8 @@ using esr::Inconsistency;
 using esr::ReplicaCluster;
 using esr::ReplicaClusterOptions;
 using esr::ReplicaSimResult;
+using esr::bench::JobsFromArgs;
+using esr::bench::ParallelFor;
 using esr::bench::RunScale;
 using esr::bench::Table;
 
@@ -30,22 +32,39 @@ ReplicaClusterOptions BaseOptions(const RunScale& scale) {
   return opt;
 }
 
-ReplicaSimResult Averaged(ReplicaClusterOptions opt, const RunScale& scale) {
-  ReplicaSimResult total;
-  for (int seed = 1; seed <= scale.seeds; ++seed) {
-    opt.seed = static_cast<uint64_t>(seed) * 131;
-    const ReplicaSimResult r = ReplicaCluster(opt).Run();
-    total.elapsed_s += r.elapsed_s;
-    total.primary_commits += r.primary_commits;
-    total.primary_aborts += r.primary_aborts;
-    total.queries_attempted += r.queries_attempted;
-    total.queries_admitted += r.queries_admitted;
-    total.avg_estimated_import += r.avg_estimated_import;
-    total.avg_true_import += r.avg_true_import;
+// Runs every (config, seed) pair across `jobs` workers and merges each
+// config's seeds on the calling thread, in seed order, so the output is
+// bit-identical to a serial run.
+std::vector<ReplicaSimResult> RunConfigs(
+    const std::vector<ReplicaClusterOptions>& configs, const RunScale& scale,
+    int jobs) {
+  const size_t seeds = static_cast<size_t>(scale.seeds);
+  std::vector<ReplicaSimResult> raw(configs.size() * seeds);
+  ParallelFor(raw.size(), jobs, [&](size_t task) {
+    ReplicaClusterOptions opt = configs[task / seeds];
+    opt.seed = static_cast<uint64_t>(task % seeds + 1) * 131;
+    opt.owns_trace = jobs == 1;
+    raw[task] = ReplicaCluster(opt).Run();
+  });
+
+  std::vector<ReplicaSimResult> merged(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    ReplicaSimResult total;
+    for (size_t seed = 0; seed < seeds; ++seed) {
+      const ReplicaSimResult& r = raw[c * seeds + seed];
+      total.elapsed_s += r.elapsed_s;
+      total.primary_commits += r.primary_commits;
+      total.primary_aborts += r.primary_aborts;
+      total.queries_attempted += r.queries_attempted;
+      total.queries_admitted += r.queries_admitted;
+      total.avg_estimated_import += r.avg_estimated_import;
+      total.avg_true_import += r.avg_true_import;
+    }
+    total.avg_estimated_import /= scale.seeds;
+    total.avg_true_import /= scale.seeds;
+    merged[c] = total;
   }
-  total.avg_estimated_import /= scale.seeds;
-  total.avg_true_import /= scale.seeds;
-  return total;
+  return merged;
 }
 
 }  // namespace
@@ -59,14 +78,31 @@ int main(int argc, char** argv) {
   std::printf("Extension (paper Sec. 9 future work); propagation lag 150 "
               "ms, 2 replicas.\n\n");
 
+  const Inconsistency kBudgets[] = {0.0, 1'000.0, 5'000.0, 20'000.0,
+                                    esr::kUnbounded};
+  const int kFanouts[] = {1, 2, 4, 8, 16};
+
+  std::vector<ReplicaClusterOptions> configs;
+  for (const Inconsistency til : kBudgets) {
+    auto opt = BaseOptions(scale);
+    opt.query_til = til;
+    configs.push_back(opt);
+  }
+  for (const int clients : kFanouts) {
+    auto opt = BaseOptions(scale);
+    opt.query_til = 10'000;
+    opt.replica_query_clients = clients;
+    configs.push_back(opt);
+  }
+  const std::vector<ReplicaSimResult> results =
+      RunConfigs(configs, scale, JobsFromArgs(argc, argv));
+  size_t point = 0;
+
   std::printf("Query budget sweep (4 update + 4 query clients):\n");
   Table budget({"query TIL", "admit%", "query tput", "true staleness",
                 "primary tput"});
-  for (const Inconsistency til : {0.0, 1'000.0, 5'000.0, 20'000.0,
-                                  esr::kUnbounded}) {
-    auto opt = BaseOptions(scale);
-    opt.query_til = til;
-    const ReplicaSimResult r = Averaged(opt, scale);
+  for (const Inconsistency til : kBudgets) {
+    const ReplicaSimResult& r = results[point++];
     budget.AddRow({til == esr::kUnbounded ? "inf" : Table::Int(til),
                    Table::Num(100.0 * r.admitted_fraction(), 0) + "%",
                    Table::Num(r.query_throughput(), 1),
@@ -79,11 +115,8 @@ int main(int argc, char** argv) {
               "queries add throughput\nwithout consuming primary "
               "capacity:\n");
   Table fanout({"query clients", "query tput", "primary tput"});
-  for (const int clients : {1, 2, 4, 8, 16}) {
-    auto opt = BaseOptions(scale);
-    opt.query_til = 10'000;
-    opt.replica_query_clients = clients;
-    const ReplicaSimResult r = Averaged(opt, scale);
+  for (const int clients : kFanouts) {
+    const ReplicaSimResult& r = results[point++];
     fanout.AddRow({std::to_string(clients),
                    Table::Num(r.query_throughput(), 1),
                    Table::Num(r.primary_throughput(), 1)});

@@ -14,24 +14,21 @@ namespace {
 
 using esr::EpsilonLevel;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
 using esr::bench::PrintHeader;
-using esr::bench::RunAveraged;
 using esr::bench::RunScale;
+using esr::bench::Sweep;
 using esr::bench::Table;
 
 constexpr int kMpl = 6;
+constexpr EpsilonLevel kLevels[] = {EpsilonLevel::kZero, EpsilonLevel::kHigh};
 
-double Speedup(size_t hot_set, double query_fraction,
-               const RunScale& scale) {
-  double tput[2] = {0, 0};
-  int i = 0;
-  for (EpsilonLevel level : {EpsilonLevel::kZero, EpsilonLevel::kHigh}) {
-    auto opt = BaseOptions(level, kMpl, scale);
-    opt.workload.hot_set_size = hot_set;
-    opt.workload.query_fraction = query_fraction;
-    tput[i++] = RunAveraged(opt, scale).throughput;
-  }
-  return tput[0] > 0 ? tput[1] / tput[0] : 0.0;
+esr::ClusterOptions PointOptions(size_t hot_set, double query_fraction,
+                                 EpsilonLevel level, const RunScale& scale) {
+  auto opt = BaseOptions(level, kMpl, scale);
+  opt.workload.hot_set_size = hot_set;
+  opt.workload.query_fraction = query_fraction;
+  return opt;
 }
 
 }  // namespace
@@ -49,11 +46,26 @@ int main(int argc, char** argv) {
   const size_t hot_sets[] = {10, 20, 40, 100, 400};
   const double query_fractions[] = {0.3, 0.6, 0.8};
 
+  Sweep sweep(scale, JobsFromArgs(argc, argv));
+  for (const size_t hot : hot_sets) {
+    for (const double fraction : query_fractions) {
+      for (const EpsilonLevel level : kLevels) {
+        sweep.Add(PointOptions(hot, fraction, level, scale));
+      }
+    }
+  }
+  sweep.Run();
+
   Table table({"hot set", "queries=30%", "queries=60%", "queries=80%"});
+  size_t point = 0;
   for (const size_t hot : hot_sets) {
     std::vector<std::string> row{std::to_string(hot)};
     for (const double fraction : query_fractions) {
-      row.push_back(Table::Num(Speedup(hot, fraction, scale)) + "x");
+      (void)fraction;
+      const double sr = sweep.Result(point++).throughput;
+      const double esr_high = sweep.Result(point++).throughput;
+      const double speedup = sr > 0 ? esr_high / sr : 0.0;
+      row.push_back(Table::Num(speedup) + "x");
     }
     table.AddRow(row);
   }

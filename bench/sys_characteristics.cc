@@ -18,6 +18,7 @@ namespace {
 using esr::LatencyModel;
 using esr::LatencyModelOptions;
 using esr::bench::BaseOptions;
+using esr::bench::JobsFromArgs;
 using esr::bench::RunAveraged;
 using esr::bench::RunScale;
 using esr::bench::Table;
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
   opt.workload.query_hot_prob = 0.02;
   opt.workload.update_read_hot_prob = 0.02;
   opt.workload.update_write_hot_prob = 0.02;
-  const auto result = RunAveraged(opt, scale);
+  const auto result = RunAveraged(opt, scale, JobsFromArgs(argc, argv));
 
   std::printf("\nLow-conflict baseline (MPL 10, ~10 ops/txn):\n");
   std::printf("  paper     : 50-60 tps (multithreaded server, ops overlap)\n");

@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
 """Tolerance-gated bench regression check.
 
-Compares a freshly produced bench JSON report (harness JsonReport format)
-against a committed baseline, point by point:
+Compares freshly produced bench JSON reports (harness JsonReport format)
+against committed baselines, point by point. One pair via the legacy
+flags:
 
     check_bench_regression.py --baseline bench/baseline/fig07.json \
         --current /tmp/fig07.json [--tolerance 0.05] [--metric throughput]
+
+or several figures in one invocation, each a `baseline:current` pair —
+the gate fails if ANY pair regresses:
+
+    check_bench_regression.py \
+        --check bench/baseline/fig07_throughput_vs_mpl.json:/tmp/fig07.json \
+        --check bench/baseline/fig11_throughput_vs_til.json:/tmp/fig11.json
 
 A point regresses when the current metric falls below baseline * (1 -
 tolerance); improvements never fail the gate. Points present in only one
@@ -30,29 +38,18 @@ def load_series(path):
     return doc.get("figure", "?"), series
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
-    parser.add_argument("--tolerance", type=float, default=0.05,
-                        help="allowed relative drop (default 0.05 = 5%%)")
-    parser.add_argument("--metric", default="throughput")
-    args = parser.parse_args()
-
-    try:
-        base_fig, baseline = load_series(args.baseline)
-        cur_fig, current = load_series(args.current)
-    except (OSError, ValueError, json.JSONDecodeError) as e:
-        print(f"error: {e}", file=sys.stderr)
-        return 2
+def check_pair(baseline_path, current_path, tolerance, metric):
+    """Returns (checked_points, failure_messages) for one figure pair."""
+    base_fig, baseline = load_series(baseline_path)
+    cur_fig, current = load_series(current_path)
 
     if base_fig != cur_fig:
-        print(f"figure mismatch: baseline '{base_fig}' vs current "
-              f"'{cur_fig}'", file=sys.stderr)
-        return 1
+        return 0, [f"figure mismatch: baseline '{base_fig}' vs current "
+                   f"'{cur_fig}'"]
 
     failures = []
     checked = 0
+    print(f"{base_fig}:")
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
             failures.append(f"series '{name}' missing from current run")
@@ -70,24 +67,71 @@ def main():
             if x not in base_by_x:
                 failures.append(f"{name} x={x}: point not in baseline")
                 continue
-            base_v = base_by_x[x][args.metric]
-            cur_v = cur_by_x[x][args.metric]
+            base_v = base_by_x[x][metric]
+            cur_v = cur_by_x[x][metric]
             checked += 1
-            floor = base_v * (1.0 - args.tolerance)
+            floor = base_v * (1.0 - tolerance)
             status = "ok"
             if cur_v < floor:
                 status = "REGRESSION"
                 failures.append(
-                    f"{name} x={x}: {args.metric} {cur_v:.4g} < "
+                    f"{base_fig}: {name} x={x}: {metric} {cur_v:.4g} < "
                     f"{floor:.4g} (baseline {base_v:.4g} - "
-                    f"{args.tolerance:.0%})")
+                    f"{tolerance:.0%})")
             delta = (cur_v / base_v - 1.0) * 100 if base_v else 0.0
-            print(f"  {name:>12} x={x:<6g} {args.metric} "
+            print(f"  {name:>12} x={x:<6g} {metric} "
                   f"{base_v:>9.3f} -> {cur_v:>9.3f}  ({delta:+6.2f}%)"
                   f"  {status}")
 
-    print(f"{checked} points checked against {args.baseline} "
-          f"(tolerance {args.tolerance:.0%})")
+    print(f"{checked} points checked against {baseline_path} "
+          f"(tolerance {tolerance:.0%})")
+    return checked, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="single-pair form (legacy)")
+    parser.add_argument("--current", help="single-pair form (legacy)")
+    parser.add_argument("--check", action="append", default=[],
+                        metavar="BASELINE:CURRENT",
+                        help="a baseline:current pair; repeatable")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative drop (default 0.05 = 5%%)")
+    parser.add_argument("--metric", default="throughput")
+    args = parser.parse_args()
+
+    pairs = []
+    if args.baseline or args.current:
+        if not (args.baseline and args.current):
+            print("error: --baseline and --current must be given together",
+                  file=sys.stderr)
+            return 2
+        pairs.append((args.baseline, args.current))
+    for spec in args.check:
+        baseline, sep, current = spec.partition(":")
+        if not sep or not baseline or not current:
+            print(f"error: --check expects BASELINE:CURRENT, got '{spec}'",
+                  file=sys.stderr)
+            return 2
+        pairs.append((baseline, current))
+    if not pairs:
+        print("error: nothing to check (use --baseline/--current or "
+              "--check)", file=sys.stderr)
+        return 2
+
+    total_checked = 0
+    failures = []
+    for baseline_path, current_path in pairs:
+        try:
+            checked, pair_failures = check_pair(
+                baseline_path, current_path, args.tolerance, args.metric)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        total_checked += checked
+        failures.extend(pair_failures)
+
+    print(f"total: {total_checked} points across {len(pairs)} figure(s)")
     if failures:
         print(f"\n{len(failures)} failure(s):", file=sys.stderr)
         for f in failures:

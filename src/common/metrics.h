@@ -65,6 +65,14 @@ class Histogram {
   /// Folds `other` into this histogram (parallel Welford combination plus
   /// bucket-wise addition) — used to merge per-client simulator
   /// histograms into one run-level distribution.
+  ///
+  /// Like Record, Merge is NOT thread-safe (see class comment): both the
+  /// destination and `other` must be quiescent. The bench worker pool
+  /// honors this by never touching a shared Histogram from a worker —
+  /// each simulator run owns its histograms, and all merging into the
+  /// averaged result happens on the coordinating thread after the workers
+  /// have joined (enforced by a coordinator-thread check in
+  /// bench::Sweep::Run).
   void Merge(const Histogram& other);
 
   void Reset();

@@ -1,6 +1,7 @@
 #include "sim/cluster.h"
 
 #include <cstdio>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -58,13 +59,19 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
 }
 
 SimResult Cluster::Run() {
-  ScopedTraceTimeSource trace_clock(&VirtualNowMicros, &queue_);
-  // Every run restarts the virtual clock and transaction ids, so a capture
-  // spanning several seeds would interleave unrelated events under the same
-  // (txn, ts) keys and confuse both Perfetto and the auditor. Keep only the
-  // most recent run in the ring: a figure binary run with --trace exports
-  // its final configuration's final seed as one coherent trace.
-  if (GlobalTrace().enabled()) GlobalTrace().Reset();
+  // Only a run that owns the global recorder may touch its shared state
+  // (time source, ring reset); worker-pool runs leave it alone entirely.
+  std::optional<ScopedTraceTimeSource> trace_clock;
+  if (options_.owns_trace) {
+    trace_clock.emplace(&VirtualNowMicros, &queue_);
+    // Every run restarts the virtual clock and transaction ids, so a
+    // capture spanning several seeds would interleave unrelated events
+    // under the same (txn, ts) keys and confuse both Perfetto and the
+    // auditor. Keep only the most recent run in the ring: a figure binary
+    // run with --trace exports its final configuration's final seed as one
+    // coherent trace.
+    if (GlobalTrace().enabled()) GlobalTrace().Reset();
+  }
   // Stagger client start-up slightly so sites do not run in lockstep.
   for (size_t i = 0; i < clients_.size(); ++i) {
     clients_[i]->Start(static_cast<SimTime>(i) * 3 * kMicrosPerMilli);

@@ -29,6 +29,16 @@ struct ClusterOptions {
   double warmup_s = 5.0;
   double measure_s = 60.0;
   uint64_t seed = 1;
+  /// Whether this run owns the process-global trace recorder. An owning
+  /// run (the default — examples, tools, serial benches) installs its
+  /// virtual clock as the recorder's time source and, when capture is
+  /// enabled, resets the ring so the capture covers one coherent run. The
+  /// parallel bench harness clears this for worker-pool runs so that
+  /// concurrent clusters never mutate shared recorder state; trace capture
+  /// itself forces the harness serial, keeping `--trace` a single-capture
+  /// export. Metrics need no such flag: every run's Server owns a private
+  /// MetricRegistry, so runs are metric-isolated by construction.
+  bool owns_trace = true;
 };
 
 /// Aggregated outcome of a run over the measurement window — the

@@ -1,31 +1,99 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
-#include <utility>
 
 #include "common/logging.h"
 
 namespace esr {
+namespace {
 
-void EventQueue::ScheduleAt(SimTime at, std::function<void()> fn) {
-  events_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+void FreeBlock(void* block, size_t align) {
+  if (align > alignof(std::max_align_t)) {
+    ::operator delete(block, std::align_val_t(align));
+  } else {
+    ::operator delete(block);
+  }
+}
+
+}  // namespace
+
+EventQueue::~EventQueue() {
+  // Destroy pending callables first (free slots already destroyed theirs
+  // when they ran or were released), then return every slot's retained
+  // oversize block.
+  for (const HeapEntry& entry : heap_) {
+    Slot& slot = SlotAt(entry.slot);
+    slot.destroy(slot.callable);
+  }
+  for (uint32_t index = 0; index < allocated_slots_; ++index) {
+    Slot& slot = SlotAt(index);
+    if (slot.heap_block != nullptr) {
+      FreeBlock(slot.heap_block, slot.heap_align);
+    }
+  }
+}
+
+uint32_t EventQueue::AcquireSlot() {
+  if (free_head_ != kNoSlot) {
+    const uint32_t index = free_head_;
+    free_head_ = SlotAt(index).next_free;
+    return index;
+  }
+  if (allocated_slots_ == chunks_.size() * kSlotsPerChunk) {
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+  }
+  return allocated_slots_++;
+}
+
+void EventQueue::ReleaseSlot(uint32_t index) {
+  // The stale run/destroy/callable pointers are never read while the slot
+  // sits on the free list; the next ScheduleAt overwrites them.
+  Slot& slot = SlotAt(index);
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+void* EventQueue::OversizeStorage(Slot& slot, size_t bytes, size_t align) {
+  if (slot.heap_block != nullptr &&
+      (slot.heap_bytes < bytes || slot.heap_align < align)) {
+    FreeBlock(slot.heap_block, slot.heap_align);
+    slot.heap_block = nullptr;
+  }
+  if (slot.heap_block == nullptr) {
+    slot.heap_block =
+        align > alignof(std::max_align_t)
+            ? ::operator new(bytes, std::align_val_t(align))
+            : ::operator new(bytes);
+    slot.heap_bytes = bytes;
+    slot.heap_align = align;
+  }
+  return slot.heap_block;
+}
+
+void EventQueue::PushEntry(SimTime at, uint32_t slot_index) {
+  heap_.push_back(HeapEntry{std::max(at, now_), next_seq_++, slot_index});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::RunOne() {
-  if (events_.empty()) return false;
-  // priority_queue::top() is const; the function is moved out via a copy
-  // of the handle. Events are small, this is fine for a simulator.
-  Event event = events_.top();
-  events_.pop();
-  ESR_CHECK(event.at >= now_) << "time went backwards";
-  now_ = event.at;
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapEntry entry = heap_.back();
+  heap_.pop_back();
+  ESR_CHECK(entry.at >= now_) << "time went backwards";
+  now_ = entry.at;
   ++executed_;
-  event.fn();
+  // The slot stays live across the call: a callback may re-entrantly
+  // schedule (growing the pool — slot addresses are chunk-stable), and its
+  // captures must survive its own execution. Destroy + recycle after.
+  Slot& slot = SlotAt(entry.slot);
+  slot.run(slot.callable);
+  ReleaseSlot(entry.slot);
   return true;
 }
 
 void EventQueue::RunUntil(SimTime until) {
-  while (!events_.empty() && events_.top().at <= until) RunOne();
+  while (!heap_.empty() && heap_.front().at <= until) RunOne();
   now_ = std::max(now_, until);
 }
 

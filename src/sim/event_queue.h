@@ -1,9 +1,12 @@
 #ifndef ESR_SIM_EVENT_QUEUE_H_
 #define ESR_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace esr {
@@ -17,9 +20,21 @@ inline constexpr SimTime kMicrosPerSecond = 1'000'000;
 /// Deterministic discrete-event simulation kernel: a priority queue of
 /// (time, callback) events and a virtual clock. Ties are broken in
 /// scheduling order (FIFO), so runs are exactly reproducible.
+///
+/// The hot path is allocation-free in steady state. Callbacks are stored
+/// in pooled slots with a small inline buffer (no std::function, no
+/// per-event heap allocation for ordinary lambda captures); callables
+/// larger than the inline buffer spill to a per-slot heap block that is
+/// recycled together with the slot, so even the oversize path stops
+/// allocating once the pool is warm. The priority queue orders small POD
+/// (time, seq, slot) triples — sift operations move 24 bytes, not a fat
+/// type-erased functor. Slots live in fixed-size chunks, so a stored
+/// callable never moves once constructed (safe for self-referential
+/// captures) and slot indices stay valid across pool growth.
 class EventQueue {
  public:
   EventQueue() = default;
+  ~EventQueue();
 
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -28,11 +43,41 @@ class EventQueue {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute virtual time `at` (clamped to now).
-  void ScheduleAt(SimTime at, std::function<void()> fn);
+  /// Re-entrant: callbacks may schedule further events, including at the
+  /// running event's own timestamp (they run after every event already
+  /// queued for that timestamp, preserving the FIFO tie-break).
+  /// Move-only callables are accepted.
+  template <typename Fn>
+  void ScheduleAt(SimTime at, Fn&& fn) {
+    using Callback = std::decay_t<Fn>;
+    static_assert(std::is_invocable_v<Callback&>,
+                  "EventQueue callbacks take no arguments");
+    const uint32_t index = AcquireSlot();
+    Slot& slot = SlotAt(index);
+    void* storage;
+    if constexpr (sizeof(Callback) <= kInlineCallbackBytes &&
+                  alignof(Callback) <= alignof(std::max_align_t)) {
+      storage = slot.inline_storage;
+    } else {
+      storage = OversizeStorage(slot, sizeof(Callback), alignof(Callback));
+    }
+    slot.callable = ::new (storage) Callback(std::forward<Fn>(fn));
+    // Fused call+destructor keeps the hot path at one indirect call per
+    // event; `destroy` alone is only for events still pending at queue
+    // destruction.
+    slot.run = [](void* callable) {
+      Callback* cb = static_cast<Callback*>(callable);
+      (*cb)();
+      cb->~Callback();
+    };
+    slot.destroy = [](void* callable) { static_cast<Callback*>(callable)->~Callback(); };
+    PushEntry(at, index);
+  }
 
   /// Schedules `fn` after a relative delay.
-  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+  template <typename Fn>
+  void ScheduleAfter(SimTime delay, Fn&& fn) {
+    ScheduleAt(now_ + delay, std::forward<Fn>(fn));
   }
 
   /// Runs the earliest event; false when the queue is empty.
@@ -45,26 +90,77 @@ class EventQueue {
   /// guard; 0 means unbounded).
   void RunAll(uint64_t max_events = 0);
 
-  size_t pending() const { return events_.size(); }
+  size_t pending() const { return heap_.size(); }
   uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
+  /// Inline capture budget. Covers every simulator callback (the largest,
+  /// [this, OpResult], is ~48 bytes) and a small-buffer std::function;
+  /// larger callables take the recycled oversize path.
+  static constexpr size_t kInlineCallbackBytes = 64;
+  /// Slots per pool chunk. Chunked storage keeps slot addresses stable
+  /// while the pool grows (callables must never be memcpy'd).
+  static constexpr uint32_t kSlotsPerChunk = 256;
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  using InvokeFn = void (*)(void* callable);
+  using DestroyFn = void (*)(void* callable);
+
+  /// One pooled callback holder. `callable` points into `inline_storage`
+  /// or into the owned `heap_block` (oversize callables). The heap block
+  /// is kept when the slot returns to the free list and reused by the
+  /// next oversize callable that fits it.
+  struct Slot {
+    /// Invokes then destroys the callable (the RunOne path).
+    InvokeFn run = nullptr;
+    /// Destroys without invoking (pending events at queue destruction).
+    DestroyFn destroy = nullptr;
+    void* callable = nullptr;
+    void* heap_block = nullptr;
+    size_t heap_bytes = 0;
+    size_t heap_align = 0;
+    uint32_t next_free = kNoSlot;
+    alignas(std::max_align_t) unsigned char inline_storage[kInlineCallbackBytes];
+  };
+
+  /// What the priority queue actually orders: 24 bytes of POD.
+  struct HeapEntry {
     SimTime at;
     uint64_t seq;
-    std::function<void()> fn;
+    uint32_t slot;
   };
+  /// Heap comparator ("a is scheduled later than b"): min-time at the
+  /// front, FIFO (sequence-number) tie-break — the determinism contract.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
+  Slot& SlotAt(uint32_t index) {
+    return chunks_[index / kSlotsPerChunk][index % kSlotsPerChunk];
+  }
+
+  /// Pops a slot from the free list, growing the pool by one chunk when
+  /// every existing slot is live.
+  uint32_t AcquireSlot();
+  /// Returns a slot (callable already destroyed) to the free list.
+  void ReleaseSlot(uint32_t index);
+  /// Storage for a callable larger than the inline buffer: reuses the
+  /// slot's existing heap block when it fits, else (re)allocates.
+  void* OversizeStorage(Slot& slot, size_t bytes, size_t align);
+  /// Clamps `at` to now, assigns the FIFO sequence number, and pushes the
+  /// (time, seq, slot) triple.
+  void PushEntry(SimTime at, uint32_t slot_index);
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  uint32_t allocated_slots_ = 0;
+  uint32_t free_head_ = kNoSlot;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace esr

@@ -1,6 +1,7 @@
 #include "sim/replica_cluster.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
 #include "obs/trace.h"
@@ -244,7 +245,10 @@ ReplicaCluster::ReplicaCluster(const ReplicaClusterOptions& options)
 ReplicaCluster::~ReplicaCluster() = default;
 
 ReplicaSimResult ReplicaCluster::Run() {
-  ScopedTraceTimeSource trace_clock(&VirtualNowMicros, &queue_);
+  std::optional<ScopedTraceTimeSource> trace_clock;
+  if (options_.owns_trace) {
+    trace_clock.emplace(&VirtualNowMicros, &queue_);
+  }
   for (size_t i = 0; i < update_clients_.size(); ++i) {
     update_clients_[i]->Start(static_cast<SimTime>(i) * 3 *
                               kMicrosPerMilli);

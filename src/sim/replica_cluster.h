@@ -32,6 +32,9 @@ struct ReplicaClusterOptions {
   double warmup_s = 3.0;
   double measure_s = 30.0;
   uint64_t seed = 1;
+  /// See ClusterOptions::owns_trace: cleared for worker-pool runs so
+  /// concurrent clusters never mutate the global recorder's time source.
+  bool owns_trace = true;
 };
 
 /// Metrics of a replicated run over the measurement window.

@@ -1,0 +1,158 @@
+#include "harness/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace esr {
+namespace bench {
+namespace {
+
+// Builds a mutable argv from string literals for the flag-scan tests.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (std::string& s : strings_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagValueTest, FindsFlagAnywhereInArgv) {
+  Argv args({"bin", "--json", "out.json", "--jobs", "4"});
+  EXPECT_EQ(FlagValue(args.argc(), args.argv(), "--jobs", nullptr), "4");
+  EXPECT_EQ(FlagValue(args.argc(), args.argv(), "--json", nullptr),
+            "out.json");
+}
+
+TEST(FlagValueTest, FirstOccurrenceWins) {
+  Argv args({"bin", "--jobs", "2", "--jobs", "9"});
+  EXPECT_EQ(FlagValue(args.argc(), args.argv(), "--jobs", nullptr), "2");
+}
+
+TEST(FlagValueTest, MissingValueIsIgnored) {
+  Argv args({"bin", "--jobs"});
+  EXPECT_EQ(FlagValue(args.argc(), args.argv(), "--jobs", nullptr), "");
+}
+
+TEST(FlagValueTest, EnvironmentIsTheFallback) {
+  Argv args({"bin"});
+  ::setenv("ESR_TEST_FLAG_FALLBACK", "from-env", /*overwrite=*/1);
+  EXPECT_EQ(FlagValue(args.argc(), args.argv(), "--nope",
+                      "ESR_TEST_FLAG_FALLBACK"),
+            "from-env");
+  Argv with_flag({"bin", "--nope", "from-argv"});
+  EXPECT_EQ(FlagValue(with_flag.argc(), with_flag.argv(), "--nope",
+                      "ESR_TEST_FLAG_FALLBACK"),
+            "from-argv");
+  ::unsetenv("ESR_TEST_FLAG_FALLBACK");
+  EXPECT_EQ(FlagValue(args.argc(), args.argv(), "--nope",
+                      "ESR_TEST_FLAG_FALLBACK"),
+            "");
+}
+
+TEST(JobsFromArgsTest, FlagWinsOverEnvironment) {
+  ::setenv("ESR_BENCH_JOBS", "3", /*overwrite=*/1);
+  Argv args({"bin", "--jobs", "5"});
+  EXPECT_EQ(JobsFromArgs(args.argc(), args.argv()), 5);
+  Argv no_flag({"bin"});
+  EXPECT_EQ(JobsFromArgs(no_flag.argc(), no_flag.argv()), 3);
+  ::unsetenv("ESR_BENCH_JOBS");
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 4}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    ParallelFor(hits.size(), jobs, [&](size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, InlineWhenSingleJob) {
+  const std::thread::id self = std::this_thread::get_id();
+  bool same_thread = false;
+  ParallelFor(1, /*jobs=*/1,
+              [&](size_t) { same_thread = std::this_thread::get_id() == self; });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(SeedForRunTest, MatchesTheDocumentedFormula) {
+  EXPECT_EQ(SeedForRun(0), 7919u);
+  EXPECT_EQ(SeedForRun(1), 2u * 7919u);
+  EXPECT_EQ(SeedForRun(6), 7u * 7919u);
+}
+
+// Short simulation windows keep the determinism tests fast while still
+// exercising real Cluster runs end to end.
+RunScale TinyScale() {
+  RunScale scale;
+  scale.warmup_s = 0.05;
+  scale.measure_s = 0.3;
+  scale.seeds = 2;
+  return scale;
+}
+
+std::string ReportJson(const Sweep& sweep, const RunScale& scale,
+                       size_t points) {
+  JsonReport report("harness_test", scale);
+  for (size_t p = 0; p < points; ++p) {
+    report.AddPoint("series", static_cast<double>(p), sweep.Result(p));
+  }
+  std::ostringstream out;
+  report.Write(out);
+  return out.str();
+}
+
+TEST(SweepTest, SerialAndParallelReportsAreByteIdentical) {
+  const RunScale scale = TinyScale();
+  const int kPoints = 3;
+  std::string serial, parallel;
+  {
+    Sweep sweep(scale, /*jobs=*/1);
+    for (int mpl = 1; mpl <= kPoints; ++mpl) {
+      sweep.Add(BaseOptions(EpsilonLevel::kHigh, mpl, scale));
+    }
+    sweep.Run();
+    serial = ReportJson(sweep, scale, kPoints);
+  }
+  {
+    Sweep sweep(scale, /*jobs=*/8);
+    for (int mpl = 1; mpl <= kPoints; ++mpl) {
+      sweep.Add(BaseOptions(EpsilonLevel::kHigh, mpl, scale));
+    }
+    sweep.Run();
+    parallel = ReportJson(sweep, scale, kPoints);
+  }
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepTest, RunAveragedMatchesSweepForAnyJobsCount) {
+  const RunScale scale = TinyScale();
+  const ClusterOptions options =
+      BaseOptions(EpsilonLevel::kMedium, /*mpl=*/2, scale);
+  const AveragedResult serial = RunAveraged(options, scale, /*jobs=*/1);
+  const AveragedResult parallel = RunAveraged(options, scale, /*jobs=*/8);
+  EXPECT_EQ(serial.throughput, parallel.throughput);
+  EXPECT_EQ(serial.throughput_stddev, parallel.throughput_stddev);
+  EXPECT_EQ(serial.committed, parallel.committed);
+  EXPECT_EQ(serial.aborts, parallel.aborts);
+  EXPECT_EQ(serial.ops_executed, parallel.ops_executed);
+  EXPECT_EQ(serial.inconsistent_ops, parallel.inconsistent_ops);
+  EXPECT_EQ(serial.avg_txn_latency_ms, parallel.avg_txn_latency_ms);
+  EXPECT_EQ(serial.latency_ms.count(), parallel.latency_ms.count());
+  EXPECT_EQ(serial.latency_ms.mean(), parallel.latency_ms.mean());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace esr
