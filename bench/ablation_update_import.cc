@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
               scale);
 
   Sweep sweep(scale, JobsFromArgs(argc, argv));
+  sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
+                          "ablation_update_import");
   for (int mpl : kMpls) {
     for (const Inconsistency budget : kBudgets) {
       // High query/export bounds so the update-read path is what varies.
@@ -59,7 +61,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> abort_row{std::to_string(mpl)};
     for (size_t b = 0; b < std::size(kBudgets); ++b) {
       const AveragedResult& r = sweep.Result(point++);
-      tput_row.push_back(Table::Num(r.throughput));
+      tput_row.push_back(Table::NumCi(r.throughput, r.ci90_rel));
       abort_row.push_back(Table::Int(r.aborts));
     }
     tput.AddRow(tput_row);

@@ -49,6 +49,8 @@ int main(int argc, char** argv) {
   };
 
   Sweep sweep(scale, JobsFromArgs(argc, argv));
+  sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
+                          "compare_cc_protocols");
   for (int mpl : kMpls) {
     for (const Config& config : configs) {
       auto opt = BaseOptions(config.level, mpl, scale);
@@ -71,7 +73,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> incons_row{std::to_string(mpl)};
     for (const Config& config : configs) {
       const AveragedResult& r = sweep.Result(point++);
-      tput_row.push_back(Table::Num(r.throughput));
+      tput_row.push_back(Table::NumCi(r.throughput, r.ci90_rel));
       abort_row.push_back(Table::Int(r.aborts));
       if (config.level == EpsilonLevel::kHigh) {
         incons_row.push_back(Table::Int(r.inconsistent_ops));

@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
               scale);
 
   Sweep sweep(scale, JobsFromArgs(argc, argv));
+  sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
+                          "fig08_inconsistent_ops_vs_mpl");
   for (int mpl = 1; mpl <= 10; ++mpl) {
     for (EpsilonLevel level : kLevels) {
       sweep.Add(BaseOptions(level, mpl, scale));
@@ -41,7 +43,7 @@ int main(int argc, char** argv) {
   }
   sweep.Run();
 
-  JsonReport report("fig08_inconsistent_ops_vs_mpl", scale);
+  JsonReport report("fig08_inconsistent_ops_vs_mpl", sweep.scale());
   Table table({"mpl", "low", "medium", "high"});
   size_t point = 0;
   for (int mpl = 1; mpl <= 10; ++mpl) {

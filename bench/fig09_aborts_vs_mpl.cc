@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
               scale);
 
   Sweep sweep(scale, JobsFromArgs(argc, argv));
+  sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
+                          "fig09_aborts_vs_mpl");
   for (int mpl = 1; mpl <= 10; ++mpl) {
     for (EpsilonLevel level : kLevels) {
       sweep.Add(BaseOptions(level, mpl, scale));
@@ -42,7 +44,7 @@ int main(int argc, char** argv) {
   }
   sweep.Run();
 
-  JsonReport report("fig09_aborts_vs_mpl", scale);
+  JsonReport report("fig09_aborts_vs_mpl", sweep.scale());
   Table table({"mpl", "zero(SR)", "low", "medium", "high"});
   size_t point = 0;
   for (int mpl = 1; mpl <= 10; ++mpl) {

@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
               scale);
 
   Sweep sweep(scale, JobsFromArgs(argc, argv));
+  sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
+                          "fig11_throughput_vs_til");
   for (const double til : kTilSweep) {
     for (const double tel : kTelLevels) {
       sweep.Add(BaseOptions(til, tel, kMpl, scale));
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
   }
   sweep.Run();
 
-  JsonReport report("fig11_throughput_vs_til", scale);
+  JsonReport report("fig11_throughput_vs_til", sweep.scale());
   Table table({"TIL", "TEL=1000(low)", "TEL=5000(med)", "TEL=10000(high)"});
   size_t point = 0;
   for (const double til : kTilSweep) {
@@ -53,7 +55,7 @@ int main(int argc, char** argv) {
     for (const double tel : kTelLevels) {
       const AveragedResult& r = sweep.Result(point++);
       report.AddPoint("tel=" + Table::Int(tel), til, r);
-      row.push_back(Table::Num(r.throughput));
+      row.push_back(Table::NumCi(r.throughput, r.ci90_rel));
     }
     table.AddRow(row);
   }

@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
               scale);
 
   Sweep sweep(scale, JobsFromArgs(argc, argv));
+  sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
+                          "fig12_throughput_vs_oil");
   for (const double oil_w : kOilInW) {
     for (const double til : kTilLevels) {
       sweep.Add(PointOptions(oil_w, til, scale));
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
   }
   sweep.Run();
 
-  JsonReport report("fig12_throughput_vs_oil", scale);
+  JsonReport report("fig12_throughput_vs_oil", sweep.scale());
   Table table({"OIL(w)", "TIL=10000(low)", "TIL=50000(med)",
                "TIL=100000(high)"});
   size_t point = 0;
@@ -71,7 +73,7 @@ int main(int argc, char** argv) {
     for (const double til : kTilLevels) {
       const AveragedResult& r = sweep.Result(point++);
       report.AddPoint("til=" + Table::Int(til), oil_w, r);
-      row.push_back(Table::Num(r.throughput));
+      row.push_back(Table::NumCi(r.throughput, r.ci90_rel));
     }
     table.AddRow(row);
   }

@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
       scale);
 
   Sweep sweep(scale, JobsFromArgs(argc, argv));
+  sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
+                          "fig13_ops_per_txn_vs_oil");
   for (const double oil_w : kOilInW) {
     for (const double til : kTilLevels) {
       sweep.Add(PointOptions(oil_w, til, scale));
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
   }
   sweep.Run();
 
-  JsonReport report("fig13_ops_per_txn_vs_oil", scale);
+  JsonReport report("fig13_ops_per_txn_vs_oil", sweep.scale());
   Table all({"OIL(w)", "TIL=10000(low)", "TIL=50000(med)",
              "TIL=100000(high)"});
   Table queries({"OIL(w)", "TIL=10000(low)", "TIL=50000(med)",

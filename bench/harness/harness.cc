@@ -8,8 +8,12 @@
 #include <fstream>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/stats.h"
 #include "obs/exporter.h"
+#include "obs/series.h"
 #include "obs/trace.h"
 
 namespace esr {
@@ -56,20 +60,29 @@ AveragedResult MergeSeedResults(const SimResult* runs, int seeds) {
     }
     avg.throughput_stddev =
         std::sqrt(m2 / static_cast<double>(throughputs.size() - 1));
+    if (avg.throughput > 0.0) {
+      avg.ci90_rel = Ci90HalfWidth(throughputs) / avg.throughput;
+    }
   }
   return avg;
 }
 
+/// Nominal calibration / series sampling window (virtual seconds); also
+/// the unit MSER-5 truncation points are expressed in.
+constexpr double kSeriesWindowS = 1.0;
+
 }  // namespace
 
 RunScale RunScale::FromEnv() {
-  RunScale scale;
   const char* full = std::getenv("ESR_BENCH_FULL");
-  if (full != nullptr && std::strcmp(full, "0") != 0) {
-    scale.warmup_s = 5.0;
-    scale.measure_s = 120.0;
-    scale.seeds = 7;
-  }
+  const ScalePreset& preset =
+      (full != nullptr && std::strcmp(full, "0") != 0) ? kFullScale
+                                                       : kQuickScale;
+  RunScale scale;
+  scale.warmup_s = preset.warmup_s;
+  scale.measure_s = preset.measure_s;
+  scale.seeds = preset.seeds;
+  scale.preset = preset.name;
   return scale;
 }
 
@@ -108,6 +121,10 @@ int JobsFromArgs(int argc, char** argv) {
     jobs = 1;
   }
   return jobs;
+}
+
+std::string SeriesPathFromArgs(int argc, char** argv) {
+  return FlagValue(argc, argv, "--series", "ESR_BENCH_SERIES");
 }
 
 void ParallelFor(size_t count, int jobs,
@@ -151,19 +168,92 @@ size_t Sweep::Add(const ClusterOptions& options) {
   return configs_.size() - 1;
 }
 
+void Sweep::set_series_export(std::string path, std::string source) {
+  ESR_CHECK(!ran_) << "Sweep::set_series_export after Run";
+  series_path_ = std::move(path);
+  series_source_ = std::move(source);
+}
+
+void Sweep::ResolveWarmup() {
+  // Calibration run: the last scheduled config (the sweeps schedule
+  // load-ascending, so this is the slowest-settling one the warmup must
+  // cover), standard first seed, zero warmup, and a stretched measure
+  // window — MSER-5 wants a healthy batch count (about a dozen) and the
+  // startup ramp inside the sampled series it is asked to truncate.
+  ClusterOptions calibration = configs_.back();
+  calibration.seed = SeedForRun(0);
+  calibration.warmup_s = 0.0;
+  calibration.measure_s =
+      std::max(60.0, 2.0 * (scale_.warmup_s + scale_.measure_s));
+  calibration.collect_series = true;
+  calibration.series_window_s = kSeriesWindowS;
+  calibration.series_source = "mser5-calibration";
+  calibration.owns_trace = false;  // never perturb a --trace capture
+  const SimResult probe = RunCluster(calibration);
+  const std::vector<double> throughput = probe.series.ThroughputSeries();
+
+  const MserResult mser = Mser5Truncation(throughput);
+  if (!mser.ok) {
+    std::fprintf(stderr,
+                 "MSER-5 found no steady state in %zu windows; keeping "
+                 "preset warmup %.1fs\n",
+                 throughput.size(), scale_.warmup_s);
+    scale_.warmup_source = "preset-fallback";
+  } else {
+    const double raw_s =
+        static_cast<double>(mser.truncation_windows) * kSeriesWindowS;
+    // Never trust less than one window of warmup, and never let a noisy
+    // calibration eat more than half the measurement budget. The bounds
+    // can cross on sub-window test scales (measure_s < 2 windows), where
+    // the budget cap wins.
+    const double floor_s = std::min(kSeriesWindowS, scale_.measure_s / 2.0);
+    scale_.warmup_s = std::clamp(raw_s, floor_s, scale_.measure_s / 2.0);
+    scale_.warmup_source = "mser5";
+    scale_.mser_raw_truncation_s = raw_s;
+    scale_.mser_statistic = mser.statistic;
+    std::fprintf(stderr,
+                 "MSER-5 warmup: %.1fs (truncation %.1fs over %zu windows, "
+                 "preset was %.1fs)\n",
+                 scale_.warmup_s, raw_s, throughput.size(),
+                 configs_[0].warmup_s);
+  }
+  for (ClusterOptions& config : configs_) {
+    config.warmup_s = scale_.warmup_s;
+  }
+}
+
 void Sweep::Run() {
   ESR_CHECK(!ran_) << "Sweep::Run called twice";
   ran_ = true;
+  if (configs_.empty()) return;
+  // Warmup resolution runs on the coordinator, before the pool, and is
+  // deterministic — so the resolved scale (and every downstream byte) is
+  // the same for any jobs count.
+  if (auto_warmup_) ResolveWarmup();
   const int seeds = scale_.seeds;
   std::vector<SimResult> raw(configs_.size() * static_cast<size_t>(seeds));
   // Worker-pool phase: every (config, seed) run is independent and writes
   // only its own pre-sized slot. With jobs == 1 this executes inline on
   // the coordinator in the exact order the serial harness always used
   // (config-major, seed-minor), preserving --trace's last-run-wins export.
+  const size_t series_task = raw.size() - 1;
   ParallelFor(raw.size(), jobs_, [&](size_t task) {
     ClusterOptions options = configs_[task / static_cast<size_t>(seeds)];
     options.seed = SeedForRun(static_cast<int>(task % seeds));
     options.owns_trace = jobs_ == 1;
+    if (!series_path_.empty() && task == series_task) {
+      // Telemetry rides on the last scheduled run: sampling is purely
+      // observational, and pinning the exporter by schedule position
+      // keeps the file identical for any jobs count.
+      options.collect_series = true;
+      options.series_window_s = kSeriesWindowS;
+      options.series_source =
+          series_source_ + " config=" +
+          std::to_string(task / static_cast<size_t>(seeds)) +
+          " seed=" + std::to_string(options.seed);
+      raw[task] = RunCluster(options);
+      return;
+    }
     raw[task] = RunCluster(options);
   });
   // Merge phase, coordinator only: Histogram::Merge (and the averaging
@@ -174,6 +264,17 @@ void Sweep::Run() {
   for (size_t c = 0; c < configs_.size(); ++c) {
     results_[c] =
         MergeSeedResults(&raw[c * static_cast<size_t>(seeds)], seeds);
+  }
+  if (!series_path_.empty()) {
+    const RunSeries& series = raw[series_task].series;
+    const Status status = ExportSeriesCsvToFile(series, series_path_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "series export failed: %s\n",
+                   status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "wrote %zu telemetry windows to %s\n",
+                   series.windows.size(), series_path_.c_str());
+    }
   }
 }
 
@@ -186,6 +287,9 @@ const AveragedResult& Sweep::Result(size_t handle) const {
 AveragedResult RunAveraged(ClusterOptions options, const RunScale& scale,
                            int jobs) {
   Sweep sweep(scale, jobs);
+  // Callers of RunAveraged pass fully resolved options (tests pin exact
+  // warmups); no calibration pass here.
+  sweep.set_auto_warmup(false);
   sweep.Add(options);
   sweep.Run();
   return sweep.Result(0);
@@ -252,6 +356,14 @@ std::string Table::Int(double v) {
   return buf;
 }
 
+std::string Table::NumCi(double v, double ci90_rel, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.1f%%%s", precision, v,
+                100.0 * ci90_rel,
+                ci90_rel > kCiFlagThreshold ? "!" : "");
+  return buf;
+}
+
 std::string JsonReport::PathFromArgs(int argc, char** argv) {
   return FlagValue(argc, argv, "--json", "ESR_BENCH_JSON");
 }
@@ -279,6 +391,10 @@ void JsonReport::Write(std::ostream& out) const {
   w.KV("warmup_s", scale_.warmup_s);
   w.KV("measure_s", scale_.measure_s);
   w.KV("seeds", static_cast<int64_t>(scale_.seeds));
+  w.KV("preset", scale_.preset);
+  w.KV("warmup_source", scale_.warmup_source);
+  w.KV("mser_raw_truncation_s", scale_.mser_raw_truncation_s);
+  w.KV("mser_statistic", scale_.mser_statistic);
   w.EndObject();
   w.Key("series");
   w.BeginObject();
@@ -291,6 +407,7 @@ void JsonReport::Write(std::ostream& out) const {
       w.KV("x", p.x);
       w.KV("throughput", r.throughput);
       w.KV("throughput_stddev", r.throughput_stddev);
+      w.KV("ci90_rel", r.ci90_rel);
       w.KV("committed", r.committed);
       w.KV("aborts", r.aborts);
       w.KV("ops_executed", r.ops_executed);
@@ -366,9 +483,9 @@ void PrintHeader(const std::string& figure, const std::string& paper_claim,
   std::printf("=== %s ===\n", figure.c_str());
   std::printf("Paper: %s\n", paper_claim.c_str());
   std::printf(
-      "Scale: %.0fs warmup + %.0fs measure, %d seeds averaged "
-      "(ESR_BENCH_FULL=1 for paper-scale)\n\n",
-      scale.warmup_s, scale.measure_s, scale.seeds);
+      "Scale: %s — %.0fs measure x %d seeds, MSER-5 warmup "
+      "(preset %.0fs fallback; ESR_BENCH_FULL=1 for paper-scale)\n\n",
+      scale.preset.c_str(), scale.measure_s, scale.seeds, scale.warmup_s);
 }
 
 }  // namespace bench

@@ -17,16 +17,50 @@
 namespace esr {
 namespace bench {
 
-/// Run-length configuration for the figure harnesses. The default keeps
-/// every binary fast enough for `for b in build/bench/*; do $b; done`;
-/// setting ESR_BENCH_FULL=1 in the environment switches to paper-scale
-/// windows and more seeds (tighter confidence, the paper reports +/-3%).
-struct RunScale {
-  double warmup_s = 3.0;
-  double measure_s = 30.0;
-  int seeds = 3;
+/// One named run-length preset. The two instances below are the single
+/// source of truth for the quick/full literals: RunScale::FromEnv reads
+/// them, and the MSER-5 fallback warmup comes from whichever preset is in
+/// effect — no scattered copies of the numbers.
+struct ScalePreset {
+  const char* name;
+  double warmup_s;
+  double measure_s;
+  int seeds;
+};
 
-  /// Reads ESR_BENCH_FULL from the environment.
+/// Default: fast enough for `for b in build/bench/*; do $b; done`.
+/// 60 s x 5 seeds keeps pre-thrashing 90% CIs inside the paper's +/-3%
+/// budget (deep-thrashing points are bistable and stay wide at any
+/// affordable seed count — the CI flag marks them honestly).
+inline constexpr ScalePreset kQuickScale{"quick", 3.0, 60.0, 5};
+/// ESR_BENCH_FULL=1: paper-scale windows and more seeds (tighter
+/// confidence; the paper reports 90% CIs within +/-3%).
+inline constexpr ScalePreset kFullScale{"full", 5.0, 120.0, 7};
+
+/// Run-length configuration for the figure harnesses, seeded from a
+/// ScalePreset. `warmup_s` starts as the preset value; Sweep::Run
+/// replaces it with the MSER-5 truncation point resolved from a
+/// calibration run (falling back to the preset on heuristic failure) and
+/// records the provenance here, so JsonReport can emit the warmup that
+/// was actually used.
+struct RunScale {
+  double warmup_s = kQuickScale.warmup_s;
+  double measure_s = kQuickScale.measure_s;
+  int seeds = kQuickScale.seeds;
+  /// Preset the scale came from ("quick" or "full").
+  std::string preset = kQuickScale.name;
+  /// How warmup_s was decided: "preset" (untouched preset value),
+  /// "mser5" (Sweep calibration run), or "preset-fallback" (MSER-5
+  /// found no steady state; preset value kept).
+  std::string warmup_source = "preset";
+  /// Unclamped MSER-5 truncation point, seconds (0 unless
+  /// warmup_source == "mser5").
+  double mser_raw_truncation_s = 0.0;
+  /// The minimized MSER statistic (0 unless warmup_source == "mser5").
+  double mser_statistic = 0.0;
+
+  /// Reads ESR_BENCH_FULL from the environment and applies the matching
+  /// preset.
   static RunScale FromEnv();
 };
 
@@ -42,6 +76,11 @@ std::string FlagValue(int argc, char** argv, const char* flag,
 /// Forced to 1 (with a stderr note) while a `--trace` capture is active,
 /// because the global trace recorder records one coherent run at a time.
 int JobsFromArgs(int argc, char** argv);
+
+/// Output path for per-window run telemetry: `--series <path>` wins over
+/// ESR_BENCH_SERIES; empty (export disabled) when neither is present.
+/// Wire it into the executor with Sweep::set_series_export.
+std::string SeriesPathFromArgs(int argc, char** argv);
 
 /// Runs tasks [0, count) across up to `jobs` worker threads pulling from
 /// a shared index, inline on the calling thread when jobs <= 1. Tasks
@@ -71,6 +110,11 @@ struct AveragedResult {
   /// reports 90% confidence intervals within +/-3%; this is the analogous
   /// dispersion figure for our seeds).
   double throughput_stddev = 0.0;
+  /// Relative half-width of the 90% confidence interval of the mean
+  /// throughput across seeds (Student-t, see common/stats.h); 0 with
+  /// fewer than two seeds. Tables render it via Table::NumCi; points
+  /// above Table::kCiFlagThreshold are flagged.
+  double ci90_rel = 0.0;
   double committed = 0.0;
   double aborts = 0.0;
   double ops_executed = 0.0;
@@ -113,19 +157,53 @@ class Sweep {
   /// assigned sequentially from 0 in Add order. Must precede Run().
   size_t Add(const ClusterOptions& options);
 
+  /// Disables the MSER-5 calibration run: every scheduled config keeps
+  /// the fixed warmup it was built with. For tests and callers that
+  /// already control warmup explicitly (RunAveraged uses this).
+  void set_auto_warmup(bool on) { auto_warmup_ = on; }
+
+  /// After Run(), exports the per-window telemetry of the last scheduled
+  /// (config, seed) run as series CSV to `path` (no-op when empty).
+  /// `source` labels the series, typically the figure id. Collection is
+  /// purely observational, so enabling it never changes results — and the
+  /// exporting run is fixed by schedule position, so the file is
+  /// identical for any --jobs count.
+  void set_series_export(std::string path, std::string source);
+
   /// Executes all scheduled (config, seed) runs and merges their results;
   /// call exactly once, from the thread that constructed the Sweep.
+  ///
+  /// Unless set_auto_warmup(false), first resolves the warmup with a
+  /// MSER-5 calibration run of the last scheduled config — sweeps
+  /// schedule load-ascending, so that is the slowest-settling one — (seed
+  /// SeedForRun(0), series sampling on, zero warmup so the ramp is in
+  /// view): the truncation point from the committed-per-window series —
+  /// clamped to [1s, measure_s / 2] — replaces every config's warmup_s.
+  /// On heuristic failure the preset warmup stands and a warning is
+  /// logged. The calibration runs on the coordinator before the worker
+  /// pool and is deterministic, so output bytes stay independent of
+  /// --jobs.
   void Run();
 
   const AveragedResult& Result(size_t handle) const;
 
+  /// Scale actually in effect — warmup_s and its provenance resolved by
+  /// Run()'s calibration. Figures hand this (not their pre-Run copy) to
+  /// JsonReport so the report carries the real warmup.
+  const RunScale& scale() const { return scale_; }
+
  private:
+  void ResolveWarmup();
+
   RunScale scale_;
   int jobs_;
   /// Merging (AveragedResult::latency_ms.Merge in particular — Histogram
   /// is NOT thread-safe) is pinned to this thread; Run() enforces it.
   std::thread::id coordinator_;
   bool ran_ = false;
+  bool auto_warmup_ = true;
+  std::string series_path_;
+  std::string series_source_;
   std::vector<ClusterOptions> configs_;
   std::vector<AveragedResult> results_;
 };
@@ -147,6 +225,15 @@ class Table {
   static std::string Num(double v, int precision = 2);
   static std::string Int(double v);
 
+  /// CI half-widths above this relative value get a trailing '!' flag —
+  /// the paper's "90% confidence intervals within +/-3%" budget.
+  static constexpr double kCiFlagThreshold = 0.03;
+
+  /// `"<v> ±c.c%"` cell: the value plus the relative 90% CI half-width
+  /// across seeds (AveragedResult::ci90_rel), with a trailing '!' when
+  /// the half-width exceeds kCiFlagThreshold.
+  static std::string NumCi(double v, double ci90_rel, int precision = 2);
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
@@ -164,10 +251,15 @@ void PrintHeader(const std::string& figure, const std::string& paper_claim,
 ///
 /// Output shape:
 ///   {"figure": "...",
-///    "scale": {"warmup_s": _, "measure_s": _, "seeds": _},
-///    "series": {"<name>": [{"x": _, "throughput": _, ...,
+///    "scale": {"warmup_s": _, "measure_s": _, "seeds": _, "preset": _,
+///              "warmup_source": _, "mser_raw_truncation_s": _,
+///              "mser_statistic": _},
+///    "series": {"<name>": [{"x": _, "throughput": _, "ci90_rel": _, ...,
 ///                           "latency_ms": {"count": _, ..., "p999": _}},
 ///                          ...], ...}}
+///
+/// Construct it with Sweep::scale() (after Run) so the scale block
+/// reports the MSER-resolved warmup, not the preset.
 class JsonReport {
  public:
   /// Resolves the output path: a `--json <path>` pair anywhere in argv

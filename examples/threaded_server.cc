@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "esr/limits.h"
+#include "hierarchy/accumulator.h"
 #include "obs/exporter.h"
 #include "obs/prometheus.h"
+#include "obs/series.h"
 #include "obs/trace.h"
 #include "txn/server.h"
 #include "txn/transaction.h"
@@ -231,15 +233,54 @@ int main(int argc, char** argv) {
     }
 
     // Periodic snapshot sampler: a live gauge of concurrent transactions
-    // (and a tick counter proving liveness), visible on /metrics.
+    // (and a tick counter proving liveness), visible on /metrics. Bound
+    // charges feed a headroom tracker; once per wall second its window is
+    // folded into a rolling series and republished as
+    // headroom.min_frac[.<node>] gauges, so scrapes see how close each
+    // hierarchy node has come to its inconsistency bound.
+    esr::NodeHeadroomTracker headroom(server.schema().num_groups());
+    server.engine().SetHeadroomTracker(&headroom);
+    esr::RunSeries headroom_series;
+    headroom_series.source = "threaded_server";
+    headroom_series.window_s = 1.0;
+    for (esr::GroupId g = 0; g < server.schema().num_groups(); ++g) {
+      headroom_series.node_names.push_back(server.schema().name(g));
+    }
     std::atomic<bool> sampling{true};
-    std::thread sampler([&server, &sampling] {
+    std::thread sampler([&server, &sampling, &headroom, &headroom_series] {
+      int64_t ticks = 0;
+      auto fold_window = [&](double duration_s) {
+        esr::SeriesWindow w;
+        w.start_s = static_cast<double>(headroom_series.windows.size());
+        w.duration_s = duration_s;
+        w.active_mpl = static_cast<double>(server.engine().num_active());
+        w.nodes.resize(headroom.num_nodes());
+        for (esr::GroupId g = 0; g < headroom.num_nodes(); ++g) {
+          const esr::NodeHeadroomTracker::NodeSample s =
+              headroom.WindowSample(g);
+          w.nodes[g].max_accumulated = s.max_accumulated;
+          w.nodes[g].min_headroom_frac = s.min_headroom_frac;
+          w.nodes[g].limit_at_min = s.limit_at_min;
+          w.nodes[g].charges = s.charges;
+        }
+        headroom.StartWindow();
+        headroom_series.windows.push_back(std::move(w));
+        esr::ExportHeadroomGauges(headroom_series, &server.metrics());
+      };
       while (sampling.load(std::memory_order_acquire)) {
         server.metrics().RecordSample(
             "server.active_txns",
             static_cast<double>(server.engine().num_active()));
         server.metrics().counter("sampler.ticks").Increment();
+        if (++ticks % 100 == 0) {  // 100 x 10 ms: one-second windows
+          fold_window(1.0);
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      // Short runs end mid-window; fold the remainder so even a
+      // sub-second level publishes its headroom gauges.
+      if (ticks % 100 != 0) {
+        fold_window(static_cast<double>(ticks % 100) / 100.0);
       }
     });
 
@@ -259,6 +300,9 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(Clock::now() - start).count();
     sampling.store(false, std::memory_order_release);
     sampler.join();
+    // The tracker outlives all transactions (clients joined above), but
+    // not the engine — detach before it goes out of scope.
+    server.engine().SetHeadroomTracker(nullptr);
 
     if (tracing) {
       esr::GlobalTrace().set_enabled(false);

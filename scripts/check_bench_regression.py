@@ -21,7 +21,19 @@ file fail loudly — a silently dropped MPL point is itself a regression.
 The simulator is deterministic per seed, so the tolerance only needs to
 absorb floating-point variation across compilers, not run-to-run noise.
 
-Exit status: 0 within tolerance, 1 regression or shape mismatch, 2 usage.
+Statistical softening: baselines produced by the harness carry a per-point
+`ci90_rel` — the relative 90% confidence half-width of the mean across
+seeds. When a drop breaches the tolerance gate but the baseline's own CI
+is wider than the tolerance AND the current value still lies inside that
+CI, the point is reported as a WARNING instead of a failure: the baseline
+itself says seed-level dispersion at that point dwarfs the gate, so the
+drop is indistinguishable from reseeding noise (the deep-thrashing bench
+points are bistable across seeds with CIs of +/-30%). The tolerance stays
+the outer bound everywhere the baseline is statistically tight, and a
+drop below the baseline CI floor always fails.
+
+Exit status: 0 within tolerance (warnings allowed), 1 regression or shape
+mismatch, 2 usage.
 """
 
 import argparse
@@ -39,15 +51,16 @@ def load_series(path):
 
 
 def check_pair(baseline_path, current_path, tolerance, metric):
-    """Returns (checked_points, failure_messages) for one figure pair."""
+    """Returns (checked_points, failures, warnings) for one figure pair."""
     base_fig, baseline = load_series(baseline_path)
     cur_fig, current = load_series(current_path)
 
     if base_fig != cur_fig:
         return 0, [f"figure mismatch: baseline '{base_fig}' vs current "
-                   f"'{cur_fig}'"]
+                   f"'{cur_fig}'"], []
 
     failures = []
+    warnings = []
     checked = 0
     print(f"{base_fig}:")
     for name in sorted(set(baseline) | set(current)):
@@ -69,15 +82,27 @@ def check_pair(baseline_path, current_path, tolerance, metric):
                 continue
             base_v = base_by_x[x][metric]
             cur_v = cur_by_x[x][metric]
+            ci90_rel = base_by_x[x].get("ci90_rel", 0.0)
             checked += 1
             floor = base_v * (1.0 - tolerance)
             status = "ok"
             if cur_v < floor:
-                status = "REGRESSION"
-                failures.append(
-                    f"{base_fig}: {name} x={x}: {metric} {cur_v:.4g} < "
-                    f"{floor:.4g} (baseline {base_v:.4g} - "
-                    f"{tolerance:.0%})")
+                ci_floor = base_v * (1.0 - ci90_rel)
+                if ci90_rel > tolerance and cur_v >= ci_floor:
+                    # The baseline's own seed CI is wider than the gate and
+                    # the drop stays inside it: statistically this point
+                    # cannot distinguish the drop from reseeding noise.
+                    status = "WARNING(within baseline CI)"
+                    warnings.append(
+                        f"{base_fig}: {name} x={x}: {metric} {cur_v:.4g} "
+                        f"below gate {floor:.4g} but inside the baseline "
+                        f"90% CI (+/-{ci90_rel:.1%})")
+                else:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{base_fig}: {name} x={x}: {metric} {cur_v:.4g} < "
+                        f"{floor:.4g} (baseline {base_v:.4g} - "
+                        f"{tolerance:.0%}, CI +/-{ci90_rel:.1%})")
             delta = (cur_v / base_v - 1.0) * 100 if base_v else 0.0
             print(f"  {name:>12} x={x:<6g} {metric} "
                   f"{base_v:>9.3f} -> {cur_v:>9.3f}  ({delta:+6.2f}%)"
@@ -85,7 +110,7 @@ def check_pair(baseline_path, current_path, tolerance, metric):
 
     print(f"{checked} points checked against {baseline_path} "
           f"(tolerance {tolerance:.0%})")
-    return checked, failures
+    return checked, failures, warnings
 
 
 def main():
@@ -121,17 +146,24 @@ def main():
 
     total_checked = 0
     failures = []
+    warnings = []
     for baseline_path, current_path in pairs:
         try:
-            checked, pair_failures = check_pair(
+            checked, pair_failures, pair_warnings = check_pair(
                 baseline_path, current_path, args.tolerance, args.metric)
         except (OSError, ValueError, json.JSONDecodeError) as e:
             print(f"error: {e}", file=sys.stderr)
             return 2
         total_checked += checked
         failures.extend(pair_failures)
+        warnings.extend(pair_warnings)
 
     print(f"total: {total_checked} points across {len(pairs)} figure(s)")
+    if warnings:
+        print(f"\n{len(warnings)} warning(s) (inside baseline CI, not "
+              f"gating):", file=sys.stderr)
+        for w in warnings:
+            print(f"  {w}", file=sys.stderr)
     if failures:
         print(f"\n{len(failures)} failure(s):", file=sys.stderr)
         for f in failures:

@@ -134,6 +134,11 @@ Histogram& MetricRegistry::histogram(const std::string& name) {
   return histograms_[name];
 }
 
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
 const Counter* MetricRegistry::FindCounter(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -145,6 +150,12 @@ const Histogram* MetricRegistry::FindHistogram(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
 }
 
 int64_t MetricRegistry::CounterValue(const std::string& name) const {
@@ -160,6 +171,7 @@ void MetricRegistry::RecordSample(const std::string& name, double sample) {
 void MetricRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
   for (auto& [name, h] : histograms_) h.Reset();
 }
 
@@ -169,6 +181,15 @@ std::vector<std::pair<std::string, int64_t>> MetricRegistry::CounterSnapshot()
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::GaugeSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g.value());
   return out;
 }
 

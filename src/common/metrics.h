@@ -25,6 +25,35 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+/// A last-value-wins instantaneous measurement (active transactions,
+/// minimum epsilon headroom, queue depth). Stores/loads are relaxed
+/// atomics so a background sampler can publish while a scraper reads.
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(Encode(value), std::memory_order_relaxed);
+  }
+  double value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+  void Reset() { Set(0.0); }
+
+ private:
+  // std::atomic<double> lacks a guaranteed lock-free path on some
+  // targets; a bit-cast through uint64_t always has one.
+  static uint64_t Encode(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double Decode(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::atomic<uint64_t> bits_{0};
+};
+
 /// Percentile summary of a histogram (interpolated; see
 /// Histogram::ApproximatePercentile).
 struct PercentileSummary {
@@ -110,11 +139,15 @@ class MetricRegistry {
   /// Returns (creating on first use) a named histogram. Recording through
   /// this reference is single-writer; see class comment.
   Histogram& histogram(const std::string& name);
+  /// Returns (creating on first use) a named gauge. Sets/reads through
+  /// the reference are atomic, like Counter.
+  Gauge& gauge(const std::string& name);
 
   /// Const lookups that never default-construct an entry; nullptr when
   /// the name was never registered.
   const Counter* FindCounter(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
 
   int64_t CounterValue(const std::string& name) const;
 
@@ -127,6 +160,9 @@ class MetricRegistry {
   /// All counters as (name, value), sorted by name.
   std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const;
 
+  /// All gauges as (name, value), sorted by name.
+  std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
+
   /// All histograms as (name, copy), sorted by name. Copies are cheap
   /// (few KB) and decouple the reader from later recording.
   std::vector<std::pair<std::string, Histogram>> HistogramSnapshot() const;
@@ -134,6 +170,7 @@ class MetricRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
 

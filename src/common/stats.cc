@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace esr {
+
+double StudentT90(size_t df) {
+  // t_{0.95, df}, two-sided 90%: Abramowitz & Stegun table 26.10.
+  static constexpr double kTable[] = {
+      0.0,                                                       // df 0 pad
+      6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,    // 1..8
+      1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746,    // 9..16
+      1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,    // 17..24
+      1.708, 1.706, 1.703, 1.701, 1.699, 1.697,                  // 25..30
+  };
+  if (df == 0) return 0.0;
+  if (df < sizeof(kTable) / sizeof(kTable[0])) return kTable[df];
+  return 1.645;
+}
+
+double Ci90HalfWidth(const std::vector<double>& samples) {
+  const size_t n = samples.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (const double s : samples) mean += s;
+  mean /= static_cast<double>(n);
+  double m2 = 0.0;
+  for (const double s : samples) m2 += (s - mean) * (s - mean);
+  const double stddev = std::sqrt(m2 / static_cast<double>(n - 1));
+  return StudentT90(n - 1) * stddev / std::sqrt(static_cast<double>(n));
+}
+
+MserResult Mser5Truncation(const std::vector<double>& series, size_t batch) {
+  MserResult result;
+  if (batch == 0) return result;
+  const size_t batches = series.size() / batch;
+  result.batches = batches;
+  if (batches < kMserMinBatches) return result;
+
+  std::vector<double> means(batches);
+  for (size_t b = 0; b < batches; ++b) {
+    double sum = 0.0;
+    for (size_t i = 0; i < batch; ++i) sum += series[b * batch + i];
+    means[b] = sum / static_cast<double>(batch);
+  }
+
+  // Suffix sums let each candidate's mean and sum of squares come from
+  // two subtractions instead of a rescan.
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double m : means) {
+    sum += m;
+    sum_sq += m * m;
+  }
+
+  // Candidates d = 0 .. batches/2: dropping more than half the series is
+  // the classic sign that MSER is chasing endpoint noise, not warmup.
+  const size_t max_d = batches / 2;
+  size_t best_d = 0;
+  double best_stat = 0.0;
+  double prefix_sum = 0.0, prefix_sq = 0.0;
+  for (size_t d = 0; d <= max_d; ++d) {
+    const double n_d = static_cast<double>(batches - d);
+    const double rest_sum = sum - prefix_sum;
+    const double rest_sq = sum_sq - prefix_sq;
+    const double mean_d = rest_sum / n_d;
+    const double ss = rest_sq - n_d * mean_d * mean_d;
+    const double stat = (ss > 0.0 ? ss : 0.0) / (n_d * n_d);
+    if (d == 0 || stat < best_stat) {
+      best_stat = stat;
+      best_d = d;
+    }
+    if (d < max_d) {
+      prefix_sum += means[d];
+      prefix_sq += means[d] * means[d];
+    }
+  }
+  // A minimum sitting on the candidate boundary means the statistic was
+  // still falling when we stopped looking: the run never settled.
+  if (best_d == max_d && max_d > 0) return result;
+
+  result.ok = true;
+  result.truncation_windows = best_d * batch;
+  result.statistic = best_stat;
+  return result;
+}
+
+}  // namespace esr

@@ -1,0 +1,50 @@
+#ifndef ESR_COMMON_STATS_H_
+#define ESR_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace esr {
+
+/// Two-sided 90% Student-t critical value t_{0.95, df} (df >= 1). Exact
+/// table through df = 30, 1.645 (the normal limit) beyond. The bench
+/// harness reports per-point confidence intervals across seeds with it,
+/// mirroring the paper's "90% confidence intervals within +/-3%".
+double StudentT90(size_t df);
+
+/// Half-width of the 90% confidence interval of the mean of `samples`
+/// (t * s / sqrt(n)); 0 for fewer than two samples.
+double Ci90HalfWidth(const std::vector<double>& samples);
+
+/// Outcome of MSER-5 warmup truncation over a per-window series.
+struct MserResult {
+  /// Whether the heuristic produced a usable truncation point. False when
+  /// the series is too short (fewer than kMinBatches batches) or the
+  /// minimum lies in the unstable back half of the series.
+  bool ok = false;
+  /// Truncation point in *windows* (samples of the input series).
+  size_t truncation_windows = 0;
+  /// Number of size-kBatch batches the series was folded into.
+  size_t batches = 0;
+  /// The minimized MSER statistic (variance of the retained batch means
+  /// over the square of their count).
+  double statistic = 0.0;
+};
+
+/// MSER-5 (White 1997): folds `series` into batches of `batch` samples
+/// (default 5), then picks the truncation point d minimizing
+/// sum((x_i - mean_d)^2) / (n - d)^2 over the retained batch means.
+/// Candidates are restricted to the front half of the batches, the
+/// standard guard against the statistic's endpoint instability; a minimum
+/// at the last allowed candidate marks the heuristic as failed (the
+/// series never settled). Deterministic, allocation-light, O(n^2) in the
+/// batch count (tiny: seconds of 1 s windows).
+MserResult Mser5Truncation(const std::vector<double>& series,
+                           size_t batch = 5);
+
+/// Minimum batches MSER-5 needs before it trusts itself.
+inline constexpr size_t kMserMinBatches = 4;
+
+}  // namespace esr
+
+#endif  // ESR_COMMON_STATS_H_

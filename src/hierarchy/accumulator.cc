@@ -29,6 +29,55 @@ const char* ChargeDirectionToString(ChargeDirection direction) {
   return direction == ChargeDirection::kExport ? "export" : "import";
 }
 
+void NodeHeadroomTracker::AtomicMax(std::atomic<uint64_t>& slot,
+                                    double value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  // Bit-pattern CAS loop: compare as doubles (headroom can be negative, so
+  // the nonnegative-IEEE-orders-as-uint64 trick does not apply).
+  while (value > FromBits(cur)) {
+    if (slot.compare_exchange_weak(cur, Bits(value),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool NodeHeadroomTracker::AtomicMin(std::atomic<uint64_t>& slot,
+                                    double value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < FromBits(cur)) {
+    if (slot.compare_exchange_weak(cur, Bits(value),
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+NodeHeadroomTracker::NodeSample NodeHeadroomTracker::WindowSample(
+    GroupId group) const {
+  NodeSample sample;
+  if (group >= slots_.size()) return sample;
+  const Slot& slot = slots_[group];
+  sample.max_accumulated =
+      FromBits(slot.max_accumulated.load(std::memory_order_relaxed));
+  sample.min_headroom_frac =
+      FromBits(slot.min_headroom_frac.load(std::memory_order_relaxed));
+  sample.limit_at_min =
+      FromBits(slot.limit_at_min.load(std::memory_order_relaxed));
+  sample.charges = slot.charges.load(std::memory_order_relaxed);
+  return sample;
+}
+
+void NodeHeadroomTracker::StartWindow() {
+  for (Slot& slot : slots_) {
+    slot.max_accumulated.store(Bits(0.0), std::memory_order_relaxed);
+    slot.min_headroom_frac.store(Bits(1.0), std::memory_order_relaxed);
+    slot.limit_at_min.store(Bits(0.0), std::memory_order_relaxed);
+    slot.charges.store(0, std::memory_order_relaxed);
+  }
+}
+
 InconsistencyAccumulator::InconsistencyAccumulator(const GroupSchema* schema,
                                                    BoundSpec bounds,
                                                    ChargeDirection direction)
@@ -112,6 +161,13 @@ ChargeResult InconsistencyAccumulator::TryChargeImpl(ObjectId object,
   g = schema_->GroupOf(object);
   while (true) {
     accumulated_[g] += d * schema_->weight(g);
+#ifndef ESR_TRACE_DISABLED
+    // Headroom probe: one predicted-null branch when no tracker is
+    // attached; compiled out with the rest of the tracing layer.
+    if (tracker_ != nullptr) {
+      tracker_->Observe(g, accumulated_[g], bounds_.LimitFor(g));
+    }
+#endif
     if (g == kRootGroup) break;
     g = schema_->parent(g);
   }

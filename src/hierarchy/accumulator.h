@@ -1,6 +1,8 @@
 #ifndef ESR_HIERARCHY_ACCUMULATOR_H_
 #define ESR_HIERARCHY_ACCUMULATOR_H_
 
+#include <atomic>
+#include <cstring>
 #include <vector>
 
 #include "common/metrics.h"
@@ -11,6 +13,100 @@
 #include "obs/trace.h"
 
 namespace esr {
+
+/// Live per-node epsilon-headroom telemetry, fed by the accumulator's
+/// charge pass: for every hierarchy node it keeps, over the current
+/// sampling window, the largest accumulated inconsistency any
+/// transaction reached there, the smallest *headroom fraction*
+/// ((limit - accumulated) / limit — the margin to a bound violation as a
+/// fraction of the bound), the limit in force at that minimum, and the
+/// number of charges. Nodes a transaction left unbounded (or bounded at
+/// zero, i.e. serializable) are never observed: headroom is only
+/// meaningful against a positive finite bound.
+///
+/// The interesting signal is the margin to a violation, not the post-hoc
+/// violation itself; a window whose minimum headroom dips toward zero
+/// shows *when* the workload ran hot against its bounds even though
+/// every individual check still admitted.
+///
+/// Slots are relaxed atomics so the threaded server's background sampler
+/// can read while engine threads publish; the discrete-event simulator
+/// uses the same code single-threaded. One tracker instance serves every
+/// accumulator of one engine (attach via
+/// TransactionEngine::SetHeadroomTracker); windows are advanced by
+/// whoever samples (SeriesSampler, threaded_server's gauge loop).
+class NodeHeadroomTracker {
+ public:
+  struct NodeSample {
+    double max_accumulated = 0.0;
+    /// 1.0 (full headroom) when the node was not observed this window.
+    double min_headroom_frac = 1.0;
+    /// Limit in force when the minimum was recorded (0 if unobserved).
+    double limit_at_min = 0.0;
+    int64_t charges = 0;
+  };
+
+  explicit NodeHeadroomTracker(size_t num_nodes) : slots_(num_nodes) {
+    StartWindow();
+  }
+
+  NodeHeadroomTracker(const NodeHeadroomTracker&) = delete;
+  NodeHeadroomTracker& operator=(const NodeHeadroomTracker&) = delete;
+
+  size_t num_nodes() const { return slots_.size(); }
+
+  /// Hot-path probe (called from the accumulator's charge pass, under
+  /// the engine latch): a handful of relaxed atomic min/max updates.
+  void Observe(GroupId group, Inconsistency accumulated,
+               Inconsistency limit) {
+    if (limit <= 0.0 || limit >= kUnbounded || group >= slots_.size()) {
+      return;
+    }
+    Slot& slot = slots_[group];
+    AtomicMax(slot.max_accumulated, accumulated);
+    const double frac = (limit - accumulated) / limit;
+    if (AtomicMin(slot.min_headroom_frac, frac)) {
+      // Pairing is best-effort under concurrency: the limit published
+      // here can momentarily belong to a different charge than the
+      // minimum. Exact in the single-threaded simulator.
+      slot.limit_at_min.store(Bits(limit), std::memory_order_relaxed);
+    }
+    slot.charges.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Current-window reading of one node.
+  NodeSample WindowSample(GroupId group) const;
+
+  /// Resets every node's window-local extrema (start of a new sampling
+  /// window). Not synchronized with concurrent Observe calls beyond slot
+  /// atomicity: a charge racing the reset lands in one window or the
+  /// other, never in neither.
+  void StartWindow();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> max_accumulated{0};
+    std::atomic<uint64_t> min_headroom_frac{0};
+    std::atomic<uint64_t> limit_at_min{0};
+    std::atomic<int64_t> charges{0};
+  };
+
+  static uint64_t Bits(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double FromBits(uint64_t bits) {
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  static void AtomicMax(std::atomic<uint64_t>& slot, double value);
+  /// True when `value` became the new minimum.
+  static bool AtomicMin(std::atomic<uint64_t>& slot, double value);
+
+  std::vector<Slot> slots_;
+};
 
 /// Which direction of inconsistency an accumulator tracks: imported (what
 /// relaxed reads absorbed, the paper's script-I) or exported (what this
@@ -116,6 +212,18 @@ class InconsistencyAccumulator {
   const BoundSpec& bounds() const { return bounds_; }
   ChargeDirection direction() const { return direction_; }
 
+  /// Attaches the engine's headroom tracker; every subsequent successful
+  /// charge publishes (accumulated, limit) per path node. nullptr (the
+  /// default) keeps the charge pass probe-free; compiled out entirely
+  /// under ESR_TRACE_DISABLED. `tracker` must outlive the accumulator.
+  void set_headroom_tracker(NodeHeadroomTracker* tracker) {
+#ifndef ESR_TRACE_DISABLED
+    tracker_ = tracker;
+#else
+    (void)tracker;
+#endif
+  }
+
  private:
   /// The walk body; instantiated untraced (branch-identical to an
   /// ESR_TRACE_DISABLED build) and traced, selected once per call.
@@ -126,6 +234,9 @@ class InconsistencyAccumulator {
   const GroupSchema* schema_;
   BoundSpec bounds_;
   ChargeDirection direction_;
+#ifndef ESR_TRACE_DISABLED
+  NodeHeadroomTracker* tracker_ = nullptr;
+#endif
   // Indexed by GroupId; lazily sized to schema_->num_groups().
   std::vector<Inconsistency> accumulated_;
 };

@@ -124,6 +124,12 @@ void WriteMetricsJson(const MetricRegistry& metrics, std::ostream& out) {
     w.KV(name, value);
   }
   w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : metrics.GaugeSnapshot()) {
+    w.KV(name, value);
+  }
+  w.EndObject();
   w.Key("histograms");
   w.BeginObject();
   for (const auto& [name, h] : metrics.HistogramSnapshot()) {
@@ -167,6 +173,11 @@ void WriteMetricsCsv(const MetricRegistry& metrics, std::ostream& out) {
   for (const auto& [name, value] : metrics.CounterSnapshot()) {
     std::snprintf(buf, sizeof(buf), "counter,%s,,%lld,,,,,,,,\n",
                   CsvEscape(name).c_str(), static_cast<long long>(value));
+    out << buf;
+  }
+  for (const auto& [name, value] : metrics.GaugeSnapshot()) {
+    std::snprintf(buf, sizeof(buf), "gauge,%s,,%g,,,,,,,,\n",
+                  CsvEscape(name).c_str(), value);
     out << buf;
   }
   for (const auto& [name, h] : metrics.HistogramSnapshot()) {

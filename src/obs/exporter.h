@@ -58,15 +58,18 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
-/// Writes the registry's counters and histograms as one JSON object:
+/// Writes the registry's counters, gauges, and histograms as one JSON
+/// object:
 ///   {"counters": {name: value, ...},
+///    "gauges": {name: value, ...},
 ///    "histograms": {name: {count, mean, min, max, stddev,
 ///                          p50, p90, p99, p999}, ...}}
 void WriteMetricsJson(const MetricRegistry& metrics, std::ostream& out);
 
 /// Writes the registry as CSV with a uniform header:
 ///   kind,name,count,value,mean,min,max,stddev,p50,p90,p99,p999
-/// Counter rows fill count/value; histogram rows fill the summary columns.
+/// Counter and gauge rows fill value; histogram rows fill the summary
+/// columns.
 void WriteMetricsCsv(const MetricRegistry& metrics, std::ostream& out);
 
 Status ExportMetricsJsonToFile(const MetricRegistry& metrics,

@@ -47,6 +47,11 @@ void WritePrometheusText(const MetricRegistry& metrics, std::ostream& out) {
     out << "# TYPE " << prom << " counter\n";
     out << prom << " " << value << "\n";
   }
+  for (const auto& [name, value] : metrics.GaugeSnapshot()) {
+    const std::string prom = PrometheusMetricName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    WriteSample(out, prom, "", value);
+  }
   for (const auto& [name, hist] : metrics.HistogramSnapshot()) {
     const std::string prom = PrometheusMetricName(name);
     out << "# TYPE " << prom << " summary\n";

@@ -13,7 +13,8 @@
 namespace esr {
 
 /// Writes the registry in Prometheus text exposition format 0.0.4:
-/// counters as `esr_<name>_total`, histograms as summaries
+/// counters as `esr_<name>_total`, gauges as `esr_<name>`, histograms as
+/// summaries
 /// (`esr_<name>{quantile="0.5"}` ... plus `_sum`/`_count`). Metric names
 /// are sanitized (dots and dashes become underscores) and prefixed with
 /// `esr_` so a scrape of a mixed fleet stays collision-free.

@@ -17,6 +17,8 @@ ClientStats& ClientStats::operator-=(const ClientStats& other) {
   import_total -= other.import_total;
   export_total -= other.export_total;
   txn_latency_total_us -= other.txn_latency_total_us;
+  op_responses -= other.op_responses;
+  op_latency_total_us -= other.op_latency_total_us;
   return *this;
 }
 
@@ -77,6 +79,7 @@ void SimClient::IssueCurrentOp() {
   // response travel; closed when the response lands in HandleOpResult.
   rpc_span_ = BeginSpan(SpanKind::kRpc, txn_, site_,
                         script_.ops[op_index_].object, txn_span_);
+  op_issued_at_ = queue_->now();
   const SimTime rpc = latency_->SampleOpRpc();
   const SimTime request_travel = rpc / 2;
   const SimTime response_travel = rpc - request_travel;
@@ -110,6 +113,9 @@ void SimClient::HandleOpResult(const OpResult& result) {
   // Response delivered: the RPC leg is over regardless of the verdict.
   EndSpan(SpanKind::kRpc, rpc_span_, txn_, site_);
   rpc_span_ = 0;
+  ++stats_.op_responses;
+  stats_.op_latency_total_us +=
+      static_cast<int64_t>(queue_->now() - op_issued_at_);
   switch (result.kind) {
     case OpResult::Kind::kOk: {
       ++stats_.ops_executed;

@@ -40,6 +40,11 @@ struct ClientStats {
   double export_total = 0.0;
   /// Sum of (commit time - first submission time) over committed txns, µs.
   int64_t txn_latency_total_us = 0;
+  /// Operation RPC round trips completed (any verdict) and their total
+  /// issue-to-response latency, µs — the telemetry sampler's per-window
+  /// mean-op-latency numerator/denominator.
+  int64_t op_responses = 0;
+  int64_t op_latency_total_us = 0;
 
   ClientStats& operator-=(const ClientStats& other);
 };
@@ -103,6 +108,8 @@ class SimClient {
   size_t op_index_ = 0;
   std::vector<Value> read_results_;
   SimTime first_submit_at_ = 0;
+  /// Issue instant of the op RPC in flight, for per-op latency.
+  SimTime op_issued_at_ = 0;
   /// Inconsistency imported/exported by the current attempt's OK ops;
   /// folded into stats_ only if the attempt commits.
   double attempt_inconsistency_ = 0.0;

@@ -56,6 +56,27 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
         site, server_.get(), &queue_, latency_.get(), std::move(generator),
         clock));
   }
+  if (options_.collect_series) {
+    SeriesSamplerOptions sampler_options;
+    sampler_options.window_s = options_.series_window_s;
+    sampler_options.source = options_.series_source;
+    sampler_ = std::make_unique<SeriesSampler>(
+        &queue_, server_.get(),
+        [this] {
+          SeriesSampler::Cumulative total;
+          for (const auto& client : clients_) {
+            const ClientStats& s = client->stats();
+            total.committed += s.committed;
+            total.aborted += s.aborts;
+            // The synchronous client resubmits every aborted attempt.
+            total.restarts += s.aborts;
+            total.op_responses += s.op_responses;
+            total.op_latency_total_us += s.op_latency_total_us;
+          }
+          return total;
+        },
+        sampler_options);
+  }
 }
 
 SimResult Cluster::Run() {
@@ -75,6 +96,9 @@ SimResult Cluster::Run() {
   // Stagger client start-up slightly so sites do not run in lockstep.
   for (size_t i = 0; i < clients_.size(); ++i) {
     clients_[i]->Start(static_cast<SimTime>(i) * 3 * kMicrosPerMilli);
+  }
+  if (sampler_ != nullptr) {
+    sampler_->ScheduleWindows(options_.warmup_s + options_.measure_s);
   }
 
   const SimTime warmup_end =
@@ -114,6 +138,7 @@ SimResult Cluster::Run() {
         static_cast<double>(delta.txn_latency_total_us);
     result.latency_ms.Merge(clients_[i]->latency_histogram());
   }
+  if (sampler_ != nullptr) result.series = sampler_->TakeSeries();
   return result;
 }
 

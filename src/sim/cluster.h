@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "obs/series.h"
 #include "sim/client.h"
+#include "sim/series_sampler.h"
 #include "sim/event_queue.h"
 #include "sim/latency_model.h"
 #include "sim/skewed_clock.h"
@@ -39,6 +41,15 @@ struct ClusterOptions {
   /// export. Metrics need no such flag: every run's Server owns a private
   /// MetricRegistry, so runs are metric-isolated by construction.
   bool owns_trace = true;
+  /// Per-window telemetry (see SeriesSampler): when set, Run() fills
+  /// SimResult::series with one window per `series_window_s` of virtual
+  /// time covering warmup *and* measurement — the warmup ramp stays in
+  /// the series so steady-state detection (MSER-5) can see it. Purely
+  /// observational: the run's other results are identical either way.
+  bool collect_series = false;
+  double series_window_s = 1.0;
+  /// Provenance string recorded in the exported series.
+  std::string series_source;
 };
 
 /// Aggregated outcome of a run over the measurement window — the
@@ -61,6 +72,9 @@ struct SimResult {
   /// Commit-latency distribution over the measurement window (ms), merged
   /// across clients; feeds the percentile columns of the bench JSON.
   Histogram latency_ms;
+  /// Per-window telemetry series (empty unless
+  /// ClusterOptions::collect_series was set).
+  RunSeries series;
 
   /// Committed transactions per virtual second.
   double throughput() const {
@@ -116,6 +130,10 @@ class Cluster {
   std::unique_ptr<Server> server_;
   std::unique_ptr<LatencyModel> latency_;
   std::vector<std::unique_ptr<SimClient>> clients_;
+  /// Telemetry collector (nullptr unless options_.collect_series); a
+  /// member rather than a Run() local because active transactions hold
+  /// probe pointers into its tracker for the cluster's lifetime.
+  std::unique_ptr<SeriesSampler> sampler_;
 };
 
 /// Convenience: configure-and-run in one call.

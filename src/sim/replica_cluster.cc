@@ -142,6 +142,8 @@ class ReplicaCluster::QueryClient {
     cluster_->queue_.ScheduleAt(at, [this] { IssueQuery(); });
   }
 
+  int64_t attempted() const { return attempted_; }
+  int64_t admitted() const { return admitted_; }
   void Snapshot() {
     attempted_at_snapshot_ = attempted_;
     admitted_at_snapshot_ = admitted_;
@@ -240,6 +242,28 @@ ReplicaCluster::ReplicaCluster(const ReplicaClusterOptions& options)
     query_clients_.push_back(std::make_unique<QueryClient>(
         this, i % options_.replication.num_replicas, master.NextU64()));
   }
+  if (options_.collect_series) {
+    SeriesSamplerOptions sampler_options;
+    sampler_options.window_s = options_.series_window_s;
+    sampler_options.source = options_.series_source;
+    sampler_ = std::make_unique<SeriesSampler>(
+        &queue_, &db_->primary(),
+        [this] {
+          SeriesSampler::Cumulative total;
+          for (const auto& client : update_clients_) {
+            total.committed += client->commits();
+            total.aborted += client->aborts();
+            // Update clients resubmit every aborted attempt.
+            total.restarts += client->aborts();
+          }
+          for (const auto& client : query_clients_) {
+            // A rejected replica query is retried after a delay.
+            total.restarts += client->attempted() - client->admitted();
+          }
+          return total;
+        },
+        sampler_options);
+  }
 }
 
 ReplicaCluster::~ReplicaCluster() = default;
@@ -256,6 +280,9 @@ ReplicaSimResult ReplicaCluster::Run() {
   for (size_t i = 0; i < query_clients_.size(); ++i) {
     query_clients_[i]->Start(static_cast<SimTime>(i) * 5 *
                              kMicrosPerMilli);
+  }
+  if (sampler_ != nullptr) {
+    sampler_->ScheduleWindows(options_.warmup_s + options_.measure_s);
   }
 
   const SimTime warmup_end =
@@ -286,6 +313,7 @@ ReplicaSimResult ReplicaCluster::Run() {
     result.avg_true_import =
         truth / static_cast<double>(result.queries_admitted);
   }
+  if (sampler_ != nullptr) result.series = sampler_->TakeSeries();
   return result;
 }
 

@@ -4,9 +4,13 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
+#include "obs/series.h"
 #include "replication/replicated_database.h"
 #include "sim/event_queue.h"
 #include "sim/latency_model.h"
+#include "sim/series_sampler.h"
 #include "workload/generator.h"
 
 namespace esr {
@@ -35,6 +39,12 @@ struct ReplicaClusterOptions {
   /// See ClusterOptions::owns_trace: cleared for worker-pool runs so
   /// concurrent clusters never mutate the global recorder's time source.
   bool owns_trace = true;
+  /// Per-window telemetry over warmup + measurement (see SeriesSampler);
+  /// committed/aborted count the primary's update ETs, restarts count
+  /// their resubmissions plus rejected replica-query retries.
+  bool collect_series = false;
+  double series_window_s = 1.0;
+  std::string series_source;
 };
 
 /// Metrics of a replicated run over the measurement window.
@@ -62,6 +72,10 @@ struct ReplicaSimResult {
                      static_cast<double>(queries_attempted)
                : 0.0;
   }
+
+  /// Per-window telemetry series (empty unless
+  /// ReplicaClusterOptions::collect_series was set).
+  RunSeries series;
 };
 
 /// Discrete-event simulation of the replicated deployment: the conclusion's
@@ -88,6 +102,10 @@ class ReplicaCluster {
   std::unique_ptr<LatencyModel> latency_;
   std::vector<std::unique_ptr<UpdateClient>> update_clients_;
   std::vector<std::unique_ptr<QueryClient>> query_clients_;
+  /// Telemetry collector (nullptr unless options_.collect_series); a
+  /// member so active transactions' probe pointers into its tracker stay
+  /// valid for the cluster's lifetime.
+  std::unique_ptr<SeriesSampler> sampler_;
 };
 
 }  // namespace esr

@@ -32,6 +32,7 @@ TxnId TwoPLManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
   const TxnId id = next_txn_id_++;
   auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
+  it->second.AttachHeadroomTracker(headroom_tracker_);
   it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(type)->Increment();
   ESR_TRACE_EVENT(

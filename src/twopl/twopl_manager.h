@@ -52,6 +52,11 @@ class TwoPLManager final : public TransactionEngine {
   size_t num_active() const override;
   EngineKind kind() const override { return EngineKind::kTwoPhaseLocking; }
 
+  void SetHeadroomTracker(NodeHeadroomTracker* tracker) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    headroom_tracker_ = tracker;
+  }
+
   LockTable& lock_table() { return locks_; }
 
  private:
@@ -70,6 +75,9 @@ class TwoPLManager final : public TransactionEngine {
   DataManager data_manager_;
   LockTable locks_;
   TxnId next_txn_id_ = 1;
+  /// Headroom telemetry sink for new transactions' accumulators (see
+  /// NodeHeadroomTracker); not owned, may be null.
+  NodeHeadroomTracker* headroom_tracker_ = nullptr;
   std::unordered_map<TxnId, Transaction> transactions_;
   /// Per-level bound-check outcome counters (Sec. 5 observability).
   BoundCheckStats bound_stats_;

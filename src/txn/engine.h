@@ -92,6 +92,15 @@ class TransactionEngine {
   virtual size_t num_active() const = 0;
 
   virtual EngineKind kind() const = 0;
+
+  /// Points every transaction's bound-charge probes at `tracker` so the
+  /// telemetry layer can sample per-node epsilon headroom (see
+  /// NodeHeadroomTracker). Default no-op: engines that ignore bounds
+  /// (MVTO) have nothing to report. `tracker` must outlive the engine;
+  /// nullptr detaches.
+  virtual void SetHeadroomTracker(NodeHeadroomTracker* tracker) {
+    (void)tracker;
+  }
 };
 
 }  // namespace esr

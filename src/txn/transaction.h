@@ -93,6 +93,16 @@ class Transaction {
     return is_query() ? accumulator_ : *import_accumulator_;
   }
 
+  /// Points both accumulators' charge probes at the engine's headroom
+  /// tracker (no-op under ESR_TRACE_DISABLED). Called by the engine right
+  /// after Begin; `tracker` may be nullptr to detach.
+  void AttachHeadroomTracker(NodeHeadroomTracker* tracker) {
+    accumulator_.set_headroom_tracker(tracker);
+    if (import_accumulator_ != nullptr) {
+      import_accumulator_->set_headroom_tracker(tracker);
+    }
+  }
+
   // -- Repeated-read accounting (Sec. 3.2.1 extension) ---------------------
   /// Largest inconsistency already charged for reads of `object`; repeat
   /// reads charge only the excess over this, implementing the min/max

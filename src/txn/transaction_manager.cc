@@ -35,6 +35,7 @@ TxnId TransactionManager::Begin(TxnType type, Timestamp ts,
   const TxnId id = next_txn_id_++;
   auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
+  it->second.AttachHeadroomTracker(headroom_tracker_);
   it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(type)->Increment();
   ESR_TRACE_EVENT(
@@ -50,6 +51,7 @@ TxnId TransactionManager::BeginUpdateWithImport(Timestamp ts,
   auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, ts, schema_, std::move(export_bounds),
                       std::move(import_bounds)));
+  it->second.AttachHeadroomTracker(headroom_tracker_);
   it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(TxnType::kUpdate)->Increment();
   ESR_TRACE_EVENT(WithSpan(TraceEvent::BeginTxn(id, TxnType::kUpdate, ts.site),

@@ -77,6 +77,11 @@ class TransactionManager final : public TransactionEngine {
     return EngineKind::kTimestampOrdering;
   }
 
+  void SetHeadroomTracker(NodeHeadroomTracker* tracker) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    headroom_tracker_ = tracker;
+  }
+
   MetricRegistry& metrics() { return *metrics_; }
   DataManager& data_manager() { return data_manager_; }
   const GroupSchema& schema() const { return *schema_; }
@@ -99,6 +104,9 @@ class TransactionManager final : public TransactionEngine {
   MetricRegistry* metrics_;
   DataManager data_manager_;
   TxnId next_txn_id_ = 1;
+  /// Headroom telemetry sink for new transactions' accumulators (see
+  /// NodeHeadroomTracker); not owned, may be null.
+  NodeHeadroomTracker* headroom_tracker_ = nullptr;
   std::unordered_map<TxnId, Transaction> transactions_;
   /// Per-level bound-check outcome counters (Sec. 5 observability).
   BoundCheckStats bound_stats_;

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "obs/series.h"
 
 namespace esr {
 namespace bench {
@@ -144,6 +148,7 @@ TEST(SweepTest, RunAveragedMatchesSweepForAnyJobsCount) {
   const AveragedResult parallel = RunAveraged(options, scale, /*jobs=*/8);
   EXPECT_EQ(serial.throughput, parallel.throughput);
   EXPECT_EQ(serial.throughput_stddev, parallel.throughput_stddev);
+  EXPECT_EQ(serial.ci90_rel, parallel.ci90_rel);
   EXPECT_EQ(serial.committed, parallel.committed);
   EXPECT_EQ(serial.aborts, parallel.aborts);
   EXPECT_EQ(serial.ops_executed, parallel.ops_executed);
@@ -151,6 +156,116 @@ TEST(SweepTest, RunAveragedMatchesSweepForAnyJobsCount) {
   EXPECT_EQ(serial.avg_txn_latency_ms, parallel.avg_txn_latency_ms);
   EXPECT_EQ(serial.latency_ms.count(), parallel.latency_ms.count());
   EXPECT_EQ(serial.latency_ms.mean(), parallel.latency_ms.mean());
+}
+
+TEST(SweepTest, CiHalfWidthIsPopulatedAcrossSeeds) {
+  const RunScale scale = TinyScale();  // two seeds: a CI exists
+  const AveragedResult r =
+      RunAveraged(BaseOptions(EpsilonLevel::kMedium, /*mpl=*/3, scale),
+                  scale, /*jobs=*/1);
+  ASSERT_GT(r.throughput, 0.0);
+  // Two distinct seeds essentially never tie exactly.
+  EXPECT_GT(r.ci90_rel, 0.0);
+  // ci90_rel is the Student-t half-width over the per-seed throughputs,
+  // relative to the mean; with stddev known, cross-check the formula
+  // (n = 2, t_{0.95,1} = 6.314, hw = t * s / sqrt(2)).
+  const double expected =
+      6.314 * r.throughput_stddev / std::sqrt(2.0) / r.throughput;
+  EXPECT_NEAR(r.ci90_rel, expected, 1e-4 * expected);
+}
+
+TEST(SweepTest, AutoWarmupResolvesProvenance) {
+  const RunScale scale = TinyScale();
+  Sweep sweep(scale, /*jobs=*/1);
+  sweep.Add(BaseOptions(EpsilonLevel::kHigh, /*mpl=*/2, scale));
+  sweep.Run();
+  const RunScale& resolved = sweep.scale();
+  // The calibration either resolved a truncation point or fell back —
+  // both outcomes must be recorded, and warmup can never eat more than
+  // half the measurement budget.
+  EXPECT_TRUE(resolved.warmup_source == "mser5" ||
+              resolved.warmup_source == "preset-fallback")
+      << resolved.warmup_source;
+  if (resolved.warmup_source == "mser5") {
+    EXPECT_LE(resolved.warmup_s, scale.measure_s / 2.0);
+    EXPECT_GE(resolved.warmup_s, 0.0);
+  } else {
+    EXPECT_EQ(resolved.warmup_s, scale.warmup_s);
+  }
+}
+
+TEST(SweepTest, SeriesExportIsByteIdenticalAcrossJobs) {
+  const RunScale scale = TinyScale();
+  const auto run_with_jobs = [&](int jobs, const std::string& path) {
+    Sweep sweep(scale, jobs);
+    for (int mpl = 1; mpl <= 3; ++mpl) {
+      sweep.Add(BaseOptions(EpsilonLevel::kHigh, mpl, scale));
+    }
+    sweep.set_auto_warmup(false);
+    sweep.set_series_export(path, "harness_test");
+    sweep.Run();
+  };
+  const std::string serial_path =
+      ::testing::TempDir() + "/series_serial.csv";
+  const std::string parallel_path =
+      ::testing::TempDir() + "/series_parallel.csv";
+  run_with_jobs(1, serial_path);
+  run_with_jobs(8, parallel_path);
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+  };
+  const std::string serial = slurp(serial_path);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, slurp(parallel_path));
+
+  // The export is a valid series file tagged with the figure source.
+  Result<RunSeries> series = ReadSeriesCsvFile(serial_path);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  EXPECT_FALSE(series->windows.empty());
+  EXPECT_NE(series->source.find("harness_test"), std::string::npos);
+}
+
+TEST(RunScaleTest, FromEnvAppliesThePresets) {
+  ::unsetenv("ESR_BENCH_FULL");
+  RunScale quick = RunScale::FromEnv();
+  EXPECT_EQ(quick.preset, kQuickScale.name);
+  EXPECT_EQ(quick.warmup_s, kQuickScale.warmup_s);
+  EXPECT_EQ(quick.measure_s, kQuickScale.measure_s);
+  EXPECT_EQ(quick.seeds, kQuickScale.seeds);
+  EXPECT_EQ(quick.warmup_source, "preset");
+
+  ::setenv("ESR_BENCH_FULL", "1", /*overwrite=*/1);
+  RunScale full = RunScale::FromEnv();
+  EXPECT_EQ(full.preset, kFullScale.name);
+  EXPECT_EQ(full.warmup_s, kFullScale.warmup_s);
+  EXPECT_EQ(full.measure_s, kFullScale.measure_s);
+  EXPECT_EQ(full.seeds, kFullScale.seeds);
+  ::unsetenv("ESR_BENCH_FULL");
+}
+
+TEST(SeriesPathFromArgsTest, FlagWinsOverEnvironment) {
+  ::setenv("ESR_BENCH_SERIES", "env.csv", /*overwrite=*/1);
+  Argv args({"bin", "--series", "flag.csv"});
+  EXPECT_EQ(SeriesPathFromArgs(args.argc(), args.argv()), "flag.csv");
+  Argv no_flag({"bin"});
+  EXPECT_EQ(SeriesPathFromArgs(no_flag.argc(), no_flag.argv()), "env.csv");
+  ::unsetenv("ESR_BENCH_SERIES");
+  EXPECT_EQ(SeriesPathFromArgs(no_flag.argc(), no_flag.argv()), "");
+}
+
+TEST(TableTest, NumCiFormatsAndFlagsWidePoints) {
+  EXPECT_EQ(Table::NumCi(12.3456, 0.012), "12.35 ±1.2%");
+  // Above the paper's +/-3% budget: a trailing '!' marks the point.
+  EXPECT_EQ(Table::NumCi(100.0, 0.199, /*precision=*/1), "100.0 ±19.9%!");
+  // Exactly at the threshold is within budget.
+  EXPECT_EQ(Table::NumCi(1.0, Table::kCiFlagThreshold, 0), "1 ±3.0%");
+  // Single-seed runs have no interval.
+  EXPECT_EQ(Table::NumCi(5.0, 0.0), "5.00 ±0.0%");
 }
 
 }  // namespace

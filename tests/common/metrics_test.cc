@@ -47,6 +47,37 @@ TEST(HistogramTest, SingleSample) {
   EXPECT_EQ(h.stddev(), 0.0);
 }
 
+TEST(HistogramTest, PercentilesOfEmptyAreZero) {
+  Histogram h;
+  for (double p : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.ApproximatePercentile(p), 0.0) << "p=" << p;
+  }
+  const PercentileSummary s = h.Percentiles();
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p999, 0.0);
+}
+
+TEST(HistogramTest, PercentilesOfSingleSampleAreTheSample) {
+  Histogram h;
+  h.Record(42.0);
+  // Every quantile of a one-point distribution is that point; the clamp
+  // to the observed [min, max] pins it exactly despite the log buckets.
+  for (double p : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.ApproximatePercentile(p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, PercentilesOfAllEqualSamplesAreThatValue) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(7.5);
+  for (double p : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.ApproximatePercentile(p), 7.5) << "p=" << p;
+  }
+  EXPECT_EQ(h.min(), 7.5);
+  EXPECT_EQ(h.max(), 7.5);
+  EXPECT_EQ(h.stddev(), 0.0);
+}
+
 TEST(HistogramTest, PercentileApproximatesOrder) {
   Histogram h;
   for (int i = 1; i <= 1024; ++i) h.Record(static_cast<double>(i));
@@ -126,6 +157,35 @@ TEST(HistogramTest, ResetClearsState) {
   h.Reset();
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(GaugeTest, LastSetWinsAndResetZeroes) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.25);
+  g.Set(-0.5);
+  EXPECT_EQ(g.value(), -0.5);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(MetricRegistryTest, GaugesAreNamedSortedAndResettable) {
+  MetricRegistry reg;
+  reg.gauge("headroom.b").Set(0.25);
+  reg.gauge("headroom.a").Set(0.75);
+  EXPECT_EQ(reg.FindGauge("missing"), nullptr);
+  const Gauge* a = reg.FindGauge("headroom.a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value(), 0.75);
+
+  const auto snap = reg.GaugeSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "headroom.a");
+  EXPECT_EQ(snap[0].second, 0.75);
+  EXPECT_EQ(snap[1].first, "headroom.b");
+
+  reg.Reset();
+  EXPECT_EQ(reg.gauge("headroom.a").value(), 0.0);
 }
 
 TEST(MetricRegistryTest, CountersAreNamedAndPersistent) {

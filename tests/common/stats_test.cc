@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace esr {
+namespace {
+
+TEST(StudentT90Test, MatchesTheTable) {
+  // Spot checks against the standard two-sided 90% table.
+  EXPECT_NEAR(StudentT90(1), 6.314, 1e-3);
+  EXPECT_NEAR(StudentT90(2), 2.920, 1e-3);
+  EXPECT_NEAR(StudentT90(4), 2.132, 1e-3);
+  EXPECT_NEAR(StudentT90(9), 1.833, 1e-3);
+  EXPECT_NEAR(StudentT90(30), 1.697, 1e-3);
+}
+
+TEST(StudentT90Test, LargeDfConvergesToNormal) {
+  EXPECT_NEAR(StudentT90(31), 1.645, 1e-3);
+  EXPECT_NEAR(StudentT90(1000), 1.645, 1e-3);
+}
+
+TEST(StudentT90Test, IsMonotoneDecreasing) {
+  for (size_t df = 1; df < 35; ++df) {
+    EXPECT_GE(StudentT90(df), StudentT90(df + 1)) << "df=" << df;
+  }
+}
+
+TEST(Ci90HalfWidthTest, DegenerateSamplesGiveZero) {
+  EXPECT_EQ(Ci90HalfWidth({}), 0.0);
+  EXPECT_EQ(Ci90HalfWidth({5.0}), 0.0);
+  // Identical samples: zero variance, zero half-width.
+  EXPECT_EQ(Ci90HalfWidth({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(Ci90HalfWidthTest, MatchesTheFormula) {
+  // n = 5, mean 3, sample variance 2.5: hw = t(4) * sqrt(2.5 / 5).
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const double expected = StudentT90(4) * std::sqrt(2.5 / 5.0);
+  EXPECT_NEAR(Ci90HalfWidth(samples), expected, 1e-12);
+}
+
+TEST(Ci90HalfWidthTest, ScalesWithDispersion) {
+  const double narrow = Ci90HalfWidth({10.0, 10.1, 9.9, 10.05, 9.95});
+  const double wide = Ci90HalfWidth({10.0, 13.0, 7.0, 11.5, 8.5});
+  EXPECT_LT(narrow, wide);
+  EXPECT_GT(narrow, 0.0);
+}
+
+TEST(Mser5Test, TooShortSeriesFails) {
+  // Fewer than kMserMinBatches batches of 5 can never be trusted.
+  std::vector<double> series(5 * kMserMinBatches - 1, 1.0);
+  const MserResult r = Mser5Truncation(series);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(Mser5Truncation({}).ok, false);
+}
+
+TEST(Mser5Test, FlatSeriesTruncatesNothing) {
+  const std::vector<double> series(60, 10.0);
+  const MserResult r = Mser5Truncation(series);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.truncation_windows, 0u);
+  EXPECT_EQ(r.batches, 12u);
+  EXPECT_EQ(r.statistic, 0.0);
+}
+
+TEST(Mser5Test, RampThenSteadyTruncatesTheRamp) {
+  // 15 windows ramping 0..14, then 60 windows steady at 20 with a small
+  // deterministic wobble. MSER-5 should cut at (or just past) the ramp.
+  std::vector<double> series;
+  for (int i = 0; i < 15; ++i) series.push_back(static_cast<double>(i));
+  for (int i = 0; i < 60; ++i) series.push_back(20.0 + ((i % 2) ? 0.1 : -0.1));
+  const MserResult r = Mser5Truncation(series);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(r.truncation_windows, 10u);
+  EXPECT_LE(r.truncation_windows, 25u);
+  // Truncation is reported in whole batches worth of windows.
+  EXPECT_EQ(r.truncation_windows % 5, 0u);
+}
+
+TEST(Mser5Test, NeverSettlingSeriesFails) {
+  // A geometric decay whose transient dominates the whole window: each
+  // extra truncation keeps shrinking the statistic, so the minimum lands
+  // on the last allowed candidate and the boundary guard rejects it.
+  std::vector<double> series;
+  for (int i = 0; i < 80; ++i) series.push_back(1000.0 * std::pow(0.9, i));
+  const MserResult r = Mser5Truncation(series);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Mser5Test, DecayThatSettlesTruncatesTheTransient) {
+  std::vector<double> series;
+  for (int i = 0; i < 20; ++i) series.push_back(1000.0 * std::pow(0.7, i));
+  for (int i = 0; i < 60; ++i) series.push_back(1.0);
+  const MserResult r = Mser5Truncation(series);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.truncation_windows, 20u);
+}
+
+TEST(Mser5Test, CandidatesRestrictedToFrontHalf) {
+  // A step late in the series (inside the back half) cannot be truncated
+  // away; the heuristic must either settle on a front-half cut or fail,
+  // never return a truncation point past batches / 2.
+  std::vector<double> series(70, 5.0);
+  for (size_t i = 55; i < 70; ++i) series[i] = 50.0;
+  const MserResult r = Mser5Truncation(series);
+  if (r.ok) {
+    EXPECT_LE(r.truncation_windows, 5u * (r.batches / 2));
+  }
+}
+
+}  // namespace
+}  // namespace esr

@@ -103,5 +103,85 @@ TEST(ClusterTest, ServerObjectCountFollowsWorkload) {
   EXPECT_EQ(cluster.server().store().size(), 123u);
 }
 
+ClusterOptions SeriesOptions(int mpl, EpsilonLevel level, uint64_t seed = 7) {
+  ClusterOptions opt = FastOptions(mpl, level, seed);
+  opt.collect_series = true;
+  opt.series_window_s = 1.0;
+  opt.series_source = "cluster_test";
+  return opt;
+}
+
+TEST(SeriesSamplerTest, SamplingIsPurelyObservational) {
+  // The telemetry windows ride on sampling events interleaved into the
+  // queue; workload results must be identical with and without them.
+  const SimResult plain = RunCluster(FastOptions(4, EpsilonLevel::kMedium));
+  const SimResult sampled =
+      RunCluster(SeriesOptions(4, EpsilonLevel::kMedium));
+  EXPECT_EQ(plain.committed, sampled.committed);
+  EXPECT_EQ(plain.aborts, sampled.aborts);
+  EXPECT_EQ(plain.ops_executed, sampled.ops_executed);
+  EXPECT_EQ(plain.inconsistent_ops, sampled.inconsistent_ops);
+  EXPECT_EQ(plain.waits, sampled.waits);
+  EXPECT_TRUE(plain.series.windows.empty());
+}
+
+TEST(SeriesSamplerTest, WindowsTileTheWholeRun) {
+  const SimResult r = RunCluster(SeriesOptions(4, EpsilonLevel::kMedium));
+  const RunSeries& series = r.series;
+  EXPECT_EQ(series.source, "cluster_test");
+  // warmup 2 s + measure 20 s at 1 s windows.
+  ASSERT_EQ(series.windows.size(), 22u);
+  int64_t committed = 0;
+  for (size_t i = 0; i < series.windows.size(); ++i) {
+    const SeriesWindow& w = series.windows[i];
+    EXPECT_DOUBLE_EQ(w.start_s, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(w.duration_s, 1.0);
+    EXPECT_GE(w.active_mpl, 0.0);
+    EXPECT_LE(w.active_mpl, 4.0);
+    // The synchronous clients resubmit every abort.
+    EXPECT_EQ(w.restarts, w.aborted);
+    committed += w.committed;
+  }
+  // Window totals cover warmup too, so they can only exceed the
+  // measurement-phase count.
+  EXPECT_GE(committed, r.committed);
+  EXPECT_GT(committed, 0);
+}
+
+#ifndef ESR_TRACE_DISABLED
+TEST(SeriesSamplerTest, HeadroomProbesSeeBoundedCharges) {
+  const SimResult r = RunCluster(SeriesOptions(5, EpsilonLevel::kMedium));
+  const RunSeries& series = r.series;
+  ASSERT_FALSE(series.node_names.empty());
+  int64_t charges = 0;
+  for (const SeriesWindow& w : series.windows) {
+    ASSERT_EQ(w.nodes.size(), series.node_names.size());
+    for (const SeriesNodeWindow& node : w.nodes) {
+      charges += node.charges;
+      if (node.charges > 0) {
+        // Divergence control admits an op only within its bound, so the
+        // observed headroom must never go negative.
+        EXPECT_GE(node.min_headroom_frac, 0.0);
+        EXPECT_GT(node.limit_at_min, 0.0);
+        EXPECT_GE(node.max_accumulated, 0.0);
+      }
+    }
+  }
+  EXPECT_GT(charges, 0);
+}
+#endif  // ESR_TRACE_DISABLED
+
+TEST(SeriesSamplerTest, SeriesIsDeterministicGivenSeed) {
+  const SimResult a = RunCluster(SeriesOptions(3, EpsilonLevel::kLow, 42));
+  const SimResult b = RunCluster(SeriesOptions(3, EpsilonLevel::kLow, 42));
+  ASSERT_EQ(a.series.windows.size(), b.series.windows.size());
+  for (size_t i = 0; i < a.series.windows.size(); ++i) {
+    EXPECT_EQ(a.series.windows[i].committed, b.series.windows[i].committed);
+    EXPECT_EQ(a.series.windows[i].aborted, b.series.windows[i].aborted);
+    EXPECT_EQ(a.series.windows[i].mean_op_latency_ms,
+              b.series.windows[i].mean_op_latency_ms);
+  }
+}
+
 }  // namespace
 }  // namespace esr
