@@ -127,6 +127,14 @@ std::string SeriesPathFromArgs(int argc, char** argv) {
   return FlagValue(argc, argv, "--series", "ESR_BENCH_SERIES");
 }
 
+bool CertifyFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--certify") == 0) return true;
+  }
+  const char* env = std::getenv("ESR_BENCH_CERTIFY");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
 void ParallelFor(size_t count, int jobs,
                  const std::function<void(size_t)>& task) {
   const size_t workers =
@@ -172,6 +180,11 @@ void Sweep::set_series_export(std::string path, std::string source) {
   ESR_CHECK(!ran_) << "Sweep::set_series_export after Run";
   series_path_ = std::move(path);
   series_source_ = std::move(source);
+}
+
+void Sweep::set_certify(bool on) {
+  ESR_CHECK(!ran_) << "Sweep::set_certify after Run";
+  certify_ = on;
 }
 
 void Sweep::ResolveWarmup() {
@@ -237,10 +250,14 @@ void Sweep::Run() {
   // the coordinator in the exact order the serial harness always used
   // (config-major, seed-minor), preserving --trace's last-run-wins export.
   const size_t series_task = raw.size() - 1;
-  ParallelFor(raw.size(), jobs_, [&](size_t task) {
+  auto run_task = [&](size_t task, bool certify) {
     ClusterOptions options = configs_[task / static_cast<size_t>(seeds)];
     options.seed = SeedForRun(static_cast<int>(task % seeds));
-    options.owns_trace = jobs_ == 1;
+    // A certified run must own the global recorder (the certifier
+    // subscribes to it); it only ever executes on the coordinator with no
+    // workers running, so ownership is safe.
+    options.owns_trace = certify || jobs_ == 1;
+    options.certify = certify;
     if (!series_path_.empty() && task == series_task) {
       // Telemetry rides on the last scheduled run: sampling is purely
       // observational, and pinning the exporter by schedule position
@@ -251,11 +268,40 @@ void Sweep::Run() {
           series_source_ + " config=" +
           std::to_string(task / static_cast<size_t>(seeds)) +
           " seed=" + std::to_string(options.seed);
-      raw[task] = RunCluster(options);
-      return;
     }
     raw[task] = RunCluster(options);
-  });
+  };
+  // With certification on, the pool skips the last task; the coordinator
+  // runs it afterwards with the certifier attached. Same schedule
+  // position, same seed, same options otherwise — so the run's results
+  // (certification is purely observational) and every output byte match
+  // the uncertified sweep at any jobs count.
+  const size_t pool_tasks = certify_ ? raw.size() - 1 : raw.size();
+  ParallelFor(pool_tasks, jobs_,
+              [&](size_t task) { run_task(task, false); });
+  if (certify_) {
+    run_task(raw.size() - 1, true);
+    certification_ = raw.back().certification;
+    if (!certification_.enabled) {
+      std::fprintf(stderr,
+                   "streaming certification: SKIPPED (tracing compiled "
+                   "out)\n");
+    } else if (certification_.certified()) {
+      std::fprintf(stderr,
+                   "streaming certification: PASS — certified through "
+                   "%.1fs (%zu walks, %zu charges over %zu windows)\n",
+                   certification_.certified_through_s,
+                   certification_.walks_replayed,
+                   certification_.charges_applied,
+                   certification_.windows_closed);
+    } else {
+      std::fprintf(stderr,
+                   "streaming certification: FAIL — %zu violation(s); "
+                   "watermark froze at %.1fs\n",
+                   certification_.violations.size(),
+                   certification_.certified_through_s);
+    }
+  }
   // Merge phase, coordinator only: Histogram::Merge (and the averaging
   // arithmetic) is single-threaded by contract — see common/metrics.h.
   ESR_CHECK(std::this_thread::get_id() == coordinator_)

@@ -82,6 +82,11 @@ int JobsFromArgs(int argc, char** argv);
 /// Wire it into the executor with Sweep::set_series_export.
 std::string SeriesPathFromArgs(int argc, char** argv);
 
+/// Streaming-certification toggle: true when `--certify` appears anywhere
+/// in argv, or ESR_BENCH_CERTIFY is set to anything but "0". Wire it into
+/// the executor with Sweep::set_certify.
+bool CertifyFromArgs(int argc, char** argv);
+
 /// Runs tasks [0, count) across up to `jobs` worker threads pulling from
 /// a shared index, inline on the calling thread when jobs <= 1. Tasks
 /// must be independent; result merging belongs on the calling thread
@@ -170,6 +175,20 @@ class Sweep {
   /// identical for any --jobs count.
   void set_series_export(std::string path, std::string source);
 
+  /// Rides streaming certification (obs/stream_audit.h) on the last
+  /// scheduled (config, seed) run — the same schedule position the series
+  /// exporter pins, so when both are on they share one run and the series
+  /// CSV carries the live watermark column. The certified run executes on
+  /// the coordinator after the worker pool drains and owns the global
+  /// trace recorder (workers never touch it), so every result and output
+  /// byte stays identical for any --jobs count. Run() prints the verdict
+  /// to stderr; read it back via certification().
+  void set_certify(bool on);
+
+  /// After Run(): the certified run's verdict (enabled == false unless
+  /// set_certify(true) and tracing is compiled in).
+  const StreamCertification& certification() const { return certification_; }
+
   /// Executes all scheduled (config, seed) runs and merges their results;
   /// call exactly once, from the thread that constructed the Sweep.
   ///
@@ -202,6 +221,8 @@ class Sweep {
   std::thread::id coordinator_;
   bool ran_ = false;
   bool auto_warmup_ = true;
+  bool certify_ = false;
+  StreamCertification certification_;
   std::string series_path_;
   std::string series_source_;
   std::vector<ClusterOptions> configs_;

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   const double query_fractions[] = {0.3, 0.6, 0.8};
 
   Sweep sweep(scale, JobsFromArgs(argc, argv));
+  sweep.set_certify(esr::bench::CertifyFromArgs(argc, argv));
   for (const size_t hot : hot_sets) {
     for (const double fraction : query_fractions) {
       for (const EpsilonLevel level : kLevels) {

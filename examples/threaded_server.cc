@@ -5,7 +5,7 @@
 // and the server's internal counters.
 //
 // Usage:  ./build/examples/threaded_server [num_clients] [txns_per_client]
-//             [--json metrics.json] [--trace trace.json]
+//             [--json metrics.json] [--trace trace.json] [--certify]
 //             [--metrics-port N] [--metrics-linger-ms N]
 //
 // --json dumps the final epsilon level's metric registry (counters plus
@@ -17,13 +17,21 @@
 // a background sampler recording active-transaction gauges;
 // --metrics-linger-ms keeps the endpoint up that long after the last
 // level finishes so an external scraper can collect the final state.
+// --certify streams every trace probe through an online bound certifier
+// (obs/stream_audit.h) for the whole run — one certifier, one wall-clock
+// epoch, across all three epsilon levels — and publishes the live
+// watermark as the esr_certified_through_seconds /
+// esr_certification_lag_windows gauges on /metrics; the process exits 2
+// if any bound violation is certified.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -34,6 +42,7 @@
 #include "obs/exporter.h"
 #include "obs/prometheus.h"
 #include "obs/series.h"
+#include "obs/stream_audit.h"
 #include "obs/trace.h"
 #include "txn/server.h"
 #include "txn/transaction.h"
@@ -155,6 +164,7 @@ int main(int argc, char** argv) {
   int txns_per_client = 250;
   std::string json_path;
   std::string trace_path;
+  bool certify = false;
   int metrics_port = -1;
   int metrics_linger_ms = 0;
   int positional = 0;
@@ -163,7 +173,9 @@ int main(int argc, char** argv) {
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
     const bool is_port = std::strcmp(argv[i], "--metrics-port") == 0;
     const bool is_linger = std::strcmp(argv[i], "--metrics-linger-ms") == 0;
-    if (is_json || is_trace || is_port || is_linger) {
+    if (std::strcmp(argv[i], "--certify") == 0) {
+      certify = true;
+    } else if (is_json || is_trace || is_port || is_linger) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", argv[i]);
         return 1;
@@ -201,6 +213,37 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "serving /metrics on 127.0.0.1:%u\n",
                  metrics_http.port());
+  }
+
+  // Streaming certification spans the whole run: one certifier, one
+  // wall-clock epoch, subscribed to the recorder before any level starts,
+  // so the watermark advances monotonically across all three epsilon
+  // levels and a /metrics scraper can watch it move live.
+  std::unique_ptr<esr::StreamCertifier> certifier;
+  std::optional<esr::ScopedTraceObserver> certify_observer;
+  bool certify_enabled_trace = false;
+  if (certify) {
+#ifndef ESR_TRACE_DISABLED
+    esr::StreamCertifierOptions certifier_options;
+    certifier_options.window_s = 1.0;
+    certifier_options.epoch_micros = NowMicros();
+    certifier_options.source = "threaded_server";
+    certifier_options.emit_trace_events = true;
+    certifier = std::make_unique<esr::StreamCertifier>(certifier_options);
+    if (!esr::GlobalTrace().enabled()) {
+      esr::GlobalTrace().Reset();
+      esr::GlobalTrace().set_enabled(true);
+      certify_enabled_trace = true;
+    }
+    certify_observer.emplace(&esr::StreamCertifier::ObserveTrampoline,
+                             certifier.get());
+    std::fprintf(stderr,
+                 "streaming certification on: 1s wall-clock windows\n");
+#else
+    std::fprintf(stderr,
+                 "--certify ignored: tracing compiled out "
+                 "(ESR_DISABLE_TRACING)\n");
+#endif
   }
 
   std::printf("threaded client/server run: %d clients x %d transactions\n\n",
@@ -247,7 +290,9 @@ int main(int argc, char** argv) {
       headroom_series.node_names.push_back(server.schema().name(g));
     }
     std::atomic<bool> sampling{true};
-    std::thread sampler([&server, &sampling, &headroom, &headroom_series] {
+    esr::StreamCertifier* const cert = certifier.get();
+    std::thread sampler([&server, &sampling, &headroom, &headroom_series,
+                         cert] {
       int64_t ticks = 0;
       auto fold_window = [&](double duration_s) {
         esr::SeriesWindow w;
@@ -272,6 +317,17 @@ int main(int argc, char** argv) {
             "server.active_txns",
             static_cast<double>(server.engine().num_active()));
         server.metrics().counter("sampler.ticks").Increment();
+        if (cert != nullptr) {
+          // Heartbeat so the watermark advances through quiet stretches,
+          // then republish the live gauges for /metrics scrapers.
+          cert->AdvanceTo(NowMicros());
+          server.metrics()
+              .gauge("certified_through_seconds")
+              .Set(cert->certified_through_s());
+          server.metrics()
+              .gauge("certification_lag_windows")
+              .Set(cert->lag_windows());
+        }
         if (++ticks % 100 == 0) {  // 100 x 10 ms: one-second windows
           fold_window(1.0);
         }
@@ -354,8 +410,30 @@ int main(int argc, char** argv) {
     hub.Set(nullptr);
   }
   metrics_http.Stop();
+
+  int exit_code = 0;
+  if (certifier != nullptr) {
+    certify_observer.reset();  // detach before reading the final verdict
+    certifier->AdvanceTo(NowMicros());
+    if (certify_enabled_trace) esr::GlobalTrace().set_enabled(false);
+    const esr::StreamCertification cert = certifier->Snapshot();
+    if (cert.certified()) {
+      std::printf(
+          "\nstreaming certification: PASS — certified through %.1fs "
+          "(%zu walks, %zu charges over %zu windows)\n",
+          cert.certified_through_s, cert.walks_replayed,
+          cert.charges_applied, cert.windows_closed);
+    } else {
+      std::printf(
+          "\nstreaming certification: FAIL — %zu violation(s); watermark "
+          "froze at %.1fs\n",
+          cert.violations.size(), cert.certified_through_s);
+      exit_code = 2;
+    }
+  }
+
   std::printf("\nNote: without the simulated RPC latency the engine is "
               "memory-speed, so absolute\nnumbers dwarf the paper's; the "
               "epsilon ordering of aborts is what carries over.\n");
-  return 0;
+  return exit_code;
 }

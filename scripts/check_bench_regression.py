@@ -38,6 +38,7 @@ mismatch, 2 usage.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -142,6 +143,22 @@ def main():
     if not pairs:
         print("error: nothing to check (use --baseline/--current or "
               "--check)", file=sys.stderr)
+        return 2
+
+    # Fail up front, naming every missing file: a baseline that was never
+    # committed (or a current report a bench failed to write) must read as
+    # a loud gate failure, not vanish into a traceback.
+    missing = []
+    for baseline_path, current_path in pairs:
+        if not os.path.exists(baseline_path):
+            missing.append(f"baseline file missing: {baseline_path} "
+                           f"(commit one with the bench's --json output)")
+        if not os.path.exists(current_path):
+            missing.append(f"current report missing: {current_path} "
+                           f"(did the bench run fail?)")
+    if missing:
+        for m in missing:
+            print(f"error: {m}", file=sys.stderr)
         return 2
 
     total_checked = 0

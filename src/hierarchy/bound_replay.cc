@@ -1,0 +1,82 @@
+#include "hierarchy/bound_replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace esr {
+
+BoundWalkReplayer::Outcome BoundWalkReplayer::OnEvent(
+    const TraceEvent& event) {
+  Outcome outcome;
+  if (event.type == TraceEventType::kCommit ||
+      event.type == TraceEventType::kAbort) {
+    ReleaseTxn(event.txn);
+    return outcome;
+  }
+  if (event.type != TraceEventType::kBoundCheck) return outcome;
+
+  const bool admitted = (event.detail & 1) != 0;
+  const int dir = (event.detail >> 1) & 1;
+  const ReplayKey key{event.txn, dir};
+  pending_[key].push_back(PendingNode{event.target, event.level,
+                                      event.ts_micros, event.charged,
+                                      event.limit});
+  if (!admitted) {
+    // Bottom-up short-circuit: the walk ends at the first reject and
+    // nothing is charged.
+    pending_.erase(key);
+    ++walks_replayed_;
+    outcome.walk_completed = true;
+    return outcome;
+  }
+  if (event.level != 0) return outcome;  // walk still climbing to the root
+
+  auto& acc = replay_[key];
+  for (const PendingNode& node : pending_[key]) {
+    const double next = acc[node.group] + node.charge;
+    const double slack = 1e-9 * std::max(1.0, std::fabs(node.limit)) + 1e-12;
+    if (node.limit != kUnbounded && next > node.limit + slack) {
+      const auto vkey = std::make_pair(key, node.group);
+      auto it = violation_index_.find(vkey);
+      if (it == violation_index_.end()) {
+        violation_index_[vkey] = violations_.size();
+        outcome.new_violation = static_cast<int>(violations_.size());
+        BoundViolation v;
+        v.txn = event.txn;
+        v.direction = static_cast<ChargeDirection>(dir);
+        v.group = node.group;
+        v.level = node.level;
+        v.ts_begin = node.ts;
+        v.accumulated = next;
+        v.limit = node.limit;
+        violations_.push_back(v);
+      } else {
+        // Still above the limit: remember how far it eventually got.
+        BoundViolation& v = violations_[it->second];
+        v.accumulated = std::max(v.accumulated, next);
+      }
+    }
+    acc[node.group] = next;
+    ++charges_applied_;
+  }
+  pending_.erase(key);
+  ++walks_replayed_;
+  outcome.walk_completed = true;
+  return outcome;
+}
+
+void BoundWalkReplayer::ReleaseTxn(TxnId txn) {
+  for (int dir = 0; dir < 2; ++dir) {
+    replay_.erase(ReplayKey{txn, dir});
+    pending_.erase(ReplayKey{txn, dir});
+  }
+  // The dedup index keeps already-recorded violations addressable while
+  // the transaction is live; once it ends no further charge can reference
+  // them, so drop the entries (the violations themselves stay recorded).
+  auto it = violation_index_.lower_bound({ReplayKey{txn, 0}, 0});
+  while (it != violation_index_.end() && it->first.first.first == txn) {
+    it = violation_index_.erase(it);
+  }
+}
+
+}  // namespace esr

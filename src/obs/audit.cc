@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "obs/exporter.h"
+#include "obs/stream_audit.h"
 
 namespace esr {
 
@@ -32,19 +33,6 @@ struct TxnInfo {
   /// (monotonic), for locating the retry that follows a Wait verdict.
   std::vector<int64_t> rpc_begins;
 };
-
-/// One node of an in-flight bound-check walk awaiting its root verdict.
-struct PendingNode {
-  uint64_t group = 0;
-  uint16_t level = 0;
-  int64_t ts = 0;
-  double charge = 0.0;
-  double limit = 0.0;
-};
-
-/// Replay state is keyed per (transaction, accumulator direction): import
-/// and export accumulators have independent bounds.
-using ReplayKey = std::pair<TxnId, int>;
 
 }  // namespace
 
@@ -116,66 +104,15 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
   }
 
   // ---- Pass 2: hierarchical bound recertification ------------------------
-  // Replays Sec. 5.3.1's protocol from the event stream alone: nodes of a
-  // walk buffer until the root (level 0) verdict; an admitted root applies
-  // every buffered charge to the replayed accumulators, a reject discards
-  // the walk. A violation is an *admitted* node whose replayed
-  // accumulation exceeds the limit the event itself declared. Truncated
-  // traces (ring wraparound) can only under-count accumulation, so a
-  // certified verdict on a lossy trace is still sound — lost history never
-  // manufactures a false violation.
-  std::map<ReplayKey, std::unordered_map<uint64_t, double>> replay;
-  std::map<ReplayKey, std::vector<PendingNode>> pending;
-  // First crossing per (txn, dir, group) so a node that stays above its
-  // limit yields one violation, not one per subsequent charge.
-  std::map<std::pair<ReplayKey, uint64_t>, size_t> violation_index;
-
-  for (const TraceEvent& e : events) {
-    if (e.type != TraceEventType::kBoundCheck) continue;
-    const bool admitted = (e.detail & 1) != 0;
-    const int dir = (e.detail >> 1) & 1;
-    const ReplayKey key{e.txn, dir};
-    pending[key].push_back(
-        PendingNode{e.target, e.level, e.ts_micros, e.charged, e.limit});
-    if (!admitted) {
-      // Bottom-up short-circuit: the walk ends at the first reject and
-      // nothing is charged.
-      pending.erase(key);
-      ++report.walks_replayed;
-      continue;
-    }
-    if (e.level != 0) continue;  // walk still climbing toward the root
-    auto& acc = replay[key];
-    for (const PendingNode& node : pending[key]) {
-      const double next = acc[node.group] + node.charge;
-      const double slack =
-          1e-9 * std::max(1.0, std::fabs(node.limit)) + 1e-12;
-      if (node.limit != kUnbounded && next > node.limit + slack) {
-        const auto vkey = std::make_pair(key, node.group);
-        auto it = violation_index.find(vkey);
-        if (it == violation_index.end()) {
-          violation_index[vkey] = report.violations.size();
-          BoundViolation v;
-          v.txn = e.txn;
-          v.direction = static_cast<ChargeDirection>(dir);
-          v.group = node.group;
-          v.level = node.level;
-          v.ts_begin = node.ts;
-          v.accumulated = next;
-          v.limit = node.limit;
-          report.violations.push_back(v);
-        } else {
-          // Still above the limit: remember how far it eventually got.
-          BoundViolation& v = report.violations[it->second];
-          v.accumulated = std::max(v.accumulated, next);
-        }
-      }
-      acc[node.group] = next;
-      ++report.charges_applied;
-    }
-    pending.erase(key);
-    ++report.walks_replayed;
-  }
+  // The Sec. 5.3.1 replay itself lives in BoundWalkReplayer (shared with
+  // the streaming certifier, which consumes the same events live); the
+  // offline pass feeds the whole capture through it and then resolves each
+  // violation's end timestamp from the transaction table built in pass 1.
+  BoundWalkReplayer replayer;
+  for (const TraceEvent& e : events) replayer.OnEvent(e);
+  report.walks_replayed = replayer.walks_replayed();
+  report.charges_applied = replayer.charges_applied();
+  report.violations = std::move(*replayer.mutable_violations());
 
   for (BoundViolation& v : report.violations) {
     const auto it = txns.find(v.txn);
@@ -380,8 +317,28 @@ void PrintAuditReport(const AuditReport& report, std::ostream& out,
   }
 }
 
+bool StreamMatchesOffline(const AuditReport& report,
+                          const StreamCertification& stream) {
+  if (stream.walks_replayed != report.walks_replayed ||
+      stream.charges_applied != report.charges_applied ||
+      stream.violations.size() != report.violations.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < report.violations.size(); ++i) {
+    const BoundViolation& a = report.violations[i];
+    const BoundViolation& b = stream.violations[i];
+    if (a.txn != b.txn || a.direction != b.direction ||
+        a.group != b.group || a.level != b.level ||
+        a.ts_begin != b.ts_begin || a.ts_end != b.ts_end ||
+        a.accumulated != b.accumulated || a.limit != b.limit) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void WriteAuditJson(const AuditReport& report, std::ostream& out,
-                    size_t top_n) {
+                    size_t top_n, const StreamCertification* stream) {
   JsonWriter w(out);
   w.BeginObject();
   w.KV("certified", report.certified());
@@ -459,6 +416,22 @@ void WriteAuditJson(const AuditReport& report, std::ostream& out,
     w.EndObject();
   }
   w.EndArray();
+
+  if (stream != nullptr) {
+    w.Key("stream");
+    w.BeginObject();
+    w.KV("enabled", stream->enabled);
+    w.KV("certified", stream->certified());
+    w.KV("certified_through_s", stream->certified_through_s);
+    w.KV("certified_from_s", stream->certified_from_s);
+    w.KV("observed_through_s", stream->observed_through_s);
+    w.KV("windows_closed", static_cast<uint64_t>(stream->windows_closed));
+    w.KV("lag_windows", stream->lag_windows);
+    w.KV("violations", static_cast<uint64_t>(stream->violations.size()));
+    w.KV("matches_offline", StreamMatchesOffline(report, *stream));
+    w.EndObject();
+  }
+
   w.EndObject();
   out << "\n";
 }

@@ -7,30 +7,18 @@
 
 #include "common/types.h"
 #include "hierarchy/accumulator.h"
+#include "hierarchy/bound_replay.h"
 #include "obs/trace.h"
 #include "obs/trace_reader.h"
 
 namespace esr {
 
-/// One recertification failure: the engine admitted a charge that pushed a
-/// hierarchy node past its declared limit. On a correct engine this never
-/// happens — the auditor exists to prove that from the trace alone, and to
-/// catch it when a bug (or an injected history) breaks the invariant.
-struct BoundViolation {
-  TxnId txn = 0;
-  ChargeDirection direction = ChargeDirection::kImport;
-  /// Violated hierarchy node (GroupId) and its depth (0 = root).
-  uint64_t group = 0;
-  uint16_t level = 0;
-  /// Interval during which the node sat above its limit: from the
-  /// admitting check that crossed it to the transaction's end (or the
-  /// last trace event when the end was not captured).
-  int64_t ts_begin = 0;
-  int64_t ts_end = 0;
-  /// Replayed accumulation after the offending charge, vs the limit.
-  double accumulated = 0.0;
-  double limit = 0.0;
-};
+struct StreamCertification;
+
+// BoundViolation — the shared recertification-failure record — lives in
+// hierarchy/bound_replay.h alongside the replay core; the streaming
+// certifier (obs/stream_audit.h) reports the same type so the two
+// checkers' outputs can be diffed field for field.
 
 /// One wait edge of the conflict graph: `waiter` blocked on `object`
 /// because `writer` held an uncommitted write.
@@ -111,9 +99,20 @@ AuditReport AuditTrace(const std::vector<TraceEvent>& events,
 void PrintAuditReport(const AuditReport& report, std::ostream& out,
                       size_t top_n = 10);
 
-/// Machine-readable report (one JSON object).
+/// Machine-readable report (one JSON object). When `stream` is given, a
+/// "stream" sub-object carries the streaming certifier's verdict over the
+/// same events (tools/esr_audit runs both and diffs them).
 void WriteAuditJson(const AuditReport& report, std::ostream& out,
-                    size_t top_n = 10);
+                    size_t top_n = 10,
+                    const StreamCertification* stream = nullptr);
+
+/// True when the streaming certifier's verdict agrees with the offline
+/// replay field for field: same walk and charge counts, and the same
+/// violations (txn, direction, group, level, interval, accumulated,
+/// limit). Any disagreement is a certifier bug, not a property of the
+/// trace — the two share BoundWalkReplayer.
+bool StreamMatchesOffline(const AuditReport& report,
+                          const StreamCertification& stream);
 
 }  // namespace esr
 

@@ -39,22 +39,60 @@ void WriteSample(std::ostream& out, const std::string& name,
   out << "\n";
 }
 
+/// One-line # HELP text for a metric family. Families with documented
+/// semantics get specific text; everything else falls back to a generic
+/// per-kind description so every family still carries a HELP line
+/// (text-format convention: HELP precedes TYPE).
+std::string HelpText(const std::string& dotted, const char* kind) {
+  if (dotted == "certified_through_seconds") {
+    return "Streaming-certification watermark: every hierarchical "
+           "inconsistency bound proven to hold through this run time "
+           "(seconds); freezes at the first violation's window.";
+  }
+  if (dotted == "certification_lag_windows") {
+    return "How many certification windows live certification trails the "
+           "latest observed event.";
+  }
+  if (dotted == "headroom.min_frac") {
+    return "Tightest epsilon headroom across all hierarchy nodes: "
+           "min (limit - accumulated) / limit over the sampled windows.";
+  }
+  if (dotted.rfind("headroom.min_frac.", 0) == 0) {
+    return "Tightest epsilon headroom of hierarchy node '" +
+           dotted.substr(std::strlen("headroom.min_frac.")) +
+           "': min (limit - accumulated) / limit over the sampled windows.";
+  }
+  if (std::strcmp(kind, "counter") == 0) {
+    return "Monotonic count of " + dotted + " events.";
+  }
+  if (std::strcmp(kind, "gauge") == 0) {
+    return "Last published value of " + dotted + ".";
+  }
+  return "Distribution of " + dotted + " samples.";
+}
+
+void WriteFamilyHeader(std::ostream& out, const std::string& dotted,
+                       const std::string& prom, const char* kind) {
+  out << "# HELP " << prom << " " << HelpText(dotted, kind) << "\n";
+  out << "# TYPE " << prom << " " << kind << "\n";
+}
+
 }  // namespace
 
 void WritePrometheusText(const MetricRegistry& metrics, std::ostream& out) {
   for (const auto& [name, value] : metrics.CounterSnapshot()) {
     const std::string prom = PrometheusMetricName(name) + "_total";
-    out << "# TYPE " << prom << " counter\n";
+    WriteFamilyHeader(out, name, prom, "counter");
     out << prom << " " << value << "\n";
   }
   for (const auto& [name, value] : metrics.GaugeSnapshot()) {
     const std::string prom = PrometheusMetricName(name);
-    out << "# TYPE " << prom << " gauge\n";
+    WriteFamilyHeader(out, name, prom, "gauge");
     WriteSample(out, prom, "", value);
   }
   for (const auto& [name, hist] : metrics.HistogramSnapshot()) {
     const std::string prom = PrometheusMetricName(name);
-    out << "# TYPE " << prom << " summary\n";
+    WriteFamilyHeader(out, name, prom, "summary");
     const PercentileSummary p = hist.Percentiles();
     WriteSample(out, prom, "{quantile=\"0.5\"}", p.p50);
     WriteSample(out, prom, "{quantile=\"0.9\"}", p.p90);

@@ -30,7 +30,7 @@ constexpr char kCsvMagic[] = "# esr-series v1";
 constexpr char kCsvHeader[] =
     "kind,window,start_s,duration_s,committed,aborted,restarts,active_mpl,"
     "mean_op_latency_ms,node,max_accumulated,min_headroom_frac,limit_at_min,"
-    "charges";
+    "charges,certified_through_s";
 
 /// Node names come from GroupSchema identifiers; a comma would corrupt
 /// the row, so it is replaced rather than quoted (the reader stays a
@@ -60,14 +60,20 @@ void WriteSeriesCsv(const RunSeries& series, std::ostream& out) {
     out << "window," << i << "," << FormatG(w.start_s) << ","
         << FormatG(w.duration_s) << "," << w.committed << "," << w.aborted
         << "," << w.restarts << "," << FormatG(w.active_mpl) << ","
-        << FormatG(w.mean_op_latency_ms) << ",,,,,\n";
+        << FormatG(w.mean_op_latency_ms) << ",,,,,,";
+    // Empty trailing field when certification was off: the reader maps it
+    // back to -1, keeping off-runs byte-stable.
+    if (w.certified_through_s >= 0.0) {
+      out << FormatG(w.certified_through_s);
+    }
+    out << "\n";
     for (size_t n = 0; n < w.nodes.size() && n < series.node_names.size();
          ++n) {
       const SeriesNodeWindow& node = w.nodes[n];
       out << "node," << i << ",,,,,,,," << SafeName(series.node_names[n])
           << "," << FormatG(node.max_accumulated) << ","
           << FormatG(node.min_headroom_frac) << ","
-          << FormatG(node.limit_at_min) << "," << node.charges << "\n";
+          << FormatG(node.limit_at_min) << "," << node.charges << ",\n";
     }
   }
 }
@@ -94,6 +100,7 @@ void WriteSeriesJson(const RunSeries& series, std::ostream& out) {
     w.KV("restarts", win.restarts);
     w.KV("active_mpl", win.active_mpl);
     w.KV("mean_op_latency_ms", win.mean_op_latency_ms);
+    w.KV("certified_through_s", win.certified_through_s);
     w.Key("nodes");
     w.BeginArray();
     for (const SeriesNodeWindow& node : win.nodes) {
@@ -184,8 +191,10 @@ Result<RunSeries> ReadSeriesCsv(std::istream& in) {
     }
     const std::vector<std::string> f = SplitCsv(line);
     if (f[0] == "kind") continue;  // header row
-    if (f.size() != 14) {
-      return BadRow(line_no, "expected 14 fields, got " +
+    // 15 fields since certified_through_s was added; 14 accepted for
+    // series written by older builds (certification reads as off).
+    if (f.size() != 14 && f.size() != 15) {
+      return BadRow(line_no, "expected 14 or 15 fields, got " +
                                  std::to_string(f.size()));
     }
     char* end = nullptr;
@@ -203,6 +212,9 @@ Result<RunSeries> ReadSeriesCsv(std::istream& in) {
       w.restarts = std::strtoll(f[6].c_str(), nullptr, 10);
       w.active_mpl = std::strtod(f[7].c_str(), nullptr);
       w.mean_op_latency_ms = std::strtod(f[8].c_str(), nullptr);
+      if (f.size() == 15 && !f[14].empty()) {
+        w.certified_through_s = std::strtod(f[14].c_str(), nullptr);
+      }
       series.windows.push_back(std::move(w));
     } else if (f[0] == "node") {
       if (idx >= series.windows.size()) {
@@ -320,6 +332,20 @@ SeriesSummary SummarizeSeries(const RunSeries& series) {
     s.nodes.push_back(std::move(node));
   }
   s.negative_headroom = s.headroom_observed && s.tightest_headroom_frac < 0.0;
+
+  for (const SeriesWindow& w : series.windows) {
+    if (w.certified_through_s < 0.0) continue;
+    s.certification_observed = true;
+    s.certified_through_s = w.certified_through_s;  // monotone; last wins
+  }
+  if (s.certification_observed && !series.windows.empty()) {
+    const SeriesWindow& last = series.windows.back();
+    // A healthy watermark reaches the final boundary; stopping more than
+    // one window short means it froze on a violation mid-run.
+    const double final_boundary = last.start_s + last.duration_s;
+    s.certification_froze =
+        s.certified_through_s + series.window_s <= final_boundary;
+  }
   return s;
 }
 
@@ -336,6 +362,11 @@ void WriteSeriesSummaryJson(const SeriesSummary& summary,
   w.KV("steady_mean_op_latency_ms", summary.steady_mean_op_latency_ms);
   w.KV("headroom_observed", summary.headroom_observed);
   w.KV("negative_headroom", summary.negative_headroom);
+  w.KV("certification_observed", summary.certification_observed);
+  if (summary.certification_observed) {
+    w.KV("certified_through_s", summary.certified_through_s);
+    w.KV("certification_froze", summary.certification_froze);
+  }
   if (summary.headroom_observed) {
     w.Key("tightest");
     w.BeginObject();

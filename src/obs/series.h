@@ -44,6 +44,12 @@ struct SeriesWindow {
   double active_mpl = 0.0;
   /// Mean operation round-trip latency over the window, milliseconds.
   double mean_op_latency_ms = 0.0;
+  /// Streaming-certification watermark at this window's boundary, in
+  /// virtual seconds (see obs/stream_audit.h): every hierarchical bound
+  /// proven to hold through this time. -1 when certification was off for
+  /// the run. Monotone across windows; it stops advancing (freezes) at
+  /// the first violation's window.
+  double certified_through_s = -1.0;
   /// Indexed like RunSeries::node_names; empty when headroom probes were
   /// off (no tracker, or an ESR_TRACE_DISABLED build).
   std::vector<SeriesNodeWindow> nodes;
@@ -73,9 +79,10 @@ struct RunSeries {
 ///   # esr-series v1 window_s=<w> source=<escaped>
 ///   kind,window,start_s,duration_s,committed,aborted,restarts,active_mpl,
 ///       mean_op_latency_ms,node,max_accumulated,min_headroom_frac,
-///       limit_at_min,charges
+///       limit_at_min,charges,certified_through_s
 /// Mirrors the metrics CSV's leading `kind` discriminator so both load
-/// with the same one-liner.
+/// with the same one-liner. The reader also accepts the pre-certification
+/// 14-field layout (certified_through_s reads as -1 / off).
 void WriteSeriesCsv(const RunSeries& series, std::ostream& out);
 
 /// JSON mirror of the CSV (same field names), nested:
@@ -136,6 +143,15 @@ struct SeriesSummary {
   /// Any window saw accumulated > limit — a bound violation the engine
   /// should have prevented; tools/esr_series exits 2 on this.
   bool negative_headroom = false;
+  /// Streaming certification rode along with the series (any window's
+  /// certified_through_s >= 0).
+  bool certification_observed = false;
+  /// Final watermark (the last window's reading; the watermark is
+  /// monotone, so also the run maximum).
+  double certified_through_s = 0.0;
+  /// The watermark stopped short of the last window boundary — a
+  /// violation froze it mid-run.
+  bool certification_froze = false;
   std::vector<SeriesNodeSummary> nodes;
 };
 

@@ -34,6 +34,8 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "FlowBegin";
     case TraceEventType::kFlowEnd:
       return "FlowEnd";
+    case TraceEventType::kViolation:
+      return "Violation";
   }
   return "?";
 }
@@ -162,6 +164,21 @@ TraceEvent TraceEvent::Flow(TraceEventType type, uint64_t flow, TxnId txn,
   return e;
 }
 
+TraceEvent TraceEvent::Violation(TxnId txn, SiteId site, uint16_t level,
+                                 uint64_t group, double accumulated,
+                                 double limit, int direction) {
+  TraceEvent e;
+  e.type = TraceEventType::kViolation;
+  e.detail = static_cast<uint8_t>((direction & 1) << 1);
+  e.level = level;
+  e.site = site;
+  e.txn = txn;
+  e.target = group;
+  e.charged = accumulated;
+  e.limit = limit;
+  return e;
+}
+
 TraceRecorder::TraceRecorder(size_t capacity)
     : ring_(capacity > 0 ? capacity : 1) {}
 
@@ -180,6 +197,17 @@ void TraceRecorder::SetTimeSource(TimeSourceFn fn, void* ctx) {
   time_fn_.store(fn, std::memory_order_release);
 }
 
+void TraceRecorder::SetObserver(ObserverFn fn, void* ctx) {
+  observer_ctx_.store(ctx, std::memory_order_release);
+  observer_fn_.store(fn, std::memory_order_release);
+}
+
+namespace {
+/// True while this thread is inside an observer callback: events the
+/// observer records still land in the ring, but are not re-delivered.
+thread_local bool t_in_observer = false;
+}  // namespace
+
 void TraceRecorder::Record(TraceEvent event) {
   event.ts_micros = NowMicros();
   // Instants recorded inside a span inherit it, so the auditor can tie a
@@ -193,6 +221,12 @@ void TraceRecorder::Record(TraceEvent event) {
   }
   const uint64_t slot = next_.fetch_add(1, std::memory_order_relaxed);
   ring_[slot % ring_.size()] = event;
+  const ObserverFn observer = observer_fn_.load(std::memory_order_acquire);
+  if (observer != nullptr && !t_in_observer) {
+    t_in_observer = true;
+    observer(observer_ctx_.load(std::memory_order_acquire), event);
+    t_in_observer = false;
+  }
 }
 
 size_t TraceRecorder::size() const {
@@ -238,8 +272,9 @@ void WriteDouble(std::ostream& out, double value) {
 
 }  // namespace
 
-void TraceRecorder::ExportChromeTrace(std::ostream& out) const {
-  const std::vector<TraceEvent> events = Snapshot();
+void WriteChromeTraceEvents(const std::vector<TraceEvent>& events,
+                            std::ostream& out, uint64_t recorded,
+                            uint64_t dropped, size_t capacity) {
   out << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& e : events) {
@@ -301,24 +336,33 @@ void TraceRecorder::ExportChromeTrace(std::ostream& out) const {
       out << ",\"writer\":" << e.parent;
     }
     if (e.type == TraceEventType::kBoundCheck ||
-        e.type == TraceEventType::kImportCharge) {
+        e.type == TraceEventType::kImportCharge ||
+        e.type == TraceEventType::kViolation) {
       out << ",\"charged\":";
       WriteDouble(out, e.charged);
     }
-    if (e.type == TraceEventType::kBoundCheck) {
+    if (e.type == TraceEventType::kBoundCheck ||
+        e.type == TraceEventType::kViolation) {
       // Infinity is not valid JSON; clamp unbounded limits to a sentinel.
       out << ",\"limit\":";
       WriteDouble(out, e.limit == kUnbounded ? -1.0 : e.limit);
       // detail bit 0 = admitted, bit 1 = accumulator direction.
+      out << ",\"dir\":\"" << ((e.detail & 2) != 0 ? "export" : "import")
+          << "\"";
+    }
+    if (e.type == TraceEventType::kBoundCheck) {
       out << ",\"outcome\":\"" << ((e.detail & 1) != 0 ? "admit" : "reject")
-          << "\",\"dir\":\"" << ((e.detail & 2) != 0 ? "export" : "import")
           << "\"";
     }
     out << "}}";
   }
   out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
-      << "\"recorded\":" << recorded() << ",\"dropped\":" << dropped()
-      << ",\"capacity\":" << capacity() << "}}\n";
+      << "\"recorded\":" << recorded << ",\"dropped\":" << dropped
+      << ",\"capacity\":" << capacity << "}}\n";
+}
+
+void TraceRecorder::ExportChromeTrace(std::ostream& out) const {
+  WriteChromeTraceEvents(Snapshot(), out, recorded(), dropped(), capacity());
 }
 
 Status TraceRecorder::ExportChromeTraceToFile(const std::string& path) const {

@@ -40,6 +40,11 @@ enum class TraceEventType : uint8_t {
   /// Flow-arrow target at the blocking writer's commit/abort (`span` =
   /// the writer's own TxnId). Exported as Chrome "f".
   kFlowEnd,
+  /// The streaming certifier caught an admitted charge past its declared
+  /// bound (`target` = violated GroupId, `charged` = replayed
+  /// accumulation, `limit` = the crossed limit, detail bit 1 = direction
+  /// as in kBoundCheck). Emitted *by* the certifier, ignored by replay.
+  kViolation,
 };
 
 const char* TraceEventTypeToString(TraceEventType type);
@@ -124,6 +129,10 @@ struct TraceEvent {
   /// blocking writer's TxnId by convention).
   static TraceEvent Flow(TraceEventType type, uint64_t flow, TxnId txn,
                          SiteId site);
+  /// Certifier-detected bound violation marker (see kViolation).
+  static TraceEvent Violation(TxnId txn, SiteId site, uint16_t level,
+                              uint64_t group, double accumulated,
+                              double limit, int direction);
 };
 
 /// Stamps an explicit enclosing span on an instant event (used where the
@@ -180,6 +189,17 @@ class TraceRecorder {
   void SetTimeSource(TimeSourceFn fn, void* ctx);
   void ClearTimeSource() { SetTimeSource(nullptr, nullptr); }
 
+  /// Subscribes an observer that Record invokes synchronously with every
+  /// stamped event, after it is stored in the ring — the streaming
+  /// certifier's feed. At most one observer; `fn(ctx, event)` must stay
+  /// valid until ClearObserver() and must be cheap (it runs on the
+  /// recording thread, under whatever concurrency the recorder sees).
+  /// Events the observer itself records are delivered to the ring but not
+  /// back to the observer, so it can emit markers without recursing.
+  using ObserverFn = void (*)(void* ctx, const TraceEvent& event);
+  void SetObserver(ObserverFn fn, void* ctx);
+  void ClearObserver() { SetObserver(nullptr, nullptr); }
+
   size_t capacity() const { return ring_.size(); }
   /// Events currently retained (<= capacity).
   size_t size() const;
@@ -224,8 +244,18 @@ class TraceRecorder {
   std::atomic<uint64_t> next_span_id_{1};
   std::atomic<TimeSourceFn> time_fn_{nullptr};
   std::atomic<void*> time_ctx_{nullptr};
+  std::atomic<ObserverFn> observer_fn_{nullptr};
+  std::atomic<void*> observer_ctx_{nullptr};
   std::vector<TraceEvent> ring_;
 };
+
+/// Writes an arbitrary event sequence in the Chrome trace JSON format
+/// TraceRecorder::ExportChromeTrace emits — used to persist perturbed and
+/// minimized schedules that never lived in a recorder. The counters fill
+/// the "otherData" metadata block.
+void WriteChromeTraceEvents(const std::vector<TraceEvent>& events,
+                            std::ostream& out, uint64_t recorded,
+                            uint64_t dropped, size_t capacity);
 
 /// The process-wide recorder the ESR_TRACE_EVENT probes feed. Disabled by
 /// default; tests, examples, and the bench/threaded-server flags enable it
@@ -347,6 +377,19 @@ class ScopedSpanParent {
 
  private:
   bool active_;
+};
+
+/// RAII subscription of an observer (e.g. a StreamCertifier) to the
+/// global recorder, cleared on scope exit.
+class ScopedTraceObserver {
+ public:
+  ScopedTraceObserver(TraceRecorder::ObserverFn fn, void* ctx) {
+    GlobalTrace().SetObserver(fn, ctx);
+  }
+  ~ScopedTraceObserver() { GlobalTrace().ClearObserver(); }
+
+  ScopedTraceObserver(const ScopedTraceObserver&) = delete;
+  ScopedTraceObserver& operator=(const ScopedTraceObserver&) = delete;
 };
 
 /// RAII redirect of the global recorder's clock — e.g. to a simulator's

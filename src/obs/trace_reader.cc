@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.h"
 #include "obs/json_value.h"
 
 namespace esr {
@@ -19,6 +20,7 @@ bool NameToInstantType(const std::string& name, TraceEventType* out) {
   else if (name == "BoundCheck") *out = TraceEventType::kBoundCheck;
   else if (name == "ImportCharge") *out = TraceEventType::kImportCharge;
   else if (name == "Wait") *out = TraceEventType::kWait;
+  else if (name == "Violation") *out = TraceEventType::kViolation;
   else return false;
   return true;
 }
@@ -91,13 +93,57 @@ bool DecodeEvent(const JsonValue& obj, TraceEvent* e) {
     if (e->type == TraceEventType::kWait) {
       e->parent = U64Or(*args, "writer", 0);
     }
-    if (e->type == TraceEventType::kBoundCheck) {
+    if (e->type == TraceEventType::kBoundCheck ||
+        e->type == TraceEventType::kViolation) {
       const double limit = args->NumberOr("limit", -1.0);
       // The exporter clamps unbounded limits to -1 (inf is not JSON).
       e->limit = limit < 0 ? kUnbounded : limit;
     }
   }
   return true;
+}
+
+// Recovers events from a capture file cut mid-write. The exporter emits
+// one event object per line (prefixed by two spaces, comma-separated), so
+// the contiguous prefix is recoverable by parsing line-wise and stopping
+// at the first unparsable event after at least one success. Returns the
+// number of events salvaged (0 = nothing recognizable; keep the original
+// parse error).
+size_t SalvageTruncatedTrace(const std::string& json,
+                             std::vector<TraceEvent>* out) {
+  out->clear();
+  size_t pos = 0;
+  bool parsed_any = false;
+  while (pos < json.size()) {
+    size_t eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    size_t begin = pos;
+    size_t end = eol;
+    pos = eol + 1;
+    while (begin < end && (json[begin] == ' ' || json[begin] == '\t')) {
+      ++begin;
+    }
+    while (end > begin &&
+           (json[end - 1] == ',' || json[end - 1] == ' ' ||
+            json[end - 1] == '\r')) {
+      --end;
+    }
+    if (begin >= end || json[begin] != '{') continue;
+    JsonValue obj;
+    std::string error;
+    if (!ParseJson(json.substr(begin, end - begin), &obj, &error) ||
+        !obj.is_object()) {
+      // Lines before the first event (the {"traceEvents":[ header) are
+      // not standalone objects; skip them. After events started parsing,
+      // the first bad line is the truncation point.
+      if (parsed_any) break;
+      continue;
+    }
+    parsed_any = true;
+    TraceEvent e;
+    if (DecodeEvent(obj, &e)) out->push_back(e);
+  }
+  return out->size();
 }
 
 }  // namespace
@@ -107,7 +153,20 @@ Status ReadChromeTrace(const std::string& json, std::vector<TraceEvent>* out,
   JsonValue root;
   std::string error;
   if (!ParseJson(json, &root, &error)) {
-    return Status::InvalidArgument("malformed trace JSON: " + error);
+    const size_t salvaged = SalvageTruncatedTrace(json, out);
+    if (salvaged == 0) {
+      return Status::InvalidArgument("malformed trace JSON: " + error);
+    }
+    ESR_LOG(kWarning) << "trace JSON is truncated (" << error
+                      << "); salvaged the contiguous prefix of " << salvaged
+                      << " event(s) — stats and certification cover that "
+                         "prefix only";
+    if (metadata != nullptr) {
+      *metadata = TraceMetadata{};
+      metadata->truncated = true;
+      metadata->recorded = salvaged;
+    }
+    return Status::OK();
   }
   const JsonValue* events = nullptr;
   if (root.is_array()) {
@@ -133,6 +192,14 @@ Status ReadChromeTrace(const std::string& json, std::vector<TraceEvent>* out,
     if (!obj.is_object()) continue;
     TraceEvent e;
     if (DecodeEvent(obj, &e)) out->push_back(e);
+  }
+  if (metadata != nullptr && metadata->dropped > 0) {
+    ESR_LOG(kWarning) << "trace capture lost " << metadata->dropped
+                      << " event(s) to ring wraparound; certification "
+                         "replays the retained "
+                      << out->size()
+                      << "-event suffix (sound — lost charges only "
+                         "under-count accumulation)";
   }
   return Status::OK();
 }

@@ -14,6 +14,10 @@ struct TraceMetadata {
   uint64_t recorded = 0;
   uint64_t dropped = 0;
   uint64_t capacity = 0;
+  /// The capture file itself was cut short (process died mid-write) and
+  /// only the contiguous prefix of event lines could be salvaged. Distinct
+  /// from `dropped`, which counts ring-wraparound loss at record time.
+  bool truncated = false;
 };
 
 /// Parses a Chrome trace-event JSON document produced by
@@ -22,6 +26,13 @@ struct TraceMetadata {
 /// object form ({"traceEvents":[...]}) and a bare event array. Unknown
 /// event names and phases are skipped, not errors, so traces from newer
 /// writers still load.
+///
+/// Lossy captures degrade instead of failing: a file cut mid-write is
+/// salvaged line by line up to the truncation point (the exporter writes
+/// one event per line) with `metadata->truncated` set, and ring-wraparound
+/// loss (`dropped > 0` in otherData) is reported with a warning log — in
+/// both cases the caller gets the contiguous portion and certification
+/// stays sound, since lost charges can only under-count accumulation.
 Status ReadChromeTrace(const std::string& json, std::vector<TraceEvent>* out,
                        TraceMetadata* metadata = nullptr);
 

@@ -93,6 +93,35 @@ SimResult Cluster::Run() {
     // coherent trace.
     if (GlobalTrace().enabled()) GlobalTrace().Reset();
   }
+  // Streaming certification subscribes to the recorder for this run: the
+  // certifier sees every probe event as it is recorded and recertifies
+  // the bound walks window by window, in lockstep with the sampler.
+  std::optional<ScopedTraceObserver> observer;
+  bool enabled_trace_for_certify = false;
+  if (options_.certify && options_.owns_trace && GlobalTraceEnabled()) {
+    // Tracing already on (e.g. --trace is also capturing): just attach.
+  } else if (options_.certify && options_.owns_trace) {
+#ifndef ESR_TRACE_DISABLED
+    GlobalTrace().set_enabled(true);
+    GlobalTrace().Reset();
+    enabled_trace_for_certify = true;
+#else
+    ESR_LOG(kWarning) << "streaming certification skipped: tracing is "
+                         "compiled out (ESR_DISABLE_TRACING)";
+#endif
+  } else if (options_.certify) {
+    ESR_LOG(kWarning) << "streaming certification skipped: run does not "
+                         "own the trace recorder (parallel worker pool)";
+  }
+  if (options_.certify && options_.owns_trace && GlobalTraceEnabled()) {
+    StreamCertifierOptions certifier_options;
+    certifier_options.window_s = options_.series_window_s;
+    certifier_options.source = options_.series_source;
+    certifier_options.emit_trace_events = true;
+    certifier_ = std::make_unique<StreamCertifier>(certifier_options);
+    observer.emplace(&StreamCertifier::ObserveTrampoline, certifier_.get());
+    if (sampler_ != nullptr) sampler_->set_certifier(certifier_.get());
+  }
   // Stagger client start-up slightly so sites do not run in lockstep.
   for (size_t i = 0; i < clients_.size(); ++i) {
     clients_[i]->Start(static_cast<SimTime>(i) * 3 * kMicrosPerMilli);
@@ -139,6 +168,12 @@ SimResult Cluster::Run() {
     result.latency_ms.Merge(clients_[i]->latency_histogram());
   }
   if (sampler_ != nullptr) result.series = sampler_->TakeSeries();
+  if (certifier_ != nullptr) {
+    certifier_->AdvanceTo(static_cast<int64_t>(queue_.now()));
+    result.certification = certifier_->Snapshot();
+    if (sampler_ != nullptr) sampler_->set_certifier(nullptr);
+  }
+  if (enabled_trace_for_certify) GlobalTrace().set_enabled(false);
   return result;
 }
 

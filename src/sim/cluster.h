@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "obs/series.h"
+#include "obs/stream_audit.h"
 #include "sim/client.h"
 #include "sim/series_sampler.h"
 #include "sim/event_queue.h"
@@ -50,6 +51,14 @@ struct ClusterOptions {
   double series_window_s = 1.0;
   /// Provenance string recorded in the exported series.
   std::string series_source;
+  /// Online streaming certification (obs/stream_audit.h): Run() enables
+  /// trace capture, subscribes a StreamCertifier to the recorder, aligns
+  /// its windows with `series_window_s`, and fills
+  /// SimResult::certification. Requires owns_trace — worker-pool runs may
+  /// never touch the shared recorder — and a build with tracing compiled
+  /// in; otherwise certification is skipped with a warning. Purely
+  /// observational: workload results are identical either way.
+  bool certify = false;
 };
 
 /// Aggregated outcome of a run over the measurement window — the
@@ -75,6 +84,9 @@ struct SimResult {
   /// Per-window telemetry series (empty unless
   /// ClusterOptions::collect_series was set).
   RunSeries series;
+  /// Streaming certification verdict (enabled == false unless
+  /// ClusterOptions::certify ran).
+  StreamCertification certification;
 
   /// Committed transactions per virtual second.
   double throughput() const {
@@ -134,6 +146,9 @@ class Cluster {
   /// member rather than a Run() local because active transactions hold
   /// probe pointers into its tracker for the cluster's lifetime.
   std::unique_ptr<SeriesSampler> sampler_;
+  /// Streaming certifier (nullptr unless options_.certify); subscribed to
+  /// the global recorder for the duration of Run().
+  std::unique_ptr<StreamCertifier> certifier_;
 };
 
 /// Convenience: configure-and-run in one call.

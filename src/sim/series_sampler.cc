@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/stream_audit.h"
 
 namespace esr {
 
@@ -71,6 +72,14 @@ void SeriesSampler::Sample(size_t window_index) {
     w.nodes[g].charges = s.charges;
   }
   tracker_.StartWindow();
+
+  if (certifier_ != nullptr) {
+    // The boundary itself is observed time: this closes window
+    // `window_index` even when its tail carried no events, so a healthy
+    // run reads certified_through == the boundary with zero lag.
+    certifier_->AdvanceTo(static_cast<int64_t>(queue_->now()));
+    w.certified_through_s = certifier_->certified_through_s();
+  }
 
   series_.windows.push_back(std::move(w));
   prev_ = now;

@@ -11,6 +11,8 @@
 
 namespace esr {
 
+class StreamCertifier;
+
 struct SeriesSamplerOptions {
   /// Virtual-time window length; the fixed ~1 s telemetry grain.
   double window_s = 1.0;
@@ -77,6 +79,12 @@ class SeriesSampler {
   /// reached stay absent: the series length reflects simulated time.
   RunSeries TakeSeries();
 
+  /// Aligns a streaming certifier with the telemetry windows: at each
+  /// boundary the sampler advances the certifier's watermark to virtual
+  /// now and stamps its certified-through gauge into the window. Call
+  /// before ScheduleWindows; nullptr detaches.
+  void set_certifier(StreamCertifier* certifier) { certifier_ = certifier; }
+
  private:
   void Sample(size_t window_index);
 
@@ -84,6 +92,7 @@ class SeriesSampler {
   Server* server_;
   CumulativeFn cumulative_;
   SeriesSamplerOptions options_;
+  StreamCertifier* certifier_ = nullptr;
   NodeHeadroomTracker tracker_;
   Cumulative prev_;
   double prev_time_s_ = 0.0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/series.h"
+#include "obs/trace.h"
 
 namespace esr {
 namespace bench {
@@ -229,6 +230,78 @@ TEST(SweepTest, SeriesExportIsByteIdenticalAcrossJobs) {
   EXPECT_FALSE(series->windows.empty());
   EXPECT_NE(series->source.find("harness_test"), std::string::npos);
 }
+
+TEST(CertifyFromArgsTest, FlagOrEnvironmentEnables) {
+  Argv with_flag({"bin", "--certify"});
+  EXPECT_TRUE(CertifyFromArgs(with_flag.argc(), with_flag.argv()));
+  Argv no_flag({"bin"});
+  EXPECT_FALSE(CertifyFromArgs(no_flag.argc(), no_flag.argv()));
+  ::setenv("ESR_BENCH_CERTIFY", "1", /*overwrite=*/1);
+  EXPECT_TRUE(CertifyFromArgs(no_flag.argc(), no_flag.argv()));
+  ::setenv("ESR_BENCH_CERTIFY", "0", /*overwrite=*/1);
+  EXPECT_FALSE(CertifyFromArgs(no_flag.argc(), no_flag.argv()));
+  ::unsetenv("ESR_BENCH_CERTIFY");
+}
+
+#ifndef ESR_TRACE_DISABLED
+TEST(SweepTest, CertifyRidesAlongIdenticallyAcrossJobs) {
+  const RunScale scale = TinyScale();
+  struct Outcome {
+    std::string report;
+    std::string series;
+    StreamCertification certification;
+  };
+  const auto run_with_jobs = [&](int jobs, const std::string& path) {
+    Sweep sweep(scale, jobs);
+    for (int mpl = 1; mpl <= 3; ++mpl) {
+      sweep.Add(BaseOptions(EpsilonLevel::kHigh, mpl, scale));
+    }
+    sweep.set_auto_warmup(false);
+    sweep.set_series_export(path, "harness_test");
+    sweep.set_certify(true);
+    sweep.Run();
+    Outcome out;
+    out.report = ReportJson(sweep, scale, 3);
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    out.series = text.str();
+    out.certification = sweep.certification();
+    return out;
+  };
+  const Outcome serial =
+      run_with_jobs(1, ::testing::TempDir() + "/certify_serial.csv");
+  const Outcome parallel =
+      run_with_jobs(8, ::testing::TempDir() + "/certify_parallel.csv");
+  GlobalTrace().Reset();
+
+  // Certification rode on the same (last) run either way, so the figure
+  // output — report and series alike — stays byte-identical, and both
+  // certifier passes saw the identical event stream.
+  EXPECT_FALSE(serial.report.empty());
+  EXPECT_EQ(serial.report, parallel.report);
+  EXPECT_FALSE(serial.series.empty());
+  EXPECT_EQ(serial.series, parallel.series);
+  ASSERT_TRUE(serial.certification.enabled);
+  ASSERT_TRUE(parallel.certification.enabled);
+  EXPECT_TRUE(serial.certification.certified());
+  EXPECT_GT(serial.certification.walks_replayed, 0u);
+  EXPECT_EQ(serial.certification.walks_replayed,
+            parallel.certification.walks_replayed);
+  EXPECT_EQ(serial.certification.events_observed,
+            parallel.certification.events_observed);
+  EXPECT_EQ(serial.certification.certified_through_s,
+            parallel.certification.certified_through_s);
+
+  // The certified series file carries the watermark column.
+  Result<RunSeries> series = ReadSeriesCsvFile(
+      ::testing::TempDir() + "/certify_serial.csv");
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_FALSE(series->windows.empty());
+  EXPECT_GE(series->windows.back().certified_through_s, 0.0);
+}
+#endif  // ESR_TRACE_DISABLED
 
 TEST(RunScaleTest, FromEnvAppliesThePresets) {
   ::unsetenv("ESR_BENCH_FULL");

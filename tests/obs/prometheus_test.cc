@@ -42,6 +42,61 @@ TEST(PrometheusTextTest, WritesCountersWithTypeAndTotalSuffix) {
       << text;
 }
 
+TEST(PrometheusTextTest, EveryFamilyCarriesHelpBeforeType) {
+  MetricRegistry reg;
+  reg.counter("txn.commit").Increment();
+  reg.gauge("certified_through_seconds").Set(12.0);
+  reg.gauge("certification_lag_windows").Set(0.0);
+  reg.gauge("headroom.min_frac").Set(0.4);
+  reg.gauge("headroom.min_frac.branch_0").Set(0.4);
+  reg.histogram("latency").Record(1.0);
+
+  std::ostringstream out;
+  WritePrometheusText(reg, out);
+  const std::string text = out.str();
+
+  // Generic per-kind fallbacks.
+  EXPECT_NE(text.find("# HELP esr_txn_commit_total Monotonic count of "
+                      "txn.commit events.\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP esr_latency Distribution of latency "
+                      "samples.\n"),
+            std::string::npos)
+      << text;
+  // Documented families get specific help text.
+  EXPECT_NE(text.find("# HELP esr_certified_through_seconds "
+                      "Streaming-certification watermark"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP esr_certification_lag_windows "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP esr_headroom_min_frac Tightest epsilon "
+                      "headroom across all hierarchy nodes"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP esr_headroom_min_frac_branch_0 Tightest "
+                      "epsilon headroom of hierarchy node 'branch_0'"),
+            std::string::npos)
+      << text;
+
+  // HELP precedes TYPE for every family (text-format convention).
+  size_t pos = 0;
+  int families = 0;
+  while ((pos = text.find("# TYPE ", pos)) != std::string::npos) {
+    const size_t name_start = pos + std::strlen("# TYPE ");
+    const size_t name_end = text.find(' ', name_start);
+    const std::string family = text.substr(name_start, name_end - name_start);
+    const size_t help = text.find("# HELP " + family + " ");
+    EXPECT_NE(help, std::string::npos) << family << " has no HELP:\n" << text;
+    EXPECT_LT(help, pos) << family << " HELP must precede TYPE:\n" << text;
+    ++families;
+    pos = name_end;
+  }
+  EXPECT_EQ(families, 6) << text;
+}
+
 TEST(PrometheusTextTest, WritesHistogramsAsSummaries) {
   MetricRegistry reg;
   for (int i = 1; i <= 4; ++i) {

@@ -68,6 +68,43 @@ TEST(SeriesCsvTest, CommasInNamesAreEscapedNotQuoted) {
   EXPECT_EQ(back.node_names[0], "a_b");
 }
 
+TEST(SeriesCsvTest, CertifiedWatermarkColumnRoundTrips) {
+  RunSeries series;
+  series.source = "certify";
+  series.window_s = 1.0;
+  for (int i = 0; i < 3; ++i) {
+    SeriesWindow w;
+    w.start_s = static_cast<double>(i);
+    w.duration_s = 1.0;
+    w.committed = 5;
+    w.certified_through_s = static_cast<double>(i + 1);
+    series.windows.push_back(w);
+  }
+  // A violation froze the watermark in the last window.
+  series.windows[2].certified_through_s = 2.0;
+
+  const RunSeries back = RoundTrip(series);
+  ASSERT_EQ(back.windows.size(), 3u);
+  EXPECT_EQ(back.windows[0].certified_through_s, 1.0);
+  EXPECT_EQ(back.windows[1].certified_through_s, 2.0);
+  EXPECT_EQ(back.windows[2].certified_through_s, 2.0);
+}
+
+TEST(SeriesCsvTest, LegacyFourteenFieldRowsReadAsCertificationOff) {
+  const std::string magic = "# esr-series v1 window_s=1\n";
+  // Pre-certification 14-field layout, and the 15-field layout with an
+  // empty watermark cell: both read as "certification off" (-1).
+  for (const char* row : {"window,0,0,1,5,0,0,1,2,,,,,\n",
+                          "window,0,0,1,5,0,0,1,2,,,,,,\n"}) {
+    std::istringstream in(magic + row);
+    Result<RunSeries> read = ReadSeriesCsv(in);
+    ASSERT_TRUE(read.ok()) << row << read.status().ToString();
+    const RunSeries series = *std::move(read);
+    ASSERT_EQ(series.windows.size(), 1u) << row;
+    EXPECT_EQ(series.windows[0].certified_through_s, -1.0) << row;
+  }
+}
+
 TEST(SeriesCsvTest, ReaderRejectsMalformedInput) {
   const auto read = [](const std::string& text) {
     std::istringstream in(text);

@@ -1,0 +1,508 @@
+// Streaming consistency certification: the online certifier against the
+// offline auditor on histories with known verdicts, watermark/lag
+// semantics, lossy-capture degradation, recorder observer delivery,
+// whole-cluster online==offline equivalence across seeds, and the
+// schedule-perturbation violation hunt.
+
+#include "obs/stream_audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+#include "esr/limits.h"
+#include "obs/audit.h"
+#include "obs/trace.h"
+#include "obs/trace_reader.h"
+#include "sim/cluster.h"
+
+namespace esr {
+namespace {
+
+// Event-stream builder with explicit timestamps (the certifier only looks
+// at what the events say, never at wall time).
+class History {
+ public:
+  void At(int64_t ts, TraceEvent e) {
+    e.ts_micros = ts;
+    events_.push_back(e);
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// One bottom-up import walk: group node (level 1), then the transaction
+// root (level 0), both admitted.
+void ImportWalk(History* h, int64_t ts, TxnId txn, SiteId site,
+                uint64_t group, double charge, double group_limit,
+                double til) {
+  h->At(ts, TraceEvent::BoundCheck(txn, site, /*level=*/1, group, charge,
+                                   group_limit, /*admitted=*/true));
+  h->At(ts + 1, TraceEvent::BoundCheck(txn, site, /*level=*/0, /*group=*/0,
+                                       charge, til, /*admitted=*/true));
+}
+
+// The esr_audit --demo-violation history: a buggy engine admits 30 then
+// 40 against group 5 (limit 50), so the second walk leaves the node at 70
+// while the root check (limit 100) stays honest.
+std::vector<TraceEvent> DemoViolationHistory() {
+  History h;
+  h.At(1000, TraceEvent::BeginTxn(7, TxnType::kQuery, 1));
+  ImportWalk(&h, 1011, 7, 1, /*group=*/5, 30.0, /*group_limit=*/50.0,
+             /*til=*/100.0);
+  ImportWalk(&h, 1021, 7, 1, 5, 40.0, 50.0, 100.0);
+  h.At(1100, TraceEvent::CommitTxn(7, 1));
+  return h.events();
+}
+
+// A clean two-site history: every admitted charge stays within bounds.
+std::vector<TraceEvent> CleanTwoSiteHistory() {
+  History h;
+  h.At(100, TraceEvent::BeginTxn(1, TxnType::kQuery, 1));
+  h.At(150, TraceEvent::BeginTxn(2, TxnType::kQuery, 2));
+  ImportWalk(&h, 200, 1, 1, /*group=*/3, 10.0, 50.0, 100.0);
+  ImportWalk(&h, 250, 2, 2, 3, 15.0, 50.0, 100.0);
+  ImportWalk(&h, 300, 1, 1, 3, 20.0, 50.0, 100.0);
+  ImportWalk(&h, 350, 2, 2, 4, 30.0, 50.0, 100.0);
+  h.At(400, TraceEvent::CommitTxn(1, 1));
+  h.At(450, TraceEvent::CommitTxn(2, 2));
+  return h.events();
+}
+
+StreamCertification StreamOver(const std::vector<TraceEvent>& events,
+                               double window_s = 1.0) {
+  StreamCertifierOptions options;
+  options.window_s = window_s;
+  options.log_violations = false;
+  StreamCertifier certifier(options);
+  for (const TraceEvent& e : events) certifier.Observe(e);
+  return certifier.Snapshot();
+}
+
+TEST(StreamCertifierTest, DemoHistoryOnlineMatchesOffline) {
+  const std::vector<TraceEvent> events = DemoViolationHistory();
+  const AuditReport offline = AuditTrace(events);
+  ASSERT_EQ(offline.violations.size(), 1u);
+
+  StreamCertifierOptions options;
+  options.log_violations = false;
+  StreamCertifier certifier(options);
+  for (const TraceEvent& e : events) certifier.Observe(e);
+  const StreamCertification stream = certifier.Snapshot();
+
+  EXPECT_TRUE(stream.enabled);
+  EXPECT_FALSE(stream.certified());
+  EXPECT_TRUE(StreamMatchesOffline(offline, stream));
+  const BoundViolation& v = stream.violations.front();
+  EXPECT_EQ(v.txn, 7u);
+  EXPECT_EQ(v.group, 5u);
+  EXPECT_EQ(v.level, 1u);
+  EXPECT_EQ(v.ts_begin, 1021);
+  EXPECT_EQ(v.ts_end, 1100);  // resolved at the commit event, like offline
+  EXPECT_DOUBLE_EQ(v.accumulated, 70.0);
+  EXPECT_DOUBLE_EQ(v.limit, 50.0);
+  ASSERT_EQ(stream.blamed_writers.size(), 1u);
+  EXPECT_TRUE(stream.blamed_writers.front().empty());  // no waits captured
+}
+
+TEST(StreamCertifierTest, WatermarkFreezesAtViolationWindow) {
+  StreamCertifierOptions options;
+  options.log_violations = false;
+  StreamCertifier certifier(options);
+  for (const TraceEvent& e : DemoViolationHistory()) certifier.Observe(e);
+
+  // The violation landed in window [0s, 1s): the watermark freezes at its
+  // left edge and never advances past it, however far time runs on.
+  certifier.AdvanceTo(5'000'000);
+  EXPECT_DOUBLE_EQ(certifier.certified_through_s(), 0.0);
+  EXPECT_DOUBLE_EQ(certifier.lag_windows(), 5.0);
+  EXPECT_FALSE(certifier.certified());
+  EXPECT_EQ(certifier.violation_count(), 1u);
+
+  const StreamCertification snap = certifier.Snapshot();
+  EXPECT_EQ(snap.windows_closed, 5u);
+  EXPECT_DOUBLE_EQ(snap.certified_through_s, 0.0);
+  // The violated node is frozen; the (honest) root node is not.
+  bool saw_group = false, saw_root = false;
+  for (const NodeCertification& node : snap.nodes) {
+    if (node.group == 5) {
+      saw_group = true;
+      EXPECT_TRUE(node.violated);
+      EXPECT_DOUBLE_EQ(node.certified_through_s, 0.0);
+    }
+    if (node.group == 0) {
+      saw_root = true;
+      EXPECT_FALSE(node.violated);
+      EXPECT_DOUBLE_EQ(node.certified_through_s, 5.0);
+    }
+  }
+  EXPECT_TRUE(saw_group);
+  EXPECT_TRUE(saw_root);
+}
+
+TEST(StreamCertifierTest, WatermarkTracksClosedWindowsOnCleanStream) {
+  StreamCertifierOptions options;
+  options.log_violations = false;
+  StreamCertifier certifier(options);
+  // Mid-window: nothing closed yet.
+  certifier.AdvanceTo(400'000);
+  EXPECT_DOUBLE_EQ(certifier.certified_through_s(), 0.0);
+  EXPECT_NEAR(certifier.lag_windows(), 0.4, 1e-9);
+  // Heartbeats close windows even without events.
+  certifier.AdvanceTo(2'500'000);
+  EXPECT_DOUBLE_EQ(certifier.certified_through_s(), 2.0);
+  EXPECT_NEAR(certifier.lag_windows(), 0.5, 1e-9);
+  // Time never runs backwards.
+  certifier.AdvanceTo(1'000'000);
+  EXPECT_DOUBLE_EQ(certifier.certified_through_s(), 2.0);
+}
+
+TEST(StreamCertifierTest, LostPrefixCeilsCertifiedFrom) {
+  StreamCertifierOptions options;
+  options.log_violations = false;
+  StreamCertifier certifier(options);
+  certifier.NoteLostPrefix(/*lost_events=*/137,
+                           /*first_retained_ts=*/1'500'000);
+  certifier.AdvanceTo(4'000'000);
+  const StreamCertification snap = certifier.Snapshot();
+  // Window [1s, 2s) was only partially observed: vouch from 2s on.
+  EXPECT_DOUBLE_EQ(snap.certified_from_s, 2.0);
+  EXPECT_DOUBLE_EQ(snap.certified_through_s, 4.0);
+  EXPECT_EQ(snap.lost_prefix_events, 137u);
+}
+
+TEST(StreamCertifierTest, ViolationLogNamesNodeWindowAndBlame) {
+  CapturingLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+
+  History h;
+  h.At(1000, TraceEvent::BeginTxn(9, TxnType::kQuery, 1));
+  // The writer it waited on becomes the blamed conflict chain.
+  h.At(1005, TraceEvent::WaitOn(9, 1, /*object=*/42, /*writer=*/4));
+  ImportWalk(&h, 1011, 9, 1, /*group=*/6, 40.0, 50.0, 100.0);
+  ImportWalk(&h, 1021, 9, 1, 6, 30.0, 50.0, 100.0);
+  h.At(1100, TraceEvent::CommitTxn(9, 1));
+
+  StreamCertifierOptions options;
+  options.source = "unit-test";
+  StreamCertifier certifier(options);
+  for (const TraceEvent& e : h.events()) certifier.Observe(e);
+  SetLogSink(previous);
+
+  ASSERT_EQ(certifier.violation_count(), 1u);
+  const StreamCertification snap = certifier.Snapshot();
+  ASSERT_EQ(snap.blamed_writers.size(), 1u);
+  ASSERT_EQ(snap.blamed_writers.front().size(), 1u);
+  EXPECT_EQ(snap.blamed_writers.front().front(), 4u);
+
+  bool found = false;
+  for (const CapturingLogSink::Captured& record : sink.records()) {
+    if (record.message.find("VIOLATION txn 9") == std::string::npos) continue;
+    found = true;
+    EXPECT_EQ(record.level, LogLevel::kError);
+    EXPECT_NE(record.message.find("unit-test"), std::string::npos);
+    EXPECT_NE(record.message.find("group 6"), std::string::npos);
+    EXPECT_NE(record.message.find("window [0s, 1s)"), std::string::npos);
+    EXPECT_NE(record.message.find("blamed writers: [4]"), std::string::npos);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceObserverTest, RecorderDeliversEveryRecordUntilCleared) {
+  TraceRecorder recorder(/*capacity=*/16);
+  size_t seen = 0;
+  recorder.SetObserver(
+      [](void* ctx, const TraceEvent&) { ++*static_cast<size_t*>(ctx); },
+      &seen);
+  recorder.Record(TraceEvent::BeginTxn(1, TxnType::kQuery, 1));
+  recorder.Record(TraceEvent::CommitTxn(1, 1));
+  EXPECT_EQ(seen, 2u);
+  recorder.ClearObserver();
+  recorder.Record(TraceEvent::BeginTxn(2, TxnType::kQuery, 1));
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(recorder.size(), 3u);  // the ring stored all three regardless
+}
+
+// -- Lossy captures --------------------------------------------------------
+
+TEST(LossyCaptureTest, OverflowedRingWarnsAndCertifiesRetainedSuffix) {
+  // A small recorder overwhelmed with clean history: the ring wraps, the
+  // reader warns, and certification vouches only from the first fully
+  // observed window on.
+  TraceRecorder recorder(/*capacity=*/64);
+  int64_t fake_now = 0;
+  recorder.SetTimeSource(
+      [](void* ctx) { return *static_cast<int64_t*>(ctx); }, &fake_now);
+  for (TxnId txn = 1; txn <= 50; ++txn) {
+    const int64_t base = static_cast<int64_t>(txn) * 50'000;
+    fake_now = base;
+    recorder.Record(TraceEvent::BeginTxn(txn, TxnType::kQuery, 1));
+    fake_now = base + 10;
+    recorder.Record(TraceEvent::BoundCheck(txn, 1, 1, /*group=*/3, 5.0,
+                                           50.0, true));
+    fake_now = base + 11;
+    recorder.Record(TraceEvent::BoundCheck(txn, 1, 0, 0, 5.0, 100.0, true));
+    fake_now = base + 100;
+    recorder.Record(TraceEvent::CommitTxn(txn, 1));
+  }
+  ASSERT_GT(recorder.dropped(), 0u);
+
+  std::ostringstream out;
+  recorder.ExportChromeTrace(out);
+
+  CapturingLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  std::vector<TraceEvent> events;
+  TraceMetadata metadata;
+  const Status status = ReadChromeTrace(out.str(), &events, &metadata);
+  SetLogSink(previous);
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(metadata.dropped, recorder.dropped());
+  EXPECT_FALSE(metadata.truncated);
+  EXPECT_EQ(events.size(), recorder.size());
+  bool warned = false;
+  for (const CapturingLogSink::Captured& record : sink.records()) {
+    if (record.level == LogLevel::kWarning &&
+        record.message.find("ring wraparound") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+
+  StreamCertifierOptions options;
+  options.log_violations = false;
+  StreamCertifier certifier(options);
+  certifier.NoteLostPrefix(metadata.dropped, events.front().ts_micros);
+  for (const TraceEvent& e : events) certifier.Observe(e);
+  const StreamCertification snap = certifier.Snapshot();
+  EXPECT_TRUE(snap.certified());
+  EXPECT_GT(snap.certified_from_s, 0.0);
+  EXPECT_GE(snap.certified_through_s, snap.certified_from_s);
+  EXPECT_EQ(snap.lost_prefix_events, metadata.dropped);
+}
+
+TEST(LossyCaptureTest, TruncatedFileSalvagesContiguousPrefix) {
+  const std::vector<TraceEvent> full = CleanTwoSiteHistory();
+  std::ostringstream out;
+  WriteChromeTraceEvents(full, out, full.size(), /*dropped=*/0,
+                         /*capacity=*/1024);
+  const std::string json = out.str();
+
+  // Cut the file mid-write, as a dying process would.
+  const std::string cut = json.substr(0, (json.size() * 7) / 10);
+
+  CapturingLogSink sink;
+  LogSink* previous = SetLogSink(&sink);
+  std::vector<TraceEvent> events;
+  TraceMetadata metadata;
+  const Status status = ReadChromeTrace(cut, &events, &metadata);
+  SetLogSink(previous);
+
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(metadata.truncated);
+  ASSERT_GT(events.size(), 0u);
+  ASSERT_LT(events.size(), full.size());
+  // What was salvaged is exactly a prefix of the original stream.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].type, full[i].type) << i;
+    EXPECT_EQ(events[i].txn, full[i].txn) << i;
+    EXPECT_EQ(events[i].ts_micros, full[i].ts_micros) << i;
+  }
+  bool warned = false;
+  for (const CapturingLogSink::Captured& record : sink.records()) {
+    if (record.level == LogLevel::kWarning &&
+        record.message.find("truncated") != std::string::npos) {
+      warned = true;
+    }
+  }
+  EXPECT_TRUE(warned);
+  // The salvaged prefix still certifies (all charges were in bounds).
+  EXPECT_TRUE(StreamOver(events).certified());
+}
+
+// -- Schedule perturbation -------------------------------------------------
+
+std::vector<std::vector<std::pair<TxnId, TraceEventType>>> PerSiteOrder(
+    const std::vector<TraceEvent>& events) {
+  std::map<SiteId, std::vector<std::pair<TxnId, TraceEventType>>> by_site;
+  for (const TraceEvent& e : events) {
+    by_site[e.site].emplace_back(e.txn, e.type);
+  }
+  std::vector<std::vector<std::pair<TxnId, TraceEventType>>> out;
+  for (auto& [site, order] : by_site) out.push_back(std::move(order));
+  return out;
+}
+
+TEST(PerturbScheduleTest, PreservesPerSiteProgramOrder) {
+  const std::vector<TraceEvent> base = CleanTwoSiteHistory();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    PerturbOptions options;
+    options.seed = seed;
+    const std::vector<TraceEvent> perturbed = PerturbSchedule(base, options);
+    ASSERT_EQ(perturbed.size(), base.size()) << "seed " << seed;
+    EXPECT_EQ(PerSiteOrder(perturbed), PerSiteOrder(base)) << "seed " << seed;
+    int64_t prev = perturbed.front().ts_micros;
+    for (const TraceEvent& e : perturbed) {
+      EXPECT_GE(e.ts_micros, prev) << "seed " << seed;
+      prev = e.ts_micros;
+    }
+  }
+}
+
+TEST(PerturbScheduleTest, SeedsActuallyReorderAcrossSites) {
+  const std::vector<TraceEvent> base = CleanTwoSiteHistory();
+  bool any_differs = false;
+  for (uint64_t seed = 1; seed <= 8 && !any_differs; ++seed) {
+    PerturbOptions options;
+    options.seed = seed;
+    const std::vector<TraceEvent> perturbed = PerturbSchedule(base, options);
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (perturbed[i].txn != base[i].txn ||
+          perturbed[i].type != base[i].type) {
+        any_differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_differs)
+      << "8 seeds never moved an event across sites — no hunt coverage";
+}
+
+TEST(PerturbHuntTest, CertifiedScheduleHasNoFalsePositives) {
+  const PerturbReport report =
+      HuntPerturbations(CleanTwoSiteHistory(), /*n=*/16, /*base_seed=*/1,
+                        /*window_s=*/1.0);
+  EXPECT_EQ(report.schedules, 16u);
+  EXPECT_EQ(report.violating, 0u);
+  EXPECT_TRUE(report.minimal_schedule.empty());
+  for (const PerturbVerdict& verdict : report.verdicts) {
+    EXPECT_EQ(verdict.violations, 0u) << "seed " << verdict.seed;
+  }
+}
+
+TEST(PerturbHuntTest, DemoViolationCaughtUnderEveryPerturbation) {
+  const PerturbReport report =
+      HuntPerturbations(DemoViolationHistory(), /*n=*/8, /*base_seed=*/1,
+                        /*window_s=*/1.0);
+  EXPECT_EQ(report.schedules, 8u);
+  EXPECT_EQ(report.violating, 8u);
+  EXPECT_EQ(report.first_violating_seed, 1u);
+  ASSERT_FALSE(report.first_violations.empty());
+  EXPECT_EQ(report.first_violations.front().group, 5u);
+
+  // The minimized reproduction is smaller than the schedule and still
+  // violates when streamed on its own.
+  ASSERT_FALSE(report.minimal_schedule.empty());
+  EXPECT_LT(report.minimal_schedule.size(), DemoViolationHistory().size());
+  EXPECT_FALSE(StreamOver(report.minimal_schedule).certified());
+}
+
+TEST(MinimizeScheduleTest, CertifiedScheduleMinimizesToNothing) {
+  EXPECT_TRUE(
+      MinimizeViolatingSchedule(CleanTwoSiteHistory(), 1.0).empty());
+}
+
+TEST(MinimizeScheduleTest, DemoMinimizesToBoundRelevantPrefix) {
+  const std::vector<TraceEvent> minimal =
+      MinimizeViolatingSchedule(DemoViolationHistory(), 1.0);
+  ASSERT_FALSE(minimal.empty());
+  // Begin plus the import-direction bound checks up to the crossing walk:
+  // no ops, no commit, no root check after the crossing.
+  for (const TraceEvent& e : minimal) {
+    EXPECT_TRUE(e.type == TraceEventType::kBegin ||
+                e.type == TraceEventType::kBoundCheck)
+        << TraceEventTypeToString(e.type);
+    EXPECT_EQ(e.txn, 7u);
+  }
+  EXPECT_FALSE(StreamOver(minimal).certified());
+}
+
+// -- Whole-cluster equivalence (needs tracing compiled in) -----------------
+
+#ifndef ESR_TRACE_DISABLED
+
+ClusterOptions CertifyOptions(uint64_t seed) {
+  ClusterOptions opt;
+  opt.mpl = 3;
+  const TransactionLimits limits = LimitsForLevel(EpsilonLevel::kMedium);
+  opt.workload.til = limits.til;
+  opt.workload.tel = limits.tel;
+  opt.warmup_s = 0.5;
+  opt.measure_s = 2.0;
+  opt.seed = seed;
+  opt.certify = true;
+  return opt;
+}
+
+TEST(ClusterCertifyTest, OnlineVerdictMatchesOfflineAcrossSeeds) {
+  const bool was_enabled = GlobalTrace().enabled();
+  for (const uint64_t seed : {1ull, 7ull, 23757ull}) {
+    const SimResult result = RunCluster(CertifyOptions(seed));
+    ASSERT_TRUE(result.certification.enabled) << "seed " << seed;
+    EXPECT_TRUE(result.certification.certified()) << "seed " << seed;
+    EXPECT_GT(result.certification.walks_replayed, 0u) << "seed " << seed;
+
+    // The run left its whole event stream in the global ring: replay it
+    // through the offline auditor and demand the identical verdict.
+    ASSERT_EQ(GlobalTrace().dropped(), 0u) << "seed " << seed;
+    const std::vector<TraceEvent> events = GlobalTrace().Snapshot();
+    ASSERT_EQ(events.size(), result.certification.events_observed)
+        << "seed " << seed;
+    const AuditReport offline = AuditTrace(events);
+    EXPECT_TRUE(StreamMatchesOffline(offline, result.certification))
+        << "seed " << seed;
+  }
+  GlobalTrace().set_enabled(was_enabled);
+  GlobalTrace().Reset();
+}
+
+TEST(ClusterCertifyTest, SeriesWindowsCarryTheLiveWatermark) {
+  ClusterOptions opt = CertifyOptions(7);
+  opt.warmup_s = 1.0;
+  opt.measure_s = 3.0;
+  opt.collect_series = true;
+  opt.series_window_s = 1.0;
+  const SimResult result = RunCluster(opt);
+  GlobalTrace().Reset();
+
+  ASSERT_EQ(result.series.windows.size(), 4u);
+  for (size_t i = 0; i < result.series.windows.size(); ++i) {
+    // The sampler fires exactly at each window boundary, after the
+    // certifier's heartbeat: a healthy run certifies through boundary
+    // (i+1) with zero lag.
+    EXPECT_DOUBLE_EQ(result.series.windows[i].certified_through_s,
+                     static_cast<double>(i + 1))
+        << "window " << i;
+  }
+  EXPECT_DOUBLE_EQ(result.certification.certified_through_s, 4.0);
+  EXPECT_DOUBLE_EQ(result.certification.lag_windows, 0.0);
+}
+
+TEST(ClusterCertifyTest, CertificationIsObservationallyPure) {
+  ClusterOptions plain = CertifyOptions(11);
+  plain.certify = false;
+  const SimResult without = RunCluster(plain);
+  const SimResult with = RunCluster(CertifyOptions(11));
+  GlobalTrace().Reset();
+  EXPECT_EQ(without.committed, with.committed);
+  EXPECT_EQ(without.aborts, with.aborts);
+  EXPECT_EQ(without.ops_executed, with.ops_executed);
+  EXPECT_EQ(without.inconsistent_ops, with.inconsistent_ops);
+  EXPECT_FALSE(without.certification.enabled);
+  EXPECT_TRUE(with.certification.enabled);
+}
+
+#endif  // ESR_TRACE_DISABLED
+
+}  // namespace
+}  // namespace esr

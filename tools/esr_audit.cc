@@ -12,14 +12,27 @@
 //
 // Usage:
 //   esr_audit <trace.json> [--json report.json] [--top N]
-//   esr_audit --demo-violation [--json report.json]
+//             [--perturb N] [--seed S]
+//   esr_audit --demo-violation [--json report.json] [--perturb N]
 //
 // --demo-violation audits a built-in hand-crafted history in which an
 // engine (wrongly) admits charges past a group bound, demonstrating —
 // and letting CI assert — that a broken invariant is detected.
 //
-// Exit status: 0 when the trace certifies, 2 when any bound violation is
-// found, 1 on usage or I/O errors.
+// Every audit also streams the same events through the online certifier
+// (obs/stream_audit.h) and diffs its verdict against the offline replay
+// field for field; any divergence is a certifier bug and exits 1.
+//
+// --perturb N hunts for schedule-sensitive violations: N seeded
+// commit-order/timing perturbations of the captured schedule — each
+// preserving per-client program order — are recertified; a violation
+// under perturbation of an otherwise certified trace exits 2 and a
+// minimal reproduction (the violating transaction's bound-relevant
+// events) is reported. --seed S sets the base seed (default 1).
+//
+// Exit status: 0 when the trace (and every perturbed schedule) certifies,
+// 2 when any bound violation is found, 1 on usage or I/O errors, or on a
+// streaming/offline divergence.
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +42,7 @@
 #include <vector>
 
 #include "obs/audit.h"
+#include "obs/stream_audit.h"
 #include "obs/trace.h"
 #include "obs/trace_reader.h"
 
@@ -79,8 +93,10 @@ std::vector<esr::TraceEvent> DemoViolationHistory() {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <trace.json> [--json report.json] [--top N]\n"
-               "       %s --demo-violation [--json report.json]\n",
+               "usage: %s <trace.json> [--json report.json] [--top N] "
+               "[--perturb N] [--seed S]\n"
+               "       %s --demo-violation [--json report.json] "
+               "[--perturb N]\n",
                argv0, argv0);
   return 1;
 }
@@ -91,12 +107,18 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string json_path;
   size_t top_n = 10;
+  size_t perturb_n = 0;
+  uint64_t base_seed = 1;
   bool demo = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--perturb") == 0 && i + 1 < argc) {
+      perturb_n = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      base_seed = static_cast<uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--demo-violation") == 0) {
       demo = true;
     } else if (argv[i][0] == '-') {
@@ -127,13 +149,75 @@ int main(int argc, char** argv) {
   const esr::AuditReport report = esr::AuditTrace(events, metadata);
   esr::PrintAuditReport(report, std::cout, top_n);
 
+  // Streaming cross-check: the same events through the online certifier.
+  // The two share BoundWalkReplayer, so any disagreement is a certifier
+  // bug — worth failing loudly over, not a property of the trace.
+  esr::StreamCertifierOptions stream_options;
+  stream_options.source = demo ? "demo-violation" : trace_path;
+  stream_options.log_violations = false;  // offline replay: report below
+  esr::StreamCertifier streamer(stream_options);
+  if (metadata.dropped > 0 && !events.empty()) {
+    streamer.NoteLostPrefix(metadata.dropped, events.front().ts_micros);
+  }
+  for (const esr::TraceEvent& e : events) streamer.Observe(e);
+  if (!events.empty()) streamer.AdvanceTo(events.back().ts_micros);
+  const esr::StreamCertification stream = streamer.Snapshot();
+  const bool stream_matches = esr::StreamMatchesOffline(report, stream);
+  if (stream_matches) {
+    std::printf(
+        "streaming recertification: verdict matches offline replay "
+        "(certified through %.1fs over %zu window(s), %zu violation(s))\n",
+        stream.certified_through_s, stream.windows_closed,
+        stream.violations.size());
+  } else {
+    std::printf(
+        "STREAM DIVERGENCE: online certifier disagrees with offline "
+        "replay (offline %zu violation(s) / %zu walks, stream %zu / %zu) "
+        "— certifier bug\n",
+        report.violations.size(), report.walks_replayed,
+        stream.violations.size(), stream.walks_replayed);
+  }
+
+  // Perturbation hunt: recertify N seeded reorderings of the schedule.
+  bool perturbed_violation = false;
+  if (perturb_n > 0) {
+    const esr::PerturbReport hunt =
+        esr::HuntPerturbations(events, perturb_n, base_seed,
+                               stream_options.window_s);
+    std::printf(
+        "perturbation hunt: %zu schedule(s), seeds %llu..%llu — "
+        "certified: %zu, violating: %zu\n",
+        hunt.schedules, static_cast<unsigned long long>(base_seed),
+        static_cast<unsigned long long>(base_seed + perturb_n - 1),
+        hunt.schedules - hunt.violating, hunt.violating);
+    perturbed_violation = hunt.violating > 0;
+    std::vector<esr::TraceEvent> minimal;
+    if (!report.certified()) {
+      minimal = esr::MinimizeViolatingSchedule(events,
+                                               stream_options.window_s);
+    } else if (hunt.violating > 0) {
+      std::printf(
+          "  first violating seed %llu: %zu violation(s) on a certified "
+          "base trace\n",
+          static_cast<unsigned long long>(hunt.first_violating_seed),
+          hunt.first_violations.size());
+      minimal = hunt.minimal_schedule;
+    }
+    if (!minimal.empty()) {
+      std::printf(
+          "minimal reproduction: %zu event(s) (violating transaction's "
+          "bound-relevant prefix, re-verified to still violate)\n",
+          minimal.size());
+    }
+  }
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out.is_open()) {
       std::fprintf(stderr, "esr_audit: cannot open %s\n", json_path.c_str());
       return 1;
     }
-    esr::WriteAuditJson(report, out, top_n);
+    esr::WriteAuditJson(report, out, top_n, &stream);
     if (!out.good()) {
       std::fprintf(stderr, "esr_audit: failed writing %s\n",
                    json_path.c_str());
@@ -142,5 +226,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote audit JSON to %s\n", json_path.c_str());
   }
 
-  return report.certified() ? 0 : 2;
+  if (!stream_matches) return 1;
+  return (report.certified() && !perturbed_violation) ? 0 : 2;
 }

@@ -58,6 +58,12 @@ void PrintSummary(const esr::RunSeries& series,
   std::printf("  mean active MPL %8.2f\n", s.steady_mean_mpl);
   std::printf("  mean op latency %8.2f ms\n", s.steady_mean_op_latency_ms);
 
+  if (s.certification_observed) {
+    std::printf("certified through: %.1f s (streaming bound certification%s)\n",
+                s.certified_through_s,
+                s.certification_froze ? "; WATERMARK FROZE mid-run" : "");
+  }
+
   if (!s.headroom_observed) {
     std::printf(
         "headroom: no bounded charges observed (unbounded run, or a "
