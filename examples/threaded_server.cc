@@ -6,6 +6,7 @@
 //
 // Usage:  ./build/examples/threaded_server [num_clients] [txns_per_client]
 //             [--json metrics.json] [--trace trace.json] [--certify]
+//             [--profile profile.json]
 //             [--metrics-port N] [--metrics-linger-ms N]
 //
 // --json dumps the final epsilon level's metric registry (counters plus
@@ -23,9 +24,19 @@
 // watermark as the esr_certified_through_seconds /
 // esr_certification_lag_windows gauges on /metrics; the process exits 2
 // if any bound violation is certified.
+// --profile turns on the wall-clock profiler (obs/profile.h) for the
+// final epsilon level: per-phase cost attribution, per-site contention
+// histograms, and blocked-by tables, written as JSON for tools/esr_profile
+// (and live profile.* gauges on /metrics while the level runs).
+//
+// SIGINT/SIGTERM interrupt the run cleanly: clients drain at the next
+// safe point, every requested output (metrics JSON, trace, profile) is
+// flushed for the level that was running, and the process exits
+// 128+signal.
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +51,7 @@
 #include "esr/limits.h"
 #include "hierarchy/accumulator.h"
 #include "obs/exporter.h"
+#include "obs/profile.h"
 #include "obs/prometheus.h"
 #include "obs/series.h"
 #include "obs/stream_audit.h"
@@ -49,6 +61,15 @@
 #include "workload/generator.h"
 
 namespace {
+
+// Last signal delivered (0 = none). Async-signal-safe: the handler only
+// stores; clients poll it at their loop tops and drain, so main joins,
+// flushes every requested output, and exits 128+signal.
+std::atomic<int> g_signal{0};
+
+void HandleSignal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+bool Interrupted() { return g_signal.load(std::memory_order_relaxed) != 0; }
 
 using Clock = std::chrono::steady_clock;
 
@@ -94,11 +115,18 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
   ClientResult result;
   esr::WorkloadGenerator generator(spec, 1000 + site);
   esr::TimestampGenerator ts_gen(site);
+  // Contention site for client-observed operation waits: the engine
+  // returns kWait with the blocking writer's id, and the retry backoff
+  // below is the timed wait charged to it.
+  esr::ContentionSite* const op_wait_site =
+      esr::GlobalProfiler().site("server.op_wait");
   for (int i = 0; i < txns; ++i) {
+    if (Interrupted()) break;
     const esr::TxnScript script = generator.Next();
     const int64_t started_us = NowMicros();
     bool committed = false;
     while (!committed) {
+      if (Interrupted()) return result;
       const esr::TxnId txn =
           server->Begin(script.type, ts_gen.Next(NowMicros()),
                         script.bounds);
@@ -109,8 +137,13 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
       for (const esr::ScriptOp& op : script.ops) {
         // A small per-op pause stands in for the RPC round trip; without
         // it transactions are so short that clients never overlap and no
-        // concurrency control ever fires.
-        std::this_thread::sleep_for(std::chrono::microseconds(150));
+        // concurrency control ever fires. It is profiled as the rpc
+        // phase, so attribution accounts for (nearly) every microsecond
+        // between Begin and commit.
+        {
+          esr::ScopedPhaseTimer rpc_phase(esr::ProfilePhase::kRpc);
+          std::this_thread::sleep_for(std::chrono::microseconds(150));
+        }
         esr::OpResult r;
         while (true) {
           {
@@ -130,7 +163,17 @@ ClientResult RunClient(esr::Server* server, esr::SiteId site,
           }
           if (r.kind != esr::OpResult::Kind::kWait) break;
           ++result.waits;
-          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          {
+            // Lock-wait phase plus blocked-by attribution: the engine
+            // told us which uncommitted writer blocks this op.
+            esr::ScopedPhaseTimer wait_phase(esr::ProfilePhase::kLockWait);
+            esr::ScopedSiteWait site_wait(op_wait_site, r.blocker);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+          if (Interrupted()) {
+            (void)server->Abort(txn);
+            return result;
+          }
         }
         if (r.kind == esr::OpResult::Kind::kAbort) {
           ++result.aborts;
@@ -164,6 +207,7 @@ int main(int argc, char** argv) {
   int txns_per_client = 250;
   std::string json_path;
   std::string trace_path;
+  std::string profile_path;
   bool certify = false;
   int metrics_port = -1;
   int metrics_linger_ms = 0;
@@ -171,11 +215,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const bool is_json = std::strcmp(argv[i], "--json") == 0;
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    const bool is_profile = std::strcmp(argv[i], "--profile") == 0;
     const bool is_port = std::strcmp(argv[i], "--metrics-port") == 0;
     const bool is_linger = std::strcmp(argv[i], "--metrics-linger-ms") == 0;
     if (std::strcmp(argv[i], "--certify") == 0) {
       certify = true;
-    } else if (is_json || is_trace || is_port || is_linger) {
+    } else if (is_json || is_trace || is_profile || is_port || is_linger) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", argv[i]);
         return 1;
@@ -184,6 +229,8 @@ int main(int argc, char** argv) {
         json_path = argv[++i];
       } else if (is_trace) {
         trace_path = argv[++i];
+      } else if (is_profile) {
+        profile_path = argv[++i];
       } else if (is_port) {
         metrics_port = std::atoi(argv[++i]);
       } else {
@@ -200,6 +247,17 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+#ifdef ESR_TRACE_DISABLED
+  if (!profile_path.empty()) {
+    std::fprintf(stderr,
+                 "--profile ignored: profiling compiled out "
+                 "(ESR_DISABLE_TRACING)\n");
+  }
+#endif
 
   MetricsHub hub;
   esr::MetricsHttpServer metrics_http([&hub] { return hub.Render(); });
@@ -275,6 +333,17 @@ int main(int argc, char** argv) {
       esr::GlobalTrace().set_enabled(true);
     }
 
+    // Profile the same single coherent run as the trace: the last level.
+#ifndef ESR_TRACE_DISABLED
+    const bool profiling = !profile_path.empty() && level == last_level;
+#else
+    const bool profiling = false;
+#endif
+    if (profiling) {
+      esr::GlobalProfiler().Reset();
+      esr::GlobalProfiler().set_enabled(true);
+    }
+
     // Periodic snapshot sampler: a live gauge of concurrent transactions
     // (and a tick counter proving liveness), visible on /metrics. Bound
     // charges feed a headroom tracker; once per wall second its window is
@@ -292,7 +361,7 @@ int main(int argc, char** argv) {
     std::atomic<bool> sampling{true};
     esr::StreamCertifier* const cert = certifier.get();
     std::thread sampler([&server, &sampling, &headroom, &headroom_series,
-                         cert] {
+                         cert, profiling] {
       int64_t ticks = 0;
       auto fold_window = [&](double duration_s) {
         esr::SeriesWindow w;
@@ -327,6 +396,11 @@ int main(int argc, char** argv) {
           server.metrics()
               .gauge("certification_lag_windows")
               .Set(cert->lag_windows());
+        }
+        if (profiling) {
+          // Live profile.phase_* / profile.site.* gauges for scrapers
+          // (atomics only — the quiescent histograms export after joins).
+          esr::GlobalProfiler().ExportLiveGauges(&server.metrics());
         }
         if (++ticks % 100 == 0) {  // 100 x 10 ms: one-second windows
           fold_window(1.0);
@@ -373,6 +447,32 @@ int main(int argc, char** argv) {
                    esr::GlobalTrace().size(), trace_path.c_str());
     }
 
+    if (profiling) {
+      esr::GlobalProfiler().set_enabled(false);
+      // Merge the per-thread phase histograms into the registry before
+      // the metrics JSON export and any lingering scrape, so both carry
+      // the profile.phase_ms.* families; then write the full profile
+      // (threads, sites, blockers) for tools/esr_profile.
+      esr::GlobalProfiler().ExportPhaseHistograms(&server.metrics());
+      esr::ProfileTxnTotals txn_totals;
+      if (const esr::Histogram* lat =
+              server.metrics().FindHistogram("client.txn_latency_ms")) {
+        txn_totals.count = static_cast<uint64_t>(lat->count());
+        txn_totals.total_ms =
+            lat->mean() * static_cast<double>(lat->count());
+      }
+      const esr::Status s = esr::WriteProfileJsonToFile(
+          esr::GlobalProfiler().Snapshot(), txn_totals, /*enabled=*/true,
+          profile_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "profile export failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote profile JSON to %s\n",
+                   profile_path.c_str());
+    }
+
     ClientResult total;
     for (const ClientResult& r : results) {
       total.committed += r.committed;
@@ -390,7 +490,9 @@ int main(int argc, char** argv) {
                 latency != nullptr ? latency->ApproximatePercentile(0.99)
                                    : 0.0);
 
-    if (!json_path.empty() && level == last_level) {
+    // On interrupt, the level that was running is the last one that will
+    // ever finish — flush the metrics JSON for it instead of dropping it.
+    if (!json_path.empty() && (level == last_level || Interrupted())) {
       const esr::Status s =
           esr::ExportMetricsJsonToFile(server.metrics(), json_path);
       if (!s.ok()) {
@@ -402,12 +504,13 @@ int main(int argc, char** argv) {
     }
 
     if (level == last_level && metrics_linger_ms > 0 &&
-        metrics_http.running()) {
+        metrics_http.running() && !Interrupted()) {
       // Keep the final registry scrapeable for external collectors.
       std::this_thread::sleep_for(
           std::chrono::milliseconds(metrics_linger_ms));
     }
     hub.Set(nullptr);
+    if (Interrupted()) break;
   }
   metrics_http.Stop();
 
@@ -435,5 +538,11 @@ int main(int argc, char** argv) {
   std::printf("\nNote: without the simulated RPC latency the engine is "
               "memory-speed, so absolute\nnumbers dwarf the paper's; the "
               "epsilon ordering of aborts is what carries over.\n");
+  const int sig = g_signal.load(std::memory_order_relaxed);
+  if (sig != 0) {
+    std::fprintf(stderr,
+                 "interrupted by signal %d; outputs flushed, exiting\n", sig);
+    return 128 + sig;
+  }
   return exit_code;
 }

@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "common/logging.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace esr {
@@ -119,6 +120,10 @@ ChargeResult InconsistencyAccumulator::TryChargeImpl(ObjectId object,
   };
   using WalkSpan = std::conditional_t<kTraced, TraceSpan, NoopSpan>;
   WalkSpan walk_span(SpanKind::kBoundWalk, txn, site, object);
+  // Wall-clock attribution of the walk (threaded_server only). Like the
+  // headroom probe below, the disabled cost is one relaxed load and a
+  // predicted branch; ESR_TRACE_DISABLED compiles it out entirely.
+  ScopedPhaseTimer walk_phase(ProfilePhase::kBoundWalk);
   // Depth of the object's group below the root, for per-level
   // attribution; skipped entirely on the unobserved fast path.
   size_t leaf_depth = 0;
@@ -155,6 +160,18 @@ ChargeResult InconsistencyAccumulator::TryChargeImpl(ObjectId object,
     g = schema_->parent(g);
     --depth;
   }
+#ifndef ESR_TRACE_DISABLED
+  // Charge-path contention site: one acquisition per walk, a conflict per
+  // bound rejection (blamed on the rejected transaction — with a single
+  // accumulator per txn there is no holder to blame). Cold branch; the
+  // function-local static resolves the site once per process.
+  if (GlobalProfilerEnabled()) {
+    static ContentionSite* const charge_site =
+        GlobalProfiler().site("hierarchy.charge_path");
+    charge_site->RecordAcquisition();
+    if (!result.admitted) charge_site->RecordConflict(txn);
+  }
+#endif
   if (!result.admitted) return result;
 
   // Charge pass: every check admitted, so increment the whole path.

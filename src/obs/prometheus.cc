@@ -2,9 +2,11 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -61,6 +63,27 @@ std::string HelpText(const std::string& dotted, const char* kind) {
     return "Tightest epsilon headroom of hierarchy node '" +
            dotted.substr(std::strlen("headroom.min_frac.")) +
            "': min (limit - accumulated) / limit over the sampled windows.";
+  }
+  if (dotted.rfind("profile.phase_ms.", 0) == 0) {
+    return "Full-scope wall-clock duration (ms) of profiler phase '" +
+           dotted.substr(std::strlen("profile.phase_ms.")) +
+           "' on the real-thread path (nested child phases included).";
+  }
+  if (dotted.rfind("profile.phase_self_ms.", 0) == 0) {
+    return "Cumulative wall-clock self-time (ms) attributed to profiler "
+           "phase '" +
+           dotted.substr(std::strlen("profile.phase_self_ms.")) +
+           "' across all threads (nested child phases excluded).";
+  }
+  if (dotted.rfind("profile.phase_count.", 0) == 0) {
+    return "Completed scopes of profiler phase '" +
+           dotted.substr(std::strlen("profile.phase_count.")) + "'.";
+  }
+  if (dotted.rfind("profile.site.", 0) == 0) {
+    return "Contention-site statistic " + dotted +
+           ": acquisitions, timed contended waits, untimed logical "
+           "conflicts, or total wait milliseconds at one profiled lock "
+           "or charge path.";
   }
   if (std::strcmp(kind, "counter") == 0) {
     return "Monotonic count of " + dotted + " events.";
@@ -154,6 +177,12 @@ void MetricsHttpServer::Stop() {
   if (thread_.joinable()) thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  // Drain in-flight handlers so render_ cannot fire after Stop returns
+  // (the owner is about to tear down whatever the callback captures).
+  // Each handler is bounded by the connection receive timeout.
+  while (active_connections_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 void MetricsHttpServer::AcceptLoop() {
@@ -163,42 +192,61 @@ void MetricsHttpServer::AcceptLoop() {
       if (!running_.load(std::memory_order_acquire)) break;
       continue;  // transient accept failure; keep serving
     }
-    char buf[2048];
-    const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
-    std::string request = n > 0 ? std::string(buf, static_cast<size_t>(n))
-                                : std::string();
-    // "GET <path> HTTP/1.x" — only the path matters.
-    std::string path;
-    {
-      std::istringstream line(request);
-      std::string method;
-      line >> method >> path;
-    }
-    std::string response;
-    if (path == "/metrics" || path == "/") {
-      const std::string body = render_ ? render_() : std::string();
-      std::ostringstream r;
-      r << "HTTP/1.0 200 OK\r\n"
-        << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-        << "Content-Length: " << body.size() << "\r\n"
-        << "Connection: close\r\n\r\n"
-        << body;
-      response = r.str();
-    } else {
-      static const char kNotFound[] =
-          "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: "
-          "close\r\n\r\n";
-      response = kNotFound;
-    }
-    size_t sent = 0;
-    while (sent < response.size()) {
-      const ssize_t w =
-          ::send(fd, response.data() + sent, response.size() - sent, 0);
-      if (w <= 0) break;
-      sent += static_cast<size_t>(w);
-    }
-    ::close(fd);
+    // One short-lived thread per connection, so a slow or stalled client
+    // cannot block the next scraper. Handlers are detached; Stop drains
+    // them via active_connections_.
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    std::thread(&MetricsHttpServer::HandleConnection, this, fd).detach();
   }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Cut off clients that connect but never send a request line; without
+  // this a stalled scraper would pin its handler (and the Stop drain)
+  // indefinitely.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char buf[2048];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  std::string request =
+      n > 0 ? std::string(buf, static_cast<size_t>(n)) : std::string();
+  // "GET <path> HTTP/1.x" — only the path matters.
+  std::string path;
+  {
+    std::istringstream line(request);
+    std::string method;
+    line >> method >> path;
+  }
+  std::string response;
+  if (path == "/metrics" || path == "/") {
+    std::string body;
+    if (render_) {
+      std::lock_guard<std::mutex> lock(render_mu_);
+      body = render_();
+    }
+    std::ostringstream r;
+    r << "HTTP/1.0 200 OK\r\n"
+      << "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+    response = r.str();
+  } else {
+    static const char kNotFound[] =
+        "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: "
+        "close\r\n\r\n";
+    response = kNotFound;
+  }
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t w =
+        ::send(fd, response.data() + sent, response.size() - sent, 0);
+    if (w <= 0) break;
+    sent += static_cast<size_t>(w);
+  }
+  ::close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 }  // namespace esr

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -26,20 +27,24 @@ std::string PrometheusMetricName(const std::string& name);
 
 /// Minimal blocking HTTP/1.0 server exposing a /metrics endpoint, backed
 /// by plain POSIX sockets (no dependencies). One accept loop on a
-/// background thread, one request per connection, response rendered by a
-/// caller-supplied callback — an indirection rather than a registry
-/// pointer because the threaded-server example swaps its MetricRegistry
-/// per epsilon level while the endpoint stays up.
+/// background thread hands each connection to a short-lived handler
+/// thread, response rendered by a caller-supplied callback — an
+/// indirection rather than a registry pointer because the
+/// threaded-server example swaps its MetricRegistry per epsilon level
+/// while the endpoint stays up.
 ///
 /// GET /metrics returns the render callback's output as
-/// text/plain; version=0.0.4. Any other path returns 404. Not a general
-/// web server: single-threaded handling is plenty for a scraper.
+/// text/plain; version=0.0.4. Any other path returns 404. Concurrent
+/// scrapes are safe: renders are serialized internally, and a stalled
+/// client (connected but never sending) is cut off by a receive timeout
+/// instead of blocking other scrapers. Still not a general web server.
 class MetricsHttpServer {
  public:
   using RenderFn = std::function<std::string()>;
 
-  /// `render` is invoked on the accept thread for every scrape; it must
-  /// be safe to call concurrently with the rest of the program.
+  /// `render` runs on a per-connection handler thread but calls are
+  /// serialized by an internal mutex, so it only needs to be safe against
+  /// the rest of the program, not against itself.
   explicit MetricsHttpServer(RenderFn render);
   ~MetricsHttpServer();
 
@@ -50,8 +55,10 @@ class MetricsHttpServer {
   /// after Start) and launches the accept loop.
   Status Start(uint16_t port);
 
-  /// Stops the accept loop and joins the thread. Idempotent; also called
-  /// by the destructor.
+  /// Stops the accept loop, joins the thread, and drains in-flight
+  /// connection handlers (each bounded by the receive timeout) so the
+  /// render callback cannot fire after Stop returns. Idempotent; also
+  /// called by the destructor.
   void Stop();
 
   /// The bound port (valid after a successful Start).
@@ -60,11 +67,16 @@ class MetricsHttpServer {
 
  private:
   void AcceptLoop();
+  void HandleConnection(int fd);
 
   RenderFn render_;
+  /// Serializes render_ invocations across concurrent scrapes.
+  std::mutex render_mu_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  /// Detached handler threads still running; Stop spins until zero.
+  std::atomic<int> active_connections_{0};
   std::thread thread_;
 };
 

@@ -208,8 +208,16 @@ namespace {
 thread_local bool t_in_observer = false;
 }  // namespace
 
+uint32_t ThreadLaneId() {
+  static std::atomic<uint32_t> next_lane{1};
+  thread_local const uint32_t lane =
+      next_lane.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
 void TraceRecorder::Record(TraceEvent event) {
   event.ts_micros = NowMicros();
+  if (event.lane == 0) event.lane = ThreadLaneId();
   // Instants recorded inside a span inherit it, so the auditor can tie a
   // BoundCheck or Wait back to the op/walk that produced it. Span and
   // flow events carry their own ids and are left alone.
@@ -259,9 +267,10 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 
 namespace {
 
-void WriteCommonFields(std::ostream& out, const TraceEvent& e) {
-  out << "\"ts\":" << e.ts_micros << ",\"pid\":" << e.site
-      << ",\"tid\":" << e.txn;
+void WriteCommonFields(std::ostream& out, const TraceEvent& e,
+                       bool thread_lanes) {
+  out << "\"ts\":" << e.ts_micros << ",\"pid\":" << e.site << ",\"tid\":"
+      << (thread_lanes ? static_cast<uint64_t>(e.lane) : e.txn);
 }
 
 void WriteDouble(std::ostream& out, double value) {
@@ -274,7 +283,8 @@ void WriteDouble(std::ostream& out, double value) {
 
 void WriteChromeTraceEvents(const std::vector<TraceEvent>& events,
                             std::ostream& out, uint64_t recorded,
-                            uint64_t dropped, size_t capacity) {
+                            uint64_t dropped, size_t capacity,
+                            bool thread_lanes) {
   out << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& e : events) {
@@ -297,8 +307,9 @@ void WriteChromeTraceEvents(const std::vector<TraceEvent>& events,
         } else {
           out << "\"ph\":\"" << (begin ? "B" : "E") << "\",";
         }
-        WriteCommonFields(out, e);
-        out << ",\"args\":{\"span\":" << e.span;
+        WriteCommonFields(out, e, thread_lanes);
+        out << ",\"args\":{\"span\":" << e.span << ",\"lane\":" << e.lane;
+        if (thread_lanes) out << ",\"txn\":" << e.txn;
         if (begin) {
           out << ",\"parent\":" << e.parent << ",\"target\":" << e.target;
         }
@@ -314,7 +325,7 @@ void WriteChromeTraceEvents(const std::vector<TraceEvent>& events,
         // the waiter's op and the writer's commit rather than floating.
         if (!begin) out << ",\"bp\":\"e\"";
         out << ",\"id\":" << e.span << ",";
-        WriteCommonFields(out, e);
+        WriteCommonFields(out, e, thread_lanes);
         out << "}";
         continue;
       }
@@ -323,11 +334,12 @@ void WriteChromeTraceEvents(const std::vector<TraceEvent>& events,
     }
     out << "\"name\":\"" << TraceEventTypeToString(e.type)
         << "\",\"ph\":\"i\",\"s\":\"t\",";
-    WriteCommonFields(out, e);
+    WriteCommonFields(out, e, thread_lanes);
     out << ",\"args\":{";
     out << "\"target\":" << e.target << ",\"level\":" << e.level
         << ",\"detail\":" << static_cast<int>(e.detail)
-        << ",\"span\":" << e.span;
+        << ",\"span\":" << e.span << ",\"lane\":" << e.lane;
+    if (thread_lanes) out << ",\"txn\":" << e.txn;
     if (e.type == TraceEventType::kAbort) {
       out << ",\"reason\":\""
           << AbortReasonToString(static_cast<AbortReason>(e.detail)) << "\"";

@@ -85,6 +85,12 @@ struct TraceEvent {
   uint16_t level = 0;
   /// Issuing site (from the transaction timestamp); 0 when unknown.
   SiteId site = 0;
+  /// Small dense id of the recording thread (ThreadLaneId), stamped by
+  /// TraceRecorder::Record when left zero. The single-threaded simulator
+  /// records everything on one lane; the threaded server gets one lane
+  /// per client thread, which the Chrome exporter can use as the "tid"
+  /// so captures decompose into per-thread tracks (thread_lanes mode).
+  uint32_t lane = 0;
   TxnId txn = 0;
   /// Wall or virtual microseconds, from the recorder's time source.
   int64_t ts_micros = 0;
@@ -253,9 +259,22 @@ class TraceRecorder {
 /// TraceRecorder::ExportChromeTrace emits — used to persist perturbed and
 /// minimized schedules that never lived in a recorder. The counters fill
 /// the "otherData" metadata block.
+///
+/// With `thread_lanes` set, "tid" carries the recording thread's lane
+/// (TraceEvent::lane) instead of the transaction id, so a threaded-server
+/// capture renders as one Perfetto track per client thread; the
+/// transaction id moves into "args" ("txn") and nothing is lost —
+/// tools/esr_profile uses this to re-group a standard capture by thread.
 void WriteChromeTraceEvents(const std::vector<TraceEvent>& events,
                             std::ostream& out, uint64_t recorded,
-                            uint64_t dropped, size_t capacity);
+                            uint64_t dropped, size_t capacity,
+                            bool thread_lanes = false);
+
+/// Small dense id (1-based) of the calling thread, assigned on first use.
+/// TraceRecorder::Record stamps it into TraceEvent::lane; the wall-clock
+/// profiler (obs/profile.h) uses the same id so phase attribution and
+/// trace lanes name threads consistently.
+uint32_t ThreadLaneId();
 
 /// The process-wide recorder the ESR_TRACE_EVENT probes feed. Disabled by
 /// default; tests, examples, and the bench/threaded-server flags enable it

@@ -65,6 +65,10 @@ bool DecodeEvent(const JsonValue& obj, TraceEvent* e) {
     e->detail = static_cast<uint8_t>(kind);
     if (args != nullptr) {
       e->span = U64Or(*args, "span", 0);
+      e->lane = static_cast<uint32_t>(U64Or(*args, "lane", 0));
+      // thread_lanes-mode exports move the transaction id into args
+      // (tid carries the lane there); prefer it when present.
+      e->txn = U64Or(*args, "txn", e->txn);
       if (begin) {
         e->parent = U64Or(*args, "parent", 0);
         e->target = U64Or(*args, "target", 0);
@@ -89,6 +93,8 @@ bool DecodeEvent(const JsonValue& obj, TraceEvent* e) {
     e->level = static_cast<uint16_t>(args->NumberOr("level", 0.0));
     e->detail = static_cast<uint8_t>(args->NumberOr("detail", 0.0));
     e->span = U64Or(*args, "span", 0);
+    e->lane = static_cast<uint32_t>(U64Or(*args, "lane", 0));
+    e->txn = U64Or(*args, "txn", e->txn);
     e->charged = args->NumberOr("charged", 0.0);
     if (e->type == TraceEventType::kWait) {
       e->parent = U64Or(*args, "writer", 0);

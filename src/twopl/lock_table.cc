@@ -15,18 +15,29 @@ LockTable::Grant LockTable::Resolve(const Request& request,
   return grant;
 }
 
+void LockTable::RecordGrant(const Grant& grant) const {
+  if (site_ == nullptr || !GlobalProfilerEnabled()) return;
+  site_->RecordAcquisition();
+  if (grant.outcome != LockOutcome::kGranted) {
+    site_->RecordConflict(grant.conflict);
+  }
+}
+
 LockTable::Grant LockTable::AcquireShared(ObjectId object,
                                           const Request& request) {
   Entry& entry = entries_[object];
   if (entry.exclusive.txn != kInvalidTxnId) {
     if (entry.exclusive.txn == request.txn) return Grant{};  // own X covers S
-    return Resolve(request, entry.exclusive);
+    const Grant grant = Resolve(request, entry.exclusive);
+    RecordGrant(grant);
+    return grant;
   }
   for (const Holder& holder : entry.shared) {
     if (holder.txn == request.txn) return Grant{};  // already held
   }
   entry.shared.push_back(Holder{request.txn, request.ts});
   held_[request.txn].push_back(object);
+  RecordGrant(Grant{});
   return Grant{};
 }
 
@@ -35,7 +46,9 @@ LockTable::Grant LockTable::AcquireExclusive(ObjectId object,
   Entry& entry = entries_[object];
   if (entry.exclusive.txn != kInvalidTxnId) {
     if (entry.exclusive.txn == request.txn) return Grant{};  // re-entrant
-    return Resolve(request, entry.exclusive);
+    const Grant grant = Resolve(request, entry.exclusive);
+    RecordGrant(grant);
+    return grant;
   }
   // Conflicts with shared holders other than the requester itself.
   const Holder* oldest_conflict = nullptr;
@@ -53,7 +66,9 @@ LockTable::Grant LockTable::AcquireExclusive(ObjectId object,
     // Wait-die against the oldest conflicting shared holder: if the
     // requester is younger than ANY conflicting holder it must die, and
     // the oldest is the strictest test.
-    return Resolve(request, *oldest_conflict);
+    const Grant grant = Resolve(request, *oldest_conflict);
+    RecordGrant(grant);
+    return grant;
   }
   // Grant (possibly upgrading the requester's own shared lock).
   if (requester_holds_shared) {
@@ -65,6 +80,7 @@ LockTable::Grant LockTable::AcquireExclusive(ObjectId object,
     held_[request.txn].push_back(object);
   }
   entry.exclusive = Holder{request.txn, request.ts};
+  RecordGrant(Grant{});
   return Grant{};
 }
 

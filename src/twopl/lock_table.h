@@ -6,6 +6,7 @@
 
 #include "common/timestamp.h"
 #include "common/types.h"
+#include "obs/profile.h"
 
 namespace esr {
 
@@ -56,6 +57,13 @@ class LockTable {
   /// Number of objects with at least one lock held (for tests).
   size_t num_locked_objects() const;
 
+  /// Wires a wall-clock contention site: every Acquire* counts as an
+  /// acquisition and every kWait/kDie grant records a logical conflict
+  /// blamed on the conflicting holder. Waiting is client-driven here, so
+  /// conflicts are untimed — the timed wait is charged by the client's
+  /// retry backoff (ScopedSiteWait in threaded_server). Null disables.
+  void set_contention_site(ContentionSite* site) { site_ = site; }
+
  private:
   struct Holder {
     TxnId txn;
@@ -73,9 +81,13 @@ class LockTable {
   /// Wait-die: older (smaller ts) requesters wait, younger die.
   static Grant Resolve(const Request& request, const Holder& conflicting);
 
+  /// Records `grant` against site_ when profiling is live.
+  void RecordGrant(const Grant& grant) const;
+
   std::unordered_map<ObjectId, Entry> entries_;
   // Reverse index so ReleaseAll is O(locks held).
   std::unordered_map<TxnId, std::vector<ObjectId>> held_;
+  ContentionSite* site_ = nullptr;
 };
 
 }  // namespace esr

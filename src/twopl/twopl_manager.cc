@@ -25,10 +25,14 @@ TwoPLManager::TwoPLManager(ObjectStore* store, const GroupSchema* schema,
       counters_(metrics) {
   ESR_CHECK(schema_ != nullptr);
   ESR_CHECK(metrics_ != nullptr);
+  // Logical S/X conflicts surface in the profiler's blocker tables even
+  // though the table itself never blocks (client-driven retries).
+  locks_.set_contention_site(GlobalProfiler().site("twopl.lock_table"));
 }
 
 TxnId TwoPLManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   const TxnId id = next_txn_id_++;
   auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
@@ -41,14 +45,18 @@ TxnId TwoPLManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
 }
 
 OpResult TwoPLManager::Read(TxnId txn, ObjectId object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  std::lock_guard<ProfiledMutex> lock(mu_);
+  mu_.set_holder(txn);
   Transaction& t = GetActive(txn);
   TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
   return DoRead(t, object);
 }
 
 OpResult TwoPLManager::Write(TxnId txn, ObjectId object, Value value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  std::lock_guard<ProfiledMutex> lock(mu_);
+  mu_.set_holder(txn);
   Transaction& t = GetActive(txn);
   TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
   return DoWrite(t, object, value);
@@ -156,7 +164,10 @@ OpResult TwoPLManager::DoWrite(Transaction& txn, ObjectId object,
       return AbortOp(txn, BoundAbortReason(charge.violated_group));
     }
   }
-  obj.ApplyWrite(txn.id(), txn.ts(), value);
+  {
+    ScopedPhaseTimer apply_phase(ProfilePhase::kApply);
+    obj.ApplyWrite(txn.id(), txn.ts(), value);
+  }
   txn.NotePendingWrite(object);
   txn.CountOp();
   counters_.op_write->Increment();
@@ -170,7 +181,9 @@ OpResult TwoPLManager::DoWrite(Transaction& txn, ObjectId object,
 }
 
 Status TwoPLManager::Commit(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kCommit);
+  std::lock_guard<ProfiledMutex> lock(mu_);
+  mu_.set_holder(txn);
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
@@ -183,7 +196,9 @@ Status TwoPLManager::Commit(TxnId txn) {
 }
 
 Status TwoPLManager::Abort(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kCommit);
+  std::lock_guard<ProfiledMutex> lock(mu_);
+  mu_.set_holder(txn);
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
@@ -196,18 +211,18 @@ Status TwoPLManager::Abort(TxnId txn) {
 }
 
 bool TwoPLManager::IsActive(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   return transactions_.count(txn) > 0;
 }
 
 const Transaction* TwoPLManager::Find(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   auto it = transactions_.find(txn);
   return it == transactions_.end() ? nullptr : &it->second;
 }
 
 size_t TwoPLManager::num_active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   return transactions_.size();
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "hierarchy/accumulator.h"
+#include "obs/profile.h"
 #include "hierarchy/group_schema.h"
 #include "storage/object_store.h"
 #include "twopl/lock_table.h"
@@ -53,7 +54,7 @@ class TwoPLManager final : public TransactionEngine {
   EngineKind kind() const override { return EngineKind::kTwoPhaseLocking; }
 
   void SetHeadroomTracker(NodeHeadroomTracker* tracker) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<ProfiledMutex> lock(mu_);
     headroom_tracker_ = tracker;
   }
 
@@ -69,7 +70,9 @@ class TwoPLManager final : public TransactionEngine {
   bool HandleGrant(Transaction& txn, ObjectId object,
                    const LockTable::Grant& grant, OpResult* result);
 
-  mutable std::mutex mu_;
+  /// Engine latch, doubling as a wall-clock contention site (waiters
+  /// blame the transaction the critical section currently serves).
+  mutable ProfiledMutex mu_{"twopl.engine_mu"};
   const GroupSchema* schema_;
   MetricRegistry* metrics_;
   DataManager data_manager_;

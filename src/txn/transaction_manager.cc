@@ -31,7 +31,10 @@ TransactionManager::TransactionManager(ObjectStore* store,
 
 TxnId TransactionManager::Begin(TxnType type, Timestamp ts,
                                 BoundSpec bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Phase scopes open *before* the latch so latch wait is attributed to
+  // the phase (coverage: every in-engine nanosecond lands in a phase).
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   const TxnId id = next_txn_id_++;
   auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, type, ts, schema_, std::move(bounds)));
@@ -46,7 +49,8 @@ TxnId TransactionManager::Begin(TxnType type, Timestamp ts,
 TxnId TransactionManager::BeginUpdateWithImport(Timestamp ts,
                                                 BoundSpec export_bounds,
                                                 BoundSpec import_bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   const TxnId id = next_txn_id_++;
   auto [it, inserted] = transactions_.emplace(
       id, Transaction(id, ts, schema_, std::move(export_bounds),
@@ -60,14 +64,18 @@ TxnId TransactionManager::BeginUpdateWithImport(Timestamp ts,
 }
 
 OpResult TransactionManager::Read(TxnId txn, ObjectId object) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  std::lock_guard<ProfiledMutex> lock(mu_);
+  mu_.set_holder(txn);
   Transaction& t = GetActive(txn);
   TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
   return DoRead(t, object);
 }
 
 OpResult TransactionManager::Write(TxnId txn, ObjectId object, Value value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  std::lock_guard<ProfiledMutex> lock(mu_);
+  mu_.set_holder(txn);
   Transaction& t = GetActive(txn);
   TraceSpan op_span(SpanKind::kOp, txn, t.ts().site, object, t.trace_span());
   return DoWrite(t, object, value);
@@ -182,7 +190,10 @@ OpResult TransactionManager::DoWrite(Transaction& txn, ObjectId object,
       return AbortOp(txn, AbortReason::kLateWrite);
 
     case WriteDecision::kProceedConsistent: {
-      obj.ApplyWrite(txn.id(), txn.ts(), value);
+      {
+        ScopedPhaseTimer apply_phase(ProfilePhase::kApply);
+        obj.ApplyWrite(txn.id(), txn.ts(), value);
+      }
       txn.NotePendingWrite(object);
       txn.CountOp();
       counters_.op_write->Increment();
@@ -203,7 +214,10 @@ OpResult TransactionManager::DoWrite(Transaction& txn, ObjectId object,
       if (!charge.admitted) {
         return AbortOp(txn, BoundAbortReason(charge.violated_group));
       }
-      obj.ApplyWrite(txn.id(), txn.ts(), value);
+      {
+        ScopedPhaseTimer apply_phase(ProfilePhase::kApply);
+        obj.ApplyWrite(txn.id(), txn.ts(), value);
+      }
       txn.NotePendingWrite(object);
       txn.CountOp();
       counters_.op_write->Increment();
@@ -221,7 +235,9 @@ OpResult TransactionManager::DoWrite(Transaction& txn, ObjectId object,
 }
 
 Status TransactionManager::Commit(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kCommit);
+  std::lock_guard<ProfiledMutex> lock(mu_);
+  mu_.set_holder(txn);
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
@@ -234,7 +250,9 @@ Status TransactionManager::Commit(TxnId txn) {
 }
 
 Status TransactionManager::Abort(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  ScopedPhaseTimer phase(ProfilePhase::kCommit);
+  std::lock_guard<ProfiledMutex> lock(mu_);
+  mu_.set_holder(txn);
   auto it = transactions_.find(txn);
   if (it == transactions_.end()) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
@@ -247,18 +265,18 @@ Status TransactionManager::Abort(TxnId txn) {
 }
 
 bool TransactionManager::IsActive(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   return transactions_.count(txn) > 0;
 }
 
 const Transaction* TransactionManager::Find(TxnId txn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   auto it = transactions_.find(txn);
   return it == transactions_.end() ? nullptr : &it->second;
 }
 
 size_t TransactionManager::num_active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<ProfiledMutex> lock(mu_);
   return transactions_.size();
 }
 

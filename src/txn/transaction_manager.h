@@ -6,6 +6,7 @@
 
 #include "cc/to_policy.h"
 #include "common/metrics.h"
+#include "obs/profile.h"
 #include "hierarchy/accumulator.h"
 #include "common/result.h"
 #include "common/types.h"
@@ -78,7 +79,7 @@ class TransactionManager final : public TransactionEngine {
   }
 
   void SetHeadroomTracker(NodeHeadroomTracker* tracker) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<ProfiledMutex> lock(mu_);
     headroom_tracker_ = tracker;
   }
 
@@ -99,7 +100,10 @@ class TransactionManager final : public TransactionEngine {
   OpResult DoRead(Transaction& txn, ObjectId object);
   OpResult DoWrite(Transaction& txn, ObjectId object, Value value);
 
-  mutable std::mutex mu_;
+  /// The prototype's single scheduler latch, doubling as a contention
+  /// site: under the wall-clock profiler, waiters blame the transaction
+  /// the critical section is currently serving (set_holder below).
+  mutable ProfiledMutex mu_{"to.engine_mu"};
   const GroupSchema* schema_;
   MetricRegistry* metrics_;
   DataManager data_manager_;

@@ -151,6 +151,68 @@ TEST(HistogramTest, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(empty.mean(), 5.0);
 }
 
+TEST(HistogramTest, MergeWithEmptySidePreservesExtremaAndQuantiles) {
+  Histogram h, empty;
+  for (int i = 1; i <= 256; ++i) h.Record(static_cast<double>(i));
+  const double p50 = h.ApproximatePercentile(0.5);
+  const double p999 = h.ApproximatePercentile(0.999);
+  const double stddev = h.stddev();
+
+  // Empty right side: a true identity, including the derived statistics.
+  h.Merge(empty);
+  EXPECT_EQ(h.count(), 256);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 256.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), stddev);
+  EXPECT_DOUBLE_EQ(h.ApproximatePercentile(0.5), p50);
+  EXPECT_DOUBLE_EQ(h.ApproximatePercentile(0.999), p999);
+
+  // Empty left side: adopts the right side wholesale (the min/max of an
+  // empty histogram must not leak in as zeros).
+  empty.Merge(h);
+  EXPECT_EQ(empty.count(), 256);
+  EXPECT_EQ(empty.min(), 1.0);
+  EXPECT_EQ(empty.max(), 256.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), stddev);
+  EXPECT_DOUBLE_EQ(empty.ApproximatePercentile(0.5), p50);
+  EXPECT_DOUBLE_EQ(empty.ApproximatePercentile(0.999), p999);
+}
+
+TEST(HistogramTest, MergeOfTwoEmptiesStaysEmpty) {
+  Histogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.ApproximatePercentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantilesUnderSingleBucketOccupancy) {
+  // Identical samples land in one sub-bucket: every quantile collapses
+  // to the sample and the summary is degenerate but well-defined.
+  Histogram same;
+  for (int i = 0; i < 10000; ++i) same.Record(0.037);
+  const PercentileSummary sp = same.Percentiles();
+  EXPECT_DOUBLE_EQ(sp.p50, 0.037);
+  EXPECT_DOUBLE_EQ(sp.p999, 0.037);
+  EXPECT_EQ(same.min(), same.max());
+
+  // Distinct samples confined to one sub-bucket ([100, 104) within the
+  // [64, 128) log bucket): quantiles must stay inside the observed range
+  // and remain monotone even with zero cross-bucket resolution.
+  Histogram narrow;
+  for (int i = 0; i < 1000; ++i) {
+    narrow.Record(100.0 + 0.5 * static_cast<double>(i % 8));
+  }
+  double prev = narrow.ApproximatePercentile(0.0);
+  for (double p : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = narrow.ApproximatePercentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    EXPECT_GE(v, narrow.min()) << "p=" << p;
+    EXPECT_LE(v, narrow.max()) << "p=" << p;
+    prev = v;
+  }
+}
+
 TEST(HistogramTest, ResetClearsState) {
   Histogram h;
   h.Record(3.0);

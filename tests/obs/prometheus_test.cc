@@ -11,9 +11,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/metrics.h"
 
@@ -203,6 +206,55 @@ TEST(MetricsHttpServerTest, RendersLiveValuesPerScrape) {
   reg.counter("ticks").Increment();
   EXPECT_NE(HttpGet(server.port(), "/metrics").find("esr_ticks_total 2"),
             std::string::npos);
+}
+
+TEST(MetricsHttpServerTest, ServesConcurrentScrapes) {
+  // A deliberately slow render keeps the first scrape in flight while
+  // the second one arrives; both must complete with full bodies and
+  // renders must stay serialized (the callback is not reentrant-safe).
+  std::atomic<int> renders{0};
+  MetricsHttpServer server([&renders] {
+    renders.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return std::string("slow body\n");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  std::string first;
+  std::thread scraper(
+      [&] { first = HttpGet(server.port(), "/metrics"); });
+  const std::string second = HttpGet(server.port(), "/metrics");
+  scraper.join();
+
+  EXPECT_NE(first.find("200 OK"), std::string::npos) << first;
+  EXPECT_NE(second.find("200 OK"), std::string::npos) << second;
+  EXPECT_NE(first.find("slow body"), std::string::npos) << first;
+  EXPECT_NE(second.find("slow body"), std::string::npos) << second;
+  EXPECT_EQ(renders.load(), 2);
+}
+
+TEST(MetricsHttpServerTest, StalledClientDoesNotBlockOtherScrapers) {
+  MetricsHttpServer server([] { return std::string("ok\n"); });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Connect and send nothing: this client occupies a handler thread
+  // until its receive timeout, but must not starve real scrapers.
+  const int stalled = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(stalled, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(
+      ::connect(stalled, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  const std::string response = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("ok\n"), std::string::npos) << response;
+
+  ::close(stalled);
+  server.Stop();
 }
 
 TEST(MetricsHttpServerTest, StopIsIdempotentAndStartRejectsDoubleStart) {

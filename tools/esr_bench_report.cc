@@ -1,0 +1,356 @@
+// esr_bench_report: renders cross-run trend tables from a benchmark
+// registry directory (envelope JSON files appended by the figure
+// binaries' --registry flag / ESR_BENCH_REGISTRY) and flags regressions.
+//
+// Usage:
+//   esr_bench_report <registry_dir> [--metric throughput]
+//                    [--tolerance 0.05]
+//   esr_bench_report --demo | --demo-regression
+//
+// Entries are grouped by figure and ordered by recorded_unix (filename as
+// tiebreak). For each figure the last runs are printed as columns labeled
+// by short git sha, one row per (series, x) point, with the latest run's
+// delta against the previous run and a per-point status.
+//
+// Regression rule (same as scripts/check_bench_regression.py): the latest
+// run regresses a point when its value falls below previous*(1-tolerance);
+// when the point's own CI half-width (ci90_rel) exceeds the tolerance and
+// the drop is within that CI, the point is downgraded to a WARNING —
+// noisy configurations don't hard-fail the trend. A point present in the
+// previous run but missing from the latest is a regression.
+//
+// Exit codes: 0 trend PASS (or single run, "no trend yet"), 1 usage /
+// unreadable registry, 2 regression detected.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_value.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: esr_bench_report <registry_dir> [--metric NAME]\n"
+      "                        [--tolerance FRAC]\n"
+      "       esr_bench_report --demo | --demo-regression\n");
+  return 1;
+}
+
+struct Point {
+  double value = 0.0;
+  /// Relative 90% CI half-width of the point, when the report carried one.
+  double ci90_rel = 0.0;
+};
+
+struct RunEntry {
+  std::string figure;
+  std::string sha;
+  std::string preset;
+  std::string file;
+  int64_t recorded = 0;
+  /// "<series> @ x=<x>" -> metric point.
+  std::map<std::string, Point> points;
+};
+
+std::string FormatX(double x) {
+  char buf[32];
+  if (x == static_cast<int64_t>(x)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(x));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", x);
+  }
+  return buf;
+}
+
+bool ParseEntry(const std::string& json, const std::string& file,
+                const std::string& metric, RunEntry* entry,
+                std::string* error) {
+  esr::JsonValue root;
+  if (!esr::ParseJson(json, &root, error)) return false;
+  const esr::JsonValue* registered = root.Find("registered");
+  const esr::JsonValue* report = root.Find("report");
+  if (registered == nullptr || report == nullptr) {
+    *error = "not a registry envelope (missing registered/report)";
+    return false;
+  }
+  entry->file = file;
+  if (const esr::JsonValue* v = registered->Find("figure");
+      v != nullptr && v->is_string()) {
+    entry->figure = v->string;
+  }
+  if (const esr::JsonValue* v = registered->Find("git_sha");
+      v != nullptr && v->is_string()) {
+    entry->sha = v->string;
+  }
+  if (const esr::JsonValue* v = registered->Find("preset");
+      v != nullptr && v->is_string()) {
+    entry->preset = v->string;
+  }
+  entry->recorded =
+      static_cast<int64_t>(registered->NumberOr("recorded_unix", 0.0));
+  if (entry->figure.empty()) {
+    *error = "envelope has no figure name";
+    return false;
+  }
+  const esr::JsonValue* series = report->Find("series");
+  if (series == nullptr || !series->is_object()) {
+    *error = "report has no series object";
+    return false;
+  }
+  for (const auto& [name, rows] : series->object) {
+    if (!rows.is_array()) continue;
+    for (const esr::JsonValue& row : rows.array) {
+      const esr::JsonValue* m = row.Find(metric);
+      if (m == nullptr || !m->is_number()) continue;
+      Point point;
+      point.value = m->number;
+      point.ci90_rel = row.NumberOr(metric + "_ci90_rel",
+                                    row.NumberOr("ci90_rel", 0.0));
+      entry->points[name + " @ x=" + FormatX(row.NumberOr("x", 0.0))] =
+          point;
+    }
+  }
+  return true;
+}
+
+std::string Sha7(const std::string& sha) {
+  return sha.size() > 7 ? sha.substr(0, 7) : sha;
+}
+
+/// Renders one figure's trend and returns the number of regressed points
+/// between the latest run and its predecessor.
+size_t RenderFigure(const std::string& figure, std::vector<RunEntry> runs,
+                    const std::string& metric, double tolerance,
+                    std::vector<std::string>* regressions) {
+  std::sort(runs.begin(), runs.end(),
+            [](const RunEntry& a, const RunEntry& b) {
+              if (a.recorded != b.recorded) return a.recorded < b.recorded;
+              return a.file < b.file;
+            });
+  std::printf("=== %s — %zu run%s (metric: %s, tolerance %.1f%%) ===\n",
+              figure.c_str(), runs.size(), runs.size() == 1 ? "" : "s",
+              metric.c_str(), 100.0 * tolerance);
+
+  // Show at most the last six runs as columns; note what's elided.
+  constexpr size_t kMaxColumns = 6;
+  const size_t first =
+      runs.size() > kMaxColumns ? runs.size() - kMaxColumns : 0;
+  if (first > 0) {
+    std::printf("(showing last %zu of %zu runs)\n", kMaxColumns,
+                runs.size());
+  }
+  std::vector<const RunEntry*> cols;
+  for (size_t i = first; i < runs.size(); ++i) cols.push_back(&runs[i]);
+
+  // Row set: union of point keys across the displayed runs, in map order.
+  std::map<std::string, bool> keys;
+  for (const RunEntry* run : cols) {
+    for (const auto& [key, point] : run->points) keys[key] = true;
+  }
+
+  std::printf("  %-28s", "point");
+  for (const RunEntry* run : cols) {
+    std::printf(" %12s", Sha7(run->sha).c_str());
+  }
+  std::printf(" %8s  %s\n", "delta", "status");
+
+  const RunEntry* latest = cols.back();
+  const RunEntry* previous = cols.size() >= 2 ? cols[cols.size() - 2] : nullptr;
+  size_t regressed = 0;
+  for (const auto& [key, unused] : keys) {
+    std::printf("  %-28s", key.c_str());
+    for (const RunEntry* run : cols) {
+      auto it = run->points.find(key);
+      if (it == run->points.end()) {
+        std::printf(" %12s", "-");
+      } else {
+        std::printf(" %12.3f", it->second.value);
+      }
+    }
+    std::string status = "ok";
+    std::string delta = "-";
+    const auto cur_it = latest->points.find(key);
+    if (previous == nullptr) {
+      status = "baseline";
+    } else {
+      const auto prev_it = previous->points.find(key);
+      if (cur_it == latest->points.end()) {
+        if (prev_it != previous->points.end()) {
+          status = "MISSING";
+          ++regressed;
+          regressions->push_back(figure + ": " + key +
+                                 " missing from latest run");
+        } else {
+          status = "-";
+        }
+      } else if (prev_it == previous->points.end()) {
+        status = "new";
+      } else {
+        const double base = prev_it->second.value;
+        const double cur = cur_it->second.value;
+        if (base != 0.0) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%+.1f%%",
+                        100.0 * (cur - base) / base);
+          delta = buf;
+        }
+        const double floor = base * (1.0 - tolerance);
+        if (cur < floor) {
+          const double ci = cur_it->second.ci90_rel;
+          if (ci > tolerance && cur >= base * (1.0 - ci)) {
+            status = "WARNING(ci)";
+          } else {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "%.3f -> %.3f (floor %.3f)", base, cur, floor);
+            status = "REGRESSION";
+            ++regressed;
+            regressions->push_back(figure + ": " + key + " " + buf);
+          }
+        }
+      }
+    }
+    std::printf(" %8s  %s\n", delta.c_str(), status.c_str());
+  }
+  if (runs.size() == 1) std::printf("  (single run — no trend yet)\n");
+  std::printf("\n");
+  return regressed;
+}
+
+int Analyze(std::vector<RunEntry> entries, const std::string& metric,
+            double tolerance) {
+  std::map<std::string, std::vector<RunEntry>> by_figure;
+  for (RunEntry& entry : entries) {
+    by_figure[entry.figure].push_back(std::move(entry));
+  }
+  std::vector<std::string> regressions;
+  for (auto& [figure, runs] : by_figure) {
+    RenderFigure(figure, std::move(runs), metric, tolerance, &regressions);
+  }
+  if (!regressions.empty()) {
+    std::printf("bench trend: REGRESSION (%zu point%s)\n",
+                regressions.size(), regressions.size() == 1 ? "" : "s");
+    for (const std::string& r : regressions) {
+      std::printf("  %s\n", r.c_str());
+    }
+    return 2;
+  }
+  std::printf("bench trend: PASS\n");
+  return 0;
+}
+
+RunEntry DemoRun(const std::string& sha, int64_t recorded, double zero,
+                 double med, double med_ci) {
+  RunEntry run;
+  run.figure = "fig07_throughput_vs_mpl";
+  run.sha = sha;
+  run.preset = "quick";
+  run.file = sha + ".json";
+  run.recorded = recorded;
+  run.points["zero(SR) @ x=8"] = {zero, 0.01};
+  run.points["medium @ x=8"] = {med, med_ci};
+  return run;
+}
+
+int RunDemo(bool with_regression, const std::string& metric,
+            double tolerance) {
+  std::vector<RunEntry> entries;
+  entries.push_back(DemoRun("aaaaaaaaaaaa", 1000, 120.0, 150.0, 0.01));
+  // Second run: steady zero-bound series; the medium series either holds
+  // (demo) or drops 20% with a tight CI (demo-regression).
+  const double med = with_regression ? 120.0 : 151.5;
+  entries.push_back(DemoRun("bbbbbbbbbbbb", 2000, 121.0, med, 0.01));
+  return Analyze(std::move(entries), metric, tolerance);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string metric = "throughput";
+  double tolerance = 0.05;
+  bool demo = false;
+  bool demo_regression = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (std::strcmp(argv[i], "--demo-regression") == 0) {
+      demo_regression = true;
+    } else if (std::strcmp(argv[i], "--metric") == 0) {
+      if (i + 1 >= argc) return Usage();
+      metric = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (i + 1 >= argc) return Usage();
+      tolerance = std::atof(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else if (dir.empty()) {
+      dir = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (demo || demo_regression) {
+    if (!dir.empty() || (demo && demo_regression)) return Usage();
+    return RunDemo(demo_regression, metric, tolerance);
+  }
+  if (dir.empty()) return Usage();
+
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot read registry dir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  std::vector<std::string> files;
+  for (const auto& dirent : it) {
+    if (!dirent.is_regular_file()) continue;
+    if (dirent.path().extension() != ".json") continue;
+    files.push_back(dirent.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "registry dir %s holds no .json entries\n",
+                 dir.c_str());
+    return 1;
+  }
+
+  std::vector<RunEntry> entries;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    RunEntry entry;
+    std::string error;
+    if (!ParseEntry(buffer.str(), file, metric, &entry, &error)) {
+      // Skip non-envelope JSON (a stray report dropped in the dir) with a
+      // warning instead of failing the whole trend.
+      std::fprintf(stderr, "skipping %s: %s\n", file.c_str(),
+                   error.c_str());
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    std::fprintf(stderr, "no parseable registry entries in %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("registry %s: %zu entr%s\n\n", dir.c_str(), entries.size(),
+              entries.size() == 1 ? "y" : "ies");
+  return Analyze(std::move(entries), metric, tolerance);
+}

@@ -1,0 +1,448 @@
+// esr_profile: renders a threaded_server wall-clock profile capture
+// (obs/profile.h JSON) as human-readable attribution tables, flamegraph
+// folded stacks, and per-thread Chrome trace lanes.
+//
+// Usage:
+//   esr_profile <profile.json> [--trace trace.json] [--lanes lanes.json]
+//               [--folded out.folded] [--check-coverage PCT]
+//   esr_profile --demo
+//
+// Prints the per-phase cost attribution table (self-time, % of measured
+// commit latency, p50-p999 scope percentiles), the contention-site table,
+// and the blocker table ranked by total wait across all sites.
+//
+// --folded writes folded stacks (`threaded_server;thread<N>;<phase>
+// <self_us>`) consumable by flamegraph.pl / inferno-flamegraph.
+// --lanes re-exports the --trace capture with one Perfetto track per
+// client thread (tid = thread lane) instead of per transaction.
+// --check-coverage PCT exits 2 when the phase self-time sum deviates from
+// the measured commit-latency total by more than PCT percent — the
+// attribution completeness gate CI runs at MPL 16.
+// --demo runs the whole pipeline on a deterministic in-process profile
+// (no input files) for tests.
+//
+// Exit codes: 0 success, 1 usage/input errors, 2 coverage gate failure.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_value.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "obs/trace_reader.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: esr_profile <profile.json> [--trace trace.json]\n"
+      "                   [--lanes lanes.json] [--folded out.folded]\n"
+      "                   [--check-coverage PCT]\n"
+      "       esr_profile --demo\n");
+  return 1;
+}
+
+struct PhaseRow {
+  std::string name;
+  uint64_t count = 0;
+  double self_ms = 0.0;
+  double frac_of_txn = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+struct ThreadRow {
+  uint32_t lane = 0;
+  /// phase name -> self milliseconds.
+  std::vector<std::pair<std::string, double>> self_ms;
+};
+
+struct BlockerRow {
+  uint64_t txn = 0;
+  uint64_t waits = 0;
+  double total_wait_ms = 0.0;
+};
+
+struct SiteRow {
+  std::string name;
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  uint64_t conflicts = 0;
+  double total_wait_ms = 0.0;
+  double max_wait_ms = 0.0;
+  double p50_wait_us = 0.0;
+  double p99_wait_us = 0.0;
+  std::vector<BlockerRow> blockers;
+};
+
+struct ProfileDoc {
+  bool enabled = false;
+  uint64_t txn_count = 0;
+  double txn_total_ms = 0.0;
+  double coverage_ms = 0.0;
+  std::vector<PhaseRow> phases;
+  std::vector<ThreadRow> threads;
+  std::vector<SiteRow> sites;
+};
+
+bool ParseProfile(const std::string& json, ProfileDoc* doc,
+                  std::string* error) {
+  esr::JsonValue root;
+  if (!esr::ParseJson(json, &root, error)) return false;
+  const esr::JsonValue* profile = root.Find("profile");
+  if (profile == nullptr || !profile->is_object()) {
+    *error = "no \"profile\" object";
+    return false;
+  }
+  if (const esr::JsonValue* enabled = profile->Find("enabled")) {
+    doc->enabled = enabled->type == esr::JsonValue::Type::kBool &&
+                   enabled->bool_value;
+  }
+  if (const esr::JsonValue* txn = profile->Find("txn")) {
+    doc->txn_count = static_cast<uint64_t>(txn->NumberOr("count", 0.0));
+    doc->txn_total_ms = txn->NumberOr("total_ms", 0.0);
+  }
+  doc->coverage_ms = profile->NumberOr("coverage_ms", 0.0);
+  const esr::JsonValue* phases = profile->Find("phases");
+  if (phases == nullptr || !phases->is_object()) {
+    *error = "no \"phases\" object";
+    return false;
+  }
+  for (const auto& [name, value] : phases->object) {
+    PhaseRow row;
+    row.name = name;
+    row.count = static_cast<uint64_t>(value.NumberOr("count", 0.0));
+    row.self_ms = value.NumberOr("self_ms", 0.0);
+    row.frac_of_txn = value.NumberOr("frac_of_txn", 0.0);
+    row.p50_ms = value.NumberOr("p50_ms", 0.0);
+    row.p90_ms = value.NumberOr("p90_ms", 0.0);
+    row.p99_ms = value.NumberOr("p99_ms", 0.0);
+    row.p999_ms = value.NumberOr("p999_ms", 0.0);
+    doc->phases.push_back(std::move(row));
+  }
+  if (const esr::JsonValue* threads = profile->Find("threads");
+      threads != nullptr && threads->is_array()) {
+    for (const esr::JsonValue& t : threads->array) {
+      ThreadRow row;
+      row.lane = static_cast<uint32_t>(t.NumberOr("lane", 0.0));
+      if (const esr::JsonValue* tp = t.Find("phases");
+          tp != nullptr && tp->is_object()) {
+        for (const auto& [name, value] : tp->object) {
+          row.self_ms.emplace_back(name, value.NumberOr("self_ms", 0.0));
+        }
+      }
+      doc->threads.push_back(std::move(row));
+    }
+  }
+  if (const esr::JsonValue* sites = profile->Find("sites");
+      sites != nullptr && sites->is_array()) {
+    for (const esr::JsonValue& s : sites->array) {
+      SiteRow row;
+      if (const esr::JsonValue* name = s.Find("name");
+          name != nullptr && name->is_string()) {
+        row.name = name->string;
+      }
+      row.acquisitions =
+          static_cast<uint64_t>(s.NumberOr("acquisitions", 0.0));
+      row.contended = static_cast<uint64_t>(s.NumberOr("contended", 0.0));
+      row.conflicts = static_cast<uint64_t>(s.NumberOr("conflicts", 0.0));
+      row.total_wait_ms = s.NumberOr("total_wait_ms", 0.0);
+      row.max_wait_ms = s.NumberOr("max_wait_ms", 0.0);
+      row.p50_wait_us = s.NumberOr("p50_wait_us", 0.0);
+      row.p99_wait_us = s.NumberOr("p99_wait_us", 0.0);
+      if (const esr::JsonValue* blockers = s.Find("blockers");
+          blockers != nullptr && blockers->is_array()) {
+        for (const esr::JsonValue& b : blockers->array) {
+          BlockerRow blocker;
+          blocker.txn = static_cast<uint64_t>(b.NumberOr("txn", 0.0));
+          blocker.waits = static_cast<uint64_t>(b.NumberOr("waits", 0.0));
+          blocker.total_wait_ms = b.NumberOr("total_wait_ms", 0.0);
+          row.blockers.push_back(blocker);
+        }
+      }
+      doc->sites.push_back(std::move(row));
+    }
+  }
+  return true;
+}
+
+// Canonical phase print order (the JSON object is alphabetized).
+const char* const kPhaseOrder[] = {"lock_wait", "rpc",   "validate",
+                                   "bound_walk", "apply", "commit"};
+
+void PrintAttribution(const ProfileDoc& doc) {
+  std::printf("profile: %llu txns, %.2f ms total commit latency%s\n",
+              static_cast<unsigned long long>(doc.txn_count),
+              doc.txn_total_ms,
+              doc.enabled ? "" : " (profiler was DISABLED)");
+  std::printf("\nphase attribution (self-time, %zu thread(s)):\n",
+              doc.threads.size());
+  std::printf("  %-10s %10s %12s %9s %9s %9s %9s %9s\n", "phase", "samples",
+              "self(ms)", "% of txn", "p50(ms)", "p90(ms)", "p99(ms)",
+              "p999(ms)");
+  for (const char* name : kPhaseOrder) {
+    for (const PhaseRow& row : doc.phases) {
+      if (row.name != name) continue;
+      std::printf("  %-10s %10llu %12.2f %8.1f%% %9.3f %9.3f %9.3f %9.3f\n",
+                  row.name.c_str(),
+                  static_cast<unsigned long long>(row.count), row.self_ms,
+                  100.0 * row.frac_of_txn, row.p50_ms, row.p90_ms,
+                  row.p99_ms, row.p999_ms);
+    }
+  }
+  const double coverage_frac =
+      doc.txn_total_ms > 0 ? doc.coverage_ms / doc.txn_total_ms : 0.0;
+  std::printf(
+      "\ncoverage: phase self-times sum to %.2f ms = %.1f%% of measured "
+      "commit latency\n",
+      doc.coverage_ms, 100.0 * coverage_frac);
+}
+
+void PrintSites(const ProfileDoc& doc) {
+  if (doc.sites.empty()) {
+    std::printf("\ncontention sites: none recorded\n");
+    return;
+  }
+  std::printf("\ncontention sites (ranked by total wait):\n");
+  std::printf("  %-22s %12s %10s %10s %10s %9s %9s\n", "site", "acquired",
+              "contended", "conflicts", "wait(ms)", "p50(us)", "p99(us)");
+  for (const SiteRow& site : doc.sites) {
+    std::printf("  %-22s %12llu %10llu %10llu %10.2f %9.1f %9.1f\n",
+                site.name.c_str(),
+                static_cast<unsigned long long>(site.acquisitions),
+                static_cast<unsigned long long>(site.contended),
+                static_cast<unsigned long long>(site.conflicts),
+                site.total_wait_ms, site.p50_wait_us, site.p99_wait_us);
+  }
+  // Blocked-by attribution, merged across sites and ranked by the total
+  // wall-clock wait each holder inflicted.
+  std::map<uint64_t, BlockerRow> merged;
+  for (const SiteRow& site : doc.sites) {
+    for (const BlockerRow& b : site.blockers) {
+      BlockerRow& entry = merged[b.txn];
+      entry.txn = b.txn;
+      entry.waits += b.waits;
+      entry.total_wait_ms += b.total_wait_ms;
+    }
+  }
+  std::vector<BlockerRow> blockers;
+  for (const auto& [txn, row] : merged) blockers.push_back(row);
+  std::sort(blockers.begin(), blockers.end(),
+            [](const BlockerRow& a, const BlockerRow& b) {
+              if (a.total_wait_ms != b.total_wait_ms) {
+                return a.total_wait_ms > b.total_wait_ms;
+              }
+              if (a.waits != b.waits) return a.waits > b.waits;
+              return a.txn < b.txn;
+            });
+  constexpr size_t kTopBlockers = 10;
+  std::printf("\nblockers (by total wait inflicted, top %zu of %zu):\n",
+              std::min(kTopBlockers, blockers.size()), blockers.size());
+  std::printf("  %-12s %10s %12s\n", "txn", "waits", "wait(ms)");
+  for (size_t i = 0; i < blockers.size() && i < kTopBlockers; ++i) {
+    std::printf("  %-12llu %10llu %12.2f\n",
+                static_cast<unsigned long long>(blockers[i].txn),
+                static_cast<unsigned long long>(blockers[i].waits),
+                blockers[i].total_wait_ms);
+  }
+}
+
+bool WriteFolded(const ProfileDoc& doc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open folded output: %s\n", path.c_str());
+    return false;
+  }
+  // One folded stack per (thread, phase); weights are integer self-time
+  // microseconds, the format flamegraph.pl / inferno expect.
+  for (const ThreadRow& thread : doc.threads) {
+    for (const char* name : kPhaseOrder) {
+      for (const auto& [phase, self_ms] : thread.self_ms) {
+        if (phase != name) continue;
+        const long long self_us = std::llround(self_ms * 1000.0);
+        if (self_us <= 0) continue;
+        out << "threaded_server;thread" << thread.lane << ";" << phase
+            << " " << self_us << "\n";
+      }
+    }
+  }
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "failed writing folded stacks to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("\nwrote folded stacks to %s\n", path.c_str());
+  return true;
+}
+
+bool WriteLanes(const std::string& trace_path, const std::string& out_path) {
+  std::vector<esr::TraceEvent> events;
+  esr::TraceMetadata metadata;
+  const esr::Status s =
+      esr::ReadChromeTraceFile(trace_path, &events, &metadata);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot read trace: %s\n", s.ToString().c_str());
+    return false;
+  }
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open lanes output: %s\n", out_path.c_str());
+    return false;
+  }
+  esr::WriteChromeTraceEvents(events, out, metadata.recorded,
+                              metadata.dropped, metadata.capacity,
+                              /*thread_lanes=*/true);
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "failed writing lanes to %s\n", out_path.c_str());
+    return false;
+  }
+  std::printf("\nwrote %zu events as per-thread lanes to %s\n",
+              events.size(), out_path.c_str());
+  return true;
+}
+
+// Deterministic synthetic profile exercising writer -> parser -> printer
+// in every build (probe-independent, so it passes under
+// ESR_DISABLE_TRACING too).
+std::string DemoProfileJson() {
+  esr::ProfileSnapshot snap;
+  const uint64_t ms = 1000000;  // ns per ms
+  snap.threads.resize(2);
+  for (uint32_t i = 0; i < 2; ++i) {
+    esr::ThreadProfile& t = snap.threads[i];
+    t.lane = i + 1;
+    auto fill = [&](esr::ProfilePhase phase, uint64_t count,
+                    uint64_t self_ns, double scope_ms) {
+      esr::PhaseSnapshot& p =
+          t.phases[static_cast<size_t>(phase)];
+      p.count = count;
+      p.self_ns = self_ns;
+      for (uint64_t s = 0; s < count; ++s) p.scope_ms.Record(scope_ms);
+    };
+    fill(esr::ProfilePhase::kLockWait, 40, 30 * ms, 0.75);
+    fill(esr::ProfilePhase::kRpc, 200, 44 * ms, 0.22);
+    fill(esr::ProfilePhase::kValidate, 240, 5 * ms, 0.02);
+    fill(esr::ProfilePhase::kBoundWalk, 80, 1 * ms, 0.012);
+    fill(esr::ProfilePhase::kApply, 60, 500000, 0.008);
+    fill(esr::ProfilePhase::kCommit, 20, 800000, 0.04);
+    for (size_t p = 0; p < esr::kNumProfilePhases; ++p) {
+      snap.phases[p].count += t.phases[p].count;
+      snap.phases[p].self_ns += t.phases[p].self_ns;
+      snap.phases[p].scope_ms.Merge(t.phases[p].scope_ms);
+    }
+  }
+  esr::ContentionSite site("demo.engine_mu");
+  for (int i = 0; i < 500; ++i) site.RecordAcquisition();
+  site.RecordWait(2 * ms, 7);
+  site.RecordWait(5 * ms, 7);
+  site.RecordWait(1 * ms, 9);
+  site.RecordConflict(9);
+  snap.sites.push_back(site.TakeSnapshot());
+  esr::ProfileTxnTotals txn;
+  txn.count = 40;
+  txn.total_ms = 165.0;
+  std::ostringstream out;
+  esr::WriteProfileJson(snap, txn, /*enabled=*/true, out);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string profile_path;
+  std::string trace_path;
+  std::string lanes_path;
+  std::string folded_path;
+  double check_coverage_pct = -1.0;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
+    const bool is_lanes = std::strcmp(argv[i], "--lanes") == 0;
+    const bool is_folded = std::strcmp(argv[i], "--folded") == 0;
+    const bool is_check = std::strcmp(argv[i], "--check-coverage") == 0;
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (is_trace || is_lanes || is_folded || is_check) {
+      if (i + 1 >= argc) return Usage();
+      if (is_trace) trace_path = argv[++i];
+      else if (is_lanes) lanes_path = argv[++i];
+      else if (is_folded) folded_path = argv[++i];
+      else check_coverage_pct = std::atof(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      return Usage();
+    } else if (profile_path.empty()) {
+      profile_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (!demo && profile_path.empty()) return Usage();
+  if (demo && !profile_path.empty()) return Usage();
+  if (!lanes_path.empty() && trace_path.empty()) {
+    std::fprintf(stderr, "--lanes requires --trace <capture>\n");
+    return Usage();
+  }
+
+  std::string json;
+  if (demo) {
+    json = DemoProfileJson();
+  } else {
+    std::ifstream in(profile_path);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open profile: %s\n",
+                   profile_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    json = buffer.str();
+  }
+
+  ProfileDoc doc;
+  std::string error;
+  if (!ParseProfile(json, &doc, &error)) {
+    std::fprintf(stderr, "malformed profile JSON: %s\n", error.c_str());
+    return 1;
+  }
+
+  PrintAttribution(doc);
+  PrintSites(doc);
+
+  if (!folded_path.empty() && !WriteFolded(doc, folded_path)) return 1;
+  if (!lanes_path.empty() && !WriteLanes(trace_path, lanes_path)) return 1;
+
+  if (check_coverage_pct >= 0.0) {
+    if (doc.txn_total_ms <= 0.0) {
+      std::fprintf(stderr,
+                   "coverage check: no measured commit latency in capture\n");
+      return 2;
+    }
+    const double deviation =
+        std::fabs(doc.coverage_ms / doc.txn_total_ms - 1.0) * 100.0;
+    if (deviation > check_coverage_pct) {
+      std::printf(
+          "coverage check: FAIL — attribution deviates %.2f%% from "
+          "measured latency (budget %.2f%%)\n",
+          deviation, check_coverage_pct);
+      return 2;
+    }
+    std::printf(
+        "coverage check: PASS — attribution within %.2f%% of measured "
+        "latency (budget %.2f%%)\n",
+        deviation, check_coverage_pct);
+  }
+  return 0;
+}
