@@ -25,6 +25,7 @@ using esr::SimResult;
 using esr::TxnType;
 using esr::bench::BaseOptions;
 using esr::bench::JobsFromArgs;
+using esr::bench::LanesFromArgs;
 using esr::bench::ParallelFor;
 using esr::bench::PrintHeader;
 using esr::bench::RunScale;
@@ -52,10 +53,11 @@ struct RunOutcome {
 // One (shape, seed) run; self-contained so runs can execute on worker
 // threads. `owns_trace` must be false when other runs may be in flight.
 RunOutcome RunShapeSeed(const Shape& shape, int seed, const RunScale& scale,
-                        bool owns_trace) {
+                        bool owns_trace, int lanes) {
   auto opt = BaseOptions(kTil, /*tel=*/10'000, kMpl, scale);
   opt.seed = static_cast<uint64_t>(seed) * 7919;
   opt.owns_trace = owns_trace;
+  opt.lanes = lanes;
 
   // Group ids are deterministic given the construction order below, so
   // the bound factory can reference them before the cluster exists.
@@ -125,6 +127,7 @@ int main(int argc, char** argv) {
   constexpr size_t kShapeCount = 3;
   const size_t seeds = static_cast<size_t>(scale.seeds);
   const int jobs = JobsFromArgs(argc, argv);
+  const int lanes = LanesFromArgs(argc, argv);
 
   // Fan the (shape, seed) grid across workers; merge on the main thread
   // in seed order so the averages are bit-identical to a serial run.
@@ -132,7 +135,8 @@ int main(int argc, char** argv) {
   ParallelFor(raw.size(), jobs, [&](size_t task) {
     const Shape& shape = shapes[task / seeds];
     const int seed = static_cast<int>(task % seeds) + 1;
-    raw[task] = RunShapeSeed(shape, seed, scale, /*owns_trace=*/jobs == 1);
+    raw[task] =
+        RunShapeSeed(shape, seed, scale, /*owns_trace=*/jobs == 1, lanes);
   });
 
   Table table({"declaration", "tput(tps)", "aborts", "group_aborts",

@@ -1,0 +1,223 @@
+// Microbenchmark of the arena-backed write-history layout (PR 8): every
+// object's ring lives in one contiguous HistoryArena slice, against the
+// previous layout where each object owned a separately heap-allocated
+// ring. Both sides run the identical WriteHistory code — the delta is
+// purely memory layout — over the simulator's two hot shapes: committed
+// write recording round-robin across the store, and proper-value scans
+// over neighboring objects. Min-of-N ops/sec, with a JsonReport emitted
+// for `--registry <dir>` cross-run trends like every figure harness.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "common/types.h"
+#include "harness/harness.h"
+#include "storage/object_store.h"
+#include "storage/write_history.h"
+
+namespace {
+
+using esr::HistoryArena;
+using esr::ObjectId;
+using esr::ObjectStore;
+using esr::ObjectStoreOptions;
+using esr::Timestamp;
+using esr::WriteHistory;
+using esr::bench::AveragedResult;
+using esr::bench::JsonReport;
+using esr::bench::MaybeAppendToRegistry;
+using esr::bench::RunScale;
+using esr::bench::Table;
+
+template <typename Kernel>
+double MinOfN(int reps, double ops, Kernel&& kernel) {
+  kernel();  // warm caches and the allocator
+  double best_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    kernel();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best_s = std::min(best_s, elapsed.count());
+  }
+  return ops / best_s;
+}
+
+Timestamp Ts(int64_t t) { return Timestamp{t, 0}; }
+
+/// The store's hot shapes over any collection of per-object histories.
+/// `at(i)` returns a WriteHistory&, so arena-backed views and standalone
+/// (per-object heap) rings run the exact same instruction stream.
+template <typename At>
+uint64_t RecordChurn(size_t num_objects, int rounds, const At& at) {
+  uint64_t sink = 0;
+  int64_t ts = 1;
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < num_objects; ++i) {
+      at(i).Record(Ts(ts++), static_cast<esr::Value>(r));
+    }
+  }
+  for (size_t i = 0; i < num_objects; ++i) sink += at(i).size();
+  return sink;
+}
+
+template <typename At>
+uint64_t ProperScan(size_t num_objects, int rounds, const At& at) {
+  uint64_t sink = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < num_objects; ++i) {
+      const auto v = at(i).ProperValueBefore(
+          Ts(static_cast<int64_t>((i + r) % 1000) * 64 + 1));
+      if (v.has_value()) sink += static_cast<uint64_t>(*v);
+    }
+  }
+  return sink;
+}
+
+/// Per-object heap layout: each ring is its own allocation, interleaved
+/// with decoy allocations so the blocks land apart, the way a long run's
+/// churn scatters them.
+struct LegacyStore {
+  std::vector<std::unique_ptr<WriteHistory>> rings;
+  std::vector<std::unique_ptr<WriteHistory::Entry[]>> decoys;
+
+  LegacyStore(size_t num_objects, size_t depth) {
+    rings.reserve(num_objects);
+    for (size_t i = 0; i < num_objects; ++i) {
+      rings.push_back(std::make_unique<WriteHistory>(depth));
+      decoys.push_back(
+          std::make_unique<WriteHistory::Entry[]>(depth * 3 + i % 7));
+    }
+  }
+  WriteHistory& at(size_t i) const { return *rings[i]; }
+};
+
+struct ArenaStore {
+  HistoryArena arena;
+  std::vector<WriteHistory> rings;
+
+  ArenaStore(size_t num_objects, size_t depth) : arena(num_objects, depth) {
+    rings.reserve(num_objects);
+    for (size_t i = 0; i < num_objects; ++i) {
+      rings.emplace_back(arena.SlotFor(static_cast<ObjectId>(i)), depth);
+    }
+  }
+  WriteHistory& at(size_t i) { return rings[i]; }
+};
+
+AveragedResult Point(double ops_per_sec) {
+  AveragedResult result;
+  result.throughput = ops_per_sec;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const RunScale scale = RunScale::FromEnv();
+  const bool full = scale.preset == "full";
+  const int reps = full ? 12 : 5;
+  const size_t kObjects = 1000;  // the paper's database size
+  const int record_rounds = full ? 400 : 100;
+  const int scan_rounds = full ? 2000 : 500;
+  std::printf(
+      "=== micro_object_store: arena-backed vs per-object write-history "
+      "layout, %zu objects (min of %d reps) ===\n\n",
+      kObjects, reps);
+
+  JsonReport report("micro_object_store", scale);
+  Table table({"kernel", "depth", "arena (Mops/s)", "per-object (Mops/s)",
+               "ratio"});
+  uint64_t sink = 0;
+
+  for (const size_t depth : {size_t{20}, size_t{64}}) {
+    const double record_ops =
+        static_cast<double>(record_rounds) * static_cast<double>(kObjects);
+    const double scan_ops =
+        static_cast<double>(scan_rounds) * static_cast<double>(kObjects);
+
+    ArenaStore arena(kObjects, depth);
+    LegacyStore legacy(kObjects, depth);
+    // Fill both to steady state (full rings) before timing.
+    sink += RecordChurn(kObjects, static_cast<int>(depth) + 1,
+                        [&](size_t i) -> WriteHistory& { return arena.at(i); });
+    sink += RecordChurn(kObjects, static_cast<int>(depth) + 1,
+                        [&](size_t i) -> WriteHistory& { return legacy.at(i); });
+
+    const double arena_record = MinOfN(reps, record_ops, [&] {
+      sink += RecordChurn(kObjects, record_rounds,
+                          [&](size_t i) -> WriteHistory& { return arena.at(i); });
+    });
+    const double legacy_record = MinOfN(reps, record_ops, [&] {
+      sink += RecordChurn(kObjects, record_rounds,
+                          [&](size_t i) -> WriteHistory& { return legacy.at(i); });
+    });
+    table.AddRow({"record", Table::Int(static_cast<double>(depth)),
+                  Table::Num(arena_record / 1e6),
+                  Table::Num(legacy_record / 1e6),
+                  Table::Num(arena_record / legacy_record)});
+    report.AddPoint("record_arena", static_cast<double>(depth),
+                    Point(arena_record));
+    report.AddPoint("record_per_object", static_cast<double>(depth),
+                    Point(legacy_record));
+
+    const double arena_scan = MinOfN(reps, scan_ops, [&] {
+      sink += ProperScan(kObjects, scan_rounds,
+                         [&](size_t i) -> WriteHistory& { return arena.at(i); });
+    });
+    const double legacy_scan = MinOfN(reps, scan_ops, [&] {
+      sink += ProperScan(kObjects, scan_rounds,
+                         [&](size_t i) -> WriteHistory& { return legacy.at(i); });
+    });
+    table.AddRow({"proper-scan", Table::Int(static_cast<double>(depth)),
+                  Table::Num(arena_scan / 1e6),
+                  Table::Num(legacy_scan / 1e6),
+                  Table::Num(arena_scan / legacy_scan)});
+    report.AddPoint("proper_scan_arena", static_cast<double>(depth),
+                    Point(arena_scan));
+    report.AddPoint("proper_scan_per_object", static_cast<double>(depth),
+                    Point(legacy_scan));
+  }
+
+  // Absolute end-to-end sanity point: the real ObjectStore's load path
+  // (populate + seed histories) at the paper's size.
+  {
+    ObjectStoreOptions opt;
+    opt.num_objects = kObjects;
+    const double loads = full ? 200 : 50;
+    const double load_rate = MinOfN(reps, loads, [&] {
+      for (int i = 0; i < static_cast<int>(loads); ++i) {
+        ObjectStore store(opt);
+        sink += static_cast<uint64_t>(store.TotalValue());
+      }
+    });
+    std::printf("store load+seed: %.1f stores/s (%zu objects each)\n\n",
+                load_rate, kObjects);
+    report.AddPoint("store_load", static_cast<double>(kObjects),
+                    Point(load_rate));
+  }
+
+  table.Print();
+  if (sink == 0) std::printf("(impossible sink)\n");
+
+  const std::string json_path = JsonReport::PathFromArgs(argc, argv);
+  const esr::Status json_status = report.WriteToFile(json_path);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "json export failed: %s\n",
+                 json_status.ToString().c_str());
+    return 1;
+  }
+  const esr::Status reg_status =
+      MaybeAppendToRegistry(argc, argv, report, /*jobs=*/1);
+  if (!reg_status.ok()) {
+    std::fprintf(stderr, "registry append failed: %s\n",
+                 reg_status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #ifndef ESR_HIERARCHY_ACCUMULATOR_H_
 #define ESR_HIERARCHY_ACCUMULATOR_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <vector>
@@ -211,6 +212,21 @@ class InconsistencyAccumulator {
 
   const BoundSpec& bounds() const { return bounds_; }
   ChargeDirection direction() const { return direction_; }
+  const GroupSchema* schema() const { return schema_; }
+
+  /// Rewinds to a freshly-constructed state under a new bound
+  /// declaration, reusing the node array's and the bound table's storage
+  /// (the transaction pool's reset path; allocation-free in steady
+  /// state). Detaches any headroom tracker — the engine reattaches one
+  /// right after Begin.
+  void ResetForReuse(const BoundSpec& bounds, ChargeDirection direction) {
+    bounds_.AssignFrom(bounds);
+    direction_ = direction;
+    std::fill(accumulated_.begin(), accumulated_.end(), 0.0);
+#ifndef ESR_TRACE_DISABLED
+    tracker_ = nullptr;
+#endif
+  }
 
   /// Attaches the engine's headroom tracker; every subsequent successful
   /// charge publishes (accumulated, limit) per path node. nullptr (the

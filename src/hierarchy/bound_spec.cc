@@ -14,8 +14,8 @@ BoundSpec& BoundSpec::SetLimit(GroupId group, Inconsistency limit) {
 }
 
 Inconsistency BoundSpec::LimitFor(GroupId group) const {
-  auto it = limits_.find(group);
-  return it == limits_.end() ? kUnbounded : it->second;
+  const Inconsistency* limit = limits_.Find(group);
+  return limit == nullptr ? kUnbounded : *limit;
 }
 
 }  // namespace esr

@@ -1,8 +1,7 @@
 #ifndef ESR_HIERARCHY_BOUND_SPEC_H_
 #define ESR_HIERARCHY_BOUND_SPEC_H_
 
-#include <unordered_map>
-
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "hierarchy/group_schema.h"
@@ -35,6 +34,16 @@ class BoundSpec {
     return SetLimit(kRootGroup, limit);
   }
 
+  /// Replaces this spec's limits with a copy of `other`'s, reusing this
+  /// spec's table storage — allocation-free once capacity covers the
+  /// limit count (the transaction pool's reset path).
+  void AssignFrom(const BoundSpec& other) {
+    limits_.Clear();
+    other.limits_.ForEach([this](GroupId group, const Inconsistency& limit) {
+      limits_[group] = limit;
+    });
+  }
+
   Inconsistency LimitFor(GroupId group) const;
   Inconsistency transaction_limit() const { return LimitFor(kRootGroup); }
 
@@ -45,7 +54,7 @@ class BoundSpec {
   size_t num_limits() const { return limits_.size(); }
 
  private:
-  std::unordered_map<GroupId, Inconsistency> limits_;
+  FlatMap<GroupId, Inconsistency> limits_;
 };
 
 }  // namespace esr

@@ -55,8 +55,8 @@ Result<GroupId> GroupSchema::FindGroup(const std::string& name) const {
 }
 
 GroupId GroupSchema::GroupOf(ObjectId object) const {
-  auto it = object_groups_.find(object);
-  return it == object_groups_.end() ? kRootGroup : it->second;
+  const GroupId* group = object_groups_.Find(object);
+  return group == nullptr ? kRootGroup : *group;
 }
 
 std::vector<GroupId> GroupSchema::PathToRoot(ObjectId object) const {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/result.h"
 #include "common/types.h"
 
@@ -71,7 +72,9 @@ class GroupSchema {
   std::vector<std::string> names_;
   std::vector<double> weights_;
   std::unordered_map<std::string, GroupId> by_name_;
-  std::unordered_map<ObjectId, GroupId> object_groups_;
+  // On the accumulator charge path (GroupOf per TryCharge); flat layout
+  // keeps the lookup to one probe.
+  FlatMap<ObjectId, GroupId> object_groups_;
 };
 
 }  // namespace esr

@@ -17,15 +17,16 @@ MvtoManager::MvtoManager(const ObjectStoreOptions& store_options,
   ESR_CHECK(metrics_ != nullptr);
 }
 
-TxnId MvtoManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
+TxnId MvtoManager::Begin(TxnType type, Timestamp ts,
+                         const BoundSpec& bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   const TxnId id = next_txn_id_++;
-  auto [it, inserted] = transactions_.emplace(
-      id, Transaction(id, type, ts, schema_, std::move(bounds)));
-  it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
+  auto [t, inserted] = transactions_.TryEmplace(
+      id, Transaction(id, type, ts, schema_, bounds));
+  t->set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(type)->Increment();
   ESR_TRACE_EVENT(
-      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), it->second.trace_span()));
+      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), t->trace_span()));
   return id;
 }
 
@@ -93,39 +94,38 @@ OpResult MvtoManager::Write(TxnId txn, ObjectId object, Value value) {
 
 Status MvtoManager::Commit(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = transactions_.find(txn);
-  if (it == transactions_.end()) {
+  Transaction* t = transactions_.Find(txn);
+  if (t == nullptr) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
-  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
-                        it->second.trace_span());
-  Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
+  TraceSpan commit_span(SpanKind::kCommit, txn, t->ts().site, 0,
+                        t->trace_span());
+  Teardown(*t, TxnState::kCommitted, AbortReason::kNone);
   return Status::OK();
 }
 
 Status MvtoManager::Abort(TxnId txn) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = transactions_.find(txn);
-  if (it == transactions_.end()) {
+  Transaction* t = transactions_.Find(txn);
+  if (t == nullptr) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
-  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
-                        it->second.trace_span());
-  Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
+  TraceSpan commit_span(SpanKind::kCommit, txn, t->ts().site, 0,
+                        t->trace_span());
+  Teardown(*t, TxnState::kAborted, AbortReason::kUserRequested);
   return Status::OK();
 }
 
 bool MvtoManager::IsActive(TxnId txn) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return transactions_.count(txn) > 0;
+  return transactions_.Contains(txn);
 }
 
 const Transaction* MvtoManager::Find(TxnId txn) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = transactions_.find(txn);
-  return it == transactions_.end() ? nullptr : &it->second;
+  return transactions_.Find(txn);
 }
 
 size_t MvtoManager::num_active() const {
@@ -134,10 +134,10 @@ size_t MvtoManager::num_active() const {
 }
 
 Transaction& MvtoManager::GetActive(TxnId txn) {
-  auto it = transactions_.find(txn);
-  ESR_CHECK(it != transactions_.end())
+  Transaction* t = transactions_.Find(txn);
+  ESR_CHECK(t != nullptr)
       << "operation on unknown/finished transaction " << txn;
-  return it->second;
+  return *t;
 }
 
 OpResult MvtoManager::AbortOp(Transaction& txn, AbortReason reason) {
@@ -168,7 +168,9 @@ void MvtoManager::Teardown(Transaction& txn, TxnState final_state,
                                      txn.id(), txn.ts().site));
   }
   EndSpan(SpanKind::kTxn, txn.trace_span(), txn.id(), txn.ts().site);
-  transactions_.erase(txn.id());
+  // Last touch of `txn`: backward-shift erase moves neighbors and leaves
+  // the reference dangling.
+  transactions_.Erase(txn.id());
 }
 
 }  // namespace esr

@@ -2,7 +2,7 @@
 #define ESR_MVTO_MVTO_MANAGER_H_
 
 #include <mutex>
-#include <unordered_map>
+#include "common/flat_map.h"
 
 #include "common/metrics.h"
 #include "hierarchy/group_schema.h"
@@ -30,7 +30,7 @@ class MvtoManager final : public TransactionEngine {
   MvtoManager(const MvtoManager&) = delete;
   MvtoManager& operator=(const MvtoManager&) = delete;
 
-  TxnId Begin(TxnType type, Timestamp ts, BoundSpec bounds) override;
+  TxnId Begin(TxnType type, Timestamp ts, const BoundSpec& bounds) override;
   OpResult Read(TxnId txn, ObjectId object) override;
   OpResult Write(TxnId txn, ObjectId object, Value value) override;
   Status Commit(TxnId txn) override;
@@ -52,7 +52,7 @@ class MvtoManager final : public TransactionEngine {
   MetricRegistry* metrics_;
   VersionStore store_;
   TxnId next_txn_id_ = 1;
-  std::unordered_map<TxnId, Transaction> transactions_;
+  FlatMap<TxnId, Transaction> transactions_;
   /// Hot-path counters resolved once at construction so per-operation
   /// accounting is an atomic increment, not a map lookup.
   EngineCounters counters_;

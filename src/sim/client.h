@@ -8,6 +8,7 @@
 #include "common/timestamp.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
+#include "sim/lane_executor.h"
 #include "sim/latency_model.h"
 #include "sim/skewed_clock.h"
 #include "txn/server.h"
@@ -53,11 +54,24 @@ struct ClientStats {
 /// generated load, submits operations to the server over synchronous RPC,
 /// retries operations told to wait, and resubmits aborted transactions
 /// with a new timestamp until they complete.
+///
+/// Lane placement: the client's own thinking (timestamp assignment, retry
+/// timers, response handling, its stats) happens on its site's lane; the
+/// server half of every RPC (Begin, operation execution under the shared
+/// CPU, Commit) happens on the server lane. Each RPC is two cross-lane
+/// legs — request travel to the server, response travel back — so the
+/// lane executor's conservative window always has at least one leg of
+/// slack. The client is strictly synchronous (one outstanding event per
+/// site in the whole system), so its state needs no locking: the chain
+/// alternates between its lane and the server lane, never overlapping
+/// itself.
 class SimClient {
  public:
-  SimClient(SiteId site, Server* server, EventQueue* queue,
-            LatencyModel* latency, WorkloadGenerator generator,
-            SkewedClock clock);
+  /// `lane` is this client's lane index in `lanes` (the cluster uses the
+  /// site id); `server_lane` is where the server lives (lane 0).
+  SimClient(SiteId site, Server* server, LaneExecutor* lanes, size_t lane,
+            size_t server_lane, LatencyModel* latency,
+            WorkloadGenerator generator, SkewedClock clock);
 
   SimClient(const SimClient&) = delete;
   SimClient& operator=(const SimClient&) = delete;
@@ -89,9 +103,15 @@ class SimClient {
   /// The value a write op sends, derived from this attempt's reads.
   Value WriteValueFor(const ScriptOp& op) const;
 
+  /// This client's own event queue.
+  EventQueue& lane_queue() { return lanes_->lane(lane_); }
+  EventQueue& server_queue() { return lanes_->lane(server_lane_); }
+
   SiteId site_;
   Server* server_;
-  EventQueue* queue_;
+  LaneExecutor* lanes_;
+  size_t lane_;
+  size_t server_lane_;
   LatencyModel* latency_;
   WorkloadGenerator generator_;
   SkewedClock clock_;

@@ -1,5 +1,6 @@
 #include "sim/cluster.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 
@@ -12,9 +13,11 @@ namespace {
 
 /// Time-source hook stamping trace events with the simulator's virtual
 /// clock, so a trace of a simulated run lines up with the virtual
-/// timeline the metrics are reported in.
+/// timeline the metrics are reported in. Tracing clamps the executor to
+/// one worker, so the currently-executing lane is well defined.
 int64_t VirtualNowMicros(void* ctx) {
-  return static_cast<int64_t>(static_cast<EventQueue*>(ctx)->now());
+  return static_cast<int64_t>(
+      static_cast<LaneExecutor*>(ctx)->CurrentNow());
 }
 
 }  // namespace
@@ -34,7 +37,12 @@ std::string SimResult::ToString() const {
   return buf;
 }
 
-Cluster::Cluster(const ClusterOptions& options) : options_(options) {
+Cluster::Cluster(const ClusterOptions& options)
+    : options_(options),
+      // One lane per site — the server plus mpl clients — always; the
+      // worker count is applied in Run() and never changes the shape.
+      executor_(static_cast<size_t>(options.mpl) + 1,
+                LatencyModel::MinCrossSiteDelayMicros(options.latency)) {
   ESR_CHECK(options_.mpl >= 1);
   // The store must be populated consistently with the workload's universe.
   ServerOptions server_options = options_.server;
@@ -44,24 +52,37 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   server_options.store.seed = options_.seed ^ 0x5eedull;
   server_ = std::make_unique<Server>(server_options);
 
+  // Pre-size the engine's transaction and lock tables for the steady
+  // state: MPL concurrent transactions, each touching at most the
+  // longest generated script's object count.
+  const size_t ops_hint = static_cast<size_t>(
+      std::max(options_.workload.query_ops_max,
+               options_.workload.update_ops_max));
+  server_->engine().ReserveForLoad(
+      {static_cast<size_t>(options_.mpl), ops_hint});
+
   Rng master(options_.seed);
-  latency_ = std::make_unique<LatencyModel>(options_.latency,
-                                            master.NextU64());
+  // Per-site latency streams (site 0 = server is unused but keeps the
+  // indexing aligned): which lane interleaving runs first must not
+  // change what anyone samples.
+  latency_ = std::make_unique<LatencyModel>(
+      options_.latency, master.NextU64(),
+      static_cast<size_t>(options_.mpl) + 1);
   Rng skew_rng = master.Fork();
   for (int i = 0; i < options_.mpl; ++i) {
     const SiteId site = static_cast<SiteId>(i + 1);
     WorkloadGenerator generator(options_.workload, master.NextU64());
     SkewedClock clock(site, options_.skew, &skew_rng);
     clients_.push_back(std::make_unique<SimClient>(
-        site, server_.get(), &queue_, latency_.get(), std::move(generator),
-        clock));
+        site, server_.get(), &executor_, static_cast<size_t>(site),
+        /*server_lane=*/0, latency_.get(), std::move(generator), clock));
   }
   if (options_.collect_series) {
     SeriesSamplerOptions sampler_options;
     sampler_options.window_s = options_.series_window_s;
     sampler_options.source = options_.series_source;
     sampler_ = std::make_unique<SeriesSampler>(
-        &queue_, server_.get(),
+        &executor_.lane(0), server_.get(),
         [this] {
           SeriesSampler::Cumulative total;
           for (const auto& client : clients_) {
@@ -79,12 +100,24 @@ Cluster::Cluster(const ClusterOptions& options) : options_(options) {
   }
 }
 
+void Cluster::RunTo(SimTime until) {
+  // Every sampler boundary reads cross-lane state, so the conservative
+  // run must end exactly there (LaneExecutor checkpoint phase) before
+  // continuing — for any worker count, including 1.
+  while (!pending_stops_.empty() && pending_stops_.front() <= until) {
+    const SimTime stop = pending_stops_.front();
+    pending_stops_.erase(pending_stops_.begin());
+    if (stop < until) executor_.RunUntil(stop);
+  }
+  executor_.RunUntil(until);
+}
+
 SimResult Cluster::Run() {
   // Only a run that owns the global recorder may touch its shared state
   // (time source, ring reset); worker-pool runs leave it alone entirely.
   std::optional<ScopedTraceTimeSource> trace_clock;
   if (options_.owns_trace) {
-    trace_clock.emplace(&VirtualNowMicros, &queue_);
+    trace_clock.emplace(&VirtualNowMicros, &executor_);
     // Every run restarts the virtual clock and transaction ids, so a
     // capture spanning several seeds would interleave unrelated events
     // under the same (txn, ts) keys and confuse both Perfetto and the
@@ -122,12 +155,22 @@ SimResult Cluster::Run() {
     observer.emplace(&StreamCertifier::ObserveTrampoline, certifier_.get());
     if (sampler_ != nullptr) sampler_->set_certifier(certifier_.get());
   }
+  // Worker threads for the conservative rounds. An active trace capture
+  // (or certification riding on one) records from every lane, and the
+  // recorder is single-writer — clamp to serial rounds, mirroring how
+  // the bench harness forces --jobs 1 under --trace. The lane structure
+  // is untouched, so the clamp changes no result byte.
+  int workers = options_.lanes;
+  if (options_.owns_trace && GlobalTraceEnabled()) workers = 1;
+  executor_.set_workers(workers);
+
   // Stagger client start-up slightly so sites do not run in lockstep.
   for (size_t i = 0; i < clients_.size(); ++i) {
     clients_[i]->Start(static_cast<SimTime>(i) * 3 * kMicrosPerMilli);
   }
   if (sampler_ != nullptr) {
     sampler_->ScheduleWindows(options_.warmup_s + options_.measure_s);
+    pending_stops_ = sampler_->boundaries();
   }
 
   const SimTime warmup_end =
@@ -136,7 +179,7 @@ SimResult Cluster::Run() {
       warmup_end +
       static_cast<SimTime>(options_.measure_s * kMicrosPerSecond);
 
-  queue_.RunUntil(warmup_end);
+  RunTo(warmup_end);
   std::vector<ClientStats> at_warmup;
   at_warmup.reserve(clients_.size());
   for (const auto& client : clients_) {
@@ -144,7 +187,7 @@ SimResult Cluster::Run() {
     client->ResetLatencyHistogram();
   }
 
-  queue_.RunUntil(measure_end);
+  RunTo(measure_end);
 
   SimResult result;
   result.mpl = options_.mpl;
@@ -169,7 +212,7 @@ SimResult Cluster::Run() {
   }
   if (sampler_ != nullptr) result.series = sampler_->TakeSeries();
   if (certifier_ != nullptr) {
-    certifier_->AdvanceTo(static_cast<int64_t>(queue_.now()));
+    certifier_->AdvanceTo(static_cast<int64_t>(executor_.lane(0).now()));
     result.certification = certifier_->Snapshot();
     if (sampler_ != nullptr) sampler_->set_certifier(nullptr);
   }

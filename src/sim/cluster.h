@@ -11,6 +11,7 @@
 #include "sim/client.h"
 #include "sim/series_sampler.h"
 #include "sim/event_queue.h"
+#include "sim/lane_executor.h"
 #include "sim/latency_model.h"
 #include "sim/skewed_clock.h"
 #include "txn/server.h"
@@ -59,6 +60,15 @@ struct ClusterOptions {
   /// in; otherwise certification is skipped with a warning. Purely
   /// observational: workload results are identical either way.
   bool certify = false;
+  /// Worker threads for the conservative lane executor. The event
+  /// structure is always one lane per site (server + MPL clients)
+  /// regardless of this value — `lanes` only sets how many threads
+  /// execute each conservative round, so results are byte-identical for
+  /// every value (the --jobs determinism contract, one level down).
+  /// Clamped to [1, mpl + 1]; forced to 1 while this run owns an active
+  /// trace capture or certification, because the global trace recorder
+  /// is not written concurrently.
+  int lanes = 1;
 };
 
 /// Aggregated outcome of a run over the measurement window — the
@@ -124,7 +134,10 @@ struct SimResult {
 
 /// Builds and runs the simulated prototype: server, latency model, skewed
 /// client clocks, and MPL synchronous clients, all deterministically
-/// seeded.
+/// seeded. Execution is partitioned into per-site event lanes (lane 0 is
+/// the server, lane s client site s) driven by the conservative
+/// LaneExecutor; ClusterOptions::lanes picks the worker-thread count
+/// without affecting any result byte.
 class Cluster {
  public:
   explicit Cluster(const ClusterOptions& options);
@@ -134,14 +147,23 @@ class Cluster {
   SimResult Run();
 
   Server& server() { return *server_; }
-  EventQueue& queue() { return queue_; }
+  /// The server lane's queue (lane 0); its clock is the run's reference
+  /// time at every checkpoint.
+  EventQueue& queue() { return executor_.lane(0); }
+  LaneExecutor& executor() { return executor_; }
 
  private:
+  /// Conservative run to `until` stopping at every cross-lane
+  /// observation instant (series window boundaries) in between.
+  void RunTo(SimTime until);
+
   ClusterOptions options_;
-  EventQueue queue_;
+  LaneExecutor executor_;
   std::unique_ptr<Server> server_;
   std::unique_ptr<LatencyModel> latency_;
   std::vector<std::unique_ptr<SimClient>> clients_;
+  /// Sampler boundaries not yet passed by RunTo, ascending.
+  std::vector<SimTime> pending_stops_;
   /// Telemetry collector (nullptr unless options_.collect_series); a
   /// member rather than a Run() local because active transactions hold
   /// probe pointers into its tracker for the cluster's lifetime.

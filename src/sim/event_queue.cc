@@ -71,15 +71,56 @@ void* EventQueue::OversizeStorage(Slot& slot, size_t bytes, size_t align) {
 }
 
 void EventQueue::PushEntry(SimTime at, uint32_t slot_index) {
-  heap_.push_back(HeapEntry{std::max(at, now_), next_seq_++, slot_index});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapEntry entry{std::max(at, now_), next_seq_++, slot_index};
+  heap_.push_back(entry);  // reserve the hole; SiftUp assigns into it
+  SiftUp(heap_.size() - 1, entry);
+}
+
+void EventQueue::SiftUp(size_t hole, HeapEntry entry) {
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / 2;
+    if (!Earlier(entry, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = entry;
+}
+
+void EventQueue::SiftDown(HeapEntry entry) {
+  const size_t n = heap_.size();
+  size_t hole = 0;
+  // Floyd's pop refinement: walk the hole all the way to a leaf, always
+  // promoting the earlier child, then re-seat `entry` by sifting up.
+  // `entry` is the displaced tail element and almost always belongs near
+  // the bottom, so skipping the compare-vs-entry at every level trades a
+  // usually-trivial sift-up for one fewer compare per level. The
+  // prefetch aims two levels ahead: by the time the winning child's own
+  // children are compared, their line is already in flight — the win
+  // shows on depth-4096 shapes that spill past L1. (A 4-ary variant was
+  // measured slower here: with Floyd's refinement a binary sift does
+  // log2(n) compares vs the 4-ary's 1.5*log2(n), and these queue depths
+  // are cache-resident, so the halved height buys nothing.)
+  for (;;) {
+    const size_t first_child = 2 * hole + 1;
+    if (first_child >= n) break;
+    __builtin_prefetch(&heap_[std::min(4 * hole + 7, n - 1)]);
+    const size_t second_child = first_child + 1;
+    const size_t best =
+        (second_child < n && Earlier(heap_[second_child], heap_[first_child]))
+            ? second_child
+            : first_child;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  SiftUp(hole, entry);
 }
 
 bool EventQueue::RunOne() {
   if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  const HeapEntry entry = heap_.back();
+  const HeapEntry entry = heap_.front();
+  const HeapEntry displaced = heap_.back();
   heap_.pop_back();
+  if (!heap_.empty()) SiftDown(displaced);
   ESR_CHECK(entry.at >= now_) << "time went backwards";
   now_ = entry.at;
   ++executed_;

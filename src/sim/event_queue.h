@@ -17,6 +17,10 @@ using SimTime = int64_t;
 inline constexpr SimTime kMicrosPerMilli = 1000;
 inline constexpr SimTime kMicrosPerSecond = 1'000'000;
 
+/// Sentinel returned by EventQueue::NextEventTime() when no event is
+/// pending; larger than every real time so min() folds over lanes work.
+inline constexpr SimTime kNoPendingEvent = INT64_MAX;
+
 /// Deterministic discrete-event simulation kernel: a priority queue of
 /// (time, callback) events and a virtual clock. Ties are broken in
 /// scheduling order (FIFO), so runs are exactly reproducible.
@@ -80,6 +84,34 @@ class EventQueue {
     ScheduleAt(now_ + delay, std::forward<Fn>(fn));
   }
 
+  /// Payload capacity of ScheduleErased: the inline slot minus the
+  /// invoke pointer stored alongside it.
+  static constexpr size_t kErasedPayloadBytes = 56;
+
+  /// Type-erased fast path for pre-erased callbacks (the lane executor's
+  /// cross-lane deliveries): copies kErasedPayloadBytes of `payload`
+  /// inline and runs `invoke(payload)` at `at`. Equivalent to wrapping
+  /// (invoke, payload) in a callable and passing it to ScheduleAt, minus
+  /// the intermediate wrapper copy — this path runs tens of millions of
+  /// times per long parallel-lane run.
+  void ScheduleErased(SimTime at, void (*invoke)(const void* payload),
+                      const void* payload) {
+    const uint32_t index = AcquireSlot();
+    Slot& slot = SlotAt(index);
+    auto* call =
+        ::new (static_cast<void*>(slot.inline_storage)) ErasedCall;
+    call->invoke = invoke;
+    __builtin_memcpy(call->payload, payload, kErasedPayloadBytes);
+    slot.callable = call;
+    slot.run = [](void* callable) {
+      auto* erased = static_cast<ErasedCall*>(callable);
+      erased->invoke(erased->payload);
+    };
+    // ErasedCall is trivially destructible.
+    slot.destroy = [](void*) {};
+    PushEntry(at, index);
+  }
+
   /// Runs the earliest event; false when the queue is empty.
   bool RunOne();
 
@@ -93,11 +125,27 @@ class EventQueue {
   size_t pending() const { return heap_.size(); }
   uint64_t executed() const { return executed_; }
 
+  /// Time of the earliest pending event, or kNoPendingEvent when empty.
+  /// The conservative lane executor folds this across lanes to compute
+  /// the global safe horizon.
+  SimTime NextEventTime() const {
+    return heap_.empty() ? kNoPendingEvent : heap_.front().at;
+  }
+
  private:
   /// Inline capture budget. Covers every simulator callback (the largest,
-  /// [this, OpResult], is ~48 bytes) and a small-buffer std::function;
+  /// [this, OpResult], is 56 bytes) and a small-buffer std::function;
   /// larger callables take the recycled oversize path.
   static constexpr size_t kInlineCallbackBytes = 64;
+
+  /// The in-slot layout of a ScheduleErased callback; exactly fills the
+  /// inline buffer.
+  struct ErasedCall {
+    void (*invoke)(const void* payload);
+    unsigned char payload[kErasedPayloadBytes];
+  };
+  static_assert(sizeof(ErasedCall) == kInlineCallbackBytes,
+                "erased payload must exactly fill the inline slot");
   /// Slots per pool chunk. Chunked storage keeps slot addresses stable
   /// while the pool grows (callables must never be memcpy'd).
   static constexpr uint32_t kSlotsPerChunk = 256;
@@ -123,20 +171,23 @@ class EventQueue {
     alignas(std::max_align_t) unsigned char inline_storage[kInlineCallbackBytes];
   };
 
-  /// What the priority queue actually orders: 24 bytes of POD.
+  /// What the priority queue actually orders: 24 bytes of POD. The heap
+  /// is a hand-rolled binary heap with Floyd's pop refinement and a
+  /// two-levels-ahead sift-down prefetch (see SiftDown) — the depth-64+
+  /// churn shapes are sift-bound, not allocation-bound. (at, seq) is a
+  /// total order (seq is unique), so pop order — and therefore
+  /// determinism — is independent of the heap's internal layout.
   struct HeapEntry {
     SimTime at;
     uint64_t seq;
     uint32_t slot;
   };
-  /// Heap comparator ("a is scheduled later than b"): min-time at the
-  /// front, FIFO (sequence-number) tie-break — the determinism contract.
-  struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  /// "a runs before b": min time first, FIFO (sequence-number) tie-break
+  /// — the determinism contract.
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
   Slot& SlotAt(uint32_t index) {
     return chunks_[index / kSlotsPerChunk][index % kSlotsPerChunk];
@@ -153,6 +204,11 @@ class EventQueue {
   /// Clamps `at` to now, assigns the FIFO sequence number, and pushes the
   /// (time, seq, slot) triple.
   void PushEntry(SimTime at, uint32_t slot_index);
+  /// Inserts `entry` (conceptually at `hole`) by walking toward the root.
+  void SiftUp(size_t hole, HeapEntry entry);
+  /// Re-seats `entry` (conceptually at the root) by walking toward the
+  /// leaves, pulling up the earlier child at each level.
+  void SiftDown(HeapEntry entry);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;

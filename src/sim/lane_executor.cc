@@ -1,0 +1,228 @@
+#include "sim/lane_executor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace esr {
+
+LaneExecutor::LaneExecutor(size_t num_lanes, SimTime lookahead)
+    : lookahead_(lookahead) {
+  ESR_CHECK(num_lanes >= 1);
+  ESR_CHECK(lookahead_ >= 1) << "lookahead must be positive";
+  lanes_.reserve(num_lanes);
+  for (size_t i = 0; i < num_lanes; ++i) {
+    lanes_.push_back(std::make_unique<EventQueue>());
+  }
+  inbox_.resize(num_lanes);
+  for (auto& per_origin : inbox_) per_origin.resize(num_lanes);
+  dirty_.resize(num_lanes);
+  origin_mailed_.assign((num_lanes + 7) & ~size_t{7}, 0);
+  dest_has_mail_.assign(num_lanes, 0);
+  dest_origins_.resize(num_lanes);
+  next_cache_.assign(num_lanes, kNoPendingEvent);
+}
+
+LaneExecutor::~LaneExecutor() { StopPool(); }
+
+void LaneExecutor::set_workers(int workers) {
+  const int clamped = std::clamp(workers, 1,
+                                 static_cast<int>(lanes_.size()));
+  if (clamped == workers_) return;
+  StopPool();
+  workers_ = clamped;
+}
+
+void LaneExecutor::DrainInboxes() {
+  // Collect the destinations with pending mail from the origins' dirty
+  // lists — the common round has only a handful, and untouched inbox
+  // cells are never visited. Origins with mail are found by scanning the
+  // flat flag array eight at a time, not by touching every dirty list.
+  // Scanning origins in ascending index order makes each destination's
+  // origin list (dest_origins_) ascending too — the canonical tie-break.
+  for (size_t base = 0; base < origin_mailed_.size(); base += 8) {
+    uint64_t word;
+    std::memcpy(&word, origin_mailed_.data() + base, sizeof(word));
+    if (word == 0) continue;
+    for (size_t from = base; from < base + 8; ++from) {
+      if (origin_mailed_[from]) {
+        origin_mailed_[from] = 0;
+        std::vector<size_t>& mailed = dirty_[from];
+        for (const size_t to : mailed) {
+          if (!dest_has_mail_[to]) {
+            dest_has_mail_[to] = 1;
+            dirty_dests_.push_back(to);
+          }
+          dest_origins_[to].push_back(from);
+        }
+        mailed.clear();
+      }
+    }
+  }
+  if (dirty_dests_.empty()) return;
+  // Destination processing order is irrelevant to determinism: each
+  // queue's sequence counter is its own, so only the per-destination
+  // merge order below matters.
+  for (const size_t to : dirty_dests_) {
+    dest_has_mail_[to] = 0;
+    auto& per_origin = inbox_[to];
+    std::vector<size_t>& origins = dest_origins_[to];
+    EventQueue& queue = *lanes_[to];
+    // Common case — the round delivered this destination exactly one
+    // message (most rounds carry one RPC leg per touched site): deliver
+    // it without the merge machinery. A single message is trivially in
+    // canonical order.
+    if (origins.size() == 1 && per_origin[origins.front()].size() == 1) {
+      const Message& msg = per_origin[origins.front()].front();
+      // A message from the past would be silently clamped to now and
+      // reordered — it means a send violated the lookahead contract.
+      ESR_CHECK(msg.at >= queue.now())
+          << "cross-lane message at " << msg.at << " arrived late on lane "
+          << to << " (now " << queue.now() << "); lookahead " << lookahead_
+          << " overstates the minimum cross-site delay";
+      queue.ScheduleErased(msg.at, msg.invoke, msg.payload);
+      per_origin[origins.front()].clear();
+      origins.clear();
+      next_cache_[to] = queue.NextEventTime();
+      continue;
+    }
+    merge_scratch_.clear();
+    for (const size_t from : origins) {
+      for (size_t i = 0; i < per_origin[from].size(); ++i) {
+        merge_scratch_.push_back(MergeRef{per_origin[from][i].at, from, i});
+      }
+    }
+    // Canonical delivery order: (time, origin lane, origin order). The
+    // gather above is origin-major (ascending origins, origin order
+    // inside), so the stable sort on (time, origin) completes the rule.
+    std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                     [](const MergeRef& a, const MergeRef& b) {
+                       if (a.at != b.at) return a.at < b.at;
+                       return a.from < b.from;
+                     });
+    for (const MergeRef& ref : merge_scratch_) {
+      const Message& msg = per_origin[ref.from][ref.index];
+      ESR_CHECK(msg.at >= queue.now())
+          << "cross-lane message at " << msg.at << " arrived late on lane "
+          << to << " (now " << queue.now() << "); lookahead " << lookahead_
+          << " overstates the minimum cross-site delay";
+      queue.ScheduleErased(msg.at, msg.invoke, msg.payload);
+    }
+    for (const size_t from : origins) {
+      per_origin[from].clear();
+    }
+    origins.clear();
+    next_cache_[to] = queue.NextEventTime();
+  }
+  dirty_dests_.clear();
+}
+
+void LaneExecutor::RunLanes(SimTime target) {
+  if (workers_ <= 1 || lanes_.size() == 1) {
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      // An idle lane's clock catches up when it next runs; no event
+      // observes it in between.
+      if (next_cache_[i] > target) continue;
+      EventQueue& queue = *lanes_[i];
+      current_lane_ = i;
+      queue.RunUntil(target);
+      next_cache_[i] = queue.NextEventTime();
+    }
+    current_lane_ = 0;
+    return;
+  }
+  active_lanes_.clear();
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (next_cache_[i] <= target) active_lanes_.push_back(i);
+  }
+  if (active_lanes_.empty()) return;
+  if (threads_.empty()) StartPool();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    round_target_ = target;
+    next_active_ = 0;
+    lanes_remaining_ = active_lanes_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return lanes_remaining_ == 0; });
+  }
+  for (const size_t i : active_lanes_) {
+    next_cache_[i] = lanes_[i]->NextEventTime();
+  }
+}
+
+void LaneExecutor::StartPool() {
+  threads_.reserve(static_cast<size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void LaneExecutor::StopPool() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  shutdown_ = false;
+}
+
+void LaneExecutor::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this, seen_generation] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    while (next_active_ < active_lanes_.size()) {
+      const size_t lane = active_lanes_[next_active_++];
+      const SimTime target = round_target_;
+      lock.unlock();
+      lanes_[lane]->RunUntil(target);
+      lock.lock();
+      if (--lanes_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void LaneExecutor::RunUntil(SimTime until) {
+  // Setup code (cluster wiring, client Start, the series sampler) may
+  // have scheduled directly on the lanes since the last run.
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    next_cache_[i] = lanes_[i]->NextEventTime();
+  }
+  for (;;) {
+    DrainInboxes();
+    SimTime next = kNoPendingEvent;
+    for (const SimTime t : next_cache_) {
+      next = std::min(next, t);
+    }
+    if (next >= until) break;
+    // Safe window: nothing sent from an event at time >= next can arrive
+    // before next + lookahead, so events strictly below the horizon are
+    // unaffected by messages not yet drained.
+    const SimTime horizon = std::min(next + lookahead_, until);
+    RunLanes(horizon - 1);
+  }
+  // Checkpoint phase: events at exactly `until` run serially in lane
+  // order — the only place cross-lane observers (series sampler, the
+  // cluster's warm-up/measurement snapshots) are allowed to read. Every
+  // lane runs here, even without events, so all clocks read `until`.
+  DrainInboxes();
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    current_lane_ = i;
+    lanes_[i]->RunUntil(until);
+  }
+  current_lane_ = 0;
+}
+
+}  // namespace esr

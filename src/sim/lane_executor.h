@@ -1,0 +1,222 @@
+#ifndef ESR_SIM_LANE_EXECUTOR_H_
+#define ESR_SIM_LANE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace esr {
+
+/// Conservative parallel discrete-event executor: one EventQueue per
+/// simulated site (lane 0 is the server, lanes 1..MPL the client
+/// workstations), synchronized by the classic conservative-lookahead rule.
+/// Cross-site interactions are RPC legs with a known minimum latency L,
+/// so events within a window of L virtual time past the globally earliest
+/// pending event can never be affected by a message that has not been
+/// sent yet — lanes may execute that window concurrently.
+///
+/// The round loop RunUntil drives:
+///   1. drain every lane's inbox in the canonical (time, origin lane,
+///      origin sequence) order,
+///   2. next = min over lanes of the earliest pending event,
+///   3. horizon = min(next + L, until) — the safe window,
+///   4. every lane with an event below the horizon runs it (and any
+///      others in the window), in parallel across up to `workers`
+///      threads; idle lanes are skipped, their clocks catch up lazily,
+///   5. barrier; repeat until no event remains below `until`, then run
+///      the events at exactly `until` serially in lane order (the
+///      checkpoint phase — see below).
+///
+/// Determinism contract (mirrors the bench harness's --jobs rule): the
+/// lane structure is fixed by the cluster topology, never by the worker
+/// count, and lanes share no order-dependent state — server state is
+/// touched only by lane-0 events, client state only by its own site's
+/// chain (the client is synchronous: one outstanding event per site
+/// system-wide). Cross-lane sends are merged in a canonical order before
+/// they receive queue sequence numbers. Results are therefore
+/// byte-identical for every `--lanes` value, including 1; `--lanes N`
+/// only changes how many worker threads execute each round.
+///
+/// The exception to "no shared readers" is observation: the series
+/// sampler reads every client's counters at its window boundaries, and
+/// the cluster snapshots them at the warm-up and measurement edges. Those
+/// instants are checkpoints: the caller ends a RunUntil exactly there, so
+/// the boundary events run in the serial phase — after every lane has
+/// finished all strictly-earlier work, in fixed lane order — and observe
+/// the same state no matter how many workers ran the rounds before.
+///
+/// The round loop runs once per lookahead window of dense virtual time —
+/// millions of times per long run — so the whole message path is built
+/// to stay off the allocator: payloads are trivially copyable captures
+/// stored inline in POD Message slots (no std::function), per-origin
+/// dirty lists make the drain O(pending messages) instead of
+/// O(lanes^2), and idle lanes cost nothing per round.
+class LaneExecutor {
+ public:
+  /// `lookahead` is the conservative window L: a strict lower bound on
+  /// the virtual delay of every cross-lane send (DrainInboxes checks it).
+  LaneExecutor(size_t num_lanes, SimTime lookahead);
+  ~LaneExecutor();
+
+  LaneExecutor(const LaneExecutor&) = delete;
+  LaneExecutor& operator=(const LaneExecutor&) = delete;
+
+  size_t num_lanes() const { return lanes_.size(); }
+  SimTime lookahead() const { return lookahead_; }
+
+  EventQueue& lane(size_t i) { return *lanes_[i]; }
+  const EventQueue& lane(size_t i) const { return *lanes_[i]; }
+
+  /// Worker threads per round; clamped to [1, num_lanes]. 1 (the
+  /// default) runs every lane inline on the calling thread — same
+  /// algorithm, no pool. Call between runs, not from inside one.
+  void set_workers(int workers);
+  int workers() const { return workers_; }
+
+  /// Cross-lane message: runs `fn` on lane `to` at virtual time `at`.
+  /// Must be called from an event executing on lane `from` (or from the
+  /// coordinator between rounds). The delivery must respect the
+  /// lookahead: at >= sender's now + lookahead, checked at drain time.
+  ///
+  /// `fn` must be trivially copyable (lambdas capturing PODs and
+  /// pointers are) and fit the inline payload slot: messages live in
+  /// relocatable vectors and are copied once more into the destination
+  /// queue, so this path never touches the allocator in steady state —
+  /// the property that lets a million-round run afford cross-lane RPC
+  /// for every op. Widen kMaxPayloadBytes if a capture outgrows it.
+  template <typename Fn>
+  void Send(size_t from, size_t to, SimTime at, Fn&& fn) {
+    using Callback = std::decay_t<Fn>;
+    static_assert(std::is_invocable_v<const Callback&>,
+                  "cross-lane messages take no arguments");
+    static_assert(std::is_trivially_copyable_v<Callback>,
+                  "cross-lane payloads must be trivially copyable");
+    static_assert(sizeof(Callback) <= kMaxPayloadBytes,
+                  "cross-lane payload exceeds the inline message slot");
+    static_assert(alignof(Callback) <= alignof(void*),
+                  "cross-lane payload is over-aligned for the inline slot");
+    std::vector<Message>& cell = inbox_[to][from];
+    origin_mailed_[from] = 1;
+    if (cell.empty()) dirty_[from].push_back(to);
+    cell.emplace_back();
+    Message& msg = cell.back();
+    msg.at = at;
+    ::new (static_cast<void*>(msg.payload)) Callback(std::forward<Fn>(fn));
+    msg.invoke = [](const void* payload) {
+      (*static_cast<const Callback*>(payload))();
+    };
+  }
+
+  /// Runs every lane up to and including `until` (all lane clocks read
+  /// `until` afterwards). Events at exactly `until` run in the serial
+  /// checkpoint phase; end a run at every instant where cross-lane state
+  /// is observed (series windows, warm-up edge, measurement edge).
+  void RunUntil(SimTime until);
+
+  /// Virtual now of the lane currently executing (the serial paths keep
+  /// it exact; parallel rounds run with tracing off, where this is only
+  /// a round-level approximation). Trace time-source hook.
+  SimTime CurrentNow() const { return lanes_[current_lane_]->now(); }
+
+ private:
+  /// Inline payload budget: the destination queue's erased-callback
+  /// capacity (56 bytes; the largest simulator capture, [this, OpResult],
+  /// exactly fills it).
+  static constexpr size_t kMaxPayloadBytes = EventQueue::kErasedPayloadBytes;
+
+  /// One cross-lane message: POD, safe to relocate with the vector.
+  /// Payloads are trivially destructible (enforced by Send), so clearing
+  /// a cell never needs to run destructors. Pointer alignment only — an
+  /// over-aligned payload would pad the destination queue's inline slot
+  /// past capacity and push every delivery onto the oversize path.
+  struct Message {
+    SimTime at;
+    void (*invoke)(const void* payload);
+    unsigned char payload[kMaxPayloadBytes];
+  };
+
+  /// Moves every pending inbox message into its destination queue, merged
+  /// across origin lanes by (time, origin lane, origin order). Sequence
+  /// numbers — the queues' tie-break — are assigned in that canonical
+  /// order, so scheduling is independent of which worker ran which lane.
+  /// Cost is O(pending messages): origins record which destinations they
+  /// mailed (dirty_), and untouched inbox cells are never visited.
+  void DrainInboxes();
+  /// One parallel round: every lane with work runs its events with time
+  /// <= target. Lanes whose next event is later are skipped entirely;
+  /// their clocks jump forward when they next run (no event observes the
+  /// intermediate values, so the schedule is unchanged).
+  void RunLanes(SimTime target);
+  void StartPool();
+  void StopPool();
+  void WorkerLoop();
+
+  std::vector<std::unique_ptr<EventQueue>> lanes_;
+  /// inbox_[to][from]: only lane `from`'s executing thread appends during
+  /// a round; only the coordinator drains, at a barrier.
+  std::vector<std::vector<std::vector<Message>>> inbox_;
+  /// dirty_[from]: destinations lane `from` has mailed since the last
+  /// drain. Same single-writer rule as the inbox cells.
+  std::vector<std::vector<size_t>> dirty_;
+  /// origin_mailed_[from]: set by Send, cleared by the drain. The drain
+  /// scans this flat byte array eight origins per load instead of
+  /// touching every origin's dirty-list header — the common round has
+  /// mail from at most a couple of origins, and the scan runs once per
+  /// round (millions of times per run). Sized to a multiple of 8 so the
+  /// word loads never read past the end; same single-writer-per-origin
+  /// rule as the inbox cells (distinct bytes, so no data race).
+  std::vector<unsigned char> origin_mailed_;
+  /// Drain scratch: destinations with pending mail (dedup via the flag)
+  /// and, per destination, the ascending list of origins that mailed it —
+  /// so the merge only walks cells that actually hold messages, and the
+  /// one-origin/one-message case (most rounds) skips the merge entirely.
+  std::vector<size_t> dirty_dests_;
+  std::vector<unsigned char> dest_has_mail_;
+  std::vector<std::vector<size_t>> dest_origins_;
+  /// Cached per-lane NextEventTime, the round loop's working set: the
+  /// min-scan and the active-lane selection read this flat array instead
+  /// of dereferencing into every queue's heap twice per round. Entries
+  /// change only when a lane runs or receives mail, so DrainInboxes and
+  /// RunLanes refresh exactly those; RunUntil rebuilds the whole array on
+  /// entry (setup code schedules directly on lanes between runs).
+  std::vector<SimTime> next_cache_;
+  SimTime lookahead_;
+  int workers_ = 1;
+  size_t current_lane_ = 0;
+
+  /// Scratch for DrainInboxes' canonical merge (kept to avoid per-round
+  /// allocation): (time, origin lane, index in origin vector).
+  struct MergeRef {
+    SimTime at;
+    size_t from;
+    size_t index;
+  };
+  std::vector<MergeRef> merge_scratch_;
+
+  // Worker pool (only started once set_workers(>1) takes effect). The
+  // mutex hand-offs at round start/end give the happens-before edges
+  // between a lane's state in round k (written by worker A) and round
+  // k+1 (read by worker B). Workers pull lane indices from
+  // active_lanes_, the subset of lanes with events in this round.
+  std::vector<size_t> active_lanes_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  SimTime round_target_ = 0;
+  size_t next_active_ = 0;
+  size_t lanes_remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace esr
+
+#endif  // ESR_SIM_LANE_EXECUTOR_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace esr {
 namespace {
 
@@ -11,8 +13,18 @@ SimTime MsToMicros(double ms) {
 
 }  // namespace
 
-LatencyModel::LatencyModel(const LatencyModelOptions& options, uint64_t seed)
-    : options_(options), rng_(seed) {}
+LatencyModel::LatencyModel(const LatencyModelOptions& options, uint64_t seed,
+                           size_t num_sites)
+    : options_(options), rng_(seed) {
+  site_rngs_.reserve(num_sites);
+  for (size_t i = 0; i < num_sites; ++i) site_rngs_.push_back(rng_.Fork());
+}
+
+Rng& LatencyModel::SiteRng(SiteId site) {
+  ESR_CHECK(static_cast<size_t>(site) < site_rngs_.size())
+      << "no latency stream for site " << site;
+  return site_rngs_[site];
+}
 
 SimTime LatencyModel::SampleOpRpc() {
   const double ms =
@@ -20,10 +32,22 @@ SimTime LatencyModel::SampleOpRpc() {
   return MsToMicros(ms);
 }
 
+SimTime LatencyModel::SampleOpRpc(SiteId site) {
+  const double ms = SiteRng(site).UniformDouble(options_.op_rpc_min_ms,
+                                                options_.op_rpc_max_ms);
+  return MsToMicros(ms);
+}
+
 SimTime LatencyModel::SampleControlRpc() {
   // +/- 10% jitter around the null-RPC figure.
   const double ms = options_.null_rpc_ms *
                     rng_.UniformDouble(0.9, 1.1);
+  return MsToMicros(ms);
+}
+
+SimTime LatencyModel::SampleControlRpc(SiteId site) {
+  const double ms =
+      options_.null_rpc_ms * SiteRng(site).UniformDouble(0.9, 1.1);
   return MsToMicros(ms);
 }
 
@@ -39,6 +63,20 @@ SimTime LatencyModel::ReserveServerCpu(SimTime request_arrival) {
   const SimTime start = std::max(request_arrival, server_busy_until_);
   server_busy_until_ = start + MsToMicros(options_.server_cpu_per_op_ms);
   return server_busy_until_;
+}
+
+SimTime LatencyModel::MinCrossSiteDelayMicros(
+    const LatencyModelOptions& options) {
+  // The shortest one-way leg is half the shortest round trip: control
+  // RPCs bottom out at 0.9 * null_rpc (the jitter floor), operation RPCs
+  // at op_rpc_min. Integer truncation in MsToMicros and the request/
+  // response split (rpc/2, rpc - rpc/2) can shave a few microseconds off
+  // the analytic floor, so keep a guard below it; clamp at 1 so the
+  // executor always makes progress.
+  const SimTime min_round_trip =
+      std::min(MsToMicros(0.9 * options.null_rpc_ms),
+               MsToMicros(options.op_rpc_min_ms));
+  return std::max<SimTime>(1, min_round_trip / 2 - 8);
 }
 
 }  // namespace esr

@@ -1,7 +1,10 @@
 #ifndef ESR_SIM_LATENCY_MODEL_H_
 #define ESR_SIM_LATENCY_MODEL_H_
 
+#include <vector>
+
 #include "common/random.h"
+#include "common/timestamp.h"
 #include "sim/event_queue.h"
 
 namespace esr {
@@ -37,29 +40,56 @@ struct LatencyModelOptions {
 
 /// Samples message/processing delays and models the server CPU as a
 /// single FIFO resource.
+///
+/// Sampling streams: the shared no-argument Sample* overloads draw from
+/// one stream (fine for single-queue drivers like ReplicaCluster). The
+/// per-site overloads draw from an independent stream per SiteId — the
+/// lane-parallel cluster needs them, because with one stream the draw
+/// order would depend on how lane events interleave across rounds. Each
+/// site's stream is a deterministic function of (seed, site) only.
 class LatencyModel {
  public:
-  LatencyModel(const LatencyModelOptions& options, uint64_t seed);
+  /// `num_sites` sizes the per-site stream table (site ids 0..num_sites-1
+  /// are valid for the per-site overloads; 0 means shared-stream only).
+  LatencyModel(const LatencyModelOptions& options, uint64_t seed,
+               size_t num_sites = 0);
 
   /// Network + marshalling round-trip for an operation RPC, *excluding*
   /// server CPU (use ReserveServerCpu for that part).
   SimTime SampleOpRpc();
+  SimTime SampleOpRpc(SiteId site);
 
   /// Round trip of a control RPC (Begin/Commit/Abort), with small jitter.
   SimTime SampleControlRpc();
+  SimTime SampleControlRpc(SiteId site);
 
   SimTime WaitRetryDelay() const;
   SimTime RestartDelay() const;
 
   /// Reserves the server CPU for one op starting no earlier than
   /// `request_arrival`; returns the completion time of the server work.
+  /// Shared-resource state: in the lane-parallel cluster only server-lane
+  /// events may call this.
   SimTime ReserveServerCpu(SimTime request_arrival);
+
+  /// Strict lower bound on every one-way cross-site leg the simulated
+  /// clients produce (request and response halves of control and
+  /// operation RPCs), minus a small guard for integer truncation. The
+  /// lane executor uses it as its conservative lookahead. Static so the
+  /// cluster can size its executor before the model exists.
+  static SimTime MinCrossSiteDelayMicros(const LatencyModelOptions& options);
+  SimTime MinCrossSiteDelayMicros() const {
+    return MinCrossSiteDelayMicros(options_);
+  }
 
   const LatencyModelOptions& options() const { return options_; }
 
  private:
+  Rng& SiteRng(SiteId site);
+
   LatencyModelOptions options_;
   Rng rng_;
+  std::vector<Rng> site_rngs_;
   SimTime server_busy_until_ = 0;
 };
 

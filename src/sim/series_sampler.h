@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "hierarchy/accumulator.h"
 #include "obs/series.h"
@@ -75,6 +76,13 @@ class SeriesSampler {
   /// series. Call once, before EventQueue::RunUntil.
   void ScheduleWindows(double end_s);
 
+  /// The exact virtual instants ScheduleWindows placed sampling events
+  /// at. A boundary reads every client's counters — cross-lane state —
+  /// so the lane-parallel cluster must end a conservative run at each
+  /// one (LaneExecutor checkpoint phase) for the read to be safe and
+  /// worker-count independent.
+  const std::vector<SimTime>& boundaries() const { return boundaries_; }
+
   /// The collected series (after the run). Windows the clock never
   /// reached stay absent: the series length reflects simulated time.
   RunSeries TakeSeries();
@@ -93,6 +101,7 @@ class SeriesSampler {
   CumulativeFn cumulative_;
   SeriesSamplerOptions options_;
   StreamCertifier* certifier_ = nullptr;
+  std::vector<SimTime> boundaries_;
   NodeHeadroomTracker tracker_;
   Cumulative prev_;
   double prev_time_s_ = 0.0;

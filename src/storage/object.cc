@@ -14,6 +14,15 @@ ObjectRecord::ObjectRecord(ObjectId id, Value initial_value,
   history_.Record(Timestamp::Min(), initial_value);
 }
 
+ObjectRecord::ObjectRecord(ObjectId id, Value initial_value,
+                           WriteHistory::Entry* history_slots,
+                           size_t history_depth)
+    : id_(id),
+      value_(initial_value),
+      history_(history_slots, history_depth) {
+  history_.Record(Timestamp::Min(), initial_value);
+}
+
 void ObjectRecord::NoteQueryRead(Timestamp ts) {
   query_read_ts_ = std::max(query_read_ts_, ts);
 }
@@ -52,12 +61,13 @@ void ObjectRecord::AbortWrite(TxnId txn) {
   writer_ = kInvalidTxnId;
 }
 
-void ObjectRecord::RegisterQueryReader(TxnId txn, Timestamp ts,
+bool ObjectRecord::RegisterQueryReader(TxnId txn, Timestamp ts,
                                        Value proper_value) {
   for (const QueryReader& r : query_readers_) {
-    if (r.txn == txn) return;  // one read per object per txn (Sec. 3.2.1)
+    if (r.txn == txn) return false;  // one read per object per txn (3.2.1)
   }
   query_readers_.push_back(QueryReader{txn, ts, proper_value});
+  return true;
 }
 
 void ObjectRecord::UnregisterQueryReader(TxnId txn) {

@@ -26,7 +26,12 @@ class ObjectRecord {
   };
 
   ObjectRecord() : ObjectRecord(kInvalidObjectId, 0, WriteHistory::kDefaultDepth) {}
+  /// Standalone record owning its history ring (tests, ad-hoc use).
   ObjectRecord(ObjectId id, Value initial_value, size_t history_depth);
+  /// Record whose history ring views `history_slots[0, history_depth)` in
+  /// the store's HistoryArena (must outlive the record).
+  ObjectRecord(ObjectId id, Value initial_value,
+               WriteHistory::Entry* history_slots, size_t history_depth);
 
   ObjectId id() const { return id_; }
 
@@ -74,7 +79,10 @@ class ObjectRecord {
   void AbortWrite(TxnId txn);
 
   // -- Query reader registration (export control, Sec. 5.2) ---------------
-  void RegisterQueryReader(TxnId txn, Timestamp ts, Value proper_value);
+  /// Returns whether `txn` was newly registered (false on a repeat read:
+  /// one registration per object per txn, Sec. 3.2.1) — callers use it to
+  /// skip their own dedup of the per-transaction registered-read list.
+  bool RegisterQueryReader(TxnId txn, Timestamp ts, Value proper_value);
   void UnregisterQueryReader(TxnId txn);
   const std::vector<QueryReader>& query_readers() const {
     return query_readers_;

@@ -17,13 +17,18 @@ Inconsistency SampleLimit(Rng* rng, Inconsistency lo, Inconsistency hi) {
 }  // namespace
 
 ObjectStore::ObjectStore(const ObjectStoreOptions& options)
-    : options_(options), rng_(options.seed) {
+    : options_(options),
+      rng_(options.seed),
+      history_arena_(options.num_objects, options.history_depth) {
   ESR_CHECK(options_.num_objects > 0);
   ESR_CHECK(options_.min_value <= options_.max_value);
+  ESR_CHECK(options_.history_depth >= 1);
   objects_.reserve(options_.num_objects);
   for (size_t i = 0; i < options_.num_objects; ++i) {
     const Value v = rng_.UniformInt(options_.min_value, options_.max_value);
-    ObjectRecord rec(static_cast<ObjectId>(i), v, options_.history_depth);
+    const ObjectId id = static_cast<ObjectId>(i);
+    ObjectRecord rec(id, v, history_arena_.SlotFor(id),
+                     options_.history_depth);
     rec.set_oil(SampleLimit(&rng_, options_.min_oil, options_.max_oil));
     rec.set_oel(SampleLimit(&rng_, options_.min_oel, options_.max_oel));
     objects_.push_back(std::move(rec));

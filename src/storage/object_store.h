@@ -33,9 +33,11 @@ struct ObjectStoreOptions {
   uint64_t seed = 42;
 };
 
-/// The main-memory database: a dense array of `ObjectRecord`s. Writing an
-/// object changes its value in memory; durability is out of scope, exactly
-/// as in the prototype (Sec. 6).
+/// The main-memory database: a dense array of `ObjectRecord`s whose write
+/// histories all live in one contiguous HistoryArena (ring i = object i),
+/// so the proper-value hot path walks flat memory instead of per-object
+/// heap vectors. Writing an object changes its value in memory;
+/// durability is out of scope, exactly as in the prototype (Sec. 6).
 class ObjectStore {
  public:
   explicit ObjectStore(const ObjectStoreOptions& options);
@@ -65,6 +67,9 @@ class ObjectStore {
  private:
   ObjectStoreOptions options_;
   Rng rng_;
+  // Declared before objects_: every record's history views a slice of the
+  // arena, so the arena must be constructed first and destroyed last.
+  HistoryArena history_arena_;
   std::vector<ObjectRecord> objects_;
 };
 

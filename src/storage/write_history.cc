@@ -1,39 +1,98 @@
 #include "storage/write_history.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace esr {
 
-WriteHistory::WriteHistory(size_t depth) : depth_(depth) {
+WriteHistory::WriteHistory(size_t depth) : depth_(depth), owned_(depth) {
   assert(depth_ >= 1);
-  entries_.reserve(depth_);
+  base_ = owned_.data();
+}
+
+WriteHistory::WriteHistory(Entry* slots, size_t depth)
+    : base_(slots), depth_(depth) {
+  assert(base_ != nullptr);
+  assert(depth_ >= 1);
+}
+
+WriteHistory::WriteHistory(WriteHistory&& other) noexcept
+    : base_(other.base_),
+      depth_(other.depth_),
+      start_(other.start_),
+      count_(other.count_),
+      owned_(std::move(other.owned_)) {
+  // A standalone history's ring lives in owned_, whose heap buffer just
+  // changed hands; re-point at it. Arena-backed views keep their pointer.
+  if (!owned_.empty()) base_ = owned_.data();
+  other.count_ = 0;
+}
+
+WriteHistory& WriteHistory::operator=(WriteHistory&& other) noexcept {
+  if (this == &other) return *this;
+  base_ = other.base_;
+  depth_ = other.depth_;
+  start_ = other.start_;
+  count_ = other.count_;
+  owned_ = std::move(other.owned_);
+  if (!owned_.empty()) base_ = owned_.data();
+  other.count_ = 0;
+  return *this;
 }
 
 void WriteHistory::Record(Timestamp ts, Value value) {
-  // Common case: appended in order.
-  if (entries_.empty() || entries_.back().ts < ts) {
-    entries_.push_back(Entry{ts, value});
-  } else {
-    auto pos = std::upper_bound(
-        entries_.begin(), entries_.end(), ts,
-        [](Timestamp t, const Entry& e) { return t < e.ts; });
-    entries_.insert(pos, Entry{ts, value});
+  // Common case: newest write, appended in order.
+  if (count_ == 0 || At(count_ - 1).ts < ts) {
+    if (count_ == depth_) {
+      // Full ring: the oldest slot becomes the newest entry.
+      base_[start_] = Entry{ts, value};
+      start_ = (start_ + 1) % depth_;
+    } else {
+      At(count_) = Entry{ts, value};
+      ++count_;
+    }
+    return;
   }
-  if (entries_.size() > depth_) entries_.erase(entries_.begin());
+  // Out-of-order commit: find the upper-bound position (first retained
+  // entry with a strictly larger timestamp) scanning from the newest end —
+  // stragglers land near it.
+  size_t pos = count_;
+  while (pos > 0 && ts < At(pos - 1).ts) --pos;
+  if (count_ < depth_) {
+    for (size_t i = count_; i > pos; --i) At(i) = At(i - 1);
+    At(pos) = Entry{ts, value};
+    ++count_;
+    return;
+  }
+  // Full ring: inserting evicts the oldest entry, so entries below `pos`
+  // shift down one and the newcomer lands at pos - 1. At pos == 0 the
+  // newcomer itself is the oldest and is dropped outright.
+  if (pos == 0) return;
+  for (size_t i = 0; i + 1 < pos; ++i) At(i) = At(i + 1);
+  At(pos - 1) = Entry{ts, value};
 }
 
 std::optional<Value> WriteHistory::ProperValueBefore(Timestamp before) const {
-  // Index backwards through the list until an older timestamp is found
+  // Index backwards through the ring until an older timestamp is found
   // (paper Sec. 5.1).
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->ts < before) return it->value;
+  for (size_t i = count_; i > 0; --i) {
+    if (At(i - 1).ts < before) return At(i - 1).value;
   }
   return std::nullopt;
 }
 
 Timestamp WriteHistory::NewestTimestamp() const {
-  return entries_.empty() ? Timestamp::Min() : entries_.back().ts;
+  return count_ == 0 ? Timestamp::Min() : At(count_ - 1).ts;
+}
+
+Timestamp WriteHistory::OldestTimestamp() const {
+  return count_ == 0 ? Timestamp::Min() : At(0).ts;
+}
+
+std::vector<WriteHistory::Entry> WriteHistory::entries() const {
+  std::vector<Entry> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) out.push_back(At(i));
+  return out;
 }
 
 }  // namespace esr

@@ -18,6 +18,13 @@ namespace esr {
 /// duration / update duration); the depth is configurable here and swept
 /// by the `micro_history_depth` ablation bench.
 ///
+/// Storage is a fixed ring of `depth` entries, kept sorted by timestamp
+/// (strict TO commits nearly, but not exactly, in ts order). The ring
+/// normally views a slice of the store-wide HistoryArena — one contiguous
+/// allocation for every object's history, so proper-value scans touch
+/// adjacent cache lines instead of chasing per-object vectors. A history
+/// constructed standalone (tests, ad-hoc records) owns its slice.
+///
 /// This is NOT multiversion timestamp ordering: reads always return the
 /// object's current (present) value; the history is consulted only to
 /// measure how inconsistent that present value is.
@@ -28,14 +35,24 @@ class WriteHistory {
     Value value;
   };
 
-  /// `depth` is the maximum number of retained writes; must be >= 1.
-  explicit WriteHistory(size_t depth = kDefaultDepth);
-
   static constexpr size_t kDefaultDepth = 20;
 
-  /// Records a committed write. Entries may arrive slightly out of
-  /// timestamp order (strict TO commits nearly, but not exactly, in ts
-  /// order), so the insert keeps the ring sorted by timestamp.
+  /// Standalone history owning its `depth` ring slots; must be >= 1.
+  explicit WriteHistory(size_t depth = kDefaultDepth);
+
+  /// Arena-backed view over `slots[0, depth)`; the arena must outlive
+  /// this object and the slice must not be shared.
+  WriteHistory(Entry* slots, size_t depth);
+
+  WriteHistory(const WriteHistory&) = delete;
+  WriteHistory& operator=(const WriteHistory&) = delete;
+  WriteHistory(WriteHistory&& other) noexcept;
+  WriteHistory& operator=(WriteHistory&& other) noexcept;
+
+  /// Records a committed write, keeping the ring sorted by timestamp;
+  /// once full, the oldest retained write is evicted. A write older than
+  /// everything a full ring retains is dropped (it would be evicted
+  /// immediately).
   void Record(Timestamp ts, Value value);
 
   /// Value written by the newest write with ts strictly less than
@@ -46,17 +63,54 @@ class WriteHistory {
   /// Timestamp of the newest retained write, or Timestamp::Min() if empty.
   Timestamp NewestTimestamp() const;
 
-  size_t size() const { return entries_.size(); }
-  size_t depth() const { return depth_; }
-  bool empty() const { return entries_.empty(); }
+  /// Timestamp of the oldest retained write, or Timestamp::Min() if empty.
+  Timestamp OldestTimestamp() const;
 
-  /// Oldest-to-newest view, for tests and debugging.
-  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return count_; }
+  size_t depth() const { return depth_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Oldest-to-newest copy, for tests and debugging (the ring itself is
+  /// not contiguous in logical order).
+  std::vector<Entry> entries() const;
+
+ private:
+  // i-th retained entry in logical (oldest-to-newest) order.
+  Entry& At(size_t i) { return base_[(start_ + i) % depth_]; }
+  const Entry& At(size_t i) const { return base_[(start_ + i) % depth_]; }
+
+  Entry* base_;
+  size_t depth_;
+  size_t start_ = 0;  // ring index of the oldest retained entry
+  size_t count_ = 0;
+  // Backing storage for standalone histories; empty when arena-backed.
+  std::vector<Entry> owned_;
+};
+
+/// One contiguous allocation holding every object's write-history ring,
+/// indexed by ObjectId: slot i covers entries [i * depth, (i+1) * depth).
+/// Replaces per-object vector allocations so a store-wide scan (or the
+/// hot proper-value lookups of neighboring objects) stays in one arena.
+class HistoryArena {
+ public:
+  HistoryArena(size_t num_objects, size_t depth)
+      : depth_(depth), entries_(num_objects * depth) {}
+
+  HistoryArena(const HistoryArena&) = delete;
+  HistoryArena& operator=(const HistoryArena&) = delete;
+
+  size_t depth() const { return depth_; }
+  size_t num_objects() const { return depth_ == 0 ? 0 : entries_.size() / depth_; }
+
+  /// The ring slice for `id`; valid for the arena's lifetime (the arena
+  /// never reallocates).
+  WriteHistory::Entry* SlotFor(ObjectId id) {
+    return entries_.data() + static_cast<size_t>(id) * depth_;
+  }
 
  private:
   size_t depth_;
-  // Sorted by ts ascending; bounded to depth_ (oldest evicted first).
-  std::vector<Entry> entries_;
+  std::vector<WriteHistory::Entry> entries_;
 };
 
 }  // namespace esr

@@ -85,34 +85,36 @@ LockTable::Grant LockTable::AcquireExclusive(ObjectId object,
 }
 
 void LockTable::ReleaseAll(TxnId txn) {
-  auto it = held_.find(txn);
-  if (it == held_.end()) return;
-  for (const ObjectId object : it->second) {
-    auto entry_it = entries_.find(object);
-    if (entry_it == entries_.end()) continue;
-    Entry& entry = entry_it->second;
-    if (entry.exclusive.txn == txn) {
-      entry.exclusive = Holder{kInvalidTxnId, Timestamp()};
+  std::vector<ObjectId>* held = held_.Find(txn);
+  if (held == nullptr) return;
+  // Move the held set out before erasing entries: FlatMap erase shifts
+  // neighboring slots, so no reference into either map may outlive it.
+  std::vector<ObjectId> objects = std::move(*held);
+  held_.Erase(txn);
+  for (const ObjectId object : objects) {
+    Entry* entry = entries_.Find(object);
+    if (entry == nullptr) continue;
+    if (entry->exclusive.txn == txn) {
+      entry->exclusive = Holder{kInvalidTxnId, Timestamp()};
     }
-    entry.shared.erase(
-        std::remove_if(entry.shared.begin(), entry.shared.end(),
+    entry->shared.erase(
+        std::remove_if(entry->shared.begin(), entry->shared.end(),
                        [txn](const Holder& h) { return h.txn == txn; }),
-        entry.shared.end());
-    if (entry.unlocked()) entries_.erase(entry_it);
+        entry->shared.end());
+    if (entry->unlocked()) entries_.Erase(object);
   }
-  held_.erase(it);
 }
 
 bool LockTable::HoldsShared(ObjectId object, TxnId txn) const {
-  auto it = entries_.find(object);
-  if (it == entries_.end()) return false;
-  return std::any_of(it->second.shared.begin(), it->second.shared.end(),
+  const Entry* entry = entries_.Find(object);
+  if (entry == nullptr) return false;
+  return std::any_of(entry->shared.begin(), entry->shared.end(),
                      [txn](const Holder& h) { return h.txn == txn; });
 }
 
 bool LockTable::HoldsExclusive(ObjectId object, TxnId txn) const {
-  auto it = entries_.find(object);
-  return it != entries_.end() && it->second.exclusive.txn == txn;
+  const Entry* entry = entries_.Find(object);
+  return entry != nullptr && entry->exclusive.txn == txn;
 }
 
 size_t LockTable::num_locked_objects() const { return entries_.size(); }

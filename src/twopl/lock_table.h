@@ -1,9 +1,9 @@
 #ifndef ESR_TWOPL_LOCK_TABLE_H_
 #define ESR_TWOPL_LOCK_TABLE_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/timestamp.h"
 #include "common/types.h"
 #include "obs/profile.h"
@@ -64,6 +64,14 @@ class LockTable {
   /// retry backoff (ScopedSiteWait in threaded_server). Null disables.
   void set_contention_site(ContentionSite* site) { site_ = site; }
 
+  /// Pre-sizes the lock and reverse-holder maps for an expected number of
+  /// concurrently locked objects / concurrent transactions, so steady
+  /// state never rehashes. Cheap to over-estimate.
+  void Reserve(size_t expected_locked_objects, size_t expected_txns) {
+    entries_.Reserve(expected_locked_objects);
+    held_.Reserve(expected_txns);
+  }
+
  private:
   struct Holder {
     TxnId txn;
@@ -84,9 +92,9 @@ class LockTable {
   /// Records `grant` against site_ when profiling is live.
   void RecordGrant(const Grant& grant) const;
 
-  std::unordered_map<ObjectId, Entry> entries_;
+  FlatMap<ObjectId, Entry> entries_;
   // Reverse index so ReleaseAll is O(locks held).
-  std::unordered_map<TxnId, std::vector<ObjectId>> held_;
+  FlatMap<TxnId, std::vector<ObjectId>> held_;
   ContentionSite* site_ = nullptr;
 };
 

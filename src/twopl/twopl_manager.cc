@@ -30,17 +30,19 @@ TwoPLManager::TwoPLManager(ObjectStore* store, const GroupSchema* schema,
   locks_.set_contention_site(GlobalProfiler().site("twopl.lock_table"));
 }
 
-TxnId TwoPLManager::Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
+TxnId TwoPLManager::Begin(TxnType type, Timestamp ts,
+                          const BoundSpec& bounds) {
   ScopedPhaseTimer phase(ProfilePhase::kValidate);
   std::lock_guard<ProfiledMutex> lock(mu_);
   const TxnId id = next_txn_id_++;
-  auto [it, inserted] = transactions_.emplace(
-      id, Transaction(id, type, ts, schema_, std::move(bounds)));
-  it->second.AttachHeadroomTracker(headroom_tracker_);
-  it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
+  auto [t, inserted] = transactions_.TryEmplace(
+      id, Transaction(id, type, ts, schema_, bounds));
+  if (access_hint_ > 0) t->ReserveAccessSets(access_hint_);
+  t->AttachHeadroomTracker(headroom_tracker_);
+  t->set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(type)->Increment();
   ESR_TRACE_EVENT(
-      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), it->second.trace_span()));
+      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), t->trace_span()));
   return id;
 }
 
@@ -105,8 +107,9 @@ OpResult TwoPLManager::DoRead(Transaction& txn, ObjectId object) {
       return AbortOp(txn, BoundAbortReason(charge.violated_group));
     }
     const Value present = obj.value();
-    obj.RegisterQueryReader(txn.id(), txn.ts(), measure.proper);
-    txn.NoteRegisteredRead(object);
+    if (obj.RegisterQueryReader(txn.id(), txn.ts(), measure.proper)) {
+      txn.NoteRegisteredRead(object);
+    }
     txn.ObserveValue(object, present);
     txn.CountOp();
     counters_.op_read->Increment();
@@ -184,14 +187,14 @@ Status TwoPLManager::Commit(TxnId txn) {
   ScopedPhaseTimer phase(ProfilePhase::kCommit);
   std::lock_guard<ProfiledMutex> lock(mu_);
   mu_.set_holder(txn);
-  auto it = transactions_.find(txn);
-  if (it == transactions_.end()) {
+  Transaction* t = transactions_.Find(txn);
+  if (t == nullptr) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
-  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
-                        it->second.trace_span());
-  Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
+  TraceSpan commit_span(SpanKind::kCommit, txn, t->ts().site, 0,
+                        t->trace_span());
+  Teardown(*t, TxnState::kCommitted, AbortReason::kNone);
   return Status::OK();
 }
 
@@ -199,26 +202,25 @@ Status TwoPLManager::Abort(TxnId txn) {
   ScopedPhaseTimer phase(ProfilePhase::kCommit);
   std::lock_guard<ProfiledMutex> lock(mu_);
   mu_.set_holder(txn);
-  auto it = transactions_.find(txn);
-  if (it == transactions_.end()) {
+  Transaction* t = transactions_.Find(txn);
+  if (t == nullptr) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
-  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
-                        it->second.trace_span());
-  Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
+  TraceSpan commit_span(SpanKind::kCommit, txn, t->ts().site, 0,
+                        t->trace_span());
+  Teardown(*t, TxnState::kAborted, AbortReason::kUserRequested);
   return Status::OK();
 }
 
 bool TwoPLManager::IsActive(TxnId txn) const {
   std::lock_guard<ProfiledMutex> lock(mu_);
-  return transactions_.count(txn) > 0;
+  return transactions_.Contains(txn);
 }
 
 const Transaction* TwoPLManager::Find(TxnId txn) const {
   std::lock_guard<ProfiledMutex> lock(mu_);
-  auto it = transactions_.find(txn);
-  return it == transactions_.end() ? nullptr : &it->second;
+  return transactions_.Find(txn);
 }
 
 size_t TwoPLManager::num_active() const {
@@ -227,10 +229,10 @@ size_t TwoPLManager::num_active() const {
 }
 
 Transaction& TwoPLManager::GetActive(TxnId txn) {
-  auto it = transactions_.find(txn);
-  ESR_CHECK(it != transactions_.end())
+  Transaction* t = transactions_.Find(txn);
+  ESR_CHECK(t != nullptr)
       << "operation on unknown/finished transaction " << txn;
-  return it->second;
+  return *t;
 }
 
 OpResult TwoPLManager::AbortOp(Transaction& txn, AbortReason reason) {
@@ -267,7 +269,9 @@ void TwoPLManager::Teardown(Transaction& txn, TxnState final_state,
   }
   EndSpan(SpanKind::kTxn, txn.trace_span(), txn.id(), txn.ts().site);
   locks_.ReleaseAll(txn.id());
-  transactions_.erase(txn.id());
+  // Last touch of `txn`: backward-shift erase moves neighbors and leaves
+  // the reference dangling.
+  transactions_.Erase(txn.id());
 }
 
 }  // namespace esr

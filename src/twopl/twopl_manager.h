@@ -1,9 +1,10 @@
 #ifndef ESR_TWOPL_TWOPL_MANAGER_H_
 #define ESR_TWOPL_TWOPL_MANAGER_H_
 
+#include <algorithm>
 #include <mutex>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "hierarchy/accumulator.h"
 #include "obs/profile.h"
@@ -43,7 +44,7 @@ class TwoPLManager final : public TransactionEngine {
   TwoPLManager(const TwoPLManager&) = delete;
   TwoPLManager& operator=(const TwoPLManager&) = delete;
 
-  TxnId Begin(TxnType type, Timestamp ts, BoundSpec bounds) override;
+  TxnId Begin(TxnType type, Timestamp ts, const BoundSpec& bounds) override;
   OpResult Read(TxnId txn, ObjectId object) override;
   OpResult Write(TxnId txn, ObjectId object, Value value) override;
   Status Commit(TxnId txn) override;
@@ -56,6 +57,19 @@ class TwoPLManager final : public TransactionEngine {
   void SetHeadroomTracker(NodeHeadroomTracker* tracker) override {
     std::lock_guard<ProfiledMutex> lock(mu_);
     headroom_tracker_ = tracker;
+  }
+
+  /// Pre-sizes the transaction registry and lock table for the expected
+  /// MPL and access-set size (no rehash on the operation path).
+  void ReserveForLoad(const LoadHints& hints) override {
+    std::lock_guard<ProfiledMutex> lock(mu_);
+    if (hints.concurrent_txns > 0) {
+      transactions_.Reserve(2 * hints.concurrent_txns);
+      locks_.Reserve(2 * hints.concurrent_txns *
+                         std::max<size_t>(1, hints.objects_per_txn),
+                     2 * hints.concurrent_txns);
+    }
+    access_hint_ = hints.objects_per_txn;
   }
 
   LockTable& lock_table() { return locks_; }
@@ -81,7 +95,9 @@ class TwoPLManager final : public TransactionEngine {
   /// Headroom telemetry sink for new transactions' accumulators (see
   /// NodeHeadroomTracker); not owned, may be null.
   NodeHeadroomTracker* headroom_tracker_ = nullptr;
-  std::unordered_map<TxnId, Transaction> transactions_;
+  /// Expected access-set size for new transactions (0 = no pre-sizing).
+  size_t access_hint_ = 0;
+  FlatMap<TxnId, Transaction> transactions_;
   /// Per-level bound-check outcome counters (Sec. 5 observability).
   BoundCheckStats bound_stats_;
   /// Hot-path counters resolved once at construction so per-operation

@@ -63,6 +63,17 @@ struct EngineCounters {
   }
 };
 
+/// Expected steady-state load, used to pre-size engine hash maps so the
+/// hot path never rehashes mid-run. Over-estimating is cheap (a few KB);
+/// zero fields are ignored.
+struct LoadHints {
+  /// Concurrent transactions (the simulator's MPL; a threaded server's
+  /// client-thread count).
+  size_t concurrent_txns = 0;
+  /// Objects one transaction touches (the workload's transaction length).
+  size_t objects_per_txn = 0;
+};
+
 /// The protocol-independent transaction-engine interface the server, the
 /// simulated clients, and the public API program against. All engines
 /// share the OpResult contract (OK / WAIT-retry / ABORT-resubmit) and the
@@ -71,9 +82,17 @@ class TransactionEngine {
  public:
   virtual ~TransactionEngine() = default;
 
+  /// Pre-sizes internal tables for the expected load (see LoadHints).
+  /// Call before the run starts; default no-op.
+  virtual void ReserveForLoad(const LoadHints& hints) { (void)hints; }
+
   /// Starts an ET with a client-supplied timestamp and hierarchical bound
-  /// declaration (root limit = TIL or TEL).
-  virtual TxnId Begin(TxnType type, Timestamp ts, BoundSpec bounds) = 0;
+  /// declaration (root limit = TIL or TEL). Borrowed, not consumed: the
+  /// spec is a per-type declaration the caller typically reuses for every
+  /// transaction of a run, and transaction-pooling engines copy its
+  /// limits into recycled storage without allocating.
+  virtual TxnId Begin(TxnType type, Timestamp ts,
+                      const BoundSpec& bounds) = 0;
 
   virtual OpResult Read(TxnId txn, ObjectId object) = 0;
 

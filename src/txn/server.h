@@ -55,8 +55,8 @@ class Server {
   const ServerOptions& options() const { return options_; }
 
   // -- The five basic operations (Sec. 6) ---------------------------------
-  TxnId Begin(TxnType type, Timestamp ts, BoundSpec bounds) {
-    return engine_->Begin(type, ts, std::move(bounds));
+  TxnId Begin(TxnType type, Timestamp ts, const BoundSpec& bounds) {
+    return engine_->Begin(type, ts, bounds);
   }
   OpResult Read(TxnId txn, ObjectId object) {
     return engine_->Read(txn, object);

@@ -22,21 +22,51 @@ Transaction::Transaction(TxnId id, Timestamp ts, const GroupSchema* schema,
       import_accumulator_(std::make_unique<InconsistencyAccumulator>(
           schema, std::move(import_bounds), ChargeDirection::kImport)) {}
 
+void Transaction::ResetShared(TxnId id, TxnType type, Timestamp ts) {
+  id_ = id;
+  type_ = type;
+  ts_ = ts;
+  state_ = TxnState::kActive;
+  charged_.Clear();
+  observed_.Clear();
+  registered_reads_.clear();
+  pending_writes_.clear();
+  ops_executed_ = 0;
+  inconsistent_ops_ = 0;
+  trace_span_ = 0;
+}
+
+void Transaction::ResetForReuse(TxnId id, TxnType type, Timestamp ts,
+                                const BoundSpec& bounds) {
+  ResetShared(id, type, ts);
+  accumulator_.ResetForReuse(bounds, type == TxnType::kQuery
+                                         ? ChargeDirection::kImport
+                                         : ChargeDirection::kExport);
+  import_accumulator_.reset();
+}
+
+void Transaction::ResetForReuse(TxnId id, Timestamp ts,
+                                const BoundSpec& bounds,
+                                const BoundSpec& import_bounds) {
+  ResetShared(id, TxnType::kUpdate, ts);
+  accumulator_.ResetForReuse(bounds, ChargeDirection::kExport);
+  if (import_accumulator_ == nullptr) {
+    import_accumulator_ = std::make_unique<InconsistencyAccumulator>(
+        accumulator_.schema(), import_bounds, ChargeDirection::kImport);
+  } else {
+    import_accumulator_->ResetForReuse(import_bounds,
+                                       ChargeDirection::kImport);
+  }
+}
+
 Inconsistency Transaction::ChargedFor(ObjectId object) const {
-  auto it = charged_.find(object);
-  return it == charged_.end() ? 0.0 : it->second;
+  const Inconsistency* d = charged_.Find(object);
+  return d == nullptr ? 0.0 : *d;
 }
 
 void Transaction::NoteCharged(ObjectId object, Inconsistency d) {
   Inconsistency& slot = charged_[object];
   slot = std::max(slot, d);
-}
-
-void Transaction::NoteRegisteredRead(ObjectId object) {
-  if (std::find(registered_reads_.begin(), registered_reads_.end(), object) ==
-      registered_reads_.end()) {
-    registered_reads_.push_back(object);
-  }
 }
 
 void Transaction::NotePendingWrite(ObjectId object) {
@@ -49,20 +79,18 @@ bool Transaction::HasPendingWrite(ObjectId object) const {
 }
 
 void Transaction::ObserveValue(ObjectId object, Value value) {
-  auto [it, inserted] = observed_.try_emplace(
-      object, ValueRange{value, value, value, 0});
-  ValueRange& range = it->second;
+  auto [range, inserted] =
+      observed_.TryEmplace(object, ValueRange{value, value, value, 0});
   if (!inserted) {
-    range.min = std::min(range.min, value);
-    range.max = std::max(range.max, value);
-    range.last = value;
+    range->min = std::min(range->min, value);
+    range->max = std::max(range->max, value);
+    range->last = value;
   }
-  ++range.reads;
+  ++range->reads;
 }
 
 const Transaction::ValueRange* Transaction::RangeFor(ObjectId object) const {
-  auto it = observed_.find(object);
-  return it == observed_.end() ? nullptr : &it->second;
+  return observed_.Find(object);
 }
 
 }  // namespace esr

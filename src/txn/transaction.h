@@ -2,10 +2,10 @@
 #define ESR_TXN_TRANSACTION_H_
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cc/to_policy.h"
+#include "common/flat_map.h"
 #include "common/timestamp.h"
 #include "common/types.h"
 #include "hierarchy/accumulator.h"
@@ -44,6 +44,17 @@ class Transaction {
   /// import declaration its relaxed reads are charged against.
   Transaction(TxnId id, Timestamp ts, const GroupSchema* schema,
               BoundSpec bounds, BoundSpec import_bounds);
+
+  /// Rewinds this (torn-down) transaction to a fresh kActive state under
+  /// a new identity, keeping every container's capacity: the engines pool
+  /// shells so steady-state Begin/Teardown stays off the allocator. Any
+  /// previous life's import accumulator is dropped (plain ETs have none).
+  void ResetForReuse(TxnId id, TxnType type, Timestamp ts,
+                     const BoundSpec& bounds);
+
+  /// Reuse counterpart of the import-enabled constructor.
+  void ResetForReuse(TxnId id, Timestamp ts, const BoundSpec& bounds,
+                     const BoundSpec& import_bounds);
 
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
@@ -112,8 +123,13 @@ class Transaction {
 
   // -- Read/write set tracking --------------------------------------------
   /// Remembers that this (query) transaction is registered as a reader of
-  /// `object`, so it can be deregistered at commit/abort.
-  void NoteRegisteredRead(ObjectId object);
+  /// `object`, so it can be deregistered at commit/abort. Call only when
+  /// ObjectRecord::RegisterQueryReader reported a NEW registration — the
+  /// object's reader list is the dedup authority, so this is a plain
+  /// append (no per-read scan of the registered set).
+  void NoteRegisteredRead(ObjectId object) {
+    registered_reads_.push_back(object);
+  }
   /// Remembers a pending write for shadow restore at abort.
   void NotePendingWrite(ObjectId object);
 
@@ -130,8 +146,16 @@ class Transaction {
   void ObserveValue(ObjectId object, Value value);
   /// Range viewed for `object`, if it was ever read.
   const ValueRange* RangeFor(ObjectId object) const;
-  const std::unordered_map<ObjectId, ValueRange>& ranges() const {
-    return observed_;
+  const FlatMap<ObjectId, ValueRange>& ranges() const { return observed_; }
+
+  /// Pre-sizes the per-object tracking maps for an expected access-set
+  /// size (the workload's transaction length), so the hot path never
+  /// rehashes. Cheap to over-estimate.
+  void ReserveAccessSets(size_t expected_objects) {
+    charged_.Reserve(expected_objects);
+    observed_.Reserve(expected_objects);
+    registered_reads_.reserve(expected_objects);
+    pending_writes_.reserve(expected_objects);
   }
 
   // -- Causal tracing -------------------------------------------------------
@@ -148,16 +172,19 @@ class Transaction {
   void CountInconsistentOp() { ++inconsistent_ops_; }
 
  private:
+  /// Identity/counter/access-set reset shared by both reuse paths.
+  void ResetShared(TxnId id, TxnType type, Timestamp ts);
+
   TxnId id_;
   TxnType type_;
   Timestamp ts_;
   TxnState state_ = TxnState::kActive;
   InconsistencyAccumulator accumulator_;
   std::unique_ptr<InconsistencyAccumulator> import_accumulator_;
-  std::unordered_map<ObjectId, Inconsistency> charged_;
+  FlatMap<ObjectId, Inconsistency> charged_;
   std::vector<ObjectId> registered_reads_;
   std::vector<ObjectId> pending_writes_;
-  std::unordered_map<ObjectId, ValueRange> observed_;
+  FlatMap<ObjectId, ValueRange> observed_;
   int64_t ops_executed_ = 0;
   int64_t inconsistent_ops_ = 0;
   uint64_t trace_span_ = 0;

@@ -29,37 +29,61 @@ TransactionManager::TransactionManager(ObjectStore* store,
   ESR_CHECK(metrics_ != nullptr);
 }
 
+Transaction* TransactionManager::EmplaceTransaction(TxnId id, TxnType type,
+                                                    Timestamp ts,
+                                                    const BoundSpec& bounds) {
+  if (!pool_.empty()) {
+    Transaction shell = std::move(pool_.back());
+    pool_.pop_back();
+    shell.ResetForReuse(id, type, ts, bounds);
+    return transactions_.TryEmplace(id, std::move(shell)).first;
+  }
+  return transactions_
+      .TryEmplace(id, Transaction(id, type, ts, schema_, bounds))
+      .first;
+}
+
 TxnId TransactionManager::Begin(TxnType type, Timestamp ts,
-                                BoundSpec bounds) {
+                                const BoundSpec& bounds) {
   // Phase scopes open *before* the latch so latch wait is attributed to
   // the phase (coverage: every in-engine nanosecond lands in a phase).
   ScopedPhaseTimer phase(ProfilePhase::kValidate);
   std::lock_guard<ProfiledMutex> lock(mu_);
   const TxnId id = next_txn_id_++;
-  auto [it, inserted] = transactions_.emplace(
-      id, Transaction(id, type, ts, schema_, std::move(bounds)));
-  it->second.AttachHeadroomTracker(headroom_tracker_);
-  it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
+  Transaction* txn = EmplaceTransaction(id, type, ts, bounds);
+  if (access_hint_ > 0) txn->ReserveAccessSets(access_hint_);
+  txn->AttachHeadroomTracker(headroom_tracker_);
+  txn->set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(type)->Increment();
   ESR_TRACE_EVENT(
-      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), it->second.trace_span()));
+      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), txn->trace_span()));
   return id;
 }
 
-TxnId TransactionManager::BeginUpdateWithImport(Timestamp ts,
-                                                BoundSpec export_bounds,
-                                                BoundSpec import_bounds) {
+TxnId TransactionManager::BeginUpdateWithImport(
+    Timestamp ts, const BoundSpec& export_bounds,
+    const BoundSpec& import_bounds) {
   ScopedPhaseTimer phase(ProfilePhase::kValidate);
   std::lock_guard<ProfiledMutex> lock(mu_);
   const TxnId id = next_txn_id_++;
-  auto [it, inserted] = transactions_.emplace(
-      id, Transaction(id, ts, schema_, std::move(export_bounds),
-                      std::move(import_bounds)));
-  it->second.AttachHeadroomTracker(headroom_tracker_);
-  it->second.set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
+  Transaction* txn;
+  if (!pool_.empty()) {
+    Transaction shell = std::move(pool_.back());
+    pool_.pop_back();
+    shell.ResetForReuse(id, ts, export_bounds, import_bounds);
+    txn = transactions_.TryEmplace(id, std::move(shell)).first;
+  } else {
+    txn = transactions_
+              .TryEmplace(id, Transaction(id, ts, schema_, export_bounds,
+                                          import_bounds))
+              .first;
+  }
+  if (access_hint_ > 0) txn->ReserveAccessSets(access_hint_);
+  txn->AttachHeadroomTracker(headroom_tracker_);
+  txn->set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
   counters_.BeginFor(TxnType::kUpdate)->Increment();
   ESR_TRACE_EVENT(WithSpan(TraceEvent::BeginTxn(id, TxnType::kUpdate, ts.site),
-                           it->second.trace_span()));
+                           txn->trace_span()));
   return id;
 }
 
@@ -104,8 +128,9 @@ OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
       if (txn.is_query()) {
         obj.NoteQueryRead(txn.ts());
         // For a consistent read the proper value IS the present value.
-        obj.RegisterQueryReader(txn.id(), txn.ts(), present);
-        txn.NoteRegisteredRead(object);
+        if (obj.RegisterQueryReader(txn.id(), txn.ts(), present)) {
+          txn.NoteRegisteredRead(object);
+        }
       } else {
         obj.NoteUpdateRead(txn.ts());
       }
@@ -145,8 +170,9 @@ OpResult TransactionManager::DoRead(Transaction& txn, ObjectId object) {
       const Value present = obj.value();
       if (txn.is_query()) {
         obj.NoteQueryRead(txn.ts());
-        obj.RegisterQueryReader(txn.id(), txn.ts(), measure.proper);
-        txn.NoteRegisteredRead(object);
+        if (obj.RegisterQueryReader(txn.id(), txn.ts(), measure.proper)) {
+          txn.NoteRegisteredRead(object);
+        }
       } else {
         obj.NoteUpdateRead(txn.ts());
       }
@@ -238,14 +264,14 @@ Status TransactionManager::Commit(TxnId txn) {
   ScopedPhaseTimer phase(ProfilePhase::kCommit);
   std::lock_guard<ProfiledMutex> lock(mu_);
   mu_.set_holder(txn);
-  auto it = transactions_.find(txn);
-  if (it == transactions_.end()) {
+  Transaction* t = transactions_.Find(txn);
+  if (t == nullptr) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
-  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
-                        it->second.trace_span());
-  Teardown(it->second, TxnState::kCommitted, AbortReason::kNone);
+  TraceSpan commit_span(SpanKind::kCommit, txn, t->ts().site, 0,
+                        t->trace_span());
+  Teardown(*t, TxnState::kCommitted, AbortReason::kNone);
   return Status::OK();
 }
 
@@ -253,26 +279,25 @@ Status TransactionManager::Abort(TxnId txn) {
   ScopedPhaseTimer phase(ProfilePhase::kCommit);
   std::lock_guard<ProfiledMutex> lock(mu_);
   mu_.set_holder(txn);
-  auto it = transactions_.find(txn);
-  if (it == transactions_.end()) {
+  Transaction* t = transactions_.Find(txn);
+  if (t == nullptr) {
     return Status::FailedPrecondition("transaction " + std::to_string(txn) +
                                       " is not active");
   }
-  TraceSpan commit_span(SpanKind::kCommit, txn, it->second.ts().site, 0,
-                        it->second.trace_span());
-  Teardown(it->second, TxnState::kAborted, AbortReason::kUserRequested);
+  TraceSpan commit_span(SpanKind::kCommit, txn, t->ts().site, 0,
+                        t->trace_span());
+  Teardown(*t, TxnState::kAborted, AbortReason::kUserRequested);
   return Status::OK();
 }
 
 bool TransactionManager::IsActive(TxnId txn) const {
   std::lock_guard<ProfiledMutex> lock(mu_);
-  return transactions_.count(txn) > 0;
+  return transactions_.Contains(txn);
 }
 
 const Transaction* TransactionManager::Find(TxnId txn) const {
   std::lock_guard<ProfiledMutex> lock(mu_);
-  auto it = transactions_.find(txn);
-  return it == transactions_.end() ? nullptr : &it->second;
+  return transactions_.Find(txn);
 }
 
 size_t TransactionManager::num_active() const {
@@ -281,10 +306,10 @@ size_t TransactionManager::num_active() const {
 }
 
 Transaction& TransactionManager::GetActive(TxnId txn) {
-  auto it = transactions_.find(txn);
-  ESR_CHECK(it != transactions_.end())
+  Transaction* t = transactions_.Find(txn);
+  ESR_CHECK(t != nullptr)
       << "operation on unknown/finished transaction " << txn;
-  return it->second;
+  return *t;
 }
 
 OpResult TransactionManager::AbortOp(Transaction& txn, AbortReason reason) {
@@ -323,7 +348,13 @@ void TransactionManager::Teardown(Transaction& txn, TxnState final_state,
                                      txn.id(), txn.ts().site));
   }
   EndSpan(SpanKind::kTxn, txn.trace_span(), txn.id(), txn.ts().site);
-  transactions_.erase(txn.id());
+  // Recycle the shell — the next Begin reuses its container capacity, so
+  // steady-state Begin/Teardown never touch the allocator. Erasing the
+  // moved-from husk is the last touch of `txn`: backward-shift erase
+  // moves neighbors and leaves the reference dangling.
+  const TxnId id = txn.id();
+  pool_.push_back(std::move(txn));
+  transactions_.Erase(id);
 }
 
 }  // namespace esr

@@ -2,9 +2,9 @@
 #define ESR_TXN_TRANSACTION_MANAGER_H_
 
 #include <mutex>
-#include <unordered_map>
 
 #include "cc/to_policy.h"
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "obs/profile.h"
 #include "hierarchy/accumulator.h"
@@ -42,15 +42,15 @@ class TransactionManager final : public TransactionEngine {
   /// assigned when transactions begin, at the client site). `bounds` is
   /// the hierarchical inconsistency declaration: its root limit is the
   /// TIL (queries) or TEL (updates).
-  TxnId Begin(TxnType type, Timestamp ts, BoundSpec bounds) override;
+  TxnId Begin(TxnType type, Timestamp ts, const BoundSpec& bounds) override;
 
   /// Starts an update ET that may also IMPORT inconsistency through its
   /// reads (Sec. 1 generalization; not part of the paper's evaluation):
   /// `export_bounds` is the TEL declaration, `import_bounds` the budget
   /// its relaxed reads are charged against. With a zero import budget
   /// this is identical to Begin(kUpdate, ...).
-  TxnId BeginUpdateWithImport(Timestamp ts, BoundSpec export_bounds,
-                              BoundSpec import_bounds);
+  TxnId BeginUpdateWithImport(Timestamp ts, const BoundSpec& export_bounds,
+                              const BoundSpec& import_bounds);
 
   /// Executes `Read id`. On kAbort the transaction no longer exists.
   OpResult Read(TxnId txn, ObjectId object) override;
@@ -83,12 +83,30 @@ class TransactionManager final : public TransactionEngine {
     headroom_tracker_ = tracker;
   }
 
+  /// Pre-sizes the transaction registry for the expected MPL and notes
+  /// the per-transaction access-set size so each Begin pre-sizes its
+  /// charge/observe maps (no rehash on the operation path).
+  void ReserveForLoad(const LoadHints& hints) override {
+    std::lock_guard<ProfiledMutex> lock(mu_);
+    if (hints.concurrent_txns > 0) {
+      transactions_.Reserve(2 * hints.concurrent_txns);
+      pool_.reserve(hints.concurrent_txns);
+    }
+    access_hint_ = hints.objects_per_txn;
+  }
+
   MetricRegistry& metrics() { return *metrics_; }
   DataManager& data_manager() { return data_manager_; }
   const GroupSchema& schema() const { return *schema_; }
 
  private:
   Transaction& GetActive(TxnId txn);
+
+  /// Registers a new transaction under `id`, recycling a pooled shell
+  /// when one is available (every container keeps its capacity; steady
+  /// state allocates nothing). Returns the registered transaction.
+  Transaction* EmplaceTransaction(TxnId id, TxnType type, Timestamp ts,
+                                  const BoundSpec& bounds);
 
   /// Aborts `txn` as a consequence of a failed operation and returns the
   /// OpResult the client sees.
@@ -111,7 +129,12 @@ class TransactionManager final : public TransactionEngine {
   /// Headroom telemetry sink for new transactions' accumulators (see
   /// NodeHeadroomTracker); not owned, may be null.
   NodeHeadroomTracker* headroom_tracker_ = nullptr;
-  std::unordered_map<TxnId, Transaction> transactions_;
+  /// Expected access-set size for new transactions (0 = no pre-sizing).
+  size_t access_hint_ = 0;
+  FlatMap<TxnId, Transaction> transactions_;
+  /// Torn-down transaction shells awaiting reuse (see EmplaceTransaction).
+  /// Bounded by the maximum number of concurrently active transactions.
+  std::vector<Transaction> pool_;
   /// Per-level bound-check outcome counters (Sec. 5 observability).
   BoundCheckStats bound_stats_;
   /// Hot-path counters resolved once at construction so per-operation

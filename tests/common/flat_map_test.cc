@@ -1,0 +1,194 @@
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace esr {
+namespace {
+
+TEST(FlatMapTest, StartsEmpty) {
+  FlatMap<uint32_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(7), nullptr);
+  EXPECT_FALSE(m.Contains(7));
+  EXPECT_FALSE(m.Erase(7));
+}
+
+TEST(FlatMapTest, SubscriptInsertsDefault) {
+  FlatMap<uint32_t, int> m;
+  EXPECT_EQ(m[3], 0);
+  m[3] = 42;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[3], 42);
+  EXPECT_EQ(m.size(), 1u);
+  ASSERT_NE(m.Find(3), nullptr);
+  EXPECT_EQ(*m.Find(3), 42);
+}
+
+TEST(FlatMapTest, TryEmplaceKeepsExisting) {
+  FlatMap<uint64_t, std::string> m;
+  auto [p1, inserted1] = m.TryEmplace(9, "first");
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*p1, "first");
+  auto [p2, inserted2] = m.TryEmplace(9, "second");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(*p2, "first");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, EraseBackwardShiftPreservesCluster) {
+  // Keys that all hash to the same home slot (identity hash mod
+  // capacity 16): 1, 17, 33, 49 form one probe cluster. Erasing from the
+  // middle must keep the later keys findable.
+  FlatMap<uint32_t, int> m;
+  m.Reserve(4);
+  ASSERT_EQ(m.capacity(), 16u);
+  for (uint32_t k : {1u, 17u, 33u, 49u}) m[k] = static_cast<int>(k);
+  EXPECT_TRUE(m.Erase(17));
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.Find(17), nullptr);
+  for (uint32_t k : {1u, 33u, 49u}) {
+    ASSERT_NE(m.Find(k), nullptr) << k;
+    EXPECT_EQ(*m.Find(k), static_cast<int>(k));
+  }
+  EXPECT_TRUE(m.Erase(1));
+  EXPECT_TRUE(m.Erase(49));
+  EXPECT_TRUE(m.Erase(33));
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMapTest, EraseClusterThatWrapsAroundCapacity) {
+  // Home slot 15 of a 16-slot table: 15, 31, 47 probe 15 -> 0 -> 1,
+  // wrapping the array. Backward shift must respect circular distance.
+  FlatMap<uint32_t, int> m;
+  m.Reserve(4);
+  ASSERT_EQ(m.capacity(), 16u);
+  for (uint32_t k : {15u, 31u, 47u}) m[k] = static_cast<int>(k);
+  EXPECT_TRUE(m.Erase(15));
+  for (uint32_t k : {31u, 47u}) {
+    ASSERT_NE(m.Find(k), nullptr) << k;
+    EXPECT_EQ(*m.Find(k), static_cast<int>(k));
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  FlatMap<uint32_t, int> m;
+  m.Reserve(1000);
+  const size_t cap = m.capacity();
+  EXPECT_GE(cap - cap / 8, 1000u);
+  for (uint32_t k = 0; k < 1000; ++k) m[k] = 1;
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMapTest, GrowsWithoutReserve) {
+  FlatMap<uint32_t, uint32_t> m;
+  for (uint32_t k = 0; k < 5000; ++k) m[k * 7919] = k;
+  EXPECT_EQ(m.size(), 5000u);
+  for (uint32_t k = 0; k < 5000; ++k) {
+    ASSERT_NE(m.Find(k * 7919), nullptr) << k;
+    EXPECT_EQ(*m.Find(k * 7919), k);
+  }
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryElementOnce) {
+  FlatMap<uint32_t, int> m;
+  for (uint32_t k = 10; k < 30; ++k) m[k] = 2;
+  std::set<uint32_t> seen;
+  int total = 0;
+  m.ForEach([&](uint32_t k, int v) {
+    seen.insert(k);
+    total += v;
+  });
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(total, 40);
+}
+
+TEST(FlatMapTest, ClearKeepsCapacity) {
+  FlatMap<uint32_t, int> m;
+  m.Reserve(100);
+  const size_t cap = m.capacity();
+  for (uint32_t k = 0; k < 100; ++k) m[k] = 1;
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.Find(5), nullptr);
+  m[5] = 9;
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, SupportsMoveOnlyNonDefaultConstructibleValues) {
+  // The transaction registry stores move-only Transactions; growth and
+  // backward-shift erase must work through moves alone.
+  FlatMap<uint64_t, std::unique_ptr<int>> m;
+  for (uint64_t k = 0; k < 100; ++k) {
+    auto [p, inserted] =
+        m.TryEmplace(k, std::make_unique<int>(static_cast<int>(k)));
+    EXPECT_TRUE(inserted);
+    ASSERT_NE(p->get(), nullptr);
+  }
+  for (uint64_t k = 0; k < 100; k += 2) EXPECT_TRUE(m.Erase(k));
+  EXPECT_EQ(m.size(), 50u);
+  for (uint64_t k = 1; k < 100; k += 2) {
+    auto* p = m.Find(k);
+    ASSERT_NE(p, nullptr) << k;
+    EXPECT_EQ(**p, static_cast<int>(k));
+  }
+}
+
+TEST(FlatMapTest, MatchesUnorderedMapUnderRandomChurn) {
+  Rng rng(20260809);
+  FlatMap<uint64_t, int64_t> flat;
+  std::unordered_map<uint64_t, int64_t> ref;
+  for (int step = 0; step < 50000; ++step) {
+    const uint64_t key = rng.UniformInt(0, 512);
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        flat[key] = static_cast<int64_t>(step);
+        ref[key] = static_cast<int64_t>(step);
+        break;
+      case 1: {
+        EXPECT_EQ(flat.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+      case 2: {
+        auto it = ref.find(key);
+        int64_t* p = flat.Find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(p, nullptr);
+        } else {
+          ASSERT_NE(p, nullptr);
+          EXPECT_EQ(*p, it->second);
+        }
+        break;
+      }
+      default: {
+        auto [p, inserted] = flat.TryEmplace(key, -1);
+        auto [it, ref_inserted] = ref.try_emplace(key, -1);
+        EXPECT_EQ(inserted, ref_inserted);
+        EXPECT_EQ(*p, it->second);
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  size_t visited = 0;
+  flat.ForEach([&](uint64_t k, int64_t v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+}  // namespace
+}  // namespace esr

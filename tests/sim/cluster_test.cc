@@ -38,6 +38,42 @@ TEST(ClusterTest, DeterministicGivenSeed) {
   EXPECT_EQ(a.waits, b.waits);
 }
 
+TEST(ClusterTest, LaneWorkerCountDoesNotChangeAnyResult) {
+  // The --lanes determinism contract: worker threads only change who
+  // executes a conservative round, never what it computes. Every result
+  // field — including the per-window series and the merged latency
+  // distribution — must match byte for byte.
+  ClusterOptions serial = FastOptions(4, EpsilonLevel::kMedium, 99);
+  serial.collect_series = true;
+  serial.series_window_s = 1.0;
+  serial.lanes = 1;
+  ClusterOptions parallel = serial;
+  parallel.lanes = 8;  // clamped to mpl + 1 lanes internally
+
+  const SimResult a = RunCluster(serial);
+  const SimResult b = RunCluster(parallel);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.committed_query, b.committed_query);
+  EXPECT_EQ(a.committed_update, b.committed_update);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.ops_executed, b.ops_executed);
+  EXPECT_EQ(a.inconsistent_ops, b.inconsistent_ops);
+  EXPECT_EQ(a.waits, b.waits);
+  EXPECT_EQ(a.import_total, b.import_total);
+  EXPECT_EQ(a.export_total, b.export_total);
+  EXPECT_EQ(a.txn_latency_total_us, b.txn_latency_total_us);
+  EXPECT_EQ(a.latency_ms.count(), b.latency_ms.count());
+  ASSERT_EQ(a.series.windows.size(), b.series.windows.size());
+  for (size_t i = 0; i < a.series.windows.size(); ++i) {
+    EXPECT_EQ(a.series.windows[i].committed, b.series.windows[i].committed);
+    EXPECT_EQ(a.series.windows[i].aborted, b.series.windows[i].aborted);
+    EXPECT_EQ(a.series.windows[i].active_mpl,
+              b.series.windows[i].active_mpl);
+    EXPECT_EQ(a.series.windows[i].mean_op_latency_ms,
+              b.series.windows[i].mean_op_latency_ms);
+  }
+}
+
 TEST(ClusterTest, DifferentSeedsDiffer) {
   const SimResult a = RunCluster(FastOptions(4, EpsilonLevel::kMedium, 1));
   const SimResult b = RunCluster(FastOptions(4, EpsilonLevel::kMedium, 2));

@@ -1,0 +1,156 @@
+#include "sim/lane_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace esr {
+namespace {
+
+/// Execution log entry: (virtual time, lane, tag). Comparing whole logs
+/// across worker counts is the determinism check.
+struct LogEntry {
+  SimTime at;
+  size_t lane;
+  int tag;
+  bool operator==(const LogEntry& other) const {
+    return at == other.at && lane == other.lane && tag == other.tag;
+  }
+};
+
+TEST(LaneExecutorTest, RunsLaneLocalEventsInTimeOrder) {
+  // Each lane's events run in time order; lanes are mutually independent
+  // within a conservative round, so no cross-lane interleaving is
+  // promised (or needed).
+  LaneExecutor ex(2, /*lookahead=*/100);
+  std::vector<LogEntry> log;
+  ex.lane(0).ScheduleAt(50, [&] { log.push_back({50, 0, 1}); });
+  ex.lane(0).ScheduleAt(10, [&] { log.push_back({10, 0, 2}); });
+  ex.lane(1).ScheduleAt(30, [&] { log.push_back({30, 1, 3}); });
+  ex.RunUntil(100);
+  ASSERT_EQ(log.size(), 3u);
+  std::vector<SimTime> lane0_times;
+  for (const LogEntry& e : log) {
+    if (e.lane == 0) lane0_times.push_back(e.at);
+  }
+  EXPECT_EQ(lane0_times, (std::vector<SimTime>{10, 50}));
+  EXPECT_EQ(ex.lane(0).now(), 100);
+  EXPECT_EQ(ex.lane(1).now(), 100);
+}
+
+TEST(LaneExecutorTest, CrossLaneMessageArrivesAtRequestedTime) {
+  LaneExecutor ex(2, /*lookahead=*/100);
+  SimTime delivered_at = -1;
+  ex.lane(0).ScheduleAt(10, [&] {
+    ex.Send(0, 1, ex.lane(0).now() + 150,
+            [&] { delivered_at = ex.lane(1).now(); });
+  });
+  ex.RunUntil(500);
+  EXPECT_EQ(delivered_at, 160);
+}
+
+TEST(LaneExecutorTest, SameTimeDeliveriesMergeByOriginLane) {
+  // Lanes 1 and 2 both send to lane 0 for the same virtual instant; the
+  // canonical merge rule must order them by origin lane no matter which
+  // send was issued first in real time.
+  LaneExecutor ex(3, /*lookahead=*/100);
+  std::vector<int> order;
+  // Lane 2's event runs before lane 1's in wall time (earlier virtual
+  // time), but both deliveries land at t=300.
+  ex.lane(2).ScheduleAt(10, [&] { ex.Send(2, 0, 300, [&] { order.push_back(2); }); });
+  ex.lane(1).ScheduleAt(20, [&] { ex.Send(1, 0, 300, [&] { order.push_back(1); }); });
+  ex.RunUntil(400);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(LaneExecutorTest, CheckpointPhaseRunsBoundaryEventsInLaneOrder) {
+  // Events at exactly `until` run serially in lane order — the window
+  // where cross-lane observers may read.
+  LaneExecutor ex(3, /*lookahead=*/100);
+  std::vector<size_t> order;
+  ex.lane(2).ScheduleAt(500, [&] { order.push_back(2); });
+  ex.lane(0).ScheduleAt(500, [&] { order.push_back(0); });
+  ex.lane(1).ScheduleAt(500, [&] { order.push_back(1); });
+  ex.RunUntil(500);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0u);
+  EXPECT_EQ(order[1], 1u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+/// Deterministic ping-pong workload: every lane keeps a running hash of
+/// what it executed and bounces messages to the next lane. Lane state is
+/// only touched by that lane's events, mirroring the cluster's rule.
+struct PingPong {
+  LaneExecutor ex;
+  std::vector<uint64_t> hash;
+  std::vector<LogEntry> log;  // only lane 0 appends (single-writer)
+
+  explicit PingPong(size_t lanes, int workers)
+      : ex(lanes, /*lookahead=*/1000), hash(lanes, 0) {
+    ex.set_workers(workers);
+  }
+
+  void Bounce(size_t lane, int hops) {
+    hash[lane] = hash[lane] * 1315423911u + static_cast<uint64_t>(
+                                                ex.lane(lane).now());
+    if (lane == 0) {
+      log.push_back({ex.lane(lane).now(), lane, hops});
+    }
+    if (hops == 0) return;
+    const size_t next = (lane + 1) % hash.size();
+    ex.Send(lane, next, ex.lane(lane).now() + 1500,
+            [this, next, hops] { Bounce(next, hops - 1); });
+  }
+
+  void Seed() {
+    for (size_t i = 0; i < hash.size(); ++i) {
+      ex.lane(i).ScheduleAt(static_cast<SimTime>(10 * i + 5),
+                            [this, i] { Bounce(i, 40); });
+    }
+  }
+};
+
+TEST(LaneExecutorTest, WorkerCountDoesNotChangeExecution) {
+  PingPong serial(4, 1);
+  serial.Seed();
+  serial.ex.RunUntil(100'000);
+
+  PingPong parallel(4, 4);
+  parallel.Seed();
+  parallel.ex.RunUntil(100'000);
+
+  EXPECT_EQ(serial.hash, parallel.hash);
+  ASSERT_EQ(serial.log.size(), parallel.log.size());
+  for (size_t i = 0; i < serial.log.size(); ++i) {
+    EXPECT_EQ(serial.log[i], parallel.log[i]) << "log entry " << i;
+  }
+}
+
+TEST(LaneExecutorTest, SplitRunsMatchOneRun) {
+  // RunUntil(a); RunUntil(b) must execute exactly what RunUntil(b)
+  // would — checkpoints are observation points, not perturbations.
+  PingPong split(3, 1);
+  split.Seed();
+  split.ex.RunUntil(20'000);
+  split.ex.RunUntil(40'000);
+  split.ex.RunUntil(100'000);
+
+  PingPong whole(3, 1);
+  whole.Seed();
+  whole.ex.RunUntil(100'000);
+
+  EXPECT_EQ(split.hash, whole.hash);
+}
+
+TEST(LaneExecutorTest, IdleLanesStillAdvanceTheirClocks) {
+  LaneExecutor ex(3, /*lookahead=*/50);
+  ex.RunUntil(1234);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(ex.lane(i).now(), 1234);
+}
+
+}  // namespace
+}  // namespace esr

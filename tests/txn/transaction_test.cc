@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/object.h"
+
 namespace esr {
 namespace {
 
@@ -41,10 +43,22 @@ TEST(TransactionTest, ViewMirrorsIdentity) {
 TEST(TransactionTest, ReadAndWriteSetsDeduplicate) {
   GroupSchema schema;
   Transaction txn(1, TxnType::kUpdate, Ts(1), &schema, BoundSpec());
-  txn.NoteRegisteredRead(3);
-  txn.NoteRegisteredRead(3);
-  txn.NoteRegisteredRead(4);
+  // Dedup of registered reads lives at the object: RegisterQueryReader
+  // reports repeat registrations, and the transaction appends only on a
+  // fresh one (the engines' call pattern).
+  ObjectRecord obj(3, 0, WriteHistory::kDefaultDepth);
+  if (obj.RegisterQueryReader(txn.id(), txn.ts(), 0)) {
+    txn.NoteRegisteredRead(3);
+  }
+  if (obj.RegisterQueryReader(txn.id(), txn.ts(), 0)) {
+    txn.NoteRegisteredRead(3);
+  }
+  ObjectRecord other(4, 0, WriteHistory::kDefaultDepth);
+  if (other.RegisterQueryReader(txn.id(), txn.ts(), 0)) {
+    txn.NoteRegisteredRead(4);
+  }
   EXPECT_EQ(txn.registered_reads().size(), 2u);
+  EXPECT_EQ(obj.query_readers().size(), 1u);
   txn.NotePendingWrite(5);
   txn.NotePendingWrite(5);
   EXPECT_EQ(txn.pending_writes().size(), 1u);
