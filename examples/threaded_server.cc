@@ -8,6 +8,25 @@
 //             [--json metrics.json] [--trace trace.json] [--certify]
 //             [--profile profile.json]
 //             [--metrics-port N] [--metrics-linger-ms N]
+//             [--shards N] [--workers N] [--objects N] [--batch]
+//
+// The default run is the historical loopback demo: one OS thread per
+// client against the single-latch engine. The scaling flags opt into the
+// sharded engine and the batched worker pool:
+//
+//   --shards N    run the sharded TO engine with N shards (per-shard
+//                 latch, arena history, group commit); per-shard
+//                 engine.shard<i>.* gauges are exported on /metrics.
+//   --workers N   drive the clients as multiplexed sessions over N worker
+//                 threads (engine/sharded/session.h) instead of one OS
+//                 thread each — thousands of clients fit in a handful of
+//                 workers, and ops reach the engine as per-shard batches.
+//   --batch       shorthand for --workers hardware_concurrency.
+//   --objects N   object store size (default 1000).
+//   --hot-set N   width of the contended hot set (default: the workload
+//                 spec's 20). Worker-pool sessions have zero think time,
+//                 so at large client counts the default hot set thrashes
+//                 on aborts; scale it with the population.
 //
 // --json dumps the final epsilon level's metric registry (counters plus
 // latency percentiles) as JSON; --trace captures that run's transaction
@@ -48,6 +67,8 @@
 #include <thread>
 #include <vector>
 
+#include "engine/sharded/session.h"
+#include "engine/sharded/sharded_engine.h"
 #include "esr/limits.h"
 #include "hierarchy/accumulator.h"
 #include "obs/exporter.h"
@@ -211,6 +232,10 @@ int main(int argc, char** argv) {
   bool certify = false;
   int metrics_port = -1;
   int metrics_linger_ms = 0;
+  int num_shards = 0;    // 0 = historical single-latch engine
+  int num_workers = 0;   // 0 = one OS thread per client
+  int num_objects = 1000;
+  int hot_set = 0;  // 0 = keep the workload spec default
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const bool is_json = std::strcmp(argv[i], "--json") == 0;
@@ -218,9 +243,20 @@ int main(int argc, char** argv) {
     const bool is_profile = std::strcmp(argv[i], "--profile") == 0;
     const bool is_port = std::strcmp(argv[i], "--metrics-port") == 0;
     const bool is_linger = std::strcmp(argv[i], "--metrics-linger-ms") == 0;
+    const bool is_shards = std::strcmp(argv[i], "--shards") == 0;
+    const bool is_workers = std::strcmp(argv[i], "--workers") == 0;
+    const bool is_objects = std::strcmp(argv[i], "--objects") == 0;
+    const bool is_hot_set = std::strcmp(argv[i], "--hot-set") == 0;
     if (std::strcmp(argv[i], "--certify") == 0) {
       certify = true;
-    } else if (is_json || is_trace || is_profile || is_port || is_linger) {
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      if (num_workers <= 0) {
+        num_workers =
+            static_cast<int>(std::thread::hardware_concurrency());
+        if (num_workers <= 0) num_workers = 4;
+      }
+    } else if (is_json || is_trace || is_profile || is_port || is_linger ||
+               is_shards || is_workers || is_objects || is_hot_set) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", argv[i]);
         return 1;
@@ -233,6 +269,14 @@ int main(int argc, char** argv) {
         profile_path = argv[++i];
       } else if (is_port) {
         metrics_port = std::atoi(argv[++i]);
+      } else if (is_shards) {
+        num_shards = std::atoi(argv[++i]);
+      } else if (is_workers) {
+        num_workers = std::atoi(argv[++i]);
+      } else if (is_objects) {
+        num_objects = std::atoi(argv[++i]);
+      } else if (is_hot_set) {
+        hot_set = std::atoi(argv[++i]);
       } else {
         metrics_linger_ms = std::atoi(argv[++i]);
       }
@@ -246,6 +290,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 1;
     }
+  }
+  if (num_objects <= 0) {
+    std::fprintf(stderr, "--objects must be positive\n");
+    return 1;
   }
 
   std::signal(SIGINT, HandleSignal);
@@ -316,11 +364,17 @@ int main(int argc, char** argv) {
 
   for (const esr::EpsilonLevel level : levels) {
     esr::ServerOptions options;
-    options.store.num_objects = 1000;
+    options.store.num_objects = static_cast<size_t>(num_objects);
+    if (num_shards > 0) {
+      options.engine = esr::EngineKind::kSharded;
+      options.sharded.num_shards = static_cast<size_t>(num_shards);
+    }
     esr::Server server(options);
     hub.Set(&server);
 
     esr::WorkloadSpec spec;
+    spec.num_objects = static_cast<size_t>(num_objects);
+    if (hot_set > 0) spec.hot_set_size = static_cast<size_t>(hot_set);
     const esr::TransactionLimits limits = esr::LimitsForLevel(level);
     spec.til = limits.til;
     spec.tel = limits.tel;
@@ -360,8 +414,9 @@ int main(int argc, char** argv) {
     }
     std::atomic<bool> sampling{true};
     esr::StreamCertifier* const cert = certifier.get();
+    esr::ShardedEngine* const sharded = server.sharded_engine();
     std::thread sampler([&server, &sampling, &headroom, &headroom_series,
-                         cert, profiling] {
+                         cert, profiling, sharded] {
       int64_t ticks = 0;
       auto fold_window = [&](double duration_s) {
         esr::SeriesWindow w;
@@ -402,6 +457,13 @@ int main(int argc, char** argv) {
           // (atomics only — the quiescent histograms export after joins).
           esr::GlobalProfiler().ExportLiveGauges(&server.metrics());
         }
+        if (sharded != nullptr) {
+          // Per-shard engine.shard<i>.* gauges, refreshed every tick so
+          // scrapes see live per-shard op/commit/batch counts. Safe
+          // against concurrent group commit: each gauge reads one shard's
+          // stats under its latch (see shard_gauges_test.cc).
+          sharded->ExportShardGauges(&server.metrics());
+        }
         if (++ticks % 100 == 0) {  // 100 x 10 ms: one-second windows
           fold_window(1.0);
         }
@@ -414,18 +476,55 @@ int main(int argc, char** argv) {
       }
     });
 
-    std::vector<std::thread> threads;
     std::vector<ClientResult> results(
         static_cast<size_t>(num_clients));
     const auto start = Clock::now();
-    for (int c = 0; c < num_clients; ++c) {
-      threads.emplace_back([&, c] {
-        results[static_cast<size_t>(c)] =
-            RunClient(&server, static_cast<esr::SiteId>(c + 1), spec,
-                      txns_per_client);
+    if (num_workers > 0) {
+      // Worker-pool mode: clients are multiplexed sessions, not OS
+      // threads, so num_clients can be in the thousands. Ops reach the
+      // engine as per-shard batches and commits ride group commit.
+      esr::SessionPoolOptions pool;
+      pool.sessions = static_cast<size_t>(num_clients);
+      pool.txns_per_session = txns_per_client;
+      pool.workers = static_cast<size_t>(num_workers);
+      pool.seed = 0;  // site seeding then matches thread-per-client mode
+      pool.record_latency = true;
+      std::atomic<bool> stop{false};
+      pool.stop = &stop;
+      // Relay SIGINT/SIGTERM into the pool's cooperative stop flag; the
+      // workers abort in-flight transactions and drain at the next op
+      // boundary, same contract as RunClient's Interrupted() polls.
+      std::atomic<bool> watching{true};
+      std::thread watcher([&stop, &watching] {
+        while (watching.load(std::memory_order_acquire)) {
+          if (Interrupted()) {
+            stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
       });
+      const esr::SessionPoolResult pool_result =
+          esr::RunSessionWorkers(&server, spec, pool);
+      watching.store(false, std::memory_order_release);
+      watcher.join();
+      for (size_t s = 0;
+           s < pool_result.per_session.size() && s < results.size(); ++s) {
+        results[s].committed = pool_result.per_session[s].committed;
+        results[s].aborts = pool_result.per_session[s].aborts;
+        results[s].waits = pool_result.per_session[s].waits;
+      }
+    } else {
+      std::vector<std::thread> threads;
+      for (int c = 0; c < num_clients; ++c) {
+        threads.emplace_back([&, c] {
+          results[static_cast<size_t>(c)] =
+              RunClient(&server, static_cast<esr::SiteId>(c + 1), spec,
+                        txns_per_client);
+        });
+      }
+      for (auto& thread : threads) thread.join();
     }
-    for (auto& thread : threads) thread.join();
     const double elapsed_s =
         std::chrono::duration<double>(Clock::now() - start).count();
     sampling.store(false, std::memory_order_release);

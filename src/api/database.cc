@@ -23,6 +23,17 @@ constexpr int kMaxWaitRetries = 20'000;
 Database::Database(const ServerOptions& options) : server_(options) {}
 
 Status Database::LoadValue(ObjectId object, Value value) {
+  if (ShardedEngine* sharded = server_.sharded_engine()) {
+    if (!sharded->ContainsObject(object)) {
+      return Status::NotFound("object " + std::to_string(object));
+    }
+    ObjectRecord& rec = sharded->ObjectAt(object);
+    ESR_CHECK(!rec.has_uncommitted_write())
+        << "LoadValue during active transactions";
+    rec.ApplyWrite(/*txn=*/UINT64_MAX, Timestamp::Min(), value);
+    rec.CommitWrite(/*txn=*/UINT64_MAX);
+    return Status::OK();
+  }
   if (!server_.store().Contains(object)) {
     return Status::NotFound("object " + std::to_string(object));
   }
@@ -52,6 +63,14 @@ Status Database::LoadValue(ObjectId object, Value value) {
 }
 
 Result<Value> Database::PeekValue(ObjectId object) const {
+  if (server_.options().engine == EngineKind::kSharded) {
+    ShardedEngine* sharded =
+        const_cast<Server&>(server_).sharded_engine();
+    if (!sharded->ContainsObject(object)) {
+      return Status::NotFound("object " + std::to_string(object));
+    }
+    return sharded->ObjectAt(object).value();
+  }
   if (server_.options().engine == EngineKind::kMultiversion) {
     if (!server_.store().Contains(object)) {
       return Status::NotFound("object " + std::to_string(object));

@@ -1,0 +1,45 @@
+#ifndef ESR_ENGINE_SHARDED_SHARD_MAP_H_
+#define ESR_ENGINE_SHARDED_SHARD_MAP_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace esr {
+
+/// Static object-id partitioning of the sharded engine: shard of an
+/// object is `id mod num_shards` (the same identity hash FlatMap uses for
+/// integer keys — object ids are already uniformly distributed, so a
+/// mixing step would only cost the cheap inverse mapping), and within a
+/// shard objects are stored densely at `id / num_shards`. The mapping is
+/// a bijection, so every shard owns a dense local ObjectStore and global
+/// ids round-trip exactly.
+struct ShardMap {
+  size_t num_shards = 1;
+  size_t num_objects = 0;
+
+  size_t ShardOf(ObjectId id) const {
+    return static_cast<size_t>(id) % num_shards;
+  }
+
+  /// Dense index of `id` inside its shard's local store.
+  ObjectId LocalId(ObjectId id) const {
+    return id / static_cast<ObjectId>(num_shards);
+  }
+
+  /// Inverse of (ShardOf, LocalId).
+  ObjectId GlobalId(size_t shard, ObjectId local) const {
+    return local * static_cast<ObjectId>(num_shards) +
+           static_cast<ObjectId>(shard);
+  }
+
+  /// Number of global ids < num_objects that land in `shard`.
+  size_t CountFor(size_t shard) const {
+    if (shard >= num_objects) return 0;
+    return (num_objects - shard - 1) / num_shards + 1;
+  }
+};
+
+}  // namespace esr
+
+#endif  // ESR_ENGINE_SHARDED_SHARD_MAP_H_

@@ -1,0 +1,131 @@
+#include "engine/sharded/sharded_accumulator.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace esr {
+
+ShardedAccumulator::ShardedAccumulator(const GroupSchema* schema,
+                                       BoundSpec bounds,
+                                       ChargeDirection direction,
+                                       size_t num_shards)
+    : schema_(schema),
+      bounds_(std::move(bounds)),
+      direction_(direction),
+      enforced_(false),
+      nodes_(schema->num_groups()),
+      partials_(num_shards == 0 ? 1 : num_shards) {
+  ESR_CHECK(schema_ != nullptr);
+  for (GroupId g = 0; g < schema_->num_groups(); ++g) {
+    if (bounds_.LimitFor(g) < kUnbounded) {
+      enforced_ = true;
+      break;
+    }
+  }
+}
+
+bool ShardedAccumulator::BoundedAdd(Node& node, double d, double limit) {
+  uint64_t cur = node.bits.load(std::memory_order_acquire);
+  while (true) {
+    const double next = FromBits(cur) + d;
+    if (next > limit) return false;
+    if (node.bits.compare_exchange_weak(cur, Bits(next),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      return true;
+    }
+  }
+}
+
+void ShardedAccumulator::Sub(Node& node, double d) {
+  uint64_t cur = node.bits.load(std::memory_order_acquire);
+  while (true) {
+    double next = FromBits(cur) - d;
+    if (next < 0.0) next = 0.0;  // drift guard; exact for integer charges
+    if (node.bits.compare_exchange_weak(cur, Bits(next),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+ChargeResult ShardedAccumulator::TryCharge(ObjectId object, Inconsistency d,
+                                           size_t shard) {
+  if (!enforced_ || d <= 0.0) return ChargeResult{true, kInvalidGroup};
+  const GroupId leaf = schema_->GroupOf(object);
+  // Charge upward as we check; a reject above rolls the prefix back. This
+  // keeps each node a single CAS while preserving the invariant that a
+  // published total never exceeds its limit.
+  GroupId cur = leaf;
+  while (true) {
+    const double charge = d * schema_->weight(cur);
+    if (charge > 0.0 &&
+        !BoundedAdd(nodes_[cur], charge, bounds_.LimitFor(cur))) {
+      // Roll back every node below the rejecting one.
+      for (GroupId undo = leaf; undo != cur; undo = schema_->parent(undo)) {
+        const double undo_charge = d * schema_->weight(undo);
+        if (undo_charge > 0.0) Sub(nodes_[undo], undo_charge);
+      }
+      return ChargeResult{false, cur};
+    }
+    if (cur == kRootGroup) break;
+    cur = schema_->parent(cur);
+  }
+  partials_[shard % partials_.size()].charges.fetch_add(
+      1, std::memory_order_relaxed);
+  return ChargeResult{true, kInvalidGroup};
+}
+
+void ShardedAccumulator::UnchargePath(ObjectId object, Inconsistency d) {
+  if (!enforced_ || d <= 0.0) return;
+  GroupId cur = schema_->GroupOf(object);
+  while (true) {
+    const double charge = d * schema_->weight(cur);
+    if (charge > 0.0) Sub(nodes_[cur], charge);
+    if (cur == kRootGroup) break;
+    cur = schema_->parent(cur);
+  }
+}
+
+void ShardedAccumulator::UnchargeAccumulated(
+    const InconsistencyAccumulator& txn_acc) {
+  if (!enforced_) return;
+  for (GroupId g = 0; g < nodes_.size(); ++g) {
+    const Inconsistency a = txn_acc.accumulated(g);
+    if (a > 0.0) Sub(nodes_[g], a);
+  }
+}
+
+Inconsistency ShardedAccumulator::accumulated(GroupId group) const {
+  if (group >= nodes_.size()) return 0.0;
+  return FromBits(nodes_[group].bits.load(std::memory_order_acquire));
+}
+
+int64_t ShardedAccumulator::ShardCharges(size_t shard) const {
+  if (shard >= partials_.size()) return 0;
+  return partials_[shard].charges.load(std::memory_order_relaxed);
+}
+
+int64_t ShardedAccumulator::FoldedCharges() const {
+  int64_t total = 0;
+  for (const ShardPartial& p : partials_) {
+    total += p.charges.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void ShardedAccumulator::ExportGauges(MetricRegistry* metrics) const {
+  if (!enforced_ || metrics == nullptr) return;
+  const std::string prefix =
+      std::string("engine.shared_eps.") + ChargeDirectionToString(direction_);
+  for (GroupId g = 0; g < nodes_.size(); ++g) {
+    metrics->gauge(prefix + ".node" + std::to_string(g))
+        .Set(accumulated(g));
+  }
+  metrics->gauge(prefix + ".charges")
+      .Set(static_cast<double>(FoldedCharges()));
+}
+
+}  // namespace esr

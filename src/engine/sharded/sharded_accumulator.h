@@ -1,0 +1,135 @@
+#ifndef ESR_ENGINE_SHARDED_SHARDED_ACCUMULATOR_H_
+#define ESR_ENGINE_SHARDED_SHARDED_ACCUMULATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "hierarchy/accumulator.h"
+#include "hierarchy/bound_spec.h"
+#include "hierarchy/group_schema.h"
+
+namespace esr {
+
+/// Engine-wide hierarchical inconsistency budget for the sharded engine:
+/// the concurrent counterpart of InconsistencyAccumulator, shared by every
+/// in-flight transaction instead of owned by one.
+///
+/// Enforcement is a lock-free bottom-up walk: each hierarchy node holds
+/// one cache-line-aligned atomic total, and a charge is admitted at a node
+/// only by a compare-exchange that verifies `total + charge <= limit`
+/// *before* publishing — so no reader, at any instant, can observe a node
+/// above its limit, even transiently (the property the spin-reader audit
+/// test asserts). A reject at node k rolls back the already-published
+/// charges on the nodes below k, exactly mirroring the per-transaction
+/// accumulator's all-or-nothing bottom-up protocol (Sec. 5.3.1) — with the
+/// one concurrency-induced difference that the rollback window of a losing
+/// walk can transiently *reserve* budget at lower nodes and thereby reject
+/// a concurrent walk that a serial schedule would have admitted. That is
+/// the safe direction: the bound itself is never exceeded.
+///
+/// Because each node is an independent atomic, charges against disjoint
+/// subtrees never serialize on a lock: per-shard operation threads fold
+/// their partial charges straight into the per-node totals with one CAS
+/// per path node. Per-shard charge counters (relaxed, telemetry only) let
+/// gauge export show which shards are paying into which budget.
+///
+/// Memory ordering: successful charges publish with release and the
+/// audit/telemetry readers load with acquire, so a reader that sees a
+/// charge also sees everything the charging thread did before it.
+///
+/// The node array is sized from the schema at construction and never
+/// grows, so the schema must be fully built before the accumulator is
+/// created (ShardedEngine::SetSharedBounds recreates it for exactly this
+/// reason). Charges use plain double adds; callers that need exact
+/// charge/uncharge cancellation (the race-audit test) should charge
+/// integer-valued amounts, which are exact in binary floating point.
+class ShardedAccumulator {
+ public:
+  /// `schema` must outlive the accumulator and must not gain groups
+  /// afterwards. A `bounds` with no finite limit disables enforcement
+  /// entirely (TryCharge admits without touching memory).
+  ShardedAccumulator(const GroupSchema* schema, BoundSpec bounds,
+                     ChargeDirection direction, size_t num_shards);
+
+  ShardedAccumulator(const ShardedAccumulator&) = delete;
+  ShardedAccumulator& operator=(const ShardedAccumulator&) = delete;
+
+  /// False when no node has a finite limit: every TryCharge is a no-op
+  /// admit and teardown skips the uncharge loop.
+  bool enforced() const { return enforced_; }
+
+  /// Bounded add of `d * weight(n)` along path(object) -> root; admitted
+  /// only if every node admits, otherwise nothing remains charged.
+  /// `shard` attributes the charge for telemetry. d <= 0 always admits.
+  ChargeResult TryCharge(ObjectId object, Inconsistency d, size_t shard);
+
+  /// Reverses one successful TryCharge of `d` on `object`.
+  void UnchargePath(ObjectId object, Inconsistency d);
+
+  /// Releases everything a finished transaction had charged: subtracts
+  /// the per-node accumulations of its (identically-weighted) private
+  /// accumulator. The engine charges both accumulators with the same
+  /// increments, so this is an exact inverse.
+  void UnchargeAccumulated(const InconsistencyAccumulator& txn_acc);
+
+  /// Current total at one node (acquire load; safe concurrently with
+  /// charges, never observes a value above the node's limit).
+  Inconsistency accumulated(GroupId group) const;
+
+  Inconsistency total() const { return accumulated(kRootGroup); }
+
+  /// Telemetry: charges attributed to one shard (relaxed).
+  int64_t ShardCharges(size_t shard) const;
+
+  /// Telemetry: per-shard partials folded into one global charge count.
+  int64_t FoldedCharges() const;
+
+  /// Publishes `engine.shared_eps.<dir>.node<g>` gauges (current in-flight
+  /// totals) plus per-shard folded charge counts. No-op when unenforced.
+  void ExportGauges(MetricRegistry* metrics) const;
+
+  const BoundSpec& bounds() const { return bounds_; }
+  ChargeDirection direction() const { return direction_; }
+  size_t num_shards() const { return partials_.size(); }
+
+ private:
+  /// One hierarchy node's in-flight total, alone on its cache line so
+  /// charges against unrelated groups never false-share.
+  struct alignas(64) Node {
+    std::atomic<uint64_t> bits{0};  // double bit pattern; 0 == +0.0
+  };
+  struct alignas(64) ShardPartial {
+    std::atomic<int64_t> charges{0};
+  };
+
+  static uint64_t Bits(double v) {
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double FromBits(uint64_t b) {
+    double v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+
+  /// CAS loop: publish total+d only if it stays <= limit.
+  static bool BoundedAdd(Node& node, double d, double limit);
+  /// CAS subtract (release); floors at zero against double drift.
+  static void Sub(Node& node, double d);
+
+  const GroupSchema* schema_;
+  BoundSpec bounds_;
+  ChargeDirection direction_;
+  bool enforced_;
+  std::vector<Node> nodes_;
+  std::vector<ShardPartial> partials_;
+};
+
+}  // namespace esr
+
+#endif  // ESR_ENGINE_SHARDED_SHARDED_ACCUMULATOR_H_

@@ -1,0 +1,641 @@
+#include "engine/sharded/sharded_engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "cc/to_policy.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace esr {
+namespace {
+
+AbortReason BoundAbortReason(GroupId violated_group) {
+  return violated_group == kRootGroup ? AbortReason::kTransactionBound
+                                      : AbortReason::kGroupBound;
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(const ShardedEngineOptions& options,
+                             const ObjectStoreOptions& store_options,
+                             const GroupSchema* schema,
+                             MetricRegistry* metrics,
+                             const DivergenceOptions& divergence)
+    : schema_(schema), metrics_(metrics), counters_(metrics) {
+  ESR_CHECK(schema_ != nullptr);
+  ESR_CHECK(metrics_ != nullptr);
+  map_.num_shards = std::max<size_t>(1, options.num_shards);
+  map_.num_objects = store_options.num_objects;
+  shards_.reserve(map_.num_shards);
+  for (size_t s = 0; s < map_.num_shards; ++s) {
+    ObjectStoreOptions local = store_options;
+    local.num_objects = map_.CountFor(s);
+    // Decorrelate per-shard initial values / object limits while keeping
+    // the whole database deterministic in the base seed.
+    local.seed = store_options.seed + static_cast<uint64_t>(s) * 0x9E3779B97F4A7C15ull;
+    shards_.push_back(std::make_unique<Shard>(s, local, divergence, metrics,
+                                              options.record_commit_log));
+  }
+  const size_t stripes = RoundUpPow2(std::max<size_t>(1, options.txn_stripes));
+  stripe_mask_ = stripes - 1;
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<TxnStripe>());
+  }
+  leader_writes_.resize(map_.num_shards);
+  leader_reads_.resize(map_.num_shards);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::ReserveForLoad(const LoadHints& hints) {
+  if (hints.objects_per_txn > 0) {
+    access_hint_.store(hints.objects_per_txn, std::memory_order_relaxed);
+  }
+  if (hints.concurrent_txns > 0) {
+    // Double the fair share per stripe: id striping is uniform but
+    // transient imbalance is free to absorb up front.
+    const size_t per_stripe = 2 * (hints.concurrent_txns / stripes_.size() + 1);
+    for (auto& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      stripe->map.Reserve(per_stripe);
+      stripe->pool.reserve(per_stripe);
+    }
+  }
+}
+
+void ShardedEngine::SetHeadroomTracker(NodeHeadroomTracker* tracker) {
+  headroom_tracker_.store(tracker, std::memory_order_relaxed);
+}
+
+void ShardedEngine::SetSharedBounds(const BoundSpec& import_bounds,
+                                    const BoundSpec& export_bounds) {
+  ESR_CHECK(num_active_.load(std::memory_order_relaxed) == 0)
+      << "SetSharedBounds with transactions in flight";
+  shared_import_ = std::make_unique<ShardedAccumulator>(
+      schema_, import_bounds, ChargeDirection::kImport, shards_.size());
+  shared_export_ = std::make_unique<ShardedAccumulator>(
+      schema_, export_bounds, ChargeDirection::kExport, shards_.size());
+}
+
+Transaction* ShardedEngine::FindLive(TxnId txn) {
+  TxnStripe& stripe = StripeFor(txn);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::unique_ptr<Transaction>* slot = stripe.map.Find(txn);
+  return slot == nullptr ? nullptr : slot->get();
+}
+
+TxnId ShardedEngine::Begin(TxnType type, Timestamp ts,
+                           const BoundSpec& bounds) {
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  const TxnId id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  TxnStripe& stripe = StripeFor(id);
+  Transaction* txn;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (!stripe.pool.empty()) {
+      std::unique_ptr<Transaction> shell = std::move(stripe.pool.back());
+      stripe.pool.pop_back();
+      shell->ResetForReuse(id, type, ts, bounds);
+      txn = stripe.map.TryEmplace(id, std::move(shell)).first->get();
+    } else {
+      txn = stripe.map
+                .TryEmplace(id, std::make_unique<Transaction>(id, type, ts,
+                                                              schema_, bounds))
+                .first->get();
+    }
+  }
+  const size_t hint = access_hint_.load(std::memory_order_relaxed);
+  if (hint > 0) txn->ReserveAccessSets(hint);
+  txn->AttachHeadroomTracker(headroom_tracker_.load(std::memory_order_relaxed));
+  txn->set_trace_span(BeginSpan(SpanKind::kTxn, id, ts.site));
+  counters_.BeginFor(type)->Increment();
+  ESR_TRACE_EVENT(
+      WithSpan(TraceEvent::BeginTxn(id, type, ts.site), txn->trace_span()));
+  num_active_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+OpResult ShardedEngine::Read(TxnId txn, ObjectId object) {
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  Transaction* t = FindLive(txn);
+  ESR_CHECK(t != nullptr)
+      << "operation on unknown/finished transaction " << txn;
+  Shard& shard = ShardForObject(object);
+  AbortReason abort_reason = AbortReason::kNone;
+  OpResult r;
+  {
+    std::lock_guard<ProfiledMutex> lock(shard.latch());
+    shard.latch().set_holder(txn);
+    TraceSpan op_span(SpanKind::kOp, txn, t->ts().site, object,
+                      t->trace_span());
+    r = DoRead(*t, object, shard, &abort_reason);
+  }
+  if (r.kind == OpResult::Kind::kAbort) TeardownAbort(t, abort_reason);
+  return r;
+}
+
+OpResult ShardedEngine::Write(TxnId txn, ObjectId object, Value value) {
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  Transaction* t = FindLive(txn);
+  ESR_CHECK(t != nullptr)
+      << "operation on unknown/finished transaction " << txn;
+  Shard& shard = ShardForObject(object);
+  AbortReason abort_reason = AbortReason::kNone;
+  OpResult r;
+  {
+    std::lock_guard<ProfiledMutex> lock(shard.latch());
+    shard.latch().set_holder(txn);
+    TraceSpan op_span(SpanKind::kOp, txn, t->ts().site, object,
+                      t->trace_span());
+    r = DoWrite(*t, object, value, shard, &abort_reason);
+  }
+  if (r.kind == OpResult::Kind::kAbort) TeardownAbort(t, abort_reason);
+  return r;
+}
+
+void ShardedEngine::ExecuteBatch(OpBatch& batch) {
+  ScopedPhaseTimer phase(ProfilePhase::kValidate);
+  const size_t n = shards_.size();
+  if (batch.by_shard.size() < n) batch.by_shard.resize(n);
+  for (auto& idx : batch.by_shard) idx.clear();
+  batch.aborted.clear();
+  batch.results.clear();
+  batch.results.resize(batch.reqs.size());
+  for (size_t i = 0; i < batch.reqs.size(); ++i) {
+    batch.by_shard[map_.ShardOf(batch.reqs[i].object)].push_back(
+        static_cast<uint32_t>(i));
+  }
+  for (size_t s = 0; s < n; ++s) {
+    const std::vector<uint32_t>& idx = batch.by_shard[s];
+    if (idx.empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<ProfiledMutex> lock(shard.latch());
+    for (const uint32_t i : idx) {
+      const OpRequest& req = batch.reqs[i];
+      Transaction* t = FindLive(req.txn);
+      ESR_CHECK(t != nullptr)
+          << "batched operation on unknown/finished transaction " << req.txn;
+      shard.latch().set_holder(req.txn);
+      AbortReason reason = AbortReason::kNone;
+      TraceSpan op_span(SpanKind::kOp, req.txn, t->ts().site, req.object,
+                        t->trace_span());
+      const OpResult r = req.is_write
+                             ? DoWrite(*t, req.object, req.value, shard,
+                                       &reason)
+                             : DoRead(*t, req.object, shard, &reason);
+      batch.results[i] = r;
+      if (r.kind == OpResult::Kind::kAbort) {
+        batch.aborted.emplace_back(t, reason);
+      }
+    }
+  }
+  // Teardown outside every shard latch: abort restore touches the
+  // transaction's whole write set, which can span other shards.
+  for (const auto& entry : batch.aborted) {
+    TeardownAbort(entry.first, entry.second);
+  }
+}
+
+bool ShardedEngine::TrySharedCharge(ShardedAccumulator* shared,
+                                    ObjectId object, Inconsistency d,
+                                    size_t shard, GroupId* violated) {
+  if (shared == nullptr || !shared->enforced() || d <= 0.0) return true;
+  const ChargeResult r = shared->TryCharge(object, d, shard);
+  if (!r.admitted) {
+    *violated = r.violated_group;
+    return false;
+  }
+  return true;
+}
+
+OpResult ShardedEngine::DoRead(Transaction& txn, ObjectId object,
+                               Shard& shard, AbortReason* abort_reason) {
+  ObjectRecord& obj = shard.store().Get(map_.LocalId(object));
+  shard.stats().ops++;
+  const ReadDecision decision = DecideRead(txn.View(), obj);
+
+  switch (decision) {
+    case ReadDecision::kWait:
+      shard.stats().waits++;
+      counters_.op_wait->Increment();
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object,
+                                         obj.uncommitted_writer()));
+      ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowBegin,
+                                       obj.uncommitted_writer(), txn.id(),
+                                       txn.ts().site));
+      return OpResult::Wait(obj.uncommitted_writer());
+
+    case ReadDecision::kAbortLate:
+      *abort_reason = AbortReason::kLateRead;
+      return OpResult::Abort(AbortReason::kLateRead);
+
+    case ReadDecision::kProceedConsistent: {
+      const Value present = obj.value();
+      if (txn.is_query()) {
+        obj.NoteQueryRead(txn.ts());
+        if (obj.RegisterQueryReader(txn.id(), txn.ts(), present)) {
+          txn.NoteRegisteredRead(object);
+        }
+      } else {
+        obj.NoteUpdateRead(txn.ts());
+      }
+      txn.ObserveValue(object, present);
+      txn.CountOp();
+      counters_.op_read->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kRead, txn.id(),
+                                     txn.ts().site, object));
+      return OpResult::Ok(present, 0.0, /*was_relaxed=*/false);
+    }
+
+    case ReadDecision::kRelaxLateRead:
+    case ReadDecision::kRelaxUncommitted: {
+      auto measure_or = shard.data().ImportInconsistency(obj, txn.ts());
+      if (!measure_or.ok()) {
+        *abort_reason = AbortReason::kHistoryExhausted;
+        return OpResult::Abort(AbortReason::kHistoryExhausted);
+      }
+      const DataManager::ImportMeasure measure = *measure_or;
+      if (!shard.data().WithinObjectImportLimit(obj, measure.d)) {
+        *abort_reason = AbortReason::kObjectBound;
+        return OpResult::Abort(AbortReason::kObjectBound);
+      }
+      const Inconsistency increment =
+          std::max(0.0, measure.d - txn.ChargedFor(object));
+      // Engine-wide budget first (lock-free, never over-admits), then the
+      // transaction's own declaration — the walk that emits the
+      // BoundCheck events certification replays.
+      GroupId violated = kInvalidGroup;
+      if (!TrySharedCharge(shared_import_.get(), object, increment,
+                           shard.index(), &violated)) {
+        *abort_reason = BoundAbortReason(violated);
+        return OpResult::Abort(*abort_reason);
+      }
+      const ChargeResult charge = txn.read_accumulator().TryCharge(
+          object, increment, &shard.bound_stats(), txn.id(), txn.ts().site);
+      if (!charge.admitted) {
+        if (shared_import_ != nullptr) {
+          shared_import_->UnchargePath(object, increment);
+        }
+        *abort_reason = BoundAbortReason(charge.violated_group);
+        return OpResult::Abort(*abort_reason);
+      }
+      txn.NoteCharged(object, measure.d);
+      const Value present = obj.value();
+      if (txn.is_query()) {
+        obj.NoteQueryRead(txn.ts());
+        if (obj.RegisterQueryReader(txn.id(), txn.ts(), measure.proper)) {
+          txn.NoteRegisteredRead(object);
+        }
+      } else {
+        obj.NoteUpdateRead(txn.ts());
+      }
+      txn.ObserveValue(object, present);
+      txn.CountOp();
+      counters_.op_read->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kRead, txn.id(),
+                                     txn.ts().site, object));
+      if (measure.d > 0.0) {
+        txn.CountInconsistentOp();
+        counters_.op_inconsistent_ok->Increment();
+        ESR_TRACE_EVENT(TraceEvent::ImportCharge(txn.id(), txn.ts().site,
+                                                 object, measure.d));
+      }
+      return OpResult::Ok(present, measure.d, /*was_relaxed=*/true);
+    }
+  }
+  ESR_LOG(kFatal) << "unreachable read decision";
+  return OpResult::Abort(AbortReason::kNone);
+}
+
+OpResult ShardedEngine::DoWrite(Transaction& txn, ObjectId object,
+                                Value value, Shard& shard,
+                                AbortReason* abort_reason) {
+  ESR_CHECK(txn.type() == TxnType::kUpdate)
+      << "query ETs are read-only; Write from txn " << txn.id();
+  ObjectRecord& obj = shard.store().Get(map_.LocalId(object));
+  shard.stats().ops++;
+  const WriteDecision decision = DecideWrite(txn.View(), obj);
+
+  switch (decision) {
+    case WriteDecision::kWait:
+      shard.stats().waits++;
+      counters_.op_wait->Increment();
+      ESR_TRACE_EVENT(TraceEvent::WaitOn(txn.id(), txn.ts().site, object,
+                                         obj.uncommitted_writer()));
+      ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowBegin,
+                                       obj.uncommitted_writer(), txn.id(),
+                                       txn.ts().site));
+      return OpResult::Wait(obj.uncommitted_writer());
+
+    case WriteDecision::kAbortLateRead:
+    case WriteDecision::kAbortLateWrite:
+      *abort_reason = AbortReason::kLateWrite;
+      return OpResult::Abort(AbortReason::kLateWrite);
+
+    case WriteDecision::kProceedConsistent: {
+      {
+        ScopedPhaseTimer apply_phase(ProfilePhase::kApply);
+        obj.ApplyWrite(txn.id(), txn.ts(), value);
+      }
+      shard.stats().applied_writes++;
+      txn.NotePendingWrite(object);
+      txn.CountOp();
+      counters_.op_write->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kWrite, txn.id(),
+                                     txn.ts().site, object));
+      return OpResult::Ok(value, 0.0, /*was_relaxed=*/false);
+    }
+
+    case WriteDecision::kRelaxLateWrite: {
+      const Inconsistency d =
+          shard.data().ExportInconsistency(obj, txn.View(), value);
+      if (!shard.data().WithinObjectExportLimit(obj, d)) {
+        *abort_reason = AbortReason::kObjectBound;
+        return OpResult::Abort(AbortReason::kObjectBound);
+      }
+      GroupId violated = kInvalidGroup;
+      if (!TrySharedCharge(shared_export_.get(), object, d, shard.index(),
+                           &violated)) {
+        *abort_reason = BoundAbortReason(violated);
+        return OpResult::Abort(*abort_reason);
+      }
+      const ChargeResult charge = txn.accumulator().TryCharge(
+          object, d, &shard.bound_stats(), txn.id(), txn.ts().site);
+      if (!charge.admitted) {
+        if (shared_export_ != nullptr) {
+          shared_export_->UnchargePath(object, d);
+        }
+        *abort_reason = BoundAbortReason(charge.violated_group);
+        return OpResult::Abort(*abort_reason);
+      }
+      {
+        ScopedPhaseTimer apply_phase(ProfilePhase::kApply);
+        obj.ApplyWrite(txn.id(), txn.ts(), value);
+      }
+      shard.stats().applied_writes++;
+      txn.NotePendingWrite(object);
+      txn.CountOp();
+      counters_.op_write->Increment();
+      ESR_TRACE_EVENT(TraceEvent::Op(TraceEventType::kWrite, txn.id(),
+                                     txn.ts().site, object));
+      if (d > 0.0) {
+        txn.CountInconsistentOp();
+        counters_.op_inconsistent_ok->Increment();
+      }
+      return OpResult::Ok(value, d, /*was_relaxed=*/true);
+    }
+  }
+  ESR_LOG(kFatal) << "unreachable write decision";
+  return OpResult::Abort(AbortReason::kNone);
+}
+
+Status ShardedEngine::Commit(TxnId txn) {
+  ScopedPhaseTimer phase(ProfilePhase::kCommit);
+  Transaction* t = FindLive(txn);
+  if (t == nullptr) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  CommitWaiter waiter;
+  waiter.txn = t;
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_queue_.push_back(&waiter);
+  if (commit_leader_active_) {
+    // Follower: a leader is draining; it will commit us and flip done.
+    commit_cv_.wait(lock, [&waiter] { return waiter.done; });
+    return Status::OK();
+  }
+  // Leader: drain the queue in batches until it runs dry. Our own waiter
+  // is in the first batch. Leadership (and with it the leader_* scratch)
+  // hands off through commit_mu_, which orders successive leaders.
+  commit_leader_active_ = true;
+  while (!commit_queue_.empty()) {
+    leader_batch_.clear();
+    leader_batch_.swap(commit_queue_);
+    lock.unlock();
+    ProcessCommitBatch(leader_batch_);
+    lock.lock();
+    for (CommitWaiter* w : leader_batch_) w->done = true;
+    commit_cv_.notify_all();
+  }
+  commit_leader_active_ = false;
+  return Status::OK();
+}
+
+void ShardedEngine::ProcessCommitBatch(
+    const std::vector<CommitWaiter*>& batch) {
+  // Txn-major fill keeps each transaction's refs contiguous per shard, so
+  // the distinct-writer count below is a simple adjacency check.
+  for (CommitWaiter* w : batch) {
+    Transaction* t = w->txn;
+    for (const ObjectId object : t->pending_writes()) {
+      leader_writes_[map_.ShardOf(object)].push_back({t, object});
+    }
+    for (const ObjectId object : t->registered_reads()) {
+      leader_reads_[map_.ShardOf(object)].push_back({t, object});
+    }
+  }
+  commit_batches_total_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::vector<PendingRef>& writes = leader_writes_[s];
+    std::vector<PendingRef>& reads = leader_reads_[s];
+    if (writes.empty() && reads.empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<ProfiledMutex> lock(shard.latch());
+    ShardStats& stats = shard.stats();
+    if (!writes.empty()) {
+      stats.commit_batches++;
+      const Transaction* prev = nullptr;
+      for (const PendingRef& ref : writes) {
+        ObjectRecord& obj = shard.store().Get(map_.LocalId(ref.object));
+        obj.CommitWrite(ref.txn->id());
+        shard.RecordCommit(ref.object, ref.txn->id(), obj.write_ts());
+        stats.committed_writes++;
+        if (ref.txn != prev) {
+          stats.committed_writers++;
+          prev = ref.txn;
+        }
+      }
+    }
+    for (const PendingRef& ref : reads) {
+      shard.store()
+          .Get(map_.LocalId(ref.object))
+          .UnregisterQueryReader(ref.txn->id());
+    }
+    writes.clear();
+    reads.clear();
+  }
+  for (CommitWaiter* w : batch) FinishCommit(w->txn);
+}
+
+void ShardedEngine::FinishCommit(Transaction* txn) {
+  {
+    TraceSpan commit_span(SpanKind::kCommit, txn->id(), txn->ts().site, 0,
+                          txn->trace_span());
+    counters_.CommitFor(txn->type())->Increment();
+    ESR_TRACE_EVENT(TraceEvent::CommitTxn(txn->id(), txn->ts().site));
+    if (!txn->pending_writes().empty()) {
+      ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowEnd, txn->id(),
+                                       txn->id(), txn->ts().site));
+    }
+    EndSpan(SpanKind::kTxn, txn->trace_span(), txn->id(), txn->ts().site);
+  }
+  UnchargeShared(*txn);
+  ReleaseTxn(txn);
+}
+
+Status ShardedEngine::Abort(TxnId txn) {
+  ScopedPhaseTimer phase(ProfilePhase::kCommit);
+  Transaction* t = FindLive(txn);
+  if (t == nullptr) {
+    return Status::FailedPrecondition("transaction " + std::to_string(txn) +
+                                      " is not active");
+  }
+  TraceSpan commit_span(SpanKind::kCommit, txn, t->ts().site, 0,
+                        t->trace_span());
+  TeardownAbort(t, AbortReason::kUserRequested);
+  return Status::OK();
+}
+
+void ShardedEngine::TeardownAbort(Transaction* txn, AbortReason reason) {
+  // Shadow-value recovery shard by shard (Sec. 6): one latch at a time,
+  // ascending, filtering the write/read sets per shard. Aborts are the
+  // cold path; the filter scan is cheaper than per-shard scratch here.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    bool touches = false;
+    for (const ObjectId object : txn->pending_writes()) {
+      if (map_.ShardOf(object) == s) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) {
+      for (const ObjectId object : txn->registered_reads()) {
+        if (map_.ShardOf(object) == s) {
+          touches = true;
+          break;
+        }
+      }
+    }
+    if (!touches) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<ProfiledMutex> lock(shard.latch());
+    shard.latch().set_holder(txn->id());
+    for (const ObjectId object : txn->pending_writes()) {
+      if (map_.ShardOf(object) != s) continue;
+      shard.store().Get(map_.LocalId(object)).AbortWrite(txn->id());
+    }
+    for (const ObjectId object : txn->registered_reads()) {
+      if (map_.ShardOf(object) != s) continue;
+      shard.store().Get(map_.LocalId(object)).UnregisterQueryReader(txn->id());
+    }
+  }
+  counters_.txn_abort->Increment();
+  counters_.AbortFor(reason)->Increment();
+  ESR_TRACE_EVENT(TraceEvent::AbortTxn(txn->id(), txn->ts().site,
+                                       static_cast<uint8_t>(reason)));
+  if (!txn->pending_writes().empty()) {
+    ESR_TRACE_EVENT(TraceEvent::Flow(TraceEventType::kFlowEnd, txn->id(),
+                                     txn->id(), txn->ts().site));
+  }
+  EndSpan(SpanKind::kTxn, txn->trace_span(), txn->id(), txn->ts().site);
+  UnchargeShared(*txn);
+  ReleaseTxn(txn);
+}
+
+void ShardedEngine::UnchargeShared(const Transaction& txn) {
+  if (txn.is_query()) {
+    if (shared_import_ != nullptr && shared_import_->enforced()) {
+      shared_import_->UnchargeAccumulated(txn.accumulator());
+    }
+    return;
+  }
+  if (shared_export_ != nullptr && shared_export_->enforced()) {
+    shared_export_->UnchargeAccumulated(txn.accumulator());
+  }
+  if (txn.import_accumulator() != nullptr && shared_import_ != nullptr &&
+      shared_import_->enforced()) {
+    shared_import_->UnchargeAccumulated(*txn.import_accumulator());
+  }
+}
+
+void ShardedEngine::ReleaseTxn(Transaction* txn) {
+  const TxnId id = txn->id();
+  TxnStripe& stripe = StripeFor(id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  std::unique_ptr<Transaction>* slot = stripe.map.Find(id);
+  ESR_CHECK(slot != nullptr) << "double release of transaction " << id;
+  stripe.pool.push_back(std::move(*slot));
+  stripe.map.Erase(id);
+  num_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ShardedEngine::IsActive(TxnId txn) const {
+  const TxnStripe& stripe = StripeFor(txn);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.map.Contains(txn);
+}
+
+const Transaction* ShardedEngine::Find(TxnId txn) const {
+  const TxnStripe& stripe = StripeFor(txn);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const std::unique_ptr<Transaction>* slot = stripe.map.Find(txn);
+  return slot == nullptr ? nullptr : slot->get();
+}
+
+size_t ShardedEngine::num_active() const {
+  return num_active_.load(std::memory_order_relaxed);
+}
+
+ShardStats ShardedEngine::SnapshotShardStats(size_t shard) {
+  ESR_CHECK(shard < shards_.size());
+  return shards_[shard]->SnapshotStats();
+}
+
+const std::vector<CommitLogEntry>& ShardedEngine::commit_log(
+    size_t shard) const {
+  ESR_CHECK(shard < shards_.size());
+  return shards_[shard]->commit_log();
+}
+
+void ShardedEngine::ExportShardGauges(MetricRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->gauge("engine.shards").Set(static_cast<double>(shards_.size()));
+  metrics->gauge("engine.commit_batches")
+      .Set(static_cast<double>(
+          commit_batches_total_.load(std::memory_order_relaxed)));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ShardStats stats = shards_[s]->SnapshotStats();
+    const std::string prefix = "engine.shard" + std::to_string(s);
+    metrics->gauge(prefix + ".ops").Set(static_cast<double>(stats.ops));
+    metrics->gauge(prefix + ".waits").Set(static_cast<double>(stats.waits));
+    metrics->gauge(prefix + ".applied_writes")
+        .Set(static_cast<double>(stats.applied_writes));
+    metrics->gauge(prefix + ".committed_writes")
+        .Set(static_cast<double>(stats.committed_writes));
+    metrics->gauge(prefix + ".committed_writers")
+        .Set(static_cast<double>(stats.committed_writers));
+    metrics->gauge(prefix + ".commit_batches")
+        .Set(static_cast<double>(stats.commit_batches));
+  }
+  if (shared_import_ != nullptr) shared_import_->ExportGauges(metrics);
+  if (shared_export_ != nullptr) shared_export_->ExportGauges(metrics);
+}
+
+Value ShardedEngine::TotalValue() const {
+  Value total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->store().TotalValue();
+  }
+  return total;
+}
+
+}  // namespace esr

@@ -29,6 +29,8 @@ std::string_view EngineKindToString(EngineKind kind) {
       return "2PL-ESR";
     case EngineKind::kMultiversion:
       return "MVTO";
+    case EngineKind::kSharded:
+      return "TO-SHARDED";
   }
   return "?";
 }

@@ -30,6 +30,11 @@ enum class EngineKind : uint8_t {
   /// (always serializable, never inconsistent), at the cost of staleness
   /// and per-object version storage. Ignores inconsistency bounds.
   kMultiversion = 2,
+  /// The TO-ESR protocol scaled across cores: the object store is
+  /// partitioned into independently-latched shards, commits are group
+  /// commits, and an optional engine-wide epsilon budget is enforced by
+  /// lock-free sharded accumulators (src/engine/sharded/).
+  kSharded = 3,
 };
 
 std::string_view EngineKindToString(EngineKind kind);

@@ -6,9 +6,12 @@
 
 namespace esr {
 
-Server::Server(const ServerOptions& options)
-    : options_(options),
-      store_(std::make_unique<ObjectStore>(options.store)) {
+Server::Server(const ServerOptions& options) : options_(options) {
+  // The sharded engine owns one dense store slice per shard; constructing
+  // the monolithic store too would double memory at millions of objects.
+  if (options_.engine != EngineKind::kSharded) {
+    store_ = std::make_unique<ObjectStore>(options_.store);
+  }
   switch (options_.engine) {
     case EngineKind::kTimestampOrdering:
       engine_ = std::make_unique<TransactionManager>(
@@ -22,6 +25,12 @@ Server::Server(const ServerOptions& options)
       engine_ = std::make_unique<MvtoManager>(options_.store, &schema_,
                                               &metrics_);
       break;
+    case EngineKind::kSharded:
+      engine_ = std::make_unique<ShardedEngine>(options_.sharded,
+                                                options_.store, &schema_,
+                                                &metrics_,
+                                                options_.divergence);
+      break;
   }
   ESR_CHECK(engine_ != nullptr);
 }
@@ -30,6 +39,11 @@ TransactionManager& Server::txn_manager() {
   ESR_CHECK(options_.engine == EngineKind::kTimestampOrdering)
       << "txn_manager() is only available on the TO engine";
   return static_cast<TransactionManager&>(*engine_);
+}
+
+ShardedEngine* Server::sharded_engine() {
+  if (options_.engine != EngineKind::kSharded) return nullptr;
+  return static_cast<ShardedEngine*>(engine_.get());
 }
 
 }  // namespace esr

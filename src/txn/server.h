@@ -3,7 +3,9 @@
 
 #include <memory>
 
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "engine/sharded/sharded_engine.h"
 #include "hierarchy/group_schema.h"
 #include "storage/object_store.h"
 #include "txn/engine.h"
@@ -17,6 +19,8 @@ struct ServerOptions {
   DivergenceOptions divergence;
   /// Concurrency-control protocol (default: the paper's TO-based ESR).
   EngineKind engine = EngineKind::kTimestampOrdering;
+  /// Sharding configuration; only read when engine == kSharded.
+  ShardedEngineOptions sharded;
 };
 
 /// The central transaction server of the prototype (Sec. 6): front-end
@@ -38,8 +42,17 @@ class Server {
   GroupSchema& schema() { return schema_; }
   const GroupSchema& schema() const { return schema_; }
 
-  ObjectStore& store() { return *store_; }
-  const ObjectStore& store() const { return *store_; }
+  /// The monolithic object store. Not available on the sharded engine,
+  /// which owns one dense store slice per shard instead (reach them
+  /// through sharded_engine()).
+  ObjectStore& store() {
+    ESR_CHECK(store_ != nullptr) << "no monolithic store on this engine";
+    return *store_;
+  }
+  const ObjectStore& store() const {
+    ESR_CHECK(store_ != nullptr) << "no monolithic store on this engine";
+    return *store_;
+  }
 
   /// The selected concurrency-control engine.
   TransactionEngine& engine() { return *engine_; }
@@ -49,6 +62,10 @@ class Server {
   /// kTimestampOrdering (the default). Kept for tests and tools that
   /// inspect TO-specific state.
   TransactionManager& txn_manager();
+
+  /// The sharded engine, or nullptr when another engine is selected —
+  /// callers branch on this for batched submission and shard telemetry.
+  ShardedEngine* sharded_engine();
 
   MetricRegistry& metrics() { return metrics_; }
 

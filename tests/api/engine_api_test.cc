@@ -81,23 +81,39 @@ INSTANTIATE_TEST_SUITE_P(
     AllEngines, EngineApiTest,
     ::testing::Values(EngineKind::kTimestampOrdering,
                       EngineKind::kTwoPhaseLocking,
-                      EngineKind::kMultiversion),
+                      EngineKind::kMultiversion, EngineKind::kSharded),
     [](const ::testing::TestParamInfo<EngineKind>& info) {
-      return std::string(EngineKindToString(info.param) ==
-                                 std::string_view("TO-ESR")
-                             ? "ToEsr"
-                             : (info.param == EngineKind::kTwoPhaseLocking
-                                    ? "TwoPl"
-                                    : "Mvto"));
+      switch (info.param) {
+        case EngineKind::kTimestampOrdering:
+          return std::string("ToEsr");
+        case EngineKind::kTwoPhaseLocking:
+          return std::string("TwoPl");
+        case EngineKind::kMultiversion:
+          return std::string("Mvto");
+        case EngineKind::kSharded:
+          return std::string("Sharded");
+      }
+      return std::string("Unknown");
     });
 
 TEST(EngineSelectionTest, ServerReportsConfiguredEngine) {
   for (EngineKind kind :
        {EngineKind::kTimestampOrdering, EngineKind::kTwoPhaseLocking,
-        EngineKind::kMultiversion}) {
+        EngineKind::kMultiversion, EngineKind::kSharded}) {
     Server server(OptionsFor(kind));
     EXPECT_EQ(server.engine().kind(), kind);
   }
+}
+
+TEST(EngineSelectionTest, ShardedEngineAccessor) {
+  Server to_server(OptionsFor(EngineKind::kTimestampOrdering));
+  EXPECT_EQ(to_server.sharded_engine(), nullptr);
+  ServerOptions opt = OptionsFor(EngineKind::kSharded);
+  opt.sharded.num_shards = 4;
+  Server server(opt);
+  ASSERT_NE(server.sharded_engine(), nullptr);
+  EXPECT_EQ(server.sharded_engine()->num_shards(), 4u);
+  EXPECT_EQ(server.engine().kind(), EngineKind::kSharded);
 }
 
 TEST(EngineSelectionDeathTest, TxnManagerAccessorGuardsEngineKind) {

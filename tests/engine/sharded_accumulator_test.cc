@@ -1,0 +1,226 @@
+// ShardedAccumulator semantics and the concurrent charge/uncharge race
+// audit. The load-bearing property (satellite of the sharded-engine PR):
+// a hierarchy node's published total NEVER exceeds its declared limit,
+// not even transiently, because admission CASes `total + d <= limit`
+// before publishing. The audit test runs charger threads against
+// spin-reader threads that assert the bound on every acquire load.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/sharded/sharded_accumulator.h"
+#include "hierarchy/group_schema.h"
+
+namespace esr {
+namespace {
+
+// Two sibling groups under the root; objects 0..3 in g0, 4..7 in g1.
+struct TwoGroupSchema {
+  TwoGroupSchema() {
+    g0 = *schema.AddGroup("g0", kRootGroup);
+    g1 = *schema.AddGroup("g1", kRootGroup);
+    for (ObjectId id = 0; id < 8; ++id) {
+      EXPECT_TRUE(schema.AssignObject(id, id < 4 ? g0 : g1).ok());
+    }
+  }
+  GroupSchema schema;
+  GroupId g0 = kInvalidGroup;
+  GroupId g1 = kInvalidGroup;
+};
+
+TEST(ShardedAccumulatorTest, ChargesAccumulateAlongThePath) {
+  TwoGroupSchema fx;
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(1000);
+  bounds.SetLimit(fx.g0, 400);
+  ShardedAccumulator acc(&fx.schema, bounds, ChargeDirection::kImport,
+                         /*num_shards=*/4);
+  ASSERT_TRUE(acc.enforced());
+
+  EXPECT_TRUE(acc.TryCharge(/*object=*/0, 150, /*shard=*/0).admitted);
+  EXPECT_TRUE(acc.TryCharge(/*object=*/5, 100, /*shard=*/1).admitted);
+  EXPECT_EQ(acc.accumulated(fx.g0), 150.0);
+  EXPECT_EQ(acc.accumulated(fx.g1), 100.0);
+  EXPECT_EQ(acc.total(), 250.0);
+  EXPECT_EQ(acc.ShardCharges(0), 1);
+  EXPECT_EQ(acc.ShardCharges(1), 1);
+  EXPECT_EQ(acc.FoldedCharges(), 2);
+}
+
+TEST(ShardedAccumulatorTest, GroupRejectLeavesNothingCharged) {
+  TwoGroupSchema fx;
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(1000);
+  bounds.SetLimit(fx.g0, 400);
+  ShardedAccumulator acc(&fx.schema, bounds, ChargeDirection::kImport, 1);
+
+  ASSERT_TRUE(acc.TryCharge(0, 350, 0).admitted);
+  const ChargeResult reject = acc.TryCharge(1, 100, 0);  // 450 > 400
+  EXPECT_FALSE(reject.admitted);
+  EXPECT_EQ(reject.violated_group, fx.g0);
+  // All-or-nothing: the losing walk left no residue anywhere.
+  EXPECT_EQ(acc.accumulated(fx.g0), 350.0);
+  EXPECT_EQ(acc.total(), 350.0);
+}
+
+TEST(ShardedAccumulatorTest, RootRejectRollsBackTheLeafCharge) {
+  TwoGroupSchema fx;
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(500);  // tighter than either group
+  bounds.SetLimit(fx.g0, 1000);
+  bounds.SetLimit(fx.g1, 1000);
+  ShardedAccumulator acc(&fx.schema, bounds, ChargeDirection::kImport, 1);
+
+  ASSERT_TRUE(acc.TryCharge(0, 300, 0).admitted);
+  const ChargeResult reject = acc.TryCharge(5, 300, 0);  // root 600 > 500
+  EXPECT_FALSE(reject.admitted);
+  EXPECT_EQ(reject.violated_group, kRootGroup);
+  // g1's already-published leaf charge was rolled back.
+  EXPECT_EQ(acc.accumulated(fx.g1), 0.0);
+  EXPECT_EQ(acc.total(), 300.0);
+}
+
+TEST(ShardedAccumulatorTest, UnchargeReversesExactly) {
+  TwoGroupSchema fx;
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(1000);
+  ShardedAccumulator acc(&fx.schema, bounds, ChargeDirection::kExport, 2);
+
+  ASSERT_TRUE(acc.TryCharge(0, 600, 0).admitted);
+  EXPECT_FALSE(acc.TryCharge(4, 600, 1).admitted);
+  acc.UnchargePath(0, 600);
+  EXPECT_EQ(acc.total(), 0.0);
+  EXPECT_EQ(acc.accumulated(fx.g0), 0.0);
+  // The freed budget admits the previously rejected charge.
+  EXPECT_TRUE(acc.TryCharge(4, 600, 1).admitted);
+}
+
+TEST(ShardedAccumulatorTest, WeightsScaleChargesPerNode) {
+  TwoGroupSchema fx;
+  ASSERT_TRUE(fx.schema.SetWeight(fx.g0, 2.0).ok());
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(1000);
+  bounds.SetLimit(fx.g0, 1000);
+  ShardedAccumulator acc(&fx.schema, bounds, ChargeDirection::kImport, 1);
+
+  ASSERT_TRUE(acc.TryCharge(0, 100, 0).admitted);
+  EXPECT_EQ(acc.accumulated(fx.g0), 200.0);  // d * weight(g0)
+  EXPECT_EQ(acc.total(), 100.0);             // root weight 1.0
+}
+
+TEST(ShardedAccumulatorTest, UnboundedSpecDisablesEnforcement) {
+  TwoGroupSchema fx;
+  ShardedAccumulator acc(&fx.schema, BoundSpec::Unlimited(),
+                         ChargeDirection::kImport, 4);
+  EXPECT_FALSE(acc.enforced());
+  EXPECT_TRUE(acc.TryCharge(0, 1e12, 0).admitted);
+  // No-op admit: nothing was published and nothing is counted.
+  EXPECT_EQ(acc.total(), 0.0);
+  EXPECT_EQ(acc.FoldedCharges(), 0);
+}
+
+TEST(ShardedAccumulatorTest, NonPositiveChargeAlwaysAdmits) {
+  TwoGroupSchema fx;
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(10);
+  ShardedAccumulator acc(&fx.schema, bounds, ChargeDirection::kImport, 1);
+  ASSERT_TRUE(acc.TryCharge(0, 10, 0).admitted);  // budget now full
+  EXPECT_TRUE(acc.TryCharge(0, 0, 0).admitted);
+  EXPECT_TRUE(acc.TryCharge(0, -5, 0).admitted);
+  EXPECT_EQ(acc.total(), 10.0);
+}
+
+// The race audit: charger threads hammer TryCharge/UnchargePath with
+// integer-valued amounts (exact in binary floating point, so the final
+// refund cancels to exactly zero) while spin-reader threads assert, on
+// every acquire load, that no node total exceeds its limit. A bug that
+// published before validating — or tore the rollback — shows up here as
+// an observed overshoot, and under TSan as a data race.
+TEST(ShardedAccumulatorRaceTest, ConcurrentChargesNeverExceedTheLimit) {
+  TwoGroupSchema fx;
+  constexpr double kRootLimit = 1000.0;
+  constexpr double kGroupLimit = 600.0;
+  BoundSpec bounds;
+  bounds.SetTransactionLimit(kRootLimit);
+  bounds.SetLimit(fx.g0, kGroupLimit);
+  bounds.SetLimit(fx.g1, kGroupLimit);
+  constexpr size_t kChargers = 8;
+  ShardedAccumulator acc(&fx.schema, bounds, ChargeDirection::kImport,
+                         kChargers);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> overshoots{0};
+  std::atomic<int64_t> reads{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        // Acquire loads: a charge observed here was fully validated
+        // before it was published.
+        if (acc.total() > kRootLimit ||
+            acc.accumulated(fx.g0) > kGroupLimit ||
+            acc.accumulated(fx.g1) > kGroupLimit) {
+          overshoots.fetch_add(1, std::memory_order_relaxed);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> chargers;
+  std::atomic<int64_t> admitted_total{0};
+  for (size_t c = 0; c < kChargers; ++c) {
+    chargers.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      // Outstanding (object, amount) charges owned by this thread.
+      std::vector<std::pair<ObjectId, double>> held;
+      int64_t admitted = 0;
+      for (int iter = 0; iter < 30'000; ++iter) {
+        const bool release = !held.empty() &&
+                             (held.size() >= 16 || rng.UniformInt(0, 2) == 0);
+        if (release) {
+          const auto [object, amount] = held.back();
+          held.pop_back();
+          acc.UnchargePath(object, amount);
+        } else {
+          const ObjectId object =
+              static_cast<ObjectId>(rng.UniformInt(0, 7));
+          const double amount =
+              static_cast<double>(rng.UniformInt(1, 40));
+          if (acc.TryCharge(object, amount, c).admitted) {
+            held.push_back({object, amount});
+            ++admitted;
+          }
+        }
+      }
+      for (const auto& [object, amount] : held) {
+        acc.UnchargePath(object, amount);
+      }
+      admitted_total.fetch_add(admitted, std::memory_order_relaxed);
+    });
+  }
+
+  for (auto& t : chargers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(overshoots.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+  // With limits this tight versus 8 threads holding up to 16 charges of
+  // mean 20 each, both admissions and rejections must have occurred.
+  EXPECT_GT(admitted_total.load(), 0);
+  EXPECT_EQ(acc.FoldedCharges(), admitted_total.load());
+  // Integer charges uncharge exactly: the budget is fully refunded.
+  EXPECT_EQ(acc.total(), 0.0);
+  EXPECT_EQ(acc.accumulated(fx.g0), 0.0);
+  EXPECT_EQ(acc.accumulated(fx.g1), 0.0);
+}
+
+}  // namespace
+}  // namespace esr

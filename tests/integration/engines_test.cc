@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "engine/sharded/sharded_engine.h"
 #include "esr/limits.h"
 #include "mvto/mvto_manager.h"
 #include "sim/cluster.h"
@@ -43,12 +44,25 @@ class EngineHarness {
             testing::EngineFixture::StoreOptions(num_objects, 64), &schema_,
             &metrics_);
         break;
+      case EngineKind::kSharded: {
+        // Same protocol as TO-ESR behind per-shard latches and group
+        // commit; single-threaded it must honor the same guarantees.
+        ShardedEngineOptions sharded;
+        sharded.num_shards = 4;
+        engine_ = std::make_unique<ShardedEngine>(
+            sharded, testing::EngineFixture::StoreOptions(num_objects, 64),
+            &schema_, &metrics_);
+        break;
+      }
     }
   }
 
   TransactionEngine& engine() { return *engine_; }
 
   Value TotalCommitted() {
+    if (kind_ == EngineKind::kSharded) {
+      return static_cast<ShardedEngine&>(*engine_).TotalValue();
+    }
     Value total = 0;
     for (ObjectId id = 0; id < kObjects; ++id) {
       if (kind_ == EngineKind::kMultiversion) {
@@ -133,7 +147,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllEngines, EngineGuaranteeTest,
     ::testing::Values(EngineKind::kTimestampOrdering,
                       EngineKind::kTwoPhaseLocking,
-                      EngineKind::kMultiversion),
+                      EngineKind::kMultiversion, EngineKind::kSharded),
     [](const ::testing::TestParamInfo<EngineKind>& info) {
       switch (info.param) {
         case EngineKind::kTimestampOrdering:
@@ -142,6 +156,8 @@ INSTANTIATE_TEST_SUITE_P(
           return std::string("TwoPlEsr");
         case EngineKind::kMultiversion:
           return std::string("Mvto");
+        case EngineKind::kSharded:
+          return std::string("Sharded");
       }
       return std::string("Unknown");
     });
@@ -165,7 +181,7 @@ ClusterOptions EngineClusterOptions(EngineKind engine, EpsilonLevel level,
 TEST(EngineClusterTest, AllEnginesMakeProgressUnderContention) {
   for (EngineKind engine :
        {EngineKind::kTimestampOrdering, EngineKind::kTwoPhaseLocking,
-        EngineKind::kMultiversion}) {
+        EngineKind::kMultiversion, EngineKind::kSharded}) {
     const SimResult r = RunCluster(
         EngineClusterOptions(engine, EpsilonLevel::kHigh, 5));
     EXPECT_GT(r.committed, 100) << EngineKindToString(engine);
@@ -212,6 +228,7 @@ TEST(EngineKindTest, Names) {
   EXPECT_EQ(EngineKindToString(EngineKind::kTimestampOrdering), "TO-ESR");
   EXPECT_EQ(EngineKindToString(EngineKind::kTwoPhaseLocking), "2PL-ESR");
   EXPECT_EQ(EngineKindToString(EngineKind::kMultiversion), "MVTO");
+  EXPECT_EQ(EngineKindToString(EngineKind::kSharded), "TO-SHARDED");
 }
 
 }  // namespace

@@ -12,7 +12,9 @@
 // and the blocker table ranked by total wait across all sites.
 //
 // --folded writes folded stacks (`threaded_server;thread<N>;<phase>
-// <self_us>`) consumable by flamegraph.pl / inferno-flamegraph.
+// <self_us>`, plus `threaded_server;site_wait;<site> <wait_us>` frames
+// for the named contention sites — shard latches in particular)
+// consumable by flamegraph.pl / inferno-flamegraph.
 // --lanes re-exports the --trace capture with one Perfetto track per
 // client thread (tid = thread lane) instead of per transaction.
 // --check-coverage PCT exits 2 when the phase self-time sum deviates from
@@ -276,6 +278,16 @@ bool WriteFolded(const ProfileDoc& doc, const std::string& path) {
             << " " << self_us << "\n";
       }
     }
+  }
+  // Contention sites as a parallel frame family: the measured wait on
+  // each named latch (engine.shard<i>.latch and friends) so the
+  // flamegraph shows which shard's latch the lock-wait time sits on —
+  // per-site, which the per-thread phase rows can't resolve.
+  for (const SiteRow& site : doc.sites) {
+    const long long wait_us = std::llround(site.total_wait_ms * 1000.0);
+    if (wait_us <= 0) continue;
+    out << "threaded_server;site_wait;" << site.name << " " << wait_us
+        << "\n";
   }
   out.flush();
   if (!out.good()) {
