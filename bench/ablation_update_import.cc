@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
                           "ablation_update_import");
   sweep.set_certify(esr::bench::CertifyFromArgs(argc, argv));
+  sweep.set_health(esr::bench::HealthPathFromArgs(argc, argv));
   for (int mpl : kMpls) {
     for (const Inconsistency budget : kBudgets) {
       // High query/export bounds so the update-read path is what varies.

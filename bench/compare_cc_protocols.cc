@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
   sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
                           "compare_cc_protocols");
   sweep.set_certify(esr::bench::CertifyFromArgs(argc, argv));
+  sweep.set_health(esr::bench::HealthPathFromArgs(argc, argv));
   for (int mpl : kMpls) {
     for (const Config& config : configs) {
       auto opt = BaseOptions(config.level, mpl, scale);

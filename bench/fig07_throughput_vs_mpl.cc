@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
                           "fig07_throughput_vs_mpl");
   sweep.set_certify(esr::bench::CertifyFromArgs(argc, argv));
+  sweep.set_health(esr::bench::HealthPathFromArgs(argc, argv));
   for (int mpl = 1; mpl <= 10; ++mpl) {
     for (int l = 0; l < 4; ++l) {
       sweep.Add(BaseOptions(kLevels[l], mpl, scale));

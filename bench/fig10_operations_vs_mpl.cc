@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
                           "fig10_operations_vs_mpl");
   sweep.set_certify(esr::bench::CertifyFromArgs(argc, argv));
+  sweep.set_health(esr::bench::HealthPathFromArgs(argc, argv));
   for (int mpl = 1; mpl <= 10; ++mpl) {
     for (EpsilonLevel level : kLevels) {
       sweep.Add(BaseOptions(level, mpl, scale));

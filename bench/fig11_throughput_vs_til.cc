@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
                           "fig11_throughput_vs_til");
   sweep.set_certify(esr::bench::CertifyFromArgs(argc, argv));
+  sweep.set_health(esr::bench::HealthPathFromArgs(argc, argv));
   for (const double til : kTilSweep) {
     for (const double tel : kTelLevels) {
       sweep.Add(BaseOptions(til, tel, kMpl, scale));

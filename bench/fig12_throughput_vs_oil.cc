@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   sweep.set_series_export(esr::bench::SeriesPathFromArgs(argc, argv),
                           "fig12_throughput_vs_oil");
   sweep.set_certify(esr::bench::CertifyFromArgs(argc, argv));
+  sweep.set_health(esr::bench::HealthPathFromArgs(argc, argv));
   for (const double oil_w : kOilInW) {
     for (const double til : kTilLevels) {
       sweep.Add(PointOptions(oil_w, til, scale));

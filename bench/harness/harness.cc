@@ -148,6 +148,10 @@ std::string SeriesPathFromArgs(int argc, char** argv) {
   return FlagValue(argc, argv, "--series", "ESR_BENCH_SERIES");
 }
 
+std::string HealthPathFromArgs(int argc, char** argv) {
+  return FlagValue(argc, argv, "--health", "ESR_BENCH_HEALTH");
+}
+
 bool CertifyFromArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--certify") == 0) return true;
@@ -206,6 +210,11 @@ void Sweep::set_series_export(std::string path, std::string source) {
 void Sweep::set_certify(bool on) {
   ESR_CHECK(!ran_) << "Sweep::set_certify after Run";
   certify_ = on;
+}
+
+void Sweep::set_health(std::string path) {
+  ESR_CHECK(!ran_) << "Sweep::set_health after Run";
+  health_path_ = std::move(path);
 }
 
 void Sweep::set_lanes(int lanes) {
@@ -286,10 +295,12 @@ void Sweep::Run() {
     // workers running, so ownership is safe.
     options.owns_trace = certify || jobs_ == 1;
     options.certify = certify;
-    if (!series_path_.empty() && task == series_task) {
+    if ((!series_path_.empty() || !health_path_.empty()) &&
+        task == series_task) {
       // Telemetry rides on the last scheduled run: sampling is purely
       // observational, and pinning the exporter by schedule position
-      // keeps the file identical for any jobs count.
+      // keeps the file identical for any jobs count. Health analysis
+      // replays the same windows, so it pins the same run.
       options.collect_series = true;
       options.series_window_s = kSeriesWindowS;
       options.series_source =
@@ -348,6 +359,25 @@ void Sweep::Run() {
     } else {
       std::fprintf(stderr, "wrote %zu telemetry windows to %s\n",
                    series.windows.size(), series_path_.c_str());
+    }
+  }
+  if (!health_path_.empty()) {
+    // Offline replay of the pinned run's windows: a pure function of
+    // the series, so the journal bytes are --jobs-independent.
+    health_ = AnalyzeSeries(raw[series_task].series);
+    const Status status = WriteHealthJsonToFile(health_, health_path_);
+    if (!status.ok()) {
+      std::fprintf(stderr, "health journal export failed: %s\n",
+                   status.ToString().c_str());
+    } else if (health_.healthy()) {
+      std::fprintf(stderr,
+                   "health: HEALTHY over %zu windows — journal at %s\n",
+                   health_.windows, health_path_.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "health: %zu alert(s) over %zu windows — journal at %s\n",
+                   health_.alerts.size(), health_.windows,
+                   health_path_.c_str());
     }
   }
 }

@@ -96,6 +96,12 @@ std::string SeriesPathFromArgs(int argc, char** argv);
 /// the executor with Sweep::set_certify.
 bool CertifyFromArgs(int argc, char** argv);
 
+/// Output path for the windowed anomaly-detection journal (obs/health.h):
+/// `--health <path>` wins over ESR_BENCH_HEALTH; empty (health analysis
+/// disabled) when neither is present. Wire it into the executor with
+/// Sweep::set_health.
+std::string HealthPathFromArgs(int argc, char** argv);
+
 /// Runs tasks [0, count) across up to `jobs` worker threads pulling from
 /// a shared index, inline on the calling thread when jobs <= 1. Tasks
 /// must be independent; result merging belongs on the calling thread
@@ -198,6 +204,19 @@ class Sweep {
   /// set_certify(true) and tracing is compiled in).
   const StreamCertification& certification() const { return certification_; }
 
+  /// After Run(), replays the pinned telemetry run's window series
+  /// through the standard HealthMonitor detector set (obs/health.h) and
+  /// writes the alert journal JSON to `path` (no-op when empty). Shares
+  /// the series exporter's schedule position — the last scheduled
+  /// (config, seed) run — and forces series collection on that run even
+  /// when --series is off. The journal is a pure function of the pinned
+  /// run's series, so its bytes are identical for any --jobs count.
+  void set_health(std::string path);
+
+  /// After Run(): the pinned run's health verdict (empty unless
+  /// set_health was given a path).
+  const HealthReport& health() const { return health_; }
+
   /// Lane worker threads inside each simulator run (see LanesFromArgs);
   /// applied to every scheduled config — calibration run included — by
   /// Run(). Determinism contract: results are byte-identical for any
@@ -239,8 +258,10 @@ class Sweep {
   bool certify_ = false;
   int lanes_ = 1;
   StreamCertification certification_;
+  HealthReport health_;
   std::string series_path_;
   std::string series_source_;
+  std::string health_path_;
   std::vector<ClusterOptions> configs_;
   std::vector<AveragedResult> results_;
 };

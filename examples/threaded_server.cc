@@ -6,7 +6,7 @@
 //
 // Usage:  ./build/examples/threaded_server [num_clients] [txns_per_client]
 //             [--json metrics.json] [--trace trace.json] [--certify]
-//             [--profile profile.json]
+//             [--profile profile.json] [--health health.json]
 //             [--metrics-port N] [--metrics-linger-ms N]
 //             [--shards N] [--workers N] [--objects N] [--batch]
 //
@@ -47,11 +47,20 @@
 // final epsilon level: per-phase cost attribution, per-site contention
 // histograms, and blocked-by tables, written as JSON for tools/esr_profile
 // (and live profile.* gauges on /metrics while the level runs).
+// --health runs the windowed anomaly-detection engine (obs/health.h)
+// live: every 1 s wall-clock window the sampler feeds the commit/abort
+// deltas, active MPL, per-node headroom, and per-shard op deltas to the
+// detector set; open episodes surface as esr_alert_active{detector=...}
+// / esr_alert_count gauges on /metrics, and the alert journal is
+// written as JSON (readable by tools/esr_health --journal). These
+// windows are *wall-clock* — certification watermarks live in the
+// certifier's own epoch, so the stall detector is left to recorded-run
+// replay where both clocks are virtual (see DESIGN.md).
 //
 // SIGINT/SIGTERM interrupt the run cleanly: clients drain at the next
-// safe point, every requested output (metrics JSON, trace, profile) is
-// flushed for the level that was running, and the process exits
-// 128+signal.
+// safe point, every requested output (metrics JSON, trace, profile,
+// health journal) is flushed for the level that was running, and the
+// process exits 128+signal.
 
 #include <atomic>
 #include <chrono>
@@ -72,6 +81,7 @@
 #include "esr/limits.h"
 #include "hierarchy/accumulator.h"
 #include "obs/exporter.h"
+#include "obs/health.h"
 #include "obs/profile.h"
 #include "obs/prometheus.h"
 #include "obs/series.h"
@@ -229,6 +239,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
   std::string profile_path;
+  std::string health_path;
   bool certify = false;
   int metrics_port = -1;
   int metrics_linger_ms = 0;
@@ -241,6 +252,7 @@ int main(int argc, char** argv) {
     const bool is_json = std::strcmp(argv[i], "--json") == 0;
     const bool is_trace = std::strcmp(argv[i], "--trace") == 0;
     const bool is_profile = std::strcmp(argv[i], "--profile") == 0;
+    const bool is_health = std::strcmp(argv[i], "--health") == 0;
     const bool is_port = std::strcmp(argv[i], "--metrics-port") == 0;
     const bool is_linger = std::strcmp(argv[i], "--metrics-linger-ms") == 0;
     const bool is_shards = std::strcmp(argv[i], "--shards") == 0;
@@ -255,8 +267,9 @@ int main(int argc, char** argv) {
             static_cast<int>(std::thread::hardware_concurrency());
         if (num_workers <= 0) num_workers = 4;
       }
-    } else if (is_json || is_trace || is_profile || is_port || is_linger ||
-               is_shards || is_workers || is_objects || is_hot_set) {
+    } else if (is_json || is_trace || is_profile || is_health || is_port ||
+               is_linger || is_shards || is_workers || is_objects ||
+               is_hot_set) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s requires an argument\n", argv[i]);
         return 1;
@@ -267,6 +280,8 @@ int main(int argc, char** argv) {
         trace_path = argv[++i];
       } else if (is_profile) {
         profile_path = argv[++i];
+      } else if (is_health) {
+        health_path = argv[++i];
       } else if (is_port) {
         metrics_port = std::atoi(argv[++i]);
       } else if (is_shards) {
@@ -412,17 +427,49 @@ int main(int argc, char** argv) {
     for (esr::GroupId g = 0; g < server.schema().num_groups(); ++g) {
       headroom_series.node_names.push_back(server.schema().name(g));
     }
+    // Live health monitor: the sampler feeds it one SeriesWindow per
+    // wall-clock second — the same stream AnalyzeSeries replays offline,
+    // so a recorded run reproduces exactly the alerts raised here.
+    std::unique_ptr<esr::HealthMonitor> health;
+    if (!health_path.empty()) {
+      esr::HealthOptions health_options;
+      health_options.source = "threaded_server";
+      health_options.window_s = 1.0;
+      for (esr::GroupId g = 0; g < server.schema().num_groups(); ++g) {
+        health_options.node_names.push_back(server.schema().name(g));
+      }
+      health = std::make_unique<esr::HealthMonitor>(health_options);
+    }
     std::atomic<bool> sampling{true};
     esr::StreamCertifier* const cert = certifier.get();
     esr::ShardedEngine* const sharded = server.sharded_engine();
+    esr::HealthMonitor* const monitor = health.get();
     std::thread sampler([&server, &sampling, &headroom, &headroom_series,
-                         cert, profiling, sharded] {
+                         cert, profiling, sharded, monitor] {
       int64_t ticks = 0;
+      // Commit/abort counter totals at the last window fold; the deltas
+      // are the per-window committed/aborted the detectors consume.
+      int64_t prev_committed = 0;
+      int64_t prev_aborted = 0;
+      std::vector<int64_t> prev_shard_ops;
       auto fold_window = [&](double duration_s) {
         esr::SeriesWindow w;
         w.start_s = static_cast<double>(headroom_series.windows.size());
         w.duration_s = duration_s;
         w.active_mpl = static_cast<double>(server.engine().num_active());
+        const int64_t committed_total =
+            server.metrics().counter("txn.commit.query").value() +
+            server.metrics().counter("txn.commit.update").value();
+        const int64_t aborted_total =
+            server.metrics().counter("txn.abort").value();
+        w.committed = committed_total - prev_committed;
+        w.aborted = aborted_total - prev_aborted;
+        prev_committed = committed_total;
+        prev_aborted = aborted_total;
+        // Wall-clock run: the certification watermark lives in the
+        // certifier's own epoch, not this window index — leave the
+        // sentinel so the stall detector stays inert (clock domains
+        // must match before lag means anything; DESIGN.md).
         w.nodes.resize(headroom.num_nodes());
         for (esr::GroupId g = 0; g < headroom.num_nodes(); ++g) {
           const esr::NodeHeadroomTracker::NodeSample s =
@@ -433,6 +480,21 @@ int main(int argc, char** argv) {
           w.nodes[g].charges = s.charges;
         }
         headroom.StartWindow();
+        if (monitor != nullptr) {
+          esr::HealthInput input;
+          if (sharded != nullptr) {
+            prev_shard_ops.resize(sharded->num_shards(), 0);
+            input.shard_ops.resize(sharded->num_shards(), 0);
+            for (size_t s = 0; s < sharded->num_shards(); ++s) {
+              const int64_t ops = static_cast<int64_t>(
+                  sharded->SnapshotShardStats(s).ops);
+              input.shard_ops[s] = ops - prev_shard_ops[s];
+              prev_shard_ops[s] = ops;
+            }
+          }
+          monitor->OnWindow(w, input);
+          monitor->ExportGauges(&server.metrics());
+        }
         headroom_series.windows.push_back(std::move(w));
         esr::ExportHeadroomGauges(headroom_series, &server.metrics());
       };
@@ -588,6 +650,28 @@ int main(int argc, char** argv) {
                 static_cast<long long>(total.waits),
                 latency != nullptr ? latency->ApproximatePercentile(0.99)
                                    : 0.0);
+
+    // Same flush contract as the metrics JSON: on interrupt, the level
+    // that was running is the last that will ever finish, so its alert
+    // journal is written instead of dropped — a mid-run SIGTERM still
+    // leaves a parseable journal on disk (pinned by ctest).
+    if (health != nullptr && (level == last_level || Interrupted())) {
+      health->Finish();
+      const esr::HealthReport report = health->Report();
+      const esr::Status s =
+          esr::WriteHealthJsonToFile(report, health_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "health journal export failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      const std::string verdict =
+          report.healthy()
+              ? "HEALTHY"
+              : std::to_string(report.alerts.size()) + " alert(s)";
+      std::fprintf(stderr, "health: %s over %zu window(s) — journal at %s\n",
+                   verdict.c_str(), report.windows, health_path.c_str());
+    }
 
     // On interrupt, the level that was running is the last one that will
     // ever finish — flush the metrics JSON for it instead of dropping it.

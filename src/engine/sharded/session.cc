@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "obs/profile.h"
 
 namespace esr {
 namespace {
@@ -175,6 +176,11 @@ SessionPoolResult RunSessionWorkers(Server* server, const WorkloadSpec& spec,
       std::vector<int64_t> not_before_us(mine.size(), 0);
       std::vector<int> abort_streak(mine.size(), 0);
       Rng backoff_rng(options.seed * 0x9E3779B9u + w + 1);
+      // All workers share one contention site: the interesting signal
+      // is total time the pool spent backing off, not which worker
+      // happened to yield.
+      ContentionSite* const backoff_site =
+          GlobalProfiler().site("session.wait_backoff");
       constexpr int kMaxDeferRounds = 64;
       while (true) {
         batch.reqs.clear();
@@ -209,7 +215,11 @@ SessionPoolResult RunSessionWorkers(Server* server, const WorkloadSpec& spec,
           // the workers serving the blocking writers. yield() (not a
           // timed sleep) matters on few-core hosts: a 50us sleep_for
           // costs ~2-3x that in timer slack, while yield reschedules the
-          // blocking writer's worker immediately.
+          // blocking writer's worker immediately. The yield is charged
+          // to the shared backoff site as kLockWait so stalled-pool
+          // rounds surface in the wall-clock attribution.
+          ScopedPhaseTimer wait_phase(ProfilePhase::kLockWait);
+          ScopedSiteWait wait(backoff_site, kInvalidTxnId);
           std::this_thread::yield();
           continue;
         }
@@ -250,6 +260,8 @@ SessionPoolResult RunSessionWorkers(Server* server, const WorkloadSpec& spec,
         if (!progressed) {
           // Every submitted op waited: cede the core so the blocking
           // writers' workers can run and commit.
+          ScopedPhaseTimer wait_phase(ProfilePhase::kLockWait);
+          ScopedSiteWait wait(backoff_site, kInvalidTxnId);
           std::this_thread::yield();
         }
       }

@@ -410,6 +410,14 @@ Status ShardedEngine::Commit(TxnId txn) {
   commit_queue_.push_back(&waiter);
   if (commit_leader_active_) {
     // Follower: a leader is draining; it will commit us and flip done.
+    // The block is pure waiting, so it books as kLockWait (not commit
+    // work) and charges a dedicated contention site — group-commit
+    // convoying shows up in the blocker tables instead of hiding
+    // inside kCommit self-time. The leader's txn id is not tracked
+    // across the handoff, so the wait is unattributed.
+    ScopedPhaseTimer wait_phase(ProfilePhase::kLockWait);
+    ScopedSiteWait wait(GlobalProfiler().site("engine.group_commit.follower"),
+                        kInvalidTxnId);
     commit_cv_.wait(lock, [&waiter] { return waiter.done; });
     return Status::OK();
   }
@@ -432,6 +440,10 @@ Status ShardedEngine::Commit(TxnId txn) {
 
 void ShardedEngine::ProcessCommitBatch(
     const std::vector<CommitWaiter*>& batch) {
+  // The batched shard-store mutation is apply work, not commit
+  // bookkeeping: attribute it to kApply (nested under the leader's
+  // kCommit scope) so batch size shows up in the phase attribution.
+  ScopedPhaseTimer apply_phase(ProfilePhase::kApply);
   // Txn-major fill keeps each transaction's refs contiguous per shard, so
   // the distinct-writer count below is a simple adjacency check.
   for (CommitWaiter* w : batch) {
@@ -506,6 +518,10 @@ Status ShardedEngine::Abort(TxnId txn) {
 }
 
 void ShardedEngine::TeardownAbort(Transaction* txn, AbortReason reason) {
+  // Abort teardown is commit-path work whichever op triggered it; the
+  // nested scope keeps shadow recovery out of kValidate self-time when
+  // a mid-operation abort lands here.
+  ScopedPhaseTimer phase(ProfilePhase::kCommit);
   // Shadow-value recovery shard by shard (Sec. 6): one latch at a time,
   // ascending, filtering the write/read sets per shard. Aborts are the
   // cold path; the filter scan is cheaper than per-shard scratch here.

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <sstream>
 
 namespace esr {
@@ -100,6 +101,38 @@ void WriteFamilyHeader(std::ostream& out, const std::string& dotted,
   out << "# TYPE " << prom << " " << kind << "\n";
 }
 
+/// Matches the sharded engine's dotted per-shard stats,
+/// "engine.shard<i>.<stat>", yielding the stat slug and shard index.
+/// "engine.shards" and "engine.shard<i>" without a stat do not match.
+bool ParseShardStat(const std::string& dotted, std::string* stat,
+                    long* shard) {
+  static const char kPrefix[] = "engine.shard";
+  if (dotted.rfind(kPrefix, 0) != 0) return false;
+  size_t pos = std::strlen(kPrefix);
+  size_t digits = 0;
+  long index = 0;
+  while (pos < dotted.size() &&
+         std::isdigit(static_cast<unsigned char>(dotted[pos]))) {
+    index = index * 10 + (dotted[pos] - '0');
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0 || pos >= dotted.size() || dotted[pos] != '.') return false;
+  *stat = dotted.substr(pos + 1);
+  if (stat->empty()) return false;
+  *shard = index;
+  return true;
+}
+
+/// Matches the health monitor's per-detector liveness gauges,
+/// "alert.active.<detector>".
+bool ParseAlertActive(const std::string& dotted, std::string* detector) {
+  static const char kPrefix[] = "alert.active.";
+  if (dotted.rfind(kPrefix, 0) != 0) return false;
+  *detector = dotted.substr(std::strlen(kPrefix));
+  return !detector->empty();
+}
+
 }  // namespace
 
 void WritePrometheusText(const MetricRegistry& metrics, std::ostream& out) {
@@ -108,10 +141,53 @@ void WritePrometheusText(const MetricRegistry& metrics, std::ostream& out) {
     WriteFamilyHeader(out, name, prom, "counter");
     out << prom << " " << value << "\n";
   }
+  // Dotted per-shard and per-detector gauge names are promoted to
+  // labeled Prometheus families (esr_shard_ops{shard="3"},
+  // esr_alert_active{detector="abort_livelock"}) so dashboards can
+  // aggregate across the label instead of regex-matching name suffixes.
+  // The dotted spellings stay canonical everywhere else (JSON/CSV
+  // exporters, FindGauge); only the text exposition re-groups them.
+  // map keeps families and label values deterministically ordered —
+  // shards numerically via the long key, stats lexicographically.
+  std::map<std::string, std::map<long, double>> shard_families;
+  std::map<std::string, double> alert_active;
   for (const auto& [name, value] : metrics.GaugeSnapshot()) {
+    std::string stat;
+    long shard = 0;
+    if (ParseShardStat(name, &stat, &shard)) {
+      shard_families[stat][shard] = value;
+      continue;
+    }
+    std::string detector;
+    if (ParseAlertActive(name, &detector)) {
+      alert_active[detector] = value;
+      continue;
+    }
     const std::string prom = PrometheusMetricName(name);
     WriteFamilyHeader(out, name, prom, "gauge");
     WriteSample(out, prom, "", value);
+  }
+  if (!alert_active.empty()) {
+    const std::string prom = "esr_alert_active";
+    out << "# HELP " << prom
+        << " 1 while the named health detector has an open alert "
+           "episode, 0 otherwise (obs/health).\n";
+    out << "# TYPE " << prom << " gauge\n";
+    for (const auto& [detector, value] : alert_active) {
+      WriteSample(out, prom, "{detector=\"" + detector + "\"}", value);
+    }
+  }
+  for (const auto& [stat, samples] : shard_families) {
+    const std::string prom =
+        PrometheusMetricName("shard." + stat);
+    out << "# HELP " << prom << " Per-shard " << stat
+        << " from the sharded engine's consistent stats snapshot, "
+           "labeled by shard index.\n";
+    out << "# TYPE " << prom << " gauge\n";
+    for (const auto& [shard, value] : samples) {
+      WriteSample(out, prom, "{shard=\"" + std::to_string(shard) + "\"}",
+                  value);
+    }
   }
   for (const auto& [name, hist] : metrics.HistogramSnapshot()) {
     const std::string prom = PrometheusMetricName(name);

@@ -44,6 +44,8 @@ Cluster::Cluster(const ClusterOptions& options)
       executor_(static_cast<size_t>(options.mpl) + 1,
                 LatencyModel::MinCrossSiteDelayMicros(options.latency)) {
   ESR_CHECK(options_.mpl >= 1);
+  // Health detection replays the window stream, so it needs the sampler.
+  if (options_.health) options_.collect_series = true;
   // The store must be populated consistently with the workload's universe.
   ServerOptions server_options = options_.server;
   server_options.store.num_objects = options_.workload.num_objects;
@@ -217,6 +219,7 @@ SimResult Cluster::Run() {
     if (sampler_ != nullptr) sampler_->set_certifier(nullptr);
   }
   if (enabled_trace_for_certify) GlobalTrace().set_enabled(false);
+  if (options_.health) result.health = AnalyzeSeries(result.series);
   return result;
 }
 

@@ -74,6 +74,19 @@ double GaugeIn(const std::string& body, const std::string& name) {
   return std::stod(body.substr(pos + needle.size()));
 }
 
+// Value of the labeled per-shard family sample
+// `esr_shard_<stat>{shard="<s>"} <value>`; -1 if absent. The text
+// exposition promotes the dotted engine.shard<i>.<stat> gauges to
+// these labeled spellings (JSON/CSV keep the dotted names).
+double ShardGaugeIn(const std::string& body, const std::string& stat,
+                    size_t shard) {
+  const std::string needle = "\nesr_shard_" + stat + "{shard=\"" +
+                             std::to_string(shard) + "\"} ";
+  const size_t pos = body.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(body.substr(pos + needle.size()));
+}
+
 TEST(ShardGaugesTest, ConcurrentScrapesSeeConsistentShardCounters) {
   ServerOptions opt;
   opt.engine = EngineKind::kSharded;
@@ -128,11 +141,10 @@ TEST(ShardGaugesTest, ConcurrentScrapesSeeConsistentShardCounters) {
       if (body.empty()) continue;
       scrapes.fetch_add(1, std::memory_order_relaxed);
       for (size_t s = 0; s < kShards; ++s) {
-        const std::string prefix = "engine.shard" + std::to_string(s);
-        const double applied = GaugeIn(body, prefix + ".applied_writes");
-        const double committed = GaugeIn(body, prefix + ".committed_writes");
-        const double writers = GaugeIn(body, prefix + ".committed_writers");
-        const double batches = GaugeIn(body, prefix + ".commit_batches");
+        const double applied = ShardGaugeIn(body, "applied_writes", s);
+        const double committed = ShardGaugeIn(body, "committed_writes", s);
+        const double writers = ShardGaugeIn(body, "committed_writers", s);
+        const double batches = ShardGaugeIn(body, "commit_batches", s);
         if (applied < 0 || committed < 0 || writers < 0 || batches < 0) {
           torn.fetch_add(1, std::memory_order_relaxed);  // gauge missing
           continue;
@@ -161,13 +173,11 @@ TEST(ShardGaugesTest, ConcurrentScrapesSeeConsistentShardCounters) {
             static_cast<double>(engine->commit_batches()));
   double committed_writes = 0;
   for (size_t s = 0; s < kShards; ++s) {
-    const std::string prefix = "engine.shard" + std::to_string(s);
-    const double shard_committed =
-        GaugeIn(body, prefix + ".committed_writes");
-    ASSERT_GE(shard_committed, 0.0) << prefix;
+    const double shard_committed = ShardGaugeIn(body, "committed_writes", s);
+    ASSERT_GE(shard_committed, 0.0) << "shard " << s;
     committed_writes += shard_committed;
-    EXPECT_GE(GaugeIn(body, prefix + ".ops"), 0.0);
-    EXPECT_GE(GaugeIn(body, prefix + ".waits"), 0.0);
+    EXPECT_GE(ShardGaugeIn(body, "ops", s), 0.0);
+    EXPECT_GE(ShardGaugeIn(body, "waits", s), 0.0);
   }
   EXPECT_GT(committed_writes, 0.0);
   // Shared budgets fully refunded at quiescence, and their gauges render.

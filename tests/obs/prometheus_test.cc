@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "common/metrics.h"
+#include "obs/exporter.h"
 
 namespace esr {
 namespace {
@@ -126,6 +127,91 @@ TEST(PrometheusTextTest, EmptyRegistryProducesEmptyExposition) {
   std::ostringstream out;
   WritePrometheusText(reg, out);
   EXPECT_TRUE(out.str().empty());
+}
+
+TEST(PrometheusTextTest, PromotesShardGaugesToLabeledFamilies) {
+  MetricRegistry reg;
+  // Registered out of numeric order, plus a two-digit shard: the label
+  // values must come out sorted numerically (2 < 10), not as strings.
+  reg.gauge("engine.shard10.ops").Set(111.0);
+  reg.gauge("engine.shard2.ops").Set(7.0);
+  reg.gauge("engine.shard2.waits").Set(3.0);
+  reg.gauge("engine.shards").Set(12.0);  // not per-shard; stays dotted
+
+  std::ostringstream out;
+  WritePrometheusText(reg, out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE esr_shard_ops gauge\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP esr_shard_ops Per-shard ops"),
+            std::string::npos)
+      << text;
+  const size_t s2 = text.find("esr_shard_ops{shard=\"2\"} 7\n");
+  const size_t s10 = text.find("esr_shard_ops{shard=\"10\"} 111\n");
+  ASSERT_NE(s2, std::string::npos) << text;
+  ASSERT_NE(s10, std::string::npos) << text;
+  EXPECT_LT(s2, s10) << "shards must sort numerically:\n" << text;
+  EXPECT_NE(text.find("esr_shard_waits{shard=\"2\"} 3\n"),
+            std::string::npos)
+      << text;
+
+  // The per-shard dotted spellings vanish from the text exposition ...
+  EXPECT_EQ(text.find("esr_engine_shard2_ops"), std::string::npos) << text;
+  // ... while non-per-shard engine gauges keep their dotted-derived name.
+  EXPECT_NE(text.find("esr_engine_shards 12\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusTextTest, PromotesAlertGaugesToDetectorLabels) {
+  MetricRegistry reg;
+  reg.gauge("alert.count").Set(2.0);
+  reg.gauge("alert.active.abort_livelock").Set(1.0);
+  reg.gauge("alert.active.shard_imbalance").Set(0.0);
+
+  std::ostringstream out;
+  WritePrometheusText(reg, out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE esr_alert_active gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("esr_alert_active{detector=\"abort_livelock\"} 1\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("esr_alert_active{detector=\"shard_imbalance\"} 0\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("esr_alert_count 2\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("esr_alert_active_abort_livelock"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTextTest, DottedShardNamesStayCanonicalInJsonAndCsv) {
+  // The label promotion is a text-exposition concern only: the JSON and
+  // CSV exporters (and FindGauge lookups) keep the dotted spellings, so
+  // recorded artifacts stay byte-compatible across the change.
+  MetricRegistry reg;
+  reg.gauge("engine.shard3.ops").Set(42.0);
+  reg.gauge("alert.active.abort_livelock").Set(1.0);
+
+  std::ostringstream json;
+  WriteMetricsJson(reg, json);
+  EXPECT_NE(json.str().find("\"engine.shard3.ops\""), std::string::npos)
+      << json.str();
+  EXPECT_NE(json.str().find("\"alert.active.abort_livelock\""),
+            std::string::npos)
+      << json.str();
+
+  std::ostringstream csv;
+  WriteMetricsCsv(reg, csv);
+  EXPECT_NE(csv.str().find("engine.shard3.ops"), std::string::npos)
+      << csv.str();
+  EXPECT_NE(csv.str().find("alert.active.abort_livelock"),
+            std::string::npos)
+      << csv.str();
 }
 
 // Blocking one-shot HTTP GET against 127.0.0.1:port; empty on failure.

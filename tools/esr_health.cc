@@ -1,0 +1,315 @@
+// esr_health: offline health analysis over recorded telemetry.
+//
+// Replays a per-window series (captured with any figure binary's
+// `--series`) through the obs/health detector set — the exact monitor
+// the bench harness runs for `--health` and threaded_server runs live —
+// and prints the alert journal. Because detectors see only the window
+// stream, this replay reproduces byte-for-byte the alerts a live
+// monitor would have raised over the same run.
+//
+// Usage:
+//   esr_health <series.csv> [--json]
+//   esr_health --journal <health.json> [--json]
+//   esr_health --registry <dir> [--metric NAME] [--tolerance FRAC]
+//              [--json]
+//   esr_health --demo [--json]
+//
+// Modes:
+//   <series.csv>   analyze a recorded series (esr_series CSV format);
+//   --journal      reprint a previously written --health journal and
+//                  exit by its content — lets CI and the
+//                  threaded_server signal test validate a journal
+//                  without re-running the workload;
+//   --registry     scan a benchmark registry directory (the envelope
+//                  JSONs appended by --registry/ESR_BENCH_REGISTRY) and
+//                  surface cross-run performance regressions as
+//                  `perf_trend` alerts, using the same CI-aware rule as
+//                  esr_bench_report: latest < previous*(1-tolerance)
+//                  regresses, unless the point's own ci90_rel covers
+//                  the drop (WARNING, not an alert);
+//   --demo         analyze the built-in synthetic reproduction of the
+//                  documented MPL 2/low abort livelock (one
+//                  abort_livelock alert blaming windows 12..25).
+//
+// Exit codes: 0 healthy, 2 when any alert fires (including --demo,
+// which always fires — CI pins that), 1 on usage or I/O errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/health.h"
+#include "obs/json_value.h"
+#include "obs/series.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <series.csv> [--json]\n"
+      "       %s --journal <health.json> [--json]\n"
+      "       %s --registry <dir> [--metric NAME] [--tolerance FRAC]"
+      " [--json]\n"
+      "       %s --demo [--json]\n",
+      argv0, argv0, argv0, argv0);
+  return 1;
+}
+
+int EmitReport(const esr::HealthReport& report, bool json) {
+  if (json) {
+    esr::WriteHealthJson(report, std::cout);
+    std::cout << "\n";
+  } else {
+    esr::WriteHealthText(report, std::cout);
+  }
+  return report.healthy() ? 0 : 2;
+}
+
+// -- Registry trend mode ----------------------------------------------------
+//
+// Mirrors esr_bench_report's envelope parsing and regression rule so
+// the two tools can never disagree on what counts as a regression;
+// the difference is the output contract: regressions become structured
+// `perf_trend` alerts in a HealthReport, one per regressed point.
+
+struct TrendPoint {
+  double value = 0.0;
+  double ci90_rel = 0.0;
+};
+
+struct TrendRun {
+  std::string figure;
+  std::string sha;
+  std::string file;
+  int64_t recorded = 0;
+  std::map<std::string, TrendPoint> points;
+};
+
+std::string FormatX(double x) {
+  char buf[32];
+  if (x == static_cast<int64_t>(x)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(x));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", x);
+  }
+  return buf;
+}
+
+bool ParseEnvelope(const std::string& json, const std::string& file,
+                   const std::string& metric, TrendRun* run,
+                   std::string* error) {
+  esr::JsonValue root;
+  if (!esr::ParseJson(json, &root, error)) return false;
+  const esr::JsonValue* registered = root.Find("registered");
+  const esr::JsonValue* report = root.Find("report");
+  if (registered == nullptr || report == nullptr) {
+    *error = "not a registry envelope (missing registered/report)";
+    return false;
+  }
+  run->file = file;
+  if (const esr::JsonValue* v = registered->Find("figure");
+      v != nullptr && v->is_string()) {
+    run->figure = v->string;
+  }
+  if (const esr::JsonValue* v = registered->Find("git_sha");
+      v != nullptr && v->is_string()) {
+    run->sha = v->string;
+  }
+  run->recorded =
+      static_cast<int64_t>(registered->NumberOr("recorded_unix", 0.0));
+  if (run->figure.empty()) {
+    *error = "envelope has no figure name";
+    return false;
+  }
+  const esr::JsonValue* series = report->Find("series");
+  if (series == nullptr || !series->is_object()) {
+    *error = "report has no series object";
+    return false;
+  }
+  for (const auto& [name, rows] : series->object) {
+    if (!rows.is_array()) continue;
+    for (const esr::JsonValue& row : rows.array) {
+      const esr::JsonValue* m = row.Find(metric);
+      if (m == nullptr || !m->is_number()) continue;
+      TrendPoint point;
+      point.value = m->number;
+      point.ci90_rel = row.NumberOr(metric + "_ci90_rel",
+                                    row.NumberOr("ci90_rel", 0.0));
+      run->points[name + " @ x=" + FormatX(row.NumberOr("x", 0.0))] =
+          point;
+    }
+  }
+  return true;
+}
+
+int RunRegistryMode(const std::string& dir, const std::string& metric,
+                    double tolerance, bool json) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "esr_health: not a directory: %s\n", dir.c_str());
+    return 1;
+  }
+  std::map<std::string, std::vector<TrendRun>> figures;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".json") continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  size_t parsed = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    TrendRun run;
+    std::string error;
+    if (!ParseEnvelope(buf.str(), file, metric, &run, &error)) {
+      std::fprintf(stderr, "esr_health: skipping %s: %s\n", file.c_str(),
+                   error.c_str());
+      continue;
+    }
+    figures[run.figure].push_back(std::move(run));
+    ++parsed;
+  }
+  if (parsed == 0) {
+    std::fprintf(stderr, "esr_health: no registry envelopes under %s\n",
+                 dir.c_str());
+    return 1;
+  }
+
+  esr::HealthReport report;
+  report.source = "bench registry " + dir + " (metric: " + metric + ")";
+  report.window_s = 0.0;
+  report.windows = parsed;
+  for (auto& [figure, runs] : figures) {
+    std::sort(runs.begin(), runs.end(),
+              [](const TrendRun& a, const TrendRun& b) {
+                if (a.recorded != b.recorded) return a.recorded < b.recorded;
+                return a.file < b.file;
+              });
+    if (runs.size() < 2) continue;  // no trend yet
+    const TrendRun& previous = runs[runs.size() - 2];
+    const TrendRun& latest = runs.back();
+    for (const auto& [key, prev] : previous.points) {
+      esr::Alert alert;
+      alert.detector = "perf_trend";
+      alert.severity = esr::AlertSeverity::kError;
+      alert.first_window = runs.size() - 2;
+      alert.last_window = runs.size() - 1;
+      alert.open = true;  // still the latest run — unresolved
+      const auto cur_it = latest.points.find(key);
+      if (cur_it == latest.points.end()) {
+        alert.message = figure + ": " + key +
+                        " missing from latest run (" + latest.sha + ")";
+        alert.evidence.emplace_back("previous", prev.value);
+        report.alerts.push_back(std::move(alert));
+        continue;
+      }
+      const double cur = cur_it->second.value;
+      const double floor = prev.value * (1.0 - tolerance);
+      if (cur >= floor) continue;
+      const double ci = cur_it->second.ci90_rel;
+      if (ci > tolerance && cur >= prev.value * (1.0 - ci)) {
+        // Drop within the point's own confidence interval: a noisy
+        // configuration, not a regression (esr_bench_report prints
+        // WARNING(ci) for the same case).
+        continue;
+      }
+      alert.message = figure + ": " + key + " regressed " +
+                      std::to_string(prev.value) + " -> " +
+                      std::to_string(cur) + " (floor " +
+                      std::to_string(floor) + ", run " + latest.sha + ")";
+      alert.evidence.emplace_back("previous", prev.value);
+      alert.evidence.emplace_back("latest", cur);
+      alert.evidence.emplace_back("floor", floor);
+      alert.evidence.emplace_back("ci90_rel", ci);
+      report.alerts.push_back(std::move(alert));
+    }
+  }
+  return EmitReport(report, json);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string series_path;
+  std::string journal_path;
+  std::string registry_dir;
+  std::string metric = "throughput";
+  double tolerance = 0.05;
+  bool demo = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--journal") {
+      if (++i >= argc) return Usage(argv[0]);
+      journal_path = argv[i];
+    } else if (arg == "--registry") {
+      if (++i >= argc) return Usage(argv[0]);
+      registry_dir = argv[i];
+    } else if (arg == "--metric") {
+      if (++i >= argc) return Usage(argv[0]);
+      metric = argv[i];
+    } else if (arg == "--tolerance") {
+      if (++i >= argc) return Usage(argv[0]);
+      char* end = nullptr;
+      tolerance = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || tolerance < 0.0) {
+        return Usage(argv[0]);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (series_path.empty()) {
+      series_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const int modes = (series_path.empty() ? 0 : 1) +
+                    (journal_path.empty() ? 0 : 1) +
+                    (registry_dir.empty() ? 0 : 1) + (demo ? 1 : 0);
+  if (modes != 1) return Usage(argv[0]);
+
+  if (demo) {
+    return EmitReport(esr::AnalyzeSeries(esr::BuildLivelockDemoSeries()),
+                      json);
+  }
+  if (!journal_path.empty()) {
+    esr::Result<esr::HealthReport> report =
+        esr::ReadHealthJsonFile(journal_path);
+    if (!report.ok()) {
+      std::fprintf(stderr, "esr_health: %s\n",
+                   report.status().message().c_str());
+      return 1;
+    }
+    return EmitReport(report.value(), json);
+  }
+  if (!registry_dir.empty()) {
+    return RunRegistryMode(registry_dir, metric, tolerance, json);
+  }
+
+  esr::Result<esr::RunSeries> series =
+      esr::ReadSeriesCsvFile(series_path);
+  if (!series.ok()) {
+    std::fprintf(stderr, "esr_health: %s\n",
+                 series.status().message().c_str());
+    return 1;
+  }
+  return EmitReport(esr::AnalyzeSeries(series.value()), json);
+}
